@@ -1,0 +1,246 @@
+"""Design-choice ablations (DESIGN.md section 5).
+
+Beyond the paper's own figures, these benches isolate each tunable the
+auto-tuner exposes so the trade-offs are visible in isolation:
+
+* bit-flag word type (u8/u16/u32): footprint vs flag loads;
+* block dimensions: fill-in vs index compression;
+* strategy 1 vs strategy 2 as a function of mean segment length;
+* thread-level tile size;
+* BCCOO vs BCCOO+ slice count on a wide (LP-like) matrix vs a square
+  FEM-like matrix -- the paper's "BCCOO+ chosen only for LP" result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_table
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix
+from repro.gpu import GTX680, TimingModel
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+from repro.matrices import fem_banded, get_spec, wide_rows
+
+from conftest import record_table
+
+KERNEL = YaSpMVKernel()
+TIMING = TimingModel(GTX680)
+
+
+def _time(fmt, x, cfg) -> float:
+    return TIMING.estimate(KERNEL.run(fmt, x, GTX680, config=cfg).stats).t_total
+
+
+@pytest.fixture(scope="module")
+def fem_case(cap_nnz):
+    spec = get_spec("FEM/Harbor")
+    A = spec.load(scale=spec.scale_for_nnz(min(cap_nnz, 300_000)))
+    return A, np.ones(A.shape[1])
+
+
+class TestBitWordAblation:
+    def test_word_type_footprint_monotone(self, fem_case, benchmark):
+        A, x = fem_case
+
+        def footprints():
+            return [
+                BCCOOMatrix.from_scipy(A, bit_word_dtype=d).footprint_bytes()
+                for d in (np.uint8, np.uint16, np.uint32)
+            ]
+
+        u8, u16, u32 = benchmark.pedantic(footprints, rounds=1, iterations=1)
+        assert u8 <= u16 <= u32
+        rows = [[d, f"{b / 2**20:.3f}"] for d, b in zip(["u8", "u16", "u32"], [u8, u16, u32])]
+        record_table(
+            "ablation_bitword",
+            render_table(["word", "MB"], rows, title="Ablation: bit-flag word type"),
+        )
+
+
+class TestBlockDimensionAblation:
+    def test_blocking_helps_blocked_matrices_only(self, cap_nnz, benchmark):
+        fem = fem_banded(30_000, nnz_per_row=48, block=4, seed=3)
+        x = np.ones(fem.shape[1])
+
+        def times():
+            t11 = _time(BCCOOMatrix.from_scipy(fem, 1, 1), x, YaSpMVConfig())
+            t44 = _time(BCCOOMatrix.from_scipy(fem, 4, 4), x, YaSpMVConfig())
+            return t11, t44
+
+        t11, t44 = benchmark.pedantic(times, rounds=1, iterations=1)
+        # Dense 4x4 clusters: blocking must pay off.
+        assert t44 < t11
+        record_table(
+            "ablation_blocks",
+            f"Ablation: block size on 4x4-clustered FEM matrix\n"
+            f"  1x1: {t11 * 1e6:.1f} us   4x4: {t44 * 1e6:.1f} us",
+        )
+
+
+class TestStrategyAblation:
+    def test_strategy_choice_tracks_segment_length(self, benchmark):
+        # Short segments (few blocks per row) favour strategy 1's
+        # register buffers; long rows favour strategy 2's result cache.
+        short_rows = fem_banded(40_000, nnz_per_row=4, block=1, seed=1)
+        long_rows = wide_rows(128, 40_000, 1500, seed=1)
+
+        def run():
+            out = {}
+            for label, A in (("short", short_rows), ("long", long_rows)):
+                x = np.ones(A.shape[1])
+                fmt = BCCOOMatrix.from_scipy(A)
+                s1 = _time(fmt, x, YaSpMVConfig(strategy=1, reg_size=16))
+                s2 = _time(fmt, x, YaSpMVConfig(strategy=2, tile_size=16))
+                out[label] = (s1, s2)
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            [label, f"{s1 * 1e6:.1f}", f"{s2 * 1e6:.1f}"]
+            for label, (s1, s2) in res.items()
+        ]
+        record_table(
+            "ablation_strategy",
+            render_table(
+                ["segments", "strategy1 (us)", "strategy2 (us)"],
+                rows,
+                title="Ablation: strategy 1 vs 2 by segment length",
+            ),
+        )
+        # Long segments: the result cache must not lose.
+        s1_long, s2_long = res["long"]
+        assert s2_long <= s1_long * 1.1
+
+
+class TestTileSizeAblation:
+    def test_tile_sweep(self, fem_case, benchmark):
+        A, x = fem_case
+        fmt = BCCOOMatrix.from_scipy(A)
+
+        def sweep():
+            return {
+                t: _time(fmt, x, YaSpMVConfig(strategy=2, tile_size=t))
+                for t in (2, 4, 8, 16, 32)
+            }
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        rows = [[str(t), f"{v * 1e6:.1f}"] for t, v in times.items()]
+        record_table(
+            "ablation_tile",
+            render_table(["tile", "time (us)"], rows, title="Ablation: tile size"),
+        )
+        # Extremely small tiles waste auxiliary bandwidth: tile 16
+        # should beat tile 2.
+        assert times[16] < times[2]
+
+
+class TestSliceAblation:
+    def test_bccoo_plus_pays_only_when_vector_overflows_cache(self, benchmark):
+        # LP-like: wide with heavy rows, so each vector element is
+        # reused a few times (the real LP reuses each column ~10x) but
+        # the 800 KB vector swamps the 48 KB texture cache -- the
+        # regime where vertical slicing converts those reuses to hits.
+        lp_like = wide_rows(1000, 200_000, 800, seed=2)
+        # FEM-like: square, vector fits comfortably after a few slices.
+        fem = fem_banded(12_000, nnz_per_row=16, block=2, seed=2)
+
+        def run():
+            out = {}
+            for label, A in (("lp-like", lp_like), ("fem-like", fem)):
+                x = np.ones(A.shape[1])
+                base = _time(BCCOOMatrix.from_scipy(A), x, YaSpMVConfig())
+                sliced = _time(
+                    BCCOOPlusMatrix.from_scipy(A, slice_count=8),
+                    x,
+                    YaSpMVConfig(),
+                )
+                out[label] = (base, sliced)
+            return out
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            [label, f"{b * 1e6:.1f}", f"{s * 1e6:.1f}", "BCCOO+" if s < b else "BCCOO"]
+            for label, (b, s) in res.items()
+        ]
+        record_table(
+            "ablation_slices",
+            render_table(
+                ["matrix", "BCCOO (us)", "BCCOO+ x8 (us)", "winner"],
+                rows,
+                title="Ablation: vertical slicing (paper: BCCOO+ only for LP)",
+            ),
+        )
+        base, sliced = res["lp-like"]
+        assert sliced < base  # slicing must pay on the LP-like case
+        base_f, sliced_f = res["fem-like"]
+        assert base_f <= sliced_f * 1.05  # and not on the FEM-like case
+
+
+class TestPrecisionAblation:
+    def test_fp64_costs_roughly_bandwidth_ratio(self, fem_case, benchmark):
+        """Extension ablation: double precision on a bandwidth-bound
+        matrix costs roughly the byte inflation (not the 24x fp64 ALU
+        penalty), because SpMV stays memory-bound."""
+        A, x = fem_case
+        fmt = BCCOOMatrix.from_scipy(A)
+
+        def run():
+            t32 = _time(fmt, x, YaSpMVConfig(precision="fp32"))
+            t64 = _time(fmt, x, YaSpMVConfig(precision="fp64"))
+            return t32, t64
+
+        t32, t64 = benchmark.pedantic(run, rounds=1, iterations=1)
+        ratio = t64 / t32
+        record_table(
+            "ablation_precision",
+            f"Ablation: precision (fp64/fp32 time ratio = {ratio:.2f}; "
+            f"bandwidth-bound => expect ~1.5-2.0x, not the 24x ALU ratio)",
+        )
+        assert 1.2 < ratio < 2.5
+
+
+class TestReorderingAblation:
+    def test_reordering_vs_format_design(self, benchmark):
+        """Related-work comparison (section 7): naive row reordering
+        trades warp divergence for workgroup-level imbalance (all hub
+        rows land in the first blocks), while yaSpMV's equal tiles fix
+        load balance without touching the matrix -- the format wins
+        outright."""
+        from repro.formats import CSRMatrix
+        from repro.kernels import get_kernel
+        from repro.matrices import power_law
+        from repro.matrices.reorder import sort_rows_by_length
+
+        A = power_law(30_000, 200_000, alpha=1.9, seed=5)
+        x = np.ones(A.shape[1])
+
+        def run():
+            csr = CSRMatrix.from_scipy(A)
+            t_csr = TIMING.estimate(
+                get_kernel("csr_scalar").run(csr, x, GTX680).stats
+            ).t_total
+            reord = sort_rows_by_length(A)
+            csr_r = CSRMatrix.from_scipy(reord.matrix)
+            t_csr_sorted = TIMING.estimate(
+                get_kernel("csr_scalar")
+                .run(csr_r, reord.apply_to_vector(x), GTX680)
+                .stats
+            ).t_total
+            t_ya = _time(BCCOOMatrix.from_scipy(A), x, YaSpMVConfig())
+            return t_csr, t_csr_sorted, t_ya
+
+        t_csr, t_sorted, t_ya = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_table(
+            "ablation_reorder",
+            "Ablation: reordering vs format design (power-law matrix)\n"
+            f"  scalar-CSR             : {t_csr * 1e6:9.1f} us\n"
+            f"  scalar-CSR + rowsort   : {t_sorted * 1e6:9.1f} us "
+            "(divergence fixed, block balance wrecked)\n"
+            f"  yaSpMV (no reordering) : {t_ya * 1e6:9.1f} us",
+        )
+        # The format beats CSR with or without reordering; the naive
+        # sort itself backfires at workgroup granularity (section 7's
+        # "changes the inherent locality" critique, writ large).
+        assert t_ya < t_csr
+        assert t_ya < t_sorted

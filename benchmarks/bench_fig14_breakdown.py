@@ -1,0 +1,133 @@
+"""Figure 14: performance contribution of each optimization (GTX680).
+
+The paper builds yaSpMV up in five steps and measures each:
+
+1. ``COO``                       -- COO format + tree-based segmented sum
+                                    (the CUSP-style kernel);
+2. ``BCCOO``                     -- swap in the BCCOO format, keep the
+                                    tree scan and the two-kernel
+                                    cross-workgroup accumulation;
+3. ``+ efficient seg sum/scan``  -- the matrix-based sequential-per-
+                                    thread scan (still two kernels);
+4. ``+ adjacent sync``           -- single kernel with the Grp_sum chain;
+5. ``+ fine-grain opts``         -- short column indices + the early
+                                    parallel-scan skip.
+
+Each step reuses the same block dimensions (footprint-optimal) and a
+fixed launch geometry so only the studied mechanism changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_table
+from repro.core.baselines import run_cusp
+from repro.formats import BCCOOMatrix, best_bccoo_footprint
+from repro.gpu import GTX680, TimingModel
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+from repro.matrices import SUITE, get_spec
+
+from conftest import bench_names, record_table
+
+DEVICE = GTX680
+
+#: The ablation ladder: label -> YaSpMVConfig overrides (None = CUSP COO).
+STEPS: list[tuple[str, dict | None]] = [
+    ("COO", None),
+    ("BCCOO", dict(scan_mode="tree", cross_wg="second_kernel", fine_grain=False)),
+    ("+seg-sum", dict(scan_mode="matrix", cross_wg="second_kernel", fine_grain=False)),
+    ("+adj-sync", dict(scan_mode="matrix", cross_wg="adjacent", fine_grain=False)),
+    ("+fine-grain", dict(scan_mode="matrix", cross_wg="adjacent", fine_grain=True)),
+]
+
+BASE = YaSpMVConfig(workgroup_size=256, strategy=2, tile_size=16)
+
+
+def step_gflops(A, x) -> dict[str, float]:
+    """GFLOPS of every Figure 14 step on one matrix."""
+    timing = TimingModel(DEVICE)
+    nnz = int(A.nnz)
+    out: dict[str, float] = {}
+
+    cusp = run_cusp(A, x, DEVICE)
+    out["COO"] = cusp.gflops
+
+    (h, w) = best_bccoo_footprint(A)[1]
+    fmt = BCCOOMatrix.from_scipy(A, block_height=h, block_width=w)
+    kernel = YaSpMVKernel()
+    y_ref = A @ x
+    for label, overrides in STEPS[1:]:
+        cfg = BASE.with_overrides(**overrides)
+        res = kernel.run(fmt, x, DEVICE, config=cfg)
+        np.testing.assert_allclose(res.y, y_ref, rtol=1e-7, atol=1e-6)
+        out[label] = timing.estimate(res.stats).gflops(nnz)
+    return out
+
+
+@pytest.fixture(scope="module")
+def breakdown(cap_nnz):
+    names = bench_names() or [s.name for s in SUITE]
+    table = {}
+    for name in names:
+        spec = get_spec(name)
+        A = spec.load(scale=spec.scale_for_nnz(cap_nnz))
+        x = np.random.default_rng(7).standard_normal(A.shape[1])
+        table[name] = step_gflops(A, x)
+
+    labels = [label for label, _ in STEPS]
+    rows = [
+        [name] + [f"{table[name][label]:.2f}" for label in labels]
+        for name in table
+    ]
+    text = render_table(
+        ["Matrix"] + labels,
+        rows,
+        title="Figure 14: optimization breakdown (GFLOPS, gtx680)",
+    )
+    record_table("fig14_breakdown", text)
+    return table
+
+
+def test_fig14_bccoo_format_helps(breakdown, benchmark):
+    """Step 2 vs step 1: the format change alone should usually win."""
+
+    def frac_improved():
+        wins = sum(1 for v in breakdown.values() if v["BCCOO"] > v["COO"])
+        return wins / len(breakdown)
+
+    assert benchmark(frac_improved) >= 0.6
+
+
+def test_fig14_efficient_scan_helps(breakdown, benchmark):
+    """Step 3 vs step 2: matrix-based scan beats the tree scan."""
+
+    def frac_improved():
+        wins = sum(1 for v in breakdown.values() if v["+seg-sum"] >= v["BCCOO"])
+        return wins / len(breakdown)
+
+    assert benchmark(frac_improved) >= 0.9
+
+
+def test_fig14_adjacent_sync_helps(breakdown, benchmark):
+    """Step 4 vs step 3: dropping the second kernel never hurts."""
+
+    def frac_improved():
+        wins = sum(
+            1 for v in breakdown.values() if v["+adj-sync"] >= v["+seg-sum"]
+        )
+        return wins / len(breakdown)
+
+    assert benchmark(frac_improved) >= 0.9
+
+
+def test_fig14_full_stack_beats_coo(breakdown, benchmark):
+    """Final step vs the COO start: the whole point of the paper."""
+
+    def geomean_gain():
+        gains = [v["+fine-grain"] / v["COO"] for v in breakdown.values()]
+        return float(np.exp(np.mean(np.log(gains))))
+
+    gain = benchmark(geomean_gain)
+    assert gain > 1.3

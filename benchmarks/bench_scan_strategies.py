@@ -1,0 +1,130 @@
+"""Segmented-scan strategy comparison (paper sections 3.1 / 7).
+
+The paper's argument for the matrix-based scan, quantified on our scan
+substrate directly (no SpMV around it):
+
+* Hillis-Steele (the classic GPU network) does ``n log n`` work;
+* Blelloch/Sengupta (CUDPP) does ``O(n)`` work but twice the barrier
+  stages with geometrically collapsing lane utilization;
+* the matrix-based scan does exactly ``n`` sequential adds, perfectly
+  balanced, plus a parallel scan over only ``threads`` elements --
+  which the section 2.4 early check can skip entirely.
+
+The benchmark prints the operation/stage/idle accounting for one
+representative input and asserts the orderings the paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_table
+from repro.scan import (
+    blelloch_segmented_scan,
+    matrix_segmented_scan,
+    segmented_scan_inclusive,
+    tree_segmented_scan,
+)
+
+from conftest import record_table
+
+N = 8192
+THREADS = 256
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    values = rng.standard_normal(N)
+    starts = rng.random(N) < 0.05  # ~160 segments
+    starts[0] = True
+    return values, starts
+
+
+@pytest.fixture(scope="module")
+def accounting(workload):
+    values, starts = workload
+    reference = segmented_scan_inclusive(values, starts)
+
+    out = {}
+    got, hs = tree_segmented_scan(values, starts)
+    np.testing.assert_allclose(got, reference, atol=1e-9)
+    out["hillis-steele"] = dict(
+        ops=hs.element_ops, stages=hs.steps, idle=hs.idle_fraction
+    )
+
+    got, bl = blelloch_segmented_scan(values, starts)
+    np.testing.assert_allclose(got, reference, atol=1e-9)
+    out["blelloch"] = dict(
+        ops=bl.element_ops, stages=bl.steps, idle=bl.idle_fraction
+    )
+
+    got, mx = matrix_segmented_scan(values, starts, THREADS)
+    np.testing.assert_allclose(got, reference, atol=1e-9)
+    par = mx.parallel_scan
+    out["matrix-based"] = dict(
+        ops=mx.sequential_ops + (par.element_ops if par else 0),
+        stages=(par.steps if par else 0),
+        idle=(par.idle_fraction if par else 0.0) * (THREADS / N),
+    )
+
+    rows = [
+        [name, str(d["ops"]), str(d["stages"]), f"{d['idle'] * 100:.1f}%"]
+        for name, d in out.items()
+    ]
+    record_table(
+        "scan_strategies",
+        render_table(
+            ["scan", "combine ops", "barrier stages", "idle lanes"],
+            rows,
+            title=f"Segmented-scan strategies on n={N} (threads={THREADS})",
+        ),
+    )
+    return out
+
+
+def test_matrix_scan_fewest_barriers(accounting, benchmark):
+    def stages():
+        return {k: v["stages"] for k, v in accounting.items()}
+
+    s = benchmark(stages)
+    assert s["matrix-based"] < s["hillis-steele"] < s["blelloch"]
+
+
+def test_work_ordering(accounting, benchmark):
+    def ops():
+        return {k: v["ops"] for k, v in accounting.items()}
+
+    o = benchmark(ops)
+    # Matrix-based ~= n; Blelloch ~= 2n; Hillis-Steele ~= n log n.
+    assert o["matrix-based"] < o["blelloch"] < o["hillis-steele"]
+
+
+def test_matrix_scan_scales_with_threads_not_n(workload, benchmark):
+    """The parallel portion touches `threads` elements, not n."""
+    values, starts = workload
+
+    def parallel_sizes():
+        sizes = {}
+        for threads in (64, 256, 1024):
+            _, st = matrix_segmented_scan(values, starts, threads)
+            sizes[threads] = st.parallel_scan.n if st.parallel_scan else 0
+        return sizes
+
+    sizes = benchmark.pedantic(parallel_sizes, rounds=1, iterations=1)
+    for threads, n_par in sizes.items():
+        assert n_par in (0, threads)
+
+
+def test_early_skip_eliminates_parallel_scan(benchmark):
+    """Dense stops: every tile has one, the parallel scan vanishes."""
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(N)
+    starts = np.ones(N, dtype=bool)  # segment length 1 everywhere
+
+    def run():
+        _, st = matrix_segmented_scan(values, starts, THREADS)
+        return st.parallel_scan_skipped
+
+    assert benchmark(run)

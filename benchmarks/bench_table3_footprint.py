@@ -1,0 +1,107 @@
+"""Table 3: memory footprint (MB) of formats across the 20-matrix suite.
+
+Reproduces the paper's comparison COO / ELL / clSpMV-best-single /
+COCKTAIL / BCCOO, at the benchmark scale (column ``scale``), plus the
+paper's ratios: BCCOO vs COO (-40% in the paper), vs best single
+(-31%) and vs COCKTAIL (-21%).
+
+The pytest-benchmark measurements cover the real library operations the
+table depends on: BCCOO conversion and footprint evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_table
+from repro.formats import BCCOOMatrix, footprint_report
+from repro.matrices import SUITE, get_spec
+
+from conftest import bench_names, record_table
+
+
+@pytest.fixture(scope="module")
+def suite_matrices(cap_nnz):
+    names = bench_names() or [s.name for s in SUITE]
+    out = {}
+    for name in names:
+        spec = get_spec(name)
+        out[name] = (spec, spec.load(scale=spec.scale_for_nnz(cap_nnz)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def table3(suite_matrices):
+    rows = []
+    reports = {}
+    for name, (spec, A) in suite_matrices.items():
+        rep = footprint_report(A, name=name)
+        reports[name] = rep
+        mb = lambda b: "N/A" if b is None else f"{b / 2**20:.2f}"
+        rows.append(
+            [
+                name,
+                f"{A.nnz}",
+                mb(rep.coo),
+                mb(rep.ell),
+                f"{mb(rep.best_single)} ({rep.best_single_format})",
+                mb(rep.cocktail),
+                f"{mb(rep.bccoo)} ({rep.bccoo_block[0]}x{rep.bccoo_block[1]})",
+            ]
+        )
+
+    def ratio(select):
+        num = sum(r.bccoo for r in reports.values())
+        den = sum(select(r) for r in reports.values() if select(r) is not None)
+        return (1 - num / den) * 100
+
+    summary = (
+        f"BCCOO saves {ratio(lambda r: r.coo):.0f}% vs COO "
+        f"(paper: 40%), {ratio(lambda r: r.best_single):.0f}% vs best single "
+        f"(paper: 31%), {ratio(lambda r: r.cocktail):.0f}% vs COCKTAIL "
+        f"(paper: 21%)"
+    )
+    text = render_table(
+        ["Matrix", "nnz", "COO", "ELL", "Best single", "Cocktail", "BCCOO"],
+        rows,
+        title="Table 3: memory footprint (MB) at benchmark scale",
+    )
+    record_table("table3_footprint", text + "\n" + summary)
+    return reports
+
+
+def test_table3_bccoo_beats_coo_everywhere(table3, benchmark):
+    """BCCOO's footprint must undercut COO on every suite matrix."""
+
+    def check():
+        return all(rep.bccoo < rep.coo for rep in table3.values())
+
+    assert benchmark(check)
+
+
+def test_table3_aggregate_savings_shape(table3, benchmark):
+    """Aggregate savings must land in the paper's neighbourhood."""
+
+    def ratios():
+        coo = sum(r.coo for r in table3.values())
+        single = sum(r.best_single for r in table3.values())
+        bccoo = sum(r.bccoo for r in table3.values())
+        return (1 - bccoo / coo, 1 - bccoo / single)
+
+    vs_coo, vs_single = benchmark(ratios)
+    assert 0.25 < vs_coo < 0.60  # paper: 0.40
+    assert 0.05 < vs_single  # paper: 0.31
+
+
+def test_bccoo_conversion_speed(suite_matrices, benchmark):
+    """Wall-clock of one BCCOO conversion (the tuner's inner cost)."""
+    _, A = suite_matrices[next(iter(suite_matrices))]
+    benchmark(lambda: BCCOOMatrix.from_scipy(A, block_height=2, block_width=2))
+
+
+def test_footprint_evaluation_speed(suite_matrices, benchmark):
+    """Wall-clock of a footprint evaluation (pruning-heuristic cost)."""
+    _, A = suite_matrices[next(iter(suite_matrices))]
+    fmt = BCCOOMatrix.from_scipy(A)
+    benchmark(fmt.footprint_bytes)

@@ -1,0 +1,75 @@
+"""Conjugate-gradient solver with yaSpMV as the SpMV engine.
+
+The workload the paper's introduction motivates: iterative linear
+solvers spend nearly all their time in SpMV, so format conversion and
+tuning amortize over hundreds of multiplies.  We assemble a 2-D Poisson
+problem (5-point finite-difference stencil -- the FEM/stencil structural
+class of Table 2), prepare it once, and drive CG to convergence.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro import SpMVEngine
+
+
+def poisson_2d(n: int) -> sparse.csr_matrix:
+    """5-point Laplacian on an n x n grid (SPD, 4~5 nnz/row)."""
+    main = 4.0 * np.ones(n * n)
+    side = -np.ones(n * n - 1)
+    side[np.arange(1, n * n) % n == 0] = 0.0  # no wrap across grid rows
+    updown = -np.ones(n * n - n)
+    return sparse.diags(
+        [main, side, side, updown, updown], [0, 1, -1, n, -n]
+    ).tocsr()
+
+
+def conjugate_gradient(engine, prepared, b, tol=1e-10, max_iter=2000):
+    """Standard CG; every A@p goes through the simulated yaSpMV kernel."""
+    x = np.zeros_like(b)
+    r = b - engine.multiply(prepared, x).y
+    p = r.copy()
+    rs = r @ r
+    sim_time = 0.0
+    for it in range(1, max_iter + 1):
+        res = engine.multiply(prepared, p)
+        sim_time += res.time_s
+        Ap = res.y
+        alpha = rs / (p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = r @ r
+        if np.sqrt(rs_new) < tol:
+            return x, it, sim_time
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, max_iter, sim_time
+
+
+def main() -> None:
+    n = 64
+    A = poisson_2d(n)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(n * n)
+
+    engine = SpMVEngine(device="gtx680")
+    prepared = engine.prepare(A)
+    point = prepared.point
+    print(f"Poisson {n}x{n}: {A.shape[0]} unknowns, {A.nnz} non-zeros")
+    print(f"tuned to {point.format_name} "
+          f"{point.block_height}x{point.block_width}, "
+          f"strategy {point.kernel.strategy}, "
+          f"wg {point.kernel.workgroup_size}")
+
+    x, iters, sim_time = conjugate_gradient(engine, prepared, b)
+    residual = np.linalg.norm(A @ x - b)
+    print(f"CG converged in {iters} iterations, ||Ax-b|| = {residual:.2e}")
+    print(f"simulated GPU time across all SpMVs: {sim_time * 1e3:.2f} ms "
+          f"({2 * A.nnz * iters / sim_time / 1e9:.2f} sustained GFLOPS)")
+    assert residual < 1e-7
+
+
+if __name__ == "__main__":
+    main()

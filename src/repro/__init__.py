@@ -1,0 +1,74 @@
+"""repro -- a reproduction of *yaSpMV: Yet Another SpMV Framework on GPUs*
+(Yan, Li, Zhang, Zhou; PPoPP 2014) in pure Python over a simulated SIMT
+device.
+
+The package implements the paper's three contributions -- the
+BCCOO/BCCOO+ sparse formats, the customized matrix-based segmented
+sum/scan SpMV kernel with adjacent synchronization, and the auto-tuning
+framework -- together with every substrate and comparator the evaluation
+needs: a format zoo (COO/CSR/ELL/DIA/HYB/BCSR/BELL/SELL), baseline
+kernels (CUSPARSE-, CUSP- and clSpMV-style), a GTX480/GTX680 device
+model with coalescing/cache/dispatch/timing components, and a synthetic
+version of the paper's 20-matrix suite.
+
+Entry points
+------------
+:func:`repro.yaspmv`
+    One-shot auto-tuned SpMV.
+:class:`repro.SpMVEngine`
+    Prepare-once / multiply-many engine.
+:mod:`repro.formats`, :mod:`repro.kernels`, :mod:`repro.tuning`,
+:mod:`repro.gpu`, :mod:`repro.matrices`, :mod:`repro.scan`
+    The subsystems, individually usable.
+"""
+
+from . import formats, gpu, kernels, matrices, scan, solvers, tuning
+from .core import (
+    BaselineResult,
+    PreparedMatrix,
+    SpMVEngine,
+    SpMVResult,
+    run_clspmv_best_single,
+    run_clspmv_cocktail,
+    run_cusp,
+    run_cusparse_best,
+    yaspmv,
+)
+from .errors import (
+    DeviceError,
+    FormatError,
+    FormatNotApplicableError,
+    KernelConfigError,
+    MatrixGenerationError,
+    ReproError,
+    TuningError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "formats",
+    "solvers",
+    "gpu",
+    "kernels",
+    "matrices",
+    "scan",
+    "tuning",
+    "BaselineResult",
+    "PreparedMatrix",
+    "SpMVEngine",
+    "SpMVResult",
+    "run_clspmv_best_single",
+    "run_clspmv_cocktail",
+    "run_cusp",
+    "run_cusparse_best",
+    "yaspmv",
+    "DeviceError",
+    "FormatError",
+    "FormatNotApplicableError",
+    "KernelConfigError",
+    "MatrixGenerationError",
+    "ReproError",
+    "TuningError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Benchmark harness and report rendering."""
+
+from .harness import (
+    SYSTEMS,
+    MatrixComparison,
+    SystemScore,
+    compare_systems,
+    harmonic_mean,
+    run_suite_comparison,
+)
+from .report import render_bars, render_comparison, render_speedups, render_table
+
+__all__ = [
+    "SYSTEMS",
+    "MatrixComparison",
+    "SystemScore",
+    "compare_systems",
+    "harmonic_mean",
+    "run_suite_comparison",
+    "render_bars",
+    "render_comparison",
+    "render_speedups",
+    "render_table",
+]

@@ -1,0 +1,101 @@
+"""Plain-text report rendering for the benchmark harness.
+
+Formats the Figure 13/15 comparison and the Table 3 footprint table the
+way the paper presents them: one row per matrix, systems as columns,
+harmonic-mean summary, and yaSpMV speedups over each comparator.
+"""
+
+from __future__ import annotations
+
+from .harness import SYSTEMS, MatrixComparison, harmonic_mean
+
+__all__ = ["render_comparison", "render_speedups", "render_table", "render_bars"]
+
+_LABELS = {
+    "cusparse": "CUSPARSE",
+    "cusp": "CUSP",
+    "clspmv_single": "clSpMV-best",
+    "clspmv_cocktail": "COCKTAIL",
+    "yaspmv": "yaSpMV",
+}
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Generic fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: dict[str, float], width: int = 48, unit: str = "GFLOPS"
+) -> str:
+    """Horizontal ASCII bars (the paper's figures are bar charts)."""
+    if not series:
+        return ""
+    top = max(series.values())
+    label_w = max(len(k) for k in series)
+    lines = []
+    for name, value in series.items():
+        bar = "#" * max(int(width * value / top), 1) if top > 0 else ""
+        lines.append(f"{name.ljust(label_w)} |{bar} {value:.2f} {unit}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: list[MatrixComparison], device_name: str, figure: str
+) -> str:
+    """The GFLOPS-per-system table plus H-mean row (Figures 13/15)."""
+    headers = ["Matrix", "nnz", "scale"] + [_LABELS[s] for s in SYSTEMS] + ["winner"]
+    body = []
+    for row in rows:
+        gflops = {s: row.scores[s].gflops for s in SYSTEMS}
+        winner = max(gflops, key=gflops.__getitem__)
+        body.append(
+            [
+                row.name,
+                str(row.nnz),
+                f"{row.scale:.4f}",
+                *(f"{gflops[s]:.2f}" for s in SYSTEMS),
+                _LABELS[winner],
+            ]
+        )
+    hmeans = {
+        s: harmonic_mean(r.scores[s].gflops for r in rows) for s in SYSTEMS
+    }
+    body.append(
+        ["H-mean", "", "", *(f"{hmeans[s]:.2f}" for s in SYSTEMS), ""]
+    )
+    table = render_table(
+        headers, body, title=f"{figure}: SpMV throughput (GFLOPS) on {device_name}"
+    )
+    bars = render_bars({_LABELS[s]: hmeans[s] for s in SYSTEMS})
+    return table + "\n\nH-mean throughput:\n" + bars
+
+
+def render_speedups(rows: list[MatrixComparison]) -> str:
+    """yaSpMV speedup over each comparator: average (H-mean based) + max."""
+    lines = ["yaSpMV speedup over comparators (from H-means / per-matrix max):"]
+    ya = harmonic_mean(r.scores["yaspmv"].gflops for r in rows)
+    for s in SYSTEMS:
+        if s == "yaspmv":
+            continue
+        base = harmonic_mean(r.scores[s].gflops for r in rows)
+        avg = (ya / base - 1.0) * 100 if base > 0 else float("inf")
+        per = [(r.speedup(over=s) - 1.0) * 100 for r in rows]
+        best_i = max(range(len(per)), key=per.__getitem__)
+        lines.append(
+            f"  vs {_LABELS[s]:12s}: avg {avg:+7.1f}%   "
+            f"max {per[best_i]:+7.1f}% (on {rows[best_i].name})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main workflows a shell entry point:
+
+* ``info``      -- list devices, formats, kernels and the matrix suite;
+* ``tune``      -- auto-tune a matrix (suite name or ``.mtx`` file) and
+  print the winning configuration, optionally the generated OpenCL;
+* ``multiply``  -- run one simulated SpMV and report the profile;
+* ``footprint`` -- print the Table 3 row for a matrix;
+* ``compare``   -- run the full comparator panel on a matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(arg: str, cap: int):
+    from .matrices import get_spec, read_matrix_market
+
+    if arg.endswith(".mtx"):
+        return arg, read_matrix_market(arg)
+    spec = get_spec(arg)
+    return spec.name, spec.load(scale=spec.scale_for_nnz(cap))
+
+
+def _cmd_info(args) -> int:
+    from .formats import available_formats
+    from .gpu import available_devices
+    from .kernels import available_kernels
+    from .matrices import SUITE
+
+    print("devices :", ", ".join(sorted(available_devices())))
+    print("formats :", ", ".join(sorted(available_formats())))
+    print("kernels :", ", ".join(sorted(available_kernels())))
+    print("suite   :")
+    for spec in SUITE:
+        print(
+            f"  {spec.name:16s} {spec.rows}x{spec.cols}  "
+            f"nnz={spec.nnz}  nnz/row={spec.nnz_per_row}  [{spec.family}]"
+        )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .codegen import generate_kernel_source
+    from .gpu import get_device
+    from .tuning import AutoTuner
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    tuner = AutoTuner(get_device(args.device), mode=args.mode)
+    res = tuner.tune(A)
+    bp = res.best_point
+    if args.store:
+        from .tuning import TuningStore
+
+        TuningStore(args.store).put(A, args.device, bp)
+        print(f"saved configuration to {args.store}")
+    print(f"{name}: evaluated {res.evaluated} configurations "
+          f"in {res.wall_seconds:.1f}s ({res.skipped} skipped)")
+    print(f"best: {bp.format_name} {bp.block_height}x{bp.block_width} "
+          f"word={bp.bit_word} slices={bp.slice_count} "
+          f"strategy={bp.kernel.strategy} wg={bp.kernel.workgroup_size} "
+          f"tile={bp.kernel.effective_tile}")
+    print(f"estimated: {res.best.gflops:.2f} GFLOPS "
+          f"({res.best.time_s * 1e6:.1f} us)")
+    if args.emit_opencl:
+        print("\n" + generate_kernel_source(bp))
+    return 0
+
+
+def _cmd_multiply(args) -> int:
+    from .core import SpMVEngine
+    from .gpu import TimingModel, get_device
+    from .tuning import TuningStore
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
+    eng = SpMVEngine(device=args.device)
+    store = TuningStore(args.store) if args.store else None
+    res = eng.multiply(eng.prepare(A, store=store), x)
+    err = np.abs(res.y - A @ x).max()
+    print(f"{name}:")
+    print(TimingModel(get_device(args.device)).explain(res.stats, nnz=res.nnz))
+    print(f"max |y - A@x| = {err:.2e}")
+    return 0 if err < 1e-6 else 1
+
+
+def _cmd_footprint(args) -> int:
+    from .formats import footprint_report
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    rep = footprint_report(A, name=name)
+    mb = lambda b: "N/A" if b is None else f"{b / 2**20:.2f} MB"
+    print(f"{name} ({A.shape[0]}x{A.shape[1]}, nnz {A.nnz}):")
+    print(f"  COO         {mb(rep.coo)}")
+    print(f"  ELL         {mb(rep.ell)}")
+    print(f"  best single {mb(rep.best_single)} ({rep.best_single_format})")
+    print(f"  cocktail    {mb(rep.cocktail)}")
+    print(f"  BCCOO       {mb(rep.bccoo)} "
+          f"(block {rep.bccoo_block[0]}x{rep.bccoo_block[1]})")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .bench import compare_systems
+    from .gpu import get_device
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    scores = compare_systems(A, get_device(args.device))
+    print(f"{name} on {args.device}:")
+    for sys_name, score in sorted(
+        scores.items(), key=lambda kv: -kv[1].gflops
+    ):
+        print(f"  {sys_name:16s} {score.gflops:7.2f} GFLOPS  ({score.variant})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="yaSpMV reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list devices, formats, kernels, suite")
+
+    def matrix_args(p):
+        p.add_argument("matrix", help="Table 2 name or a .mtx file")
+        p.add_argument("--device", default="gtx680", choices=["gtx680", "gtx480"])
+        p.add_argument("--cap", type=int, default=150_000,
+                       help="nnz cap for suite matrices (scale)")
+        p.add_argument("--store", default="",
+                       help="JSON tuning store: reuse/persist tuned configs")
+
+    p_tune = sub.add_parser("tune", help="auto-tune a matrix")
+    matrix_args(p_tune)
+    p_tune.add_argument("--mode", default="pruned", choices=["pruned", "exhaustive"])
+    p_tune.add_argument("--emit-opencl", action="store_true",
+                        help="print the generated OpenCL kernel source")
+
+    p_mul = sub.add_parser("multiply", help="run one simulated SpMV")
+    matrix_args(p_mul)
+    p_mul.add_argument("--seed", type=int, default=0)
+
+    p_fp = sub.add_parser("footprint", help="Table 3 row for a matrix")
+    matrix_args(p_fp)
+
+    p_cmp = sub.add_parser("compare", help="yaSpMV vs all comparators")
+    matrix_args(p_cmp)
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "tune": _cmd_tune,
+    "multiply": _cmd_multiply,
+    "footprint": _cmd_footprint,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""OpenCL source generation from tuned configurations."""
+
+from .opencl import generate_kernel_source, kernel_name, source_fingerprint
+
+__all__ = ["generate_kernel_source", "kernel_name", "source_fingerprint"]

@@ -1,0 +1,22 @@
+"""Public engine API and comparator systems."""
+
+from .baselines import (
+    BaselineResult,
+    run_clspmv_best_single,
+    run_clspmv_cocktail,
+    run_cusp,
+    run_cusparse_best,
+)
+from .engine import PreparedMatrix, SpMVEngine, SpMVResult, yaspmv
+
+__all__ = [
+    "BaselineResult",
+    "run_clspmv_best_single",
+    "run_clspmv_cocktail",
+    "run_cusp",
+    "run_cusparse_best",
+    "PreparedMatrix",
+    "SpMVEngine",
+    "SpMVResult",
+    "yaspmv",
+]

@@ -1,0 +1,196 @@
+"""High-level public API: the yaSpMV engine.
+
+Typical use::
+
+    from repro import SpMVEngine
+
+    engine = SpMVEngine(device="gtx680")
+    prepared = engine.prepare(A)          # auto-tune + convert once
+    result = engine.multiply(prepared, x)  # run many times
+    print(result.gflops, result.breakdown.t_total)
+
+or the one-shot convenience :func:`yaspmv`.  ``prepare`` runs the
+section 4 auto-tuner (pruned search by default), builds the selected
+BCCOO/BCCOO+ instance, and caches it; ``multiply`` executes the
+simulated kernel, returning the exact product plus the simulated timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.bccoo import BCCOOMatrix
+from ..formats.bccoo_plus import BCCOOPlusMatrix
+from ..gpu.counters import KernelStats
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.timing import TimingBreakdown, TimingModel
+from ..kernels.config import YaSpMVConfig
+from ..kernels.yaspmv import YaSpMVKernel
+from ..tuning.cache import KernelPlanCache
+from ..tuning.parameters import TuningPoint
+from ..tuning.tuner import AutoTuner, TuningResult
+from ..util import as_csr
+
+__all__ = ["PreparedMatrix", "SpMVResult", "SpMVEngine", "yaspmv"]
+
+
+@dataclass
+class PreparedMatrix:
+    """An auto-tuned, converted matrix ready for repeated multiplies."""
+
+    fmt: BCCOOMatrix | BCCOOPlusMatrix
+    point: TuningPoint
+    tuning: TuningResult | None
+    nnz: int
+
+    @property
+    def config(self) -> YaSpMVConfig:
+        return self.point.kernel
+
+
+@dataclass
+class SpMVResult:
+    """Product vector plus simulated execution profile."""
+
+    y: np.ndarray
+    stats: KernelStats
+    breakdown: TimingBreakdown
+    nnz: int
+
+    @property
+    def time_s(self) -> float:
+        return self.breakdown.t_total
+
+    @property
+    def gflops(self) -> float:
+        return self.breakdown.gflops(self.nnz)
+
+
+class SpMVEngine:
+    """Auto-tuning SpMV engine over the simulated device.
+
+    Parameters
+    ----------
+    device:
+        Device name (``"gtx680"``, ``"gtx480"``) or a
+        :class:`DeviceSpec`.
+    tuning_mode:
+        ``"pruned"`` (default) or ``"exhaustive"``.
+    plan_cache:
+        Optional shared :class:`KernelPlanCache`; the engine creates one
+        otherwise (kernel plans are reused across matrices, paper
+        section 4).
+    """
+
+    def __init__(
+        self,
+        device: str | DeviceSpec = "gtx680",
+        tuning_mode: str = "pruned",
+        plan_cache: KernelPlanCache | None = None,
+        tuning_kwargs: dict | None = None,
+    ):
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.tuning_mode = tuning_mode
+        self.plan_cache = plan_cache if plan_cache is not None else KernelPlanCache()
+        #: Extra AutoTuner constructor arguments (e.g. ``pruned_kwargs``
+        #: to trim the search for time-boxed runs).
+        self.tuning_kwargs = tuning_kwargs or {}
+        self._kernel = YaSpMVKernel()
+        self._timing = TimingModel(self.device)
+
+    # ------------------------------------------------------------------ #
+
+    def prepare(
+        self,
+        matrix,
+        point: TuningPoint | None = None,
+        keep_history: bool = False,
+        store=None,
+    ) -> PreparedMatrix:
+        """Tune (unless ``point`` is given) and convert ``matrix``.
+
+        Pass an explicit :class:`TuningPoint` to skip tuning -- used by
+        the ablation benchmarks and by callers replaying a saved
+        configuration.  Pass a :class:`repro.tuning.TuningStore` as
+        ``store`` to consult/update persisted configurations: a stored
+        entry for this matrix structure and device skips the search,
+        and a fresh search result is written back.
+        """
+        csr = as_csr(matrix)
+        tuning: TuningResult | None = None
+        if point is None and store is not None:
+            point = store.get(csr, self.device)
+        if point is None:
+            tuner = AutoTuner(
+                self.device,
+                mode=self.tuning_mode,
+                plan_cache=self.plan_cache,
+                keep_history=keep_history,
+                **self.tuning_kwargs,
+            )
+            tuning = tuner.tune(csr)
+            point = tuning.best_point
+            if store is not None:
+                store.put(csr, self.device, point)
+
+        fmt = self._build_format(csr, point)
+        return PreparedMatrix(fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz))
+
+    def multiply(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
+        """Execute one SpMV on a prepared matrix."""
+        result = self._kernel.run(
+            prepared.fmt, x, self.device, config=prepared.config
+        )
+        breakdown = self._timing.estimate(result.stats)
+        return SpMVResult(
+            y=result.y, stats=result.stats, breakdown=breakdown, nnz=prepared.nnz
+        )
+
+    def multiply_many(self, prepared: PreparedMatrix, X: np.ndarray) -> SpMVResult:
+        """SpMM extension: ``Y = A @ X`` for ``X`` of shape ``(ncols, k)``.
+
+        The matrix stream is read once for all ``k`` right-hand sides,
+        so the simulated time grows far slower than ``k`` sequential
+        multiplies -- the block-Krylov use case.  ``result.nnz`` counts
+        ``nnz * k`` so ``gflops`` stays the throughput of useful work.
+        """
+        from ..kernels.yaspmv import YaSpMMKernel
+
+        result = YaSpMMKernel().run_multi(
+            prepared.fmt, X, self.device, config=prepared.config
+        )
+        breakdown = self._timing.estimate(result.stats)
+        return SpMVResult(
+            y=result.y,
+            stats=result.stats,
+            breakdown=breakdown,
+            nnz=prepared.nnz * int(np.asarray(X).shape[1]),
+        )
+
+    def multiply_matrix(self, matrix, x: np.ndarray) -> SpMVResult:
+        """One-shot: prepare (tuned) and multiply."""
+        return self.multiply(self.prepare(matrix), x)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_format(csr, point: TuningPoint):
+        kwargs = dict(
+            block_height=point.block_height,
+            block_width=point.block_width,
+            bit_word_dtype=point.bit_word_dtype,
+            col_storage="auto" if point.col_compress else "int32",
+            delta_tile_size=point.kernel.effective_tile,
+        )
+        if point.slice_count > 1:
+            return BCCOOPlusMatrix.from_scipy(
+                csr, slice_count=point.slice_count, **kwargs
+            )
+        return BCCOOMatrix.from_scipy(csr, **kwargs)
+
+
+def yaspmv(matrix, x, device: str | DeviceSpec = "gtx680") -> np.ndarray:
+    """One-shot convenience: auto-tuned SpMV, returns ``y = A @ x``."""
+    return SpMVEngine(device=device).multiply_matrix(matrix, x).y

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the yaSpMV reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of :mod:`repro` with a single ``except`` clause
+while still being able to distinguish failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format was constructed from inconsistent arrays.
+
+    Raised, for example, when index arrays and value arrays disagree on the
+    number of stored entries, when a block size does not divide into the
+    declared padded dimensions, or when a bit-flag array encodes more row
+    stops than the matrix has non-empty block rows.
+    """
+
+
+class FormatNotApplicableError(FormatError):
+    """A format cannot represent the given matrix within its resource limits.
+
+    The canonical example is ELL on a matrix whose maximum row length makes
+    the padded array exceed the configured expansion budget -- the situation
+    Table 3 of the paper marks as ``N/A``.
+    """
+
+
+class KernelConfigError(ReproError):
+    """A kernel was launched with an invalid or unsupported configuration.
+
+    Examples: a workgroup size that is not a multiple of the warp size, a
+    thread-level tile size of zero, or a shared-memory request exceeding the
+    device's per-workgroup limit.
+    """
+
+
+class DeviceError(ReproError):
+    """A simulated-device constraint was violated.
+
+    Raised when a kernel requests more shared memory, registers, or threads
+    than the :class:`repro.gpu.device.DeviceSpec` provides.
+    """
+
+
+class TuningError(ReproError):
+    """The auto-tuner was asked to search an empty or inconsistent space."""
+
+
+class MatrixGenerationError(ReproError):
+    """A synthetic matrix generator received unsatisfiable parameters."""

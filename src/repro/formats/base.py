@@ -1,0 +1,187 @@
+"""Abstract base class and registry for sparse-matrix storage formats.
+
+Every format in :mod:`repro.formats` models what the corresponding GPU
+format stores in device memory:
+
+* construction from a :class:`scipy.sparse` matrix (``from_scipy``),
+* lossless reconstruction (``to_scipy``) -- *lossless* meaning the
+  reconstructed matrix equals the original; explicit fill-in zeros
+  introduced by blocked/padded formats are dropped on reconstruction,
+* a byte-accurate **memory footprint** (``footprint``), which is the
+  quantity Table 3 of the paper compares across formats,
+* a reference ``multiply`` used by tests (kernels in
+  :mod:`repro.kernels` implement the simulated-device versions).
+
+Footprints are computed with the paper's sizes: 4-byte ``float`` values
+(the GPU kernels ran in single precision), 4-byte ``int`` indices and
+2-byte ``short`` indices.  The numerical payload kept on the host side is
+``float64`` -- byte accounting and numerics are deliberately decoupled.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+
+__all__ = [
+    "ByteSizes",
+    "Footprint",
+    "SparseFormat",
+    "register_format",
+    "get_format",
+    "available_formats",
+    "FP32",
+    "FP64",
+]
+
+
+@dataclass(frozen=True)
+class ByteSizes:
+    """Per-element byte sizes used for footprint accounting.
+
+    ``value`` is the size of a matrix value, ``index`` of a full-width
+    (row/column) index, ``short`` of a compressed 16-bit index, and
+    ``byte`` of a single-byte quantity (bit-flag words are counted via
+    their own word size).
+    """
+
+    value: int = 4
+    index: int = 4
+    short: int = 2
+    byte: int = 1
+
+
+#: The paper's accounting: fp32 values, int32 indices.
+FP32 = ByteSizes(value=4)
+#: Double-precision accounting, for completeness.
+FP64 = ByteSizes(value=8)
+
+
+@dataclass
+class Footprint:
+    """Byte-level storage breakdown of one format instance.
+
+    ``arrays`` maps a device-array name (e.g. ``"col_index"``) to its size
+    in bytes.  ``total`` sums them.  The breakdown is what the footprint
+    benchmark prints so deviations from Table 3 can be attributed to a
+    specific array.
+    """
+
+    arrays: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative array size for {name!r}: {nbytes}")
+        self.arrays[name] = self.arrays.get(name, 0) + int(nbytes)
+
+    @property
+    def total(self) -> int:
+        return sum(self.arrays.values())
+
+    @property
+    def total_mb(self) -> float:
+        return self.total / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.arrays.items()))
+        return f"Footprint(total={self.total}B; {parts})"
+
+
+class SparseFormat(abc.ABC):
+    """Base class for all sparse storage formats.
+
+    Subclasses must set :attr:`name` and implement the abstract interface.
+    ``shape`` is the logical (unpadded) matrix shape; formats that pad to a
+    block multiple keep the logical shape and slice on reconstruction.
+    """
+
+    #: Registry key, e.g. ``"bccoo"``.  Set by each subclass.
+    name: ClassVar[str] = ""
+
+    def __init__(self, shape: tuple[int, int]):
+        rows, cols = int(shape[0]), int(shape[1])
+        if rows <= 0 or cols <= 0:
+            raise FormatError(f"matrix shape must be positive, got {shape}")
+        self.shape: tuple[int, int] = (rows, cols)
+
+    # ------------------------------------------------------------------ #
+    # Abstract interface
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    @abc.abstractmethod
+    def from_scipy(cls, matrix, **params) -> "SparseFormat":
+        """Build the format from any scipy-sparse (or dense) matrix."""
+
+    @abc.abstractmethod
+    def to_scipy(self) -> _sp.csr_matrix:
+        """Reconstruct the stored matrix as canonical CSR (lossless)."""
+
+    @abc.abstractmethod
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        """Device-memory footprint under the given byte sizes."""
+
+    @abc.abstractmethod
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Reference (host) SpMV ``y = A @ x`` for correctness tests."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def _check_x(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != self.ncols:
+            raise FormatError(
+                f"vector length {x.shape[0]} does not match matrix columns {self.ncols}"
+            )
+        return x
+
+    def footprint_bytes(self, sizes: ByteSizes = FP32) -> int:
+        """Convenience: total footprint in bytes."""
+        return self.footprint(sizes).total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+_REGISTRY: dict[str, type[SparseFormat]] = {}
+
+
+def register_format(cls: type[SparseFormat]) -> type[SparseFormat]:
+    """Class decorator adding a format to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate format name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_format(name: str) -> type[SparseFormat]:
+    """Look up a format class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_formats() -> Mapping[str, type[SparseFormat]]:
+    """Read-only view of the format registry."""
+    return dict(_REGISTRY)

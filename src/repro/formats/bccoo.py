@@ -1,0 +1,407 @@
+"""Blocked Compressed Common Coordinate (BCCOO) -- the paper's new format.
+
+BCCOO = blocked COO (section 2.2, Figure 2) with two compressions:
+
+1. the per-block **row-index array becomes a bit-flag array** (one bit per
+   block, ``0`` = row stop), a 32x reduction over ``int32`` row indices;
+2. the per-block **column-index array** is stored as ``unsigned short``
+   when the matrix is narrow enough (section 4), or delta-compressed to
+   ``int16`` with a fallback sentinel (section 2.2), or kept as ``int32``.
+
+The value payload is dense per block; for block height ``h > 1`` each
+intra-block row conceptually lives in its own value array (Figure 2's two
+value rows) -- we store ``(nblocks, h, w)`` and let the device layer pick
+the physical interleaving (the online/offline transpose tuning knob).
+
+All arrays are padded to a multiple of ``pad_multiple`` (the workgroup
+working set) with zero blocks and continue flags so kernels never branch
+on array ends (section 2.2).
+
+Empty block rows are handled with a ``nonempty_block_rows`` map from stop
+ordinal to actual block row; it is the identity (and is not stored) when
+every block row is occupied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+from ..util import round_up
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+from .bitflags import (
+    BitFlagArray,
+    first_result_entries,
+    pack,
+    reconstruct_row_ordinals,
+    stops_from_block_rows,
+)
+from .blocking import BlockLayout, blocks_to_coo_arrays, extract_blocks
+from .delta import DeltaColumns, compress_columns, decompress_columns
+
+__all__ = ["BCCOOMatrix", "COL_STORAGE_MODES"]
+
+#: Valid column-index storage modes.
+COL_STORAGE_MODES = ("auto", "int32", "ushort", "delta")
+
+#: Matrices narrower than this use raw unsigned-short column indices
+#: (paper section 4: "if the width of a sparse matrix is less than 65535").
+USHORT_LIMIT = 65535
+
+
+@register_format
+class BCCOOMatrix(SparseFormat):
+    """The paper's BCCOO format.
+
+    Parameters are normally supplied through :meth:`from_scipy`; the raw
+    constructor is for tests and internal use.
+    """
+
+    name = "bccoo"
+
+    def __init__(
+        self,
+        shape,
+        block_height: int,
+        block_width: int,
+        flags: BitFlagArray,
+        col_block: np.ndarray,
+        values: np.ndarray,
+        nonempty_block_rows: np.ndarray,
+        col_storage: str,
+        delta: DeltaColumns | None,
+        nnz: int,
+    ):
+        super().__init__(shape)
+        self.block_height = int(block_height)
+        self.block_width = int(block_width)
+        self.flags = flags
+        self.col_block = np.asarray(col_block, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.nonempty_block_rows = np.asarray(nonempty_block_rows, dtype=np.int64)
+        self.col_storage = col_storage
+        self.delta = delta
+        self._nnz = int(nnz)
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_scipy(
+        cls,
+        matrix,
+        block_height: int = 1,
+        block_width: int = 1,
+        bit_word_dtype=np.uint32,
+        pad_multiple: int = 1,
+        col_storage: str = "auto",
+        delta_tile_size: int = 16,
+        **params,
+    ) -> "BCCOOMatrix":
+        """Convert any matrix to BCCOO.
+
+        Parameters
+        ----------
+        block_height, block_width:
+            Non-zero block dimensions (Table 1: height 1-4, width 1/2/4).
+        bit_word_dtype:
+            Word type packing the bit flags (Table 1: u8/u16/u32).
+        pad_multiple:
+            Pad all arrays to this multiple -- kernels pass the workgroup
+            working set (threads x tile size).
+        col_storage:
+            ``"auto"`` picks ``ushort`` for narrow matrices else ``delta``;
+            explicit modes override.
+        delta_tile_size:
+            Segment length for delta compression (the thread-level tile
+            size, so reconstruction stays thread-local).
+        """
+        if col_storage not in COL_STORAGE_MODES:
+            raise FormatError(
+                f"col_storage must be one of {COL_STORAGE_MODES}, got {col_storage!r}"
+            )
+        layout = extract_blocks(matrix, block_height, block_width)
+        return cls.from_block_layout(
+            layout,
+            bit_word_dtype=bit_word_dtype,
+            pad_multiple=pad_multiple,
+            col_storage=col_storage,
+            delta_tile_size=delta_tile_size,
+        )
+
+    @classmethod
+    def from_block_layout(
+        cls,
+        layout: BlockLayout,
+        bit_word_dtype=np.uint32,
+        pad_multiple: int = 1,
+        col_storage: str = "auto",
+        delta_tile_size: int = 16,
+        shape: tuple[int, int] | None = None,
+        col_override: np.ndarray | None = None,
+    ) -> "BCCOOMatrix":
+        """Build BCCOO from an already-extracted :class:`BlockLayout`.
+
+        ``shape`` / ``col_override`` exist for BCCOO+: the stacked matrix
+        supplies its own logical shape while column indices refer to the
+        *original* matrix (paper section 2.3).
+        """
+        if col_storage not in COL_STORAGE_MODES:
+            raise FormatError(
+                f"col_storage must be one of {COL_STORAGE_MODES}, got {col_storage!r}"
+            )
+        nb = layout.nblocks
+        stops = stops_from_block_rows(layout.block_row)
+        flags = pack(stops, bit_word_dtype, pad_multiple=max(pad_multiple, 1))
+        nb_padded = flags.nbits
+
+        col_block = np.zeros(nb_padded, dtype=np.int32)
+        source_cols = layout.block_col if col_override is None else col_override
+        col_block[:nb] = source_cols
+
+        h, w = layout.block_height, layout.block_width
+        values = np.zeros((nb_padded, h, w), dtype=np.float64)
+        values[:nb] = layout.values
+
+        nonempty = np.unique(layout.block_row).astype(np.int64)
+
+        logical_shape = layout.shape if shape is None else shape
+        n_block_cols_limit = round_up(logical_shape[1], w) // w
+        mode = col_storage
+        if mode == "auto":
+            if n_block_cols_limit <= USHORT_LIMIT:
+                mode = "ushort"
+            else:
+                # Wide matrix: delta-compress only when it actually
+                # compresses (Table 1's "Col_index compress" decision);
+                # scattered columns fall back to raw indices.
+                tile = max(delta_tile_size, 1)
+                probe_pad = round_up(max(nb, 1), tile)
+                probe = np.zeros(probe_pad, dtype=np.int64)
+                probe[:nb] = source_cols
+                trial = compress_columns(probe, tile)
+                # Break-even: streaming shorts (2 B) plus the touched
+                # fraction of the int32 fallback array must undercut
+                # streaming raw int32 (4 B).  A 128 B transaction holds
+                # 32 indices, so the touched fraction is
+                # 1 - (1-p)^32 and delta wins only for p below ~2%.
+                p = trial.fallback_fraction
+                touched = 1.0 - (1.0 - min(p, 1.0)) ** 32
+                mode = "delta" if 2.0 + 4.0 * touched < 4.0 else "int32"
+        if mode == "ushort" and n_block_cols_limit > USHORT_LIMIT:
+            raise FormatError(
+                f"ushort column storage needs <= {USHORT_LIMIT} block columns, "
+                f"matrix has {n_block_cols_limit}"
+            )
+        delta = None
+        if mode == "delta":
+            if delta_tile_size < 1:
+                raise FormatError(
+                    f"delta_tile_size must be >= 1, got {delta_tile_size}"
+                )
+            tile = delta_tile_size
+            if nb_padded % tile != 0:
+                # Compression segments must tile the padded array exactly;
+                # fall back to a divisor of the padded length.
+                while nb_padded % tile != 0:
+                    tile -= 1
+            delta = compress_columns(col_block, tile)
+
+        return cls(
+            logical_shape,
+            h,
+            w,
+            flags,
+            col_block,
+            values,
+            nonempty,
+            mode,
+            delta,
+            layout.nnz,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nblocks(self) -> int:
+        """Number of real (unpadded) non-zero blocks."""
+        return self.flags.n_valid
+
+    @property
+    def nblocks_padded(self) -> int:
+        return self.flags.nbits
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def stored_values(self) -> int:
+        """Value slots stored, fill-in and padding included."""
+        return self.nblocks_padded * self.block_height * self.block_width
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.stored_values / self.nnz if self.nnz else 1.0
+
+    @property
+    def n_block_rows(self) -> int:
+        return round_up(self.nrows, self.block_height) // self.block_height
+
+    @property
+    def n_block_cols(self) -> int:
+        return round_up(self.ncols, self.block_width) // self.block_width
+
+    @property
+    def has_empty_block_rows(self) -> bool:
+        return self.nonempty_block_rows.shape[0] < self.n_block_rows
+
+    def stops(self) -> np.ndarray:
+        """Boolean row-stop mask over the padded blocks."""
+        return self.flags.stops()
+
+    def block_rows(self) -> np.ndarray:
+        """Reconstructed per-block block-row indices (valid blocks only).
+
+        This is the lossless inverse of the bit-flag compression: stop
+        ordinals mapped through ``nonempty_block_rows``.
+        """
+        stops = self.stops()[: self.nblocks]
+        ordinals = reconstruct_row_ordinals(stops)
+        if ordinals.size and ordinals.max() >= self.nonempty_block_rows.shape[0]:
+            raise FormatError("bit flags encode more rows than the row map holds")
+        return self.nonempty_block_rows[ordinals] if ordinals.size else ordinals
+
+    def columns(self) -> np.ndarray:
+        """Per-block column indices over the padded array (decompressed)."""
+        if self.col_storage == "delta":
+            assert self.delta is not None
+            return decompress_columns(self.delta).astype(np.int32)
+        return self.col_block
+
+    def auxiliary(self, tile_size: int) -> dict[str, np.ndarray]:
+        """Section 2.4 auxiliary info for a given thread-level tile size.
+
+        Returns ``first_result_entry`` (the result-row ordinal of each
+        thread's first partial sum) and ``tile_has_stop`` (per-tile early
+        check that lets the kernel skip the workgroup parallel scan).
+        """
+        stops = self.stops()
+        if stops.shape[0] % tile_size != 0:
+            raise FormatError(
+                f"tile size {tile_size} does not divide padded block count "
+                f"{stops.shape[0]}; rebuild with pad_multiple=workgroup working set"
+            )
+        return {
+            "first_result_entry": first_result_entries(stops, tile_size),
+            "tile_has_stop": stops.reshape(-1, tile_size).any(axis=1),
+        }
+
+    # ------------------------------------------------------------------ #
+    # SparseFormat interface
+    # ------------------------------------------------------------------ #
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        layout = BlockLayout(
+            shape=(
+                self.n_block_rows * self.block_height,
+                self.n_block_cols * self.block_width,
+            ),
+            block_height=self.block_height,
+            block_width=self.block_width,
+            block_row=self.block_rows().astype(np.int32),
+            block_col=self.columns()[: self.nblocks],
+            values=self.values[: self.nblocks],
+        )
+        rows, cols, data = blocks_to_coo_arrays(layout)
+        keep = (rows < self.nrows) & (cols < self.ncols)
+        return _sp.coo_matrix(
+            (data[keep], (rows[keep], cols[keep])), shape=self.shape
+        ).tocsr()
+
+    def footprint(
+        self, sizes: ByteSizes = FP32, tile_size: int | None = None
+    ) -> Footprint:
+        """Device footprint; pass ``tile_size`` to include section 2.4 aux.
+
+        Column indexing is charged at the *hot* representation the kernel
+        streams: ``short`` bytes for ushort/delta modes, full index bytes
+        for int32 -- matching how Table 3 counts BCCOO.  (In delta mode
+        the uncompressed fallback array also exists but is touched only at
+        sentinel positions, so it contributes bandwidth, not footprint,
+        exactly as the paper accounts it.)
+        """
+        fp = Footprint()
+        fp.add("values", self.stored_values * sizes.value)
+        if self.col_storage == "int32":
+            fp.add("col_index", self.nblocks_padded * sizes.index)
+        else:
+            fp.add("col_index", self.nblocks_padded * sizes.short)
+            if self.col_storage == "delta" and self.delta is not None:
+                fp.add("tile_start_cols", self.delta.n_tiles * sizes.index)
+        fp.add("bit_flags", self.flags.nbytes)
+        if self.has_empty_block_rows:
+            fp.add(
+                "row_map", self.nonempty_block_rows.shape[0] * sizes.index
+            )
+        if tile_size is not None:
+            aux = self.auxiliary(tile_size)
+            fp.add(
+                "first_result_entry",
+                aux["first_result_entry"].shape[0] * sizes.index,
+            )
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV going through the full decode path.
+
+        Deliberately exercises bit-flag reconstruction and column
+        decompression so tests validate the encoded arrays, not a cached
+        copy of the input.
+        """
+        x = self._check_x(x)
+        h, w = self.block_height, self.block_width
+        nb = self.nblocks
+        y = np.zeros(self.n_block_rows * h, dtype=np.float64)
+        if nb:
+            cols = self.columns()[:nb].astype(np.int64)
+            base_c = cols * w
+            xg = np.zeros((nb, w), dtype=np.float64)
+            for j in range(w):
+                cidx = base_c + j
+                valid = cidx < self.ncols
+                xg[valid, j] = x[cidx[valid]]
+            contrib = np.einsum("bhw,bw->bh", self.values[:nb], xg)
+            np.add.at(y.reshape(-1, h), self.block_rows().astype(np.intp), contrib)
+        return y[: self.nrows]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _validate(self) -> None:
+        nbp = self.nblocks_padded
+        if self.col_block.shape != (nbp,):
+            raise FormatError(
+                f"col_block length {self.col_block.shape[0]} != padded blocks {nbp}"
+            )
+        if self.values.shape != (nbp, self.block_height, self.block_width):
+            raise FormatError(
+                f"values shape {self.values.shape} != "
+                f"({nbp}, {self.block_height}, {self.block_width})"
+            )
+        if self.col_storage not in ("int32", "ushort", "delta"):
+            raise FormatError(f"invalid col_storage {self.col_storage!r}")
+        if self.col_storage == "delta" and self.delta is None:
+            raise FormatError("delta col_storage requires a DeltaColumns payload")
+        n_stops = self.flags.n_row_stops
+        if n_stops != self.nonempty_block_rows.shape[0]:
+            raise FormatError(
+                f"bit flags encode {n_stops} row stops but the row map has "
+                f"{self.nonempty_block_rows.shape[0]} entries"
+            )

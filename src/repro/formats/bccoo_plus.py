@@ -1,0 +1,207 @@
+"""BCCOO+ -- vertically sliced BCCOO (paper section 2.3).
+
+The matrix is cut into ``slice_count`` vertical slices which are stacked
+top-down into a tall matrix ``B`` (Figure 4a); BCCOO is then applied to
+``B``, **except** that column indices keep their coordinates in the
+*original* matrix so the kernel can index the multiplied vector directly.
+
+The win: all blocks of slice ``s`` read only the vector window
+``x[s*W : (s+1)*W]``, so vector accesses gain locality (texture-cache hit
+rate).  The cost: each slice produces its own partial result vector, so a
+temporary buffer of ``slice_count * nrows`` values and an extra *combine*
+kernel are needed (Figure 5) -- which is why the auto-tuner picks BCCOO+
+only when the locality win dominates (the paper's tuner selects it for a
+single matrix, LP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+from ..util import as_csr, ceil_div
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+from .bccoo import BCCOOMatrix
+from .blocking import BlockLayout, extract_blocks
+
+__all__ = ["BCCOOPlusMatrix"]
+
+
+@register_format
+class BCCOOPlusMatrix(SparseFormat):
+    """Vertical-slice-stacked BCCOO with original-matrix column indices.
+
+    Attributes
+    ----------
+    stacked:
+        The :class:`BCCOOMatrix` of the stacked matrix ``B``.  Its shape is
+        ``(slice_count * padded_rows, original_cols)`` and its column
+        indices are original-matrix block columns.
+    slice_count, slice_width:
+        Number of vertical slices and each slice's width in elements
+        (a multiple of the block width).
+    """
+
+    name = "bccoo+"
+
+    def __init__(self, shape, stacked: BCCOOMatrix, slice_count: int, slice_width: int):
+        super().__init__(shape)
+        self.stacked = stacked
+        self.slice_count = int(slice_count)
+        self.slice_width = int(slice_width)
+        if self.slice_count < 1:
+            raise FormatError(f"slice_count must be >= 1, got {slice_count}")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_scipy(
+        cls,
+        matrix,
+        slice_count: int = 2,
+        block_height: int = 1,
+        block_width: int = 1,
+        bit_word_dtype=np.uint32,
+        pad_multiple: int = 1,
+        col_storage: str = "auto",
+        delta_tile_size: int = 16,
+        **params,
+    ) -> "BCCOOPlusMatrix":
+        csr = as_csr(matrix)
+        nrows, ncols = csr.shape
+        if slice_count < 1:
+            raise FormatError(f"slice_count must be >= 1, got {slice_count}")
+
+        # Slice width: cover all columns, aligned to the block width so a
+        # block never straddles a slice boundary.
+        width_blocks = ceil_div(ceil_div(ncols, block_width), slice_count)
+        slice_width = max(width_blocks, 1) * block_width
+
+        padded_block_rows = ceil_div(nrows, block_height)
+
+        parts: list[BlockLayout] = []
+        col_orig: list[np.ndarray] = []
+        row_stacked: list[np.ndarray] = []
+        for s in range(slice_count):
+            c0 = s * slice_width
+            c1 = min(c0 + slice_width, ncols)
+            if c0 >= ncols:
+                break
+            sub = csr[:, c0:c1]
+            if sub.nnz == 0:
+                continue
+            layout = extract_blocks(sub, block_height, block_width)
+            parts.append(layout)
+            # Column indices in the ORIGINAL matrix (paper: "the column
+            # index array is generated based on the block coordinates in
+            # the original matrix").
+            col_orig.append(layout.block_col + c0 // block_width)
+            row_stacked.append(layout.block_row + s * padded_block_rows)
+
+        if parts:
+            merged = BlockLayout(
+                shape=(
+                    slice_count * padded_block_rows * block_height,
+                    ncols,
+                ),
+                block_height=block_height,
+                block_width=block_width,
+                block_row=np.concatenate(row_stacked).astype(np.int32),
+                block_col=np.concatenate(
+                    [p.block_col for p in parts]
+                ).astype(np.int32),
+                values=np.concatenate([p.values for p in parts]),
+            )
+            override = np.concatenate(col_orig).astype(np.int32)
+        else:
+            merged = BlockLayout(
+                shape=(slice_count * padded_block_rows * block_height, ncols),
+                block_height=block_height,
+                block_width=block_width,
+                block_row=np.empty(0, dtype=np.int32),
+                block_col=np.empty(0, dtype=np.int32),
+                values=np.empty((0, block_height, block_width), dtype=np.float64),
+            )
+            override = np.empty(0, dtype=np.int32)
+
+        stacked = BCCOOMatrix.from_block_layout(
+            merged,
+            bit_word_dtype=bit_word_dtype,
+            pad_multiple=pad_multiple,
+            col_storage=col_storage,
+            delta_tile_size=delta_tile_size,
+            shape=(merged.shape[0], ncols),
+            col_override=override,
+        )
+        return cls((nrows, ncols), stacked, slice_count, slice_width)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / combine
+    # ------------------------------------------------------------------ #
+
+    @property
+    def block_height(self) -> int:
+        return self.stacked.block_height
+
+    @property
+    def block_width(self) -> int:
+        return self.stacked.block_width
+
+    @property
+    def nblocks(self) -> int:
+        return self.stacked.nblocks
+
+    @property
+    def nnz(self) -> int:
+        return self.stacked.nnz
+
+    @property
+    def padded_rows_per_slice(self) -> int:
+        """Stacked-row stride of one slice, in element rows."""
+        return ceil_div(self.nrows, self.block_height) * self.block_height
+
+    @property
+    def temp_buffer_rows(self) -> int:
+        """Rows of the intermediate result buffer the combine kernel reads."""
+        return self.slice_count * self.padded_rows_per_slice
+
+    def combine(self, y_stacked: np.ndarray) -> np.ndarray:
+        """Host reference of the combine kernel: sum slice partials (Figure 5)."""
+        stride = self.padded_rows_per_slice
+        if y_stacked.shape[0] != self.slice_count * stride:
+            raise FormatError(
+                f"stacked result length {y_stacked.shape[0]} != "
+                f"{self.slice_count} * {stride}"
+            )
+        folded = y_stacked.reshape(self.slice_count, stride).sum(axis=0)
+        return folded[: self.nrows]
+
+    # ------------------------------------------------------------------ #
+    # SparseFormat interface
+    # ------------------------------------------------------------------ #
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        b = self.stacked.to_scipy().tocoo()
+        stride = self.padded_rows_per_slice
+        rows = b.row % stride
+        keep = rows < self.nrows
+        return _sp.coo_matrix(
+            (b.data[keep], (rows[keep], b.col[keep])), shape=self.shape
+        ).tocsr()
+
+    def footprint(
+        self, sizes: ByteSizes = FP32, tile_size: int | None = None
+    ) -> Footprint:
+        """Stacked BCCOO footprint plus the temporary slice-result buffer."""
+        fp = self.stacked.footprint(sizes, tile_size=tile_size)
+        fp.add("slice_temp_buffer", self.temp_buffer_rows * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        y_stacked = self.stacked.multiply(x)
+        # stacked.multiply returns stacked.nrows values already.
+        return self.combine(y_stacked)

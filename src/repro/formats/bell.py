@@ -1,0 +1,137 @@
+"""Blocked ELLPACK (BELL) format.
+
+BELL pads every *block row* to the width (in blocks) of the widest block
+row -- ELL lifted to blocks.  Like ELL it gives perfectly regular access
+and suffers the same padding blow-up on skewed matrices, with the same
+expansion budget guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError, FormatNotApplicableError
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+from .blocking import extract_blocks
+
+__all__ = ["BELLMatrix"]
+
+#: Padding marker in the block-column array.
+PAD_BCOL: int = -1
+
+
+@register_format
+class BELLMatrix(SparseFormat):
+    """Uniform-width blocked ELL.
+
+    ``block_col`` is ``(K, n_block_rows)`` slot-major; ``values`` is
+    ``(K, n_block_rows, h, w)``.  Unused slots carry ``PAD_BCOL`` / zeros.
+    """
+
+    name = "bell"
+
+    DEFAULT_MAX_EXPANSION: float = 20.0
+
+    def __init__(self, shape, block_height, block_width, block_col, values, nnz):
+        super().__init__(shape)
+        self.block_height = int(block_height)
+        self.block_width = int(block_width)
+        self.block_col = np.asarray(block_col, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float64)
+        self._nnz = int(nnz)
+        K, nbr = self.block_col.shape
+        if self.values.shape != (K, nbr, self.block_height, self.block_width):
+            raise FormatError(
+                f"values shape {self.values.shape} != "
+                f"({K}, {nbr}, {self.block_height}, {self.block_width})"
+            )
+
+    @property
+    def K(self) -> int:
+        return int(self.block_col.shape[0])
+
+    @property
+    def n_block_rows(self) -> int:
+        return int(self.block_col.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @classmethod
+    def from_scipy(
+        cls,
+        matrix,
+        block_height: int = 2,
+        block_width: int = 2,
+        max_expansion: float | None = None,
+        **params,
+    ):
+        layout = extract_blocks(matrix, block_height, block_width)
+        nbr = layout.n_block_rows
+        counts = np.bincount(layout.block_row, minlength=nbr)
+        K = int(counts.max()) if counts.size else 0
+        budget = cls.DEFAULT_MAX_EXPANSION if max_expansion is None else max_expansion
+        stored = K * nbr * block_height * block_width
+        if layout.nnz and stored > budget * layout.nnz:
+            raise FormatNotApplicableError(
+                f"BELL padding stores {stored} slots for nnz={layout.nnz}; "
+                f"matrix too skewed for BELL at {block_height}x{block_width}"
+            )
+        block_col = np.full((K, nbr), PAD_BCOL, dtype=np.int32)
+        values = np.zeros((K, nbr, block_height, block_width), dtype=np.float64)
+        if layout.nblocks:
+            slots = (
+                np.arange(layout.nblocks)
+                - np.repeat(np.concatenate(([0], np.cumsum(counts[:-1]))), counts)
+            )
+            block_col[slots, layout.block_row] = layout.block_col
+            values[slots, layout.block_row] = layout.values
+        return cls(layout.shape, block_height, block_width, block_col, values, layout.nnz)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        h, w = self.block_height, self.block_width
+        slots, brows = np.nonzero(self.block_col != PAD_BCOL)
+        if slots.size == 0:
+            return _sp.csr_matrix(self.shape)
+        bcols = self.block_col[slots, brows].astype(np.int64)
+        blocks = self.values[slots, brows]  # (n, h, w)
+        in_r, in_c = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+        rows = (brows.astype(np.int64)[:, None, None] * h + in_r[None]).ravel()
+        cols = (bcols[:, None, None] * w + in_c[None]).ravel()
+        data = blocks.ravel()
+        mask = data != 0.0
+        return _sp.coo_matrix(
+            (data[mask], (rows[mask], cols[mask])), shape=self.shape
+        ).tocsr()
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        nslots = self.K * self.n_block_rows
+        fp.add("block_col", nslots * sizes.index)
+        fp.add(
+            "values",
+            nslots * self.block_height * self.block_width * sizes.value,
+        )
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        h, w = self.block_height, self.block_width
+        y = np.zeros(self.n_block_rows * h, dtype=np.float64)
+        for k in range(self.K):
+            bcols = self.block_col[k].astype(np.int64)
+            active = bcols != PAD_BCOL
+            if not active.any():
+                continue
+            xg = np.zeros((self.n_block_rows, w), dtype=np.float64)
+            base_c = bcols[active] * w
+            for j in range(w):
+                cols = base_c + j
+                valid = cols < self.ncols
+                idx = np.flatnonzero(active)[valid]
+                xg[idx, j] = x[cols[valid]]
+            contrib = np.einsum("bhw,bw->bh", self.values[k], xg)
+            y += contrib.ravel()
+        return y[: self.nrows]

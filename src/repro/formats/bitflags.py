@@ -1,0 +1,217 @@
+"""Bit-flag compression of the row-index array (the heart of BCCOO).
+
+The paper replaces the per-block row-index array of blocked COO with one
+bit per block:
+
+* bit ``1``  -- the block is **not** the last non-zero block of its block
+  row ("continue"),
+* bit ``0``  -- the block **is** the last one: a *row stop*.
+
+The row index of block ``i`` is then the number of row stops among blocks
+``0 .. i-1`` -- i.e. an exclusive scan over the bitwise inverse of the
+flags (exactly the auxiliary computation of paper section 2.4).  The array
+is padded with ``1`` bits to a multiple of the workgroup working set so
+kernels never bounds-check (section 2.2); padding extends the final open
+segment with zero-valued blocks and never closes it.
+
+Empty block rows cannot be expressed by the flags alone (a stop ordinal
+counts only *non-empty* rows), so formats additionally keep the sorted
+list of non-empty block rows and scatter results through it; with no empty
+rows that list is the identity and costs nothing.
+
+Internally we manipulate flags as a boolean ``stops`` array
+(``stops[i] == True`` <=> paper bit ``0``) because NumPy boolean masks are
+the natural vectorized representation; :func:`pack` / :func:`unpack`
+convert to and from the device bit packing with a selectable word type
+(``uint8``/``uint16``/``uint32`` -- a Table 1 tuning parameter, since the
+word type sets both the footprint and how many loads a thread tile needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from ..util import check_1d, round_up
+
+__all__ = [
+    "BitFlagArray",
+    "stops_from_block_rows",
+    "pack",
+    "unpack",
+    "reconstruct_row_ordinals",
+    "first_result_entries",
+    "WORD_DTYPES",
+]
+
+#: Bit-flag word types the auto-tuner may select (Table 1).
+WORD_DTYPES: tuple[np.dtype, ...] = (
+    np.dtype(np.uint8),
+    np.dtype(np.uint16),
+    np.dtype(np.uint32),
+)
+
+
+@dataclass
+class BitFlagArray:
+    """Packed bit flags plus the metadata needed to interpret them.
+
+    Attributes
+    ----------
+    words:
+        Packed flag words, LSB-first within each word, paper bit
+        convention (``1`` = continue, ``0`` = row stop).
+    nbits:
+        Logical (padded) number of flags.
+    n_valid:
+        Number of real blocks; flags ``n_valid .. nbits-1`` are padding
+        and are always ``1``.
+    """
+
+    words: np.ndarray
+    nbits: int
+    n_valid: int
+
+    @property
+    def word_dtype(self) -> np.dtype:
+        return self.words.dtype
+
+    @property
+    def bits_per_word(self) -> int:
+        return self.words.dtype.itemsize * 8
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes occupied by the packed words."""
+        return int(self.words.nbytes)
+
+    @property
+    def n_row_stops(self) -> int:
+        """Number of zero bits among the valid flags."""
+        return int(np.count_nonzero(unpack(self)[: self.n_valid]))
+
+    def stops(self) -> np.ndarray:
+        """Boolean stop mask over all ``nbits`` (padding included)."""
+        return unpack(self)
+
+
+def stops_from_block_rows(block_row: np.ndarray) -> np.ndarray:
+    """Derive the boolean row-stop mask from a sorted block-row array.
+
+    ``stops[i]`` is True when block ``i`` is the last block of its block
+    row.  The final block is always a stop.  ``block_row`` must be
+    non-decreasing (row-major block order).
+    """
+    block_row = check_1d("block_row", block_row)
+    n = block_row.shape[0]
+    stops = np.empty(n, dtype=bool)
+    if n == 0:
+        return stops
+    diffs = np.diff(block_row)
+    if np.any(diffs < 0):
+        raise FormatError("block_row must be non-decreasing")
+    stops[:-1] = diffs != 0
+    stops[-1] = True
+    return stops
+
+
+def pack(
+    stops: np.ndarray,
+    word_dtype=np.uint32,
+    pad_multiple: int = 1,
+) -> BitFlagArray:
+    """Pack a boolean stop mask into paper-convention bit-flag words.
+
+    Parameters
+    ----------
+    stops:
+        ``stops[i]`` True <=> row stop (paper bit 0).
+    word_dtype:
+        One of :data:`WORD_DTYPES`.
+    pad_multiple:
+        The flag array is first padded with continue bits to a multiple
+        of this (the workgroup working-set size), then to a whole number
+        of words.
+    """
+    word_dtype = np.dtype(word_dtype)
+    if word_dtype not in WORD_DTYPES:
+        raise FormatError(
+            f"bit-flag word dtype must be one of {[d.name for d in WORD_DTYPES]}, "
+            f"got {word_dtype.name}"
+        )
+    if pad_multiple < 1:
+        raise FormatError(f"pad_multiple must be >= 1, got {pad_multiple}")
+    stops = check_1d("stops", stops).astype(bool)
+    n_valid = stops.shape[0]
+
+    bits_per_word = word_dtype.itemsize * 8
+    nbits = round_up(max(n_valid, 1), pad_multiple)
+    nbits = round_up(nbits, bits_per_word)
+
+    # Paper convention: continue = 1, stop = 0; padding = 1.
+    bits = np.ones(nbits, dtype=np.uint8)
+    bits[:n_valid] = ~stops
+
+    # np.packbits packs MSB-first per byte; we want LSB-first so that flag
+    # i lives at bit (i % bits_per_word) of word (i // bits_per_word), the
+    # layout a GPU kernel would index with shifts.
+    packed_bytes = np.packbits(bits.reshape(-1, 8)[:, ::-1], axis=1).ravel()
+    if word_dtype != np.uint8:
+        words = packed_bytes.copy().view(word_dtype.newbyteorder("<"))
+        words = words.astype(word_dtype)
+    else:
+        words = packed_bytes.copy()
+    return BitFlagArray(words=words, nbits=nbits, n_valid=n_valid)
+
+
+def unpack(flags: BitFlagArray) -> np.ndarray:
+    """Unpack to the boolean stop mask over all ``nbits`` positions."""
+    little = flags.words.astype(flags.word_dtype.newbyteorder("<"), copy=False)
+    raw = little.view(np.uint8)
+    # np.unpackbits is MSB-first per byte; reverse each byte's bits to
+    # recover the LSB-first layout used by pack().
+    bits = np.unpackbits(raw).reshape(-1, 8)[:, ::-1].ravel()
+    stops = bits[: flags.nbits] == 0
+    return stops
+
+
+def reconstruct_row_ordinals(stops: np.ndarray) -> np.ndarray:
+    """Row *ordinal* (index among non-empty block rows) of every block.
+
+    This is the exclusive prefix sum over the stop mask -- the paper's
+    "scan on the bitwise inverse of the bit flag array".  With no empty
+    block rows the ordinal equals the block row index.
+    """
+    stops = check_1d("stops", stops).astype(np.int64)
+    ordinals = np.empty(stops.shape[0], dtype=np.int64)
+    if stops.shape[0] == 0:
+        return ordinals
+    ordinals[0] = 0
+    np.cumsum(stops[:-1], out=ordinals[1:])
+    return ordinals
+
+
+def first_result_entries(stops: np.ndarray, tile_size: int) -> np.ndarray:
+    """Paper section 2.4: the result-row ordinal of each thread's first output.
+
+    With every thread processing ``tile_size`` consecutive blocks, thread
+    ``t``'s first partial sum belongs to the row whose ordinal equals the
+    number of row stops in blocks ``0 .. t*tile_size - 1``.
+
+    ``stops`` must already be padded to a multiple of ``tile_size``.
+    """
+    stops = check_1d("stops", stops)
+    if tile_size < 1:
+        raise FormatError(f"tile_size must be >= 1, got {tile_size}")
+    if stops.shape[0] % tile_size != 0:
+        raise FormatError(
+            f"stop mask length {stops.shape[0]} is not a multiple of tile size {tile_size}"
+        )
+    per_tile = stops.reshape(-1, tile_size).sum(axis=1, dtype=np.int64)
+    entries = np.empty(per_tile.shape[0], dtype=np.int64)
+    if entries.shape[0]:
+        entries[0] = 0
+        np.cumsum(per_tile[:-1], out=entries[1:])
+    return entries

@@ -1,0 +1,170 @@
+"""COCKTAIL: clSpMV's partitioned multi-format matrix (Su & Keutzer [16]).
+
+The paper's main prior-art comparator "uses different formats to
+represent different partitions of a matrix".  This module makes that a
+first-class :class:`SparseFormat`: rows are partitioned by length, each
+partition stored in the single format whose footprint prices it best
+(regular formats for the dense head, CSR/COO for the irregular tail),
+with every partition kept at the full matrix shape over disjoint rows so
+partial products combine by addition.
+
+The figure benchmarks use the *time-based* selection in
+:mod:`repro.core.baselines` (clSpMV selects by benchmarked speed); this
+class is the storage-level counterpart -- footprint-driven, inspectable,
+and reusable as a normal format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError, FormatNotApplicableError
+from ..util import as_csr
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .dia import DIAMatrix
+from .ell import ELLMatrix
+from .sell import SELLMatrix
+
+__all__ = ["CocktailMatrix"]
+
+#: Quantiles at which the head/tail split is tried.
+_SPLITS = (0.5, 0.7, 0.9, 0.97)
+
+
+def _select_rows(csr, row_mask: np.ndarray):
+    """Keep only masked rows (shape preserved, other rows empty)."""
+    lengths = np.diff(csr.indptr)
+    keep = np.repeat(row_mask, lengths)
+    new_lengths = np.where(row_mask, lengths, 0)
+    indptr = np.concatenate(([0], np.cumsum(new_lengths)))
+    return _sp.csr_matrix(
+        (csr.data[keep], csr.indices[keep], indptr), shape=csr.shape
+    )
+
+
+def _best_head(part, sizes: ByteSizes):
+    """Cheapest regular format for the short-row partition."""
+    best = None
+    for cls, kw, label in (
+        (DIAMatrix, {}, "dia"),
+        (ELLMatrix, {}, "ell"),
+        (SELLMatrix, {"slice_height": 32}, "sell32"),
+    ):
+        try:
+            fmt = cls.from_scipy(part, **kw)
+        except FormatNotApplicableError:
+            continue
+        nbytes = fmt.footprint_bytes(sizes)
+        if best is None or nbytes < best[0]:
+            best = (nbytes, fmt, label)
+    return best
+
+
+def _best_tail(part, sizes: ByteSizes):
+    """Cheapest irregular format for the long-row partition."""
+    best = None
+    for cls, label in ((CSRMatrix, "csr"), (COOMatrix, "coo")):
+        fmt = cls.from_scipy(part)
+        nbytes = fmt.footprint_bytes(sizes)
+        if best is None or nbytes < best[0]:
+            best = (nbytes, fmt, label)
+    return best
+
+
+@register_format
+class CocktailMatrix(SparseFormat):
+    """Row-partitioned multi-format storage.
+
+    Attributes
+    ----------
+    partitions:
+        ``[(label, format_instance)]``; every instance covers the full
+        matrix shape with disjoint non-empty rows.
+    recipe:
+        Human-readable description, e.g. ``"ell@0.90+csr"`` or
+        ``"single:csr"`` when no split paid off.
+    """
+
+    name = "cocktail"
+
+    def __init__(self, shape, partitions, recipe: str, nnz: int):
+        super().__init__(shape)
+        if not partitions:
+            raise FormatError("cocktail needs at least one partition")
+        self.partitions = list(partitions)
+        self.recipe = recipe
+        self._nnz = int(nnz)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @classmethod
+    def from_scipy(cls, matrix, sizes: ByteSizes = FP32, **params) -> "CocktailMatrix":
+        csr = as_csr(matrix)
+        nrows = csr.shape[0]
+        lengths = np.diff(csr.indptr)
+        order = np.argsort(lengths, kind="stable")
+
+        # Baseline: the best single irregular format.
+        single = _best_tail(csr, sizes)
+        assert single is not None
+        best_total, best_parts, best_recipe = (
+            single[0],
+            [(single[2], single[1])],
+            f"single:{single[2]}",
+        )
+        single_regular = _best_head(csr, sizes)
+        if single_regular is not None and single_regular[0] < best_total:
+            best_total = single_regular[0]
+            best_parts = [(single_regular[2], single_regular[1])]
+            best_recipe = f"single:{single_regular[2]}"
+
+        for frac in _SPLITS:
+            cut = int(nrows * frac)
+            if cut in (0, nrows):
+                continue
+            head_mask = np.zeros(nrows, dtype=bool)
+            head_mask[order[:cut]] = True
+            head = _select_rows(csr, head_mask)
+            tail = _select_rows(csr, ~head_mask)
+            if head.nnz == 0 or tail.nnz == 0:
+                continue
+            h = _best_head(head, sizes)
+            if h is None:
+                continue
+            t = _best_tail(tail, sizes)
+            total = h[0] + t[0] + nrows * sizes.index  # + partition map
+            if total < best_total:
+                best_total = total
+                best_parts = [(h[2], h[1]), (t[2], t[1])]
+                best_recipe = f"{h[2]}@{frac:.2f}+{t[2]}"
+
+        return cls(csr.shape, best_parts, best_recipe, int(csr.nnz))
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        total = None
+        for _, fmt in self.partitions:
+            part = fmt.to_scipy()
+            total = part if total is None else total + part
+        out = as_csr(total)
+        return out
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        for label, fmt in self.partitions:
+            for name, nbytes in fmt.footprint(sizes).arrays.items():
+                fp.add(f"{label}_{name}", nbytes)
+        if len(self.partitions) > 1:
+            fp.add("partition_map", self.nrows * sizes.index)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        for _, fmt in self.partitions:
+            y += fmt.multiply(x)
+        return y

@@ -1,0 +1,61 @@
+"""Common coordinate (COO) format -- the baseline BCCOO builds on.
+
+COO stores an explicit ``(row, col, value)`` triplet per non-zero.  As the
+paper notes it is immune to load imbalance (segmented reduction
+parallelizes over non-zeros, not rows) but has the worst memory footprint:
+eight index bytes per four value bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..util import as_coo_sorted
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+
+__all__ = ["COOMatrix"]
+
+
+@register_format
+class COOMatrix(SparseFormat):
+    """Row-major sorted coordinate storage."""
+
+    name = "coo"
+
+    def __init__(self, shape, row, col, data):
+        super().__init__(shape)
+        self.row = np.asarray(row, dtype=np.int32)
+        self.col = np.asarray(col, dtype=np.int32)
+        self.data = np.asarray(data, dtype=np.float64)
+        if not (self.row.shape == self.col.shape == self.data.shape):
+            from ..errors import FormatError
+
+            raise FormatError("row/col/data arrays must have equal length")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    @classmethod
+    def from_scipy(cls, matrix, **params) -> "COOMatrix":
+        coo = as_coo_sorted(matrix)
+        return cls(coo.shape, coo.row, coo.col, coo.data)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        return _sp.coo_matrix(
+            (self.data, (self.row, self.col)), shape=self.shape
+        ).tocsr()
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        fp.add("row_index", self.nnz * sizes.index)
+        fp.add("col_index", self.nnz * sizes.index)
+        fp.add("values", self.nnz * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        np.add.at(y, self.row, self.data * x[self.col])
+        return y

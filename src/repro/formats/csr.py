@@ -1,0 +1,78 @@
+"""Compressed sparse row (CSR) format.
+
+CSR compresses COO's row-index array into an ``nrows + 1`` pointer array.
+It is the default format of CUSPARSE and the substrate for the row-based
+GPU kernels (scalar-CSR: one thread per row; vector-CSR: one warp per
+row) whose load imbalance the paper's segmented-scan approach removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..util import as_csr
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+
+__all__ = ["CSRMatrix"]
+
+
+@register_format
+class CSRMatrix(SparseFormat):
+    """Canonical CSR: ``row_ptr``, ``col_index``, ``values``."""
+
+    name = "csr"
+
+    def __init__(self, shape, row_ptr, col_index, data):
+        super().__init__(shape)
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        self.col_index = np.asarray(col_index, dtype=np.int32)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.row_ptr.shape[0] != self.nrows + 1:
+            from ..errors import FormatError
+
+            raise FormatError(
+                f"row_ptr length {self.row_ptr.shape[0]} != nrows+1 {self.nrows + 1}"
+            )
+        if self.col_index.shape != self.data.shape:
+            from ..errors import FormatError
+
+            raise FormatError("col_index/data length mismatch")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row non-zero counts (drives imbalance in row-based kernels)."""
+        return np.diff(self.row_ptr)
+
+    @classmethod
+    def from_scipy(cls, matrix, **params) -> "CSRMatrix":
+        csr = as_csr(matrix)
+        return cls(csr.shape, csr.indptr, csr.indices, csr.data)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        return _sp.csr_matrix(
+            (self.data, self.col_index, self.row_ptr), shape=self.shape
+        )
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        fp.add("row_ptr", (self.nrows + 1) * sizes.index)
+        fp.add("col_index", self.nnz * sizes.index)
+        fp.add("values", self.nnz * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        products = self.data * x[self.col_index]
+        # reduceat needs non-empty input; guard the all-empty matrix.
+        if self.nnz == 0:
+            return np.zeros(self.nrows, dtype=np.float64)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        lengths = self.row_lengths()
+        nonempty = lengths > 0
+        starts = self.row_ptr[:-1][nonempty]
+        y[nonempty] = np.add.reduceat(products, starts)
+        return y

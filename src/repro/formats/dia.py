@@ -1,0 +1,108 @@
+"""Diagonal (DIA) format.
+
+DIA stores whole (off-)diagonals densely plus one offset per stored
+diagonal.  It is the most compact format for stencil-structured matrices
+(QCD, Epidemiology classes) and inapplicable for matrices whose non-zeros
+scatter across many diagonals -- reproduced, like ELL, with an expansion
+budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatNotApplicableError
+from ..util import as_coo_sorted
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+
+__all__ = ["DIAMatrix"]
+
+
+@register_format
+class DIAMatrix(SparseFormat):
+    """Dense-diagonal storage: ``offsets`` plus a ``(ndiags, nrows)`` band.
+
+    Entry ``(i, i + offsets[d])`` lives at ``bands[d, i]``.  Slots whose
+    column falls outside the matrix are zero padding.
+    """
+
+    name = "dia"
+
+    #: Stored band slots may not exceed this multiple of nnz.
+    DEFAULT_MAX_EXPANSION: float = 20.0
+
+    def __init__(self, shape, offsets, bands, nnz):
+        super().__init__(shape)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.bands = np.asarray(bands, dtype=np.float64)
+        self._nnz = int(nnz)
+        if self.bands.shape != (self.offsets.shape[0], self.nrows):
+            from ..errors import FormatError
+
+            raise FormatError(
+                f"bands shape {self.bands.shape} != "
+                f"({self.offsets.shape[0]}, {self.nrows})"
+            )
+
+    @property
+    def ndiags(self) -> int:
+        return int(self.offsets.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @classmethod
+    def from_scipy(cls, matrix, max_expansion: float | None = None, **params):
+        coo = as_coo_sorted(matrix)
+        offs = np.unique(coo.col.astype(np.int64) - coo.row.astype(np.int64))
+        budget = cls.DEFAULT_MAX_EXPANSION if max_expansion is None else max_expansion
+        if coo.nnz and offs.shape[0] * coo.shape[0] > budget * coo.nnz:
+            raise FormatNotApplicableError(
+                f"DIA would store {offs.shape[0]} diagonals x {coo.shape[0]} rows "
+                f"for nnz={coo.nnz}; matrix is not diagonal-structured"
+            )
+        bands = np.zeros((offs.shape[0], coo.shape[0]), dtype=np.float64)
+        diag_of = np.searchsorted(offs, coo.col.astype(np.int64) - coo.row)
+        bands[diag_of, coo.row] = coo.data
+        return cls(coo.shape, offs, bands, coo.nnz)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        rows_list = []
+        cols_list = []
+        data_list = []
+        row_idx = np.arange(self.nrows, dtype=np.int64)
+        for d, off in enumerate(self.offsets):
+            cols = row_idx + off
+            valid = (cols >= 0) & (cols < self.ncols)
+            vals = self.bands[d]
+            keep = valid & (vals != 0.0)
+            rows_list.append(row_idx[keep])
+            cols_list.append(cols[keep])
+            data_list.append(vals[keep])
+        if not rows_list:
+            return _sp.csr_matrix(self.shape)
+        return _sp.coo_matrix(
+            (
+                np.concatenate(data_list),
+                (np.concatenate(rows_list), np.concatenate(cols_list)),
+            ),
+            shape=self.shape,
+        ).tocsr()
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        fp.add("offsets", self.ndiags * sizes.index)
+        fp.add("bands", self.ndiags * self.nrows * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        row_idx = np.arange(self.nrows, dtype=np.int64)
+        for d, off in enumerate(self.offsets):
+            cols = row_idx + off
+            valid = (cols >= 0) & (cols < self.ncols)
+            y[valid] += self.bands[d, valid] * x[cols[valid]]
+        return y

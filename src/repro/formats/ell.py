@@ -1,0 +1,116 @@
+"""ELLPACK (ELL) format.
+
+ELL pads every row to the length of the longest row, producing two dense
+``nrows x K`` arrays (columns and values) stored column-major so a
+one-thread-per-row GPU kernel reads them fully coalesced.  It is ideal for
+regular matrices (the paper's Epidemiology, 4 non-zeros per row) and
+catastrophic for skewed ones -- Table 3 marks several web/circuit matrices
+``N/A`` because ``K`` explodes.  We reproduce that with an expansion
+budget: construction raises :class:`FormatNotApplicableError` when the
+padded size exceeds ``max_expansion`` times the non-zero count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatNotApplicableError
+from ..util import as_csr
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+
+__all__ = ["ELLMatrix"]
+
+#: Padding column index marking an unused slot.
+PAD_COL: int = -1
+
+
+@register_format
+class ELLMatrix(SparseFormat):
+    """Column-major padded storage with uniform row width ``K``.
+
+    Attributes
+    ----------
+    col_index, values:
+        ``(K, nrows)`` arrays (slot-major, i.e. transposed relative to the
+        logical row layout) -- the coalesced device layout.  Unused slots
+        have ``col_index == PAD_COL`` and ``values == 0``.
+    """
+
+    name = "ell"
+
+    #: Default padding budget: stored slots may not exceed this multiple
+    #: of nnz.  20x generously admits every Table 2 matrix the paper's
+    #: Table 3 reports a number for while rejecting the N/A ones.
+    DEFAULT_MAX_EXPANSION: float = 20.0
+
+    def __init__(self, shape, col_index, values, nnz):
+        super().__init__(shape)
+        self.col_index = np.asarray(col_index, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float64)
+        self._nnz = int(nnz)
+        if self.col_index.shape != self.values.shape:
+            from ..errors import FormatError
+
+            raise FormatError("col_index/values shape mismatch")
+        if self.col_index.ndim != 2 or self.col_index.shape[1] != self.nrows:
+            from ..errors import FormatError
+
+            raise FormatError(
+                f"expected (K, nrows={self.nrows}) arrays, got {self.col_index.shape}"
+            )
+
+    @property
+    def K(self) -> int:
+        """Uniform padded row width."""
+        return int(self.col_index.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def stored_slots(self) -> int:
+        return self.K * self.nrows
+
+    @classmethod
+    def from_scipy(cls, matrix, max_expansion: float | None = None, **params):
+        csr = as_csr(matrix)
+        lengths = np.diff(csr.indptr)
+        K = int(lengths.max()) if lengths.size else 0
+        budget = cls.DEFAULT_MAX_EXPANSION if max_expansion is None else max_expansion
+        if csr.nnz and K * csr.shape[0] > budget * csr.nnz:
+            raise FormatNotApplicableError(
+                f"ELL padding {K}x{csr.shape[0]} slots exceeds "
+                f"{budget}x nnz ({csr.nnz}); matrix too skewed for ELL"
+            )
+        nrows = csr.shape[0]
+        col_index = np.full((K, nrows), PAD_COL, dtype=np.int32)
+        values = np.zeros((K, nrows), dtype=np.float64)
+        if csr.nnz:
+            rows = np.repeat(np.arange(nrows), lengths)
+            slots = np.arange(csr.nnz) - np.repeat(csr.indptr[:-1], lengths)
+            col_index[slots, rows] = csr.indices
+            values[slots, rows] = csr.data
+        return cls(csr.shape, col_index, values, csr.nnz)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        mask = self.col_index != PAD_COL
+        slots, rows = np.nonzero(mask)
+        return _sp.coo_matrix(
+            (self.values[slots, rows], (rows, self.col_index[slots, rows])),
+            shape=self.shape,
+        ).tocsr()
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        fp.add("col_index", self.stored_slots * sizes.index)
+        fp.add("values", self.stored_slots * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        safe_cols = np.where(self.col_index == PAD_COL, 0, self.col_index)
+        gathered = x[safe_cols]
+        gathered[self.col_index == PAD_COL] = 0.0
+        return (self.values * gathered).sum(axis=0)

@@ -1,0 +1,123 @@
+"""Hybrid (HYB) format: ELL head + COO tail.
+
+HYB, CUSPARSE's flagship format, stores the first ``K`` non-zeros of every
+row in an ELL part and spills the remainder into a COO part.  The ELL row
+width ``K`` is configurable; the paper manually searched it per matrix for
+the CUSPARSE baseline, which we reproduce with :meth:`HYBMatrix.tune_k`
+(footprint-optimal ``K``) and an explicit ``k`` override.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+from ..util import as_csr
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+from .coo import COOMatrix
+from .ell import PAD_COL, ELLMatrix
+
+__all__ = ["HYBMatrix"]
+
+
+@register_format
+class HYBMatrix(SparseFormat):
+    """ELL(K) head plus COO spill."""
+
+    name = "hyb"
+
+    def __init__(self, shape, ell: ELLMatrix, coo: COOMatrix):
+        super().__init__(shape)
+        if ell.shape != shape or coo.shape != shape:
+            raise FormatError("HYB sub-format shapes disagree with matrix shape")
+        self.ell = ell
+        self.coo = coo
+
+    @property
+    def K(self) -> int:
+        return self.ell.K
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.coo.nnz
+
+    @staticmethod
+    def tune_k(matrix, sizes: ByteSizes = FP32, max_k: int | None = None) -> int:
+        """Footprint-optimal ELL width.
+
+        Marginal cost of raising K by one: one (index+value) ELL slot per
+        row versus removing one (2*index+value) COO triplet per row that
+        still has spilled entries.  The optimum is the largest K at which
+        the number of rows with length >= K exceeds the break-even ratio.
+        """
+        csr = as_csr(matrix)
+        lengths = np.diff(csr.indptr)
+        if lengths.size == 0 or csr.nnz == 0:
+            return 0
+        nrows = csr.shape[0]
+        ell_slot = sizes.index + sizes.value
+        coo_entry = 2 * sizes.index + sizes.value
+        max_len = int(lengths.max())
+        hist = np.bincount(lengths, minlength=max_len + 1)
+        # rows_ge[k] = number of rows with >= k non-zeros (k = 0..max_len).
+        rows_ge = nrows - np.concatenate(([0], np.cumsum(hist[:-1])))
+        upper = max_len if max_k is None else min(max_len, max_k)
+        ks = np.arange(upper + 1, dtype=np.int64)
+        # spilled(k) = sum_{j > k} rows_ge[j]; build via reversed cumsum.
+        suffix = np.concatenate((np.cumsum(rows_ge[::-1])[::-1], [0]))
+        spilled = suffix[ks + 1]
+        cost = ks * nrows * ell_slot + spilled * coo_entry
+        return int(ks[np.argmin(cost)])
+
+    @classmethod
+    def from_scipy(cls, matrix, k: int | None = None, **params) -> "HYBMatrix":
+        csr = as_csr(matrix)
+        if k is None:
+            k = cls.tune_k(csr)
+        if k < 0:
+            raise FormatError(f"ELL width k must be >= 0, got {k}")
+        lengths = np.diff(csr.indptr)
+        nrows = csr.shape[0]
+
+        ell_cols = np.full((k, nrows), PAD_COL, dtype=np.int32)
+        ell_vals = np.zeros((k, nrows), dtype=np.float64)
+        if csr.nnz:
+            rows = np.repeat(np.arange(nrows), lengths)
+            slots = np.arange(csr.nnz) - np.repeat(csr.indptr[:-1], lengths)
+            head = slots < k
+            ell_cols[slots[head], rows[head]] = csr.indices[head]
+            ell_vals[slots[head], rows[head]] = csr.data[head]
+            tail = ~head
+            coo = COOMatrix(
+                csr.shape, rows[tail], csr.indices[tail], csr.data[tail]
+            )
+            ell_nnz = int(head.sum())
+        else:
+            coo = COOMatrix(
+                csr.shape,
+                np.empty(0, np.int32),
+                np.empty(0, np.int32),
+                np.empty(0, np.float64),
+            )
+            ell_nnz = 0
+        ell = ELLMatrix(csr.shape, ell_cols, ell_vals, ell_nnz)
+        return cls(csr.shape, ell, coo)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        combined = self.ell.to_scipy() + self.coo.to_scipy()
+        combined.sum_duplicates()
+        combined.eliminate_zeros()
+        combined.sort_indices()
+        return combined
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        for name, nbytes in self.ell.footprint(sizes).arrays.items():
+            fp.add(f"ell_{name}", nbytes)
+        for name, nbytes in self.coo.footprint(sizes).arrays.items():
+            fp.add(f"coo_{name}", nbytes)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        return self.ell.multiply(x) + self.coo.multiply(x)

@@ -1,0 +1,72 @@
+"""Device memory layout: the offline transpose of section 3.2.2.
+
+Each thread owns ``tile`` consecutive blocks, so a naive value array has
+thread ``t`` reading addresses ``t*tile .. t*tile+tile-1`` -- a strided
+pattern that breaks warp coalescing.  The paper's fix is to view the
+value array as a 2-D matrix of width ``tile`` and *transpose* it (online
+through shared memory, or offline at conversion time) so that at step
+``i`` the warp's threads read consecutive addresses.
+
+This module materializes the offline-transposed layout: for every
+workgroup-level chunk of ``wg_size * tile`` entries, entry ``(t, i)``
+(thread, step) is stored at ``i * wg_size + t``.  It is the layout the
+generated OpenCL kernels index, and conversions are exact inverses.
+
+Functions operate on any per-block payload (value blocks, column words),
+flattening non-block axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+
+__all__ = ["to_device_order", "from_device_order", "device_order_indices"]
+
+
+def device_order_indices(n_blocks: int, wg_size: int, tile: int) -> np.ndarray:
+    """Permutation ``p`` with ``device[j] = natural[p[j]]``.
+
+    ``n_blocks`` must already be padded to a multiple of
+    ``wg_size * tile`` (the workgroup working set).
+    """
+    if wg_size < 1 or tile < 1:
+        raise FormatError(
+            f"wg_size and tile must be >= 1, got {wg_size}, {tile}"
+        )
+    work = wg_size * tile
+    if n_blocks % work != 0:
+        raise FormatError(
+            f"n_blocks {n_blocks} is not a multiple of the workgroup "
+            f"working set {work}; pad first"
+        )
+    n_wg = n_blocks // work
+    # natural index of (wg, t, i) is wg*work + t*tile + i; its device
+    # position is wg*work + i*wg_size + t.
+    wg, i, t = np.meshgrid(
+        np.arange(n_wg), np.arange(tile), np.arange(wg_size), indexing="ij"
+    )
+    natural = (wg * work + t * tile + i).ravel()
+    return natural
+
+
+def to_device_order(blocks: np.ndarray, wg_size: int, tile: int) -> np.ndarray:
+    """Transpose a per-block array into the coalesced device order.
+
+    ``blocks`` has shape ``(n_blocks, ...)``; the result has the same
+    shape with axis 0 permuted.
+    """
+    blocks = np.asarray(blocks)
+    perm = device_order_indices(blocks.shape[0], wg_size, tile)
+    return blocks[perm]
+
+
+def from_device_order(device: np.ndarray, wg_size: int, tile: int) -> np.ndarray:
+    """Inverse of :func:`to_device_order`."""
+    device = np.asarray(device)
+    perm = device_order_indices(device.shape[0], wg_size, tile)
+    out = np.empty_like(device)
+    out[perm] = device
+    return out

@@ -1,0 +1,147 @@
+"""Sliced ELLPACK (SELL) format (Monakov et al., cited as [12]).
+
+SELL partitions rows into fixed-height horizontal slices and pads each
+slice only to *its own* maximum row length, trading ELL's global padding
+for per-slice padding plus a slice pointer array.  It is one of the nine
+single formats inside clSpMV's cocktail and therefore a candidate for the
+"clSpMV best single" baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+from ..util import as_csr, ceil_div
+from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
+
+__all__ = ["SELLMatrix"]
+
+PAD_COL: int = -1
+
+
+@register_format
+class SELLMatrix(SparseFormat):
+    """Row slices of height ``slice_height``, each padded independently.
+
+    Storage is a flat concatenation of per-slice column/value arrays in
+    slot-major order (slice-local ELL layout), plus ``slice_ptr`` giving
+    each slice's offset into the flat arrays and ``slice_width`` its
+    padded row length.
+    """
+
+    name = "sell"
+
+    def __init__(self, shape, slice_height, slice_ptr, slice_width, col_index, values, nnz):
+        super().__init__(shape)
+        self.slice_height = int(slice_height)
+        self.slice_ptr = np.asarray(slice_ptr, dtype=np.int64)
+        self.slice_width = np.asarray(slice_width, dtype=np.int32)
+        self.col_index = np.asarray(col_index, dtype=np.int32)
+        self.values = np.asarray(values, dtype=np.float64)
+        self._nnz = int(nnz)
+        if self.slice_ptr.shape[0] != self.slice_width.shape[0] + 1:
+            raise FormatError("slice_ptr must have one more entry than slice_width")
+        if self.col_index.shape != self.values.shape:
+            raise FormatError("col_index/values length mismatch")
+
+    @property
+    def n_slices(self) -> int:
+        return int(self.slice_width.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def stored_slots(self) -> int:
+        return int(self.col_index.shape[0])
+
+    @classmethod
+    def from_scipy(cls, matrix, slice_height: int = 32, **params) -> "SELLMatrix":
+        if slice_height < 1:
+            raise FormatError(f"slice_height must be >= 1, got {slice_height}")
+        csr = as_csr(matrix)
+        nrows = csr.shape[0]
+        lengths = np.diff(csr.indptr)
+        n_slices = ceil_div(max(nrows, 1), slice_height)
+
+        widths = np.zeros(n_slices, dtype=np.int32)
+        for s in range(n_slices):
+            seg = lengths[s * slice_height : (s + 1) * slice_height]
+            widths[s] = int(seg.max()) if seg.size else 0
+        sizes_flat = widths.astype(np.int64) * slice_height
+        slice_ptr = np.concatenate(([0], np.cumsum(sizes_flat)))
+
+        col_index = np.full(int(slice_ptr[-1]), PAD_COL, dtype=np.int32)
+        values = np.zeros(int(slice_ptr[-1]), dtype=np.float64)
+        for s in range(n_slices):
+            r0 = s * slice_height
+            r1 = min(r0 + slice_height, nrows)
+            W = int(widths[s])
+            if W == 0:
+                continue
+            base = int(slice_ptr[s])
+            for local, r in enumerate(range(r0, r1)):
+                a, b = csr.indptr[r], csr.indptr[r + 1]
+                L = b - a
+                # slot-major within the slice: slot*slice_height + local row
+                pos = base + np.arange(L) * slice_height + local
+                col_index[pos] = csr.indices[a:b]
+                values[pos] = csr.data[a:b]
+        return cls(csr.shape, slice_height, slice_ptr, widths, col_index, values, csr.nnz)
+
+    def to_scipy(self) -> _sp.csr_matrix:
+        rows_list, cols_list, data_list = [], [], []
+        for s in range(self.n_slices):
+            W = int(self.slice_width[s])
+            if W == 0:
+                continue
+            base = int(self.slice_ptr[s])
+            block = self.col_index[base : base + W * self.slice_height].reshape(
+                W, self.slice_height
+            )
+            vals = self.values[base : base + W * self.slice_height].reshape(
+                W, self.slice_height
+            )
+            slots, locals_ = np.nonzero(block != PAD_COL)
+            rows_list.append(s * self.slice_height + locals_)
+            cols_list.append(block[slots, locals_])
+            data_list.append(vals[slots, locals_])
+        if not rows_list:
+            return _sp.csr_matrix(self.shape)
+        return _sp.coo_matrix(
+            (
+                np.concatenate(data_list),
+                (np.concatenate(rows_list), np.concatenate(cols_list)),
+            ),
+            shape=self.shape,
+        ).tocsr()
+
+    def footprint(self, sizes: ByteSizes = FP32) -> Footprint:
+        fp = Footprint()
+        fp.add("slice_ptr", (self.n_slices + 1) * sizes.index)
+        fp.add("col_index", self.stored_slots * sizes.index)
+        fp.add("values", self.stored_slots * sizes.value)
+        return fp
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_x(x)
+        y = np.zeros(self.nrows, dtype=np.float64)
+        for s in range(self.n_slices):
+            W = int(self.slice_width[s])
+            if W == 0:
+                continue
+            base = int(self.slice_ptr[s])
+            count = W * self.slice_height
+            block = self.col_index[base : base + count].reshape(W, self.slice_height)
+            vals = self.values[base : base + count].reshape(W, self.slice_height)
+            safe = np.where(block == PAD_COL, 0, block)
+            gathered = x[safe]
+            gathered[block == PAD_COL] = 0.0
+            partial = (vals * gathered).sum(axis=0)
+            r0 = s * self.slice_height
+            r1 = min(r0 + self.slice_height, self.nrows)
+            y[r0:r1] = partial[: r1 - r0]
+        return y

@@ -1,0 +1,126 @@
+"""Adjacent synchronization (paper section 3.2.4, after StreamScan [24]).
+
+Segments spanning workgroup boundaries need the predecessor's partial
+sum.  Instead of a second kernel behind a global barrier, yaSpMV chains
+a ``Grp_sum`` array through global memory: workgroup ``X`` *without* a
+row stop waits for ``Grp_sum[X-1]`` and publishes
+``Grp_sum[X] = Grp_sum[X-1] + last_partial[X]``; a workgroup *with* a
+row stop breaks the chain and publishes its own last partial directly.
+Every workgroup ``X > 0`` still consumes ``Grp_sum[X-1]`` as the
+carry-in for its first (possibly continued) segment.
+
+This module provides both the **numerics** (:func:`chain_carries`, used
+by the kernels to compute exact results) and the **cost structure**
+(:func:`chain_segments`, :func:`propagation_delay`) the timing model
+charges.  It also models the logical-id fallback for out-of-order
+dispatch: one global atomic fetch-and-add per workgroup (<2% overhead in
+the paper's experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import check_1d, run_lengths
+
+__all__ = ["chain_carries", "chain_segments", "propagation_delay"]
+
+
+def chain_carries(
+    last_partials: np.ndarray, has_stop: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact Grp_sum chain -> per-workgroup carry-in.
+
+    Parameters
+    ----------
+    last_partials:
+        Each workgroup's last partial sum (the value after its internal
+        scan of ``last_partial_sums``); shape ``(n_wg,)`` or
+        ``(n_wg, lanes)``.
+    has_stop:
+        Whether each workgroup's tile contains at least one row stop.
+
+    Returns
+    -------
+    ``(carry_in, grp_sum)``:
+        ``carry_in[X]`` is what workgroup ``X`` adds to its first
+        segment (0 for workgroup 0); ``grp_sum`` is the published array.
+
+    The recurrence is a segmented scan over workgroups with segment
+    breaks at stop-containing workgroups -- the same structure as the
+    thread-level phase, one level up.
+    """
+    lp = np.asarray(last_partials, dtype=np.float64)
+    stops = check_1d("has_stop", np.asarray(has_stop, dtype=bool))
+    n = stops.shape[0]
+    if lp.shape[0] != n:
+        raise ValueError(
+            f"last_partials length {lp.shape[0]} != has_stop length {n}"
+        )
+    grp_sum = np.empty_like(lp)
+    carry = np.zeros_like(lp)
+    running = np.zeros(lp.shape[1:], dtype=np.float64)
+    for x in range(n):
+        carry[x] = running
+        if stops[x]:
+            grp_sum[x] = lp[x]
+            running = lp[x]
+        else:
+            grp_sum[x] = running + lp[x]
+            running = grp_sum[x]
+    return carry, grp_sum
+
+
+def chain_segments(has_stop: np.ndarray) -> np.ndarray:
+    """Lengths of the serialized update chains.
+
+    A run of consecutive workgroups without a row stop must update
+    ``Grp_sum`` strictly in order; each such run of length ``L``
+    (plus the stop-carrying workgroup that terminates it) forms a chain
+    of ``L + 1`` dependent updates.  Returns the chain lengths, used by
+    the timing model -- long chains only arise when one matrix row spans
+    many workgroups (e.g. a single huge row).
+    """
+    stops = check_1d("has_stop", np.asarray(has_stop, dtype=bool))
+    if stops.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    vals, lens = run_lengths(~stops)
+    chains = lens[vals.astype(bool)] + 1
+    if chains.size == 0:
+        return np.ones(1, dtype=np.int64)
+    return chains.astype(np.int64)
+
+
+def propagation_delay(
+    finish_times: np.ndarray,
+    has_stop: np.ndarray,
+    hop_latency_s: float,
+) -> float:
+    """Extra completion time the Grp_sum chain adds beyond computation.
+
+    ``finish_times`` are the dispatch-model completion times of each
+    workgroup's *local* work.  ``Grp_sum[X]`` becomes available at::
+
+        avail[X] = finish[X]                      if X has a stop
+        avail[X] = max(finish[X], avail[X-1] + hop) otherwise
+
+    and every workgroup X > 0 can only retire its first segment at
+    ``max(finish[X], avail[X-1] + hop)``.  Returns the increase of the
+    overall makespan versus chain-free execution (>= 0).
+    """
+    finish = np.asarray(finish_times, dtype=np.float64).ravel()
+    stops = check_1d("has_stop", np.asarray(has_stop, dtype=bool))
+    n = finish.shape[0]
+    if stops.shape[0] != n:
+        raise ValueError("finish_times and has_stop must have equal length")
+    if n == 0:
+        return 0.0
+    base_makespan = float(finish.max())
+    avail = np.empty(n, dtype=np.float64)
+    retire = finish.copy()
+    avail[0] = finish[0]
+    for x in range(1, n):
+        ready = avail[x - 1] + hop_latency_s
+        retire[x] = max(finish[x], ready)
+        avail[x] = finish[x] if stops[x] else max(finish[x], ready)
+    return max(float(retire.max()) - base_makespan, 0.0)

@@ -1,0 +1,132 @@
+"""Kernel cost accounting -- what the simulated kernels hand the timing model.
+
+A kernel run produces a :class:`KernelStats`: aggregate traffic and FLOPs,
+per-workgroup work weights (for load-imbalance modeling), SIMD efficiency
+(for divergence), synchronization structure and launch count.  Multiple
+kernels of one logical operation (e.g. a two-kernel baseline, or yaSpMV's
+BCCOO+ combine pass) are merged with :meth:`KernelStats.sequential`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Cost profile of one kernel launch (or a fused sequence of them).
+
+    Attributes
+    ----------
+    flops:
+        Useful floating-point operations (the paper's throughput metric
+        divides ``2 * nnz`` by time, so kernels report real multiply/add
+        counts here for the compute-bound check).
+    dram_read_bytes / dram_write_bytes:
+        Post-coalescing global memory traffic.
+    cached_read_bytes:
+        Reads served by the texture/read-only cache (free of DRAM cost but
+        still subject to the cache-throughput ceiling).
+    simd_efficiency:
+        Fraction of scheduled SIMD lane slots doing useful work
+        (1.0 = divergence-free).  Weighs the compute term only.
+    workgroup_size / n_workgroups:
+        Launch geometry of the dominant kernel.
+    shared_mem_per_workgroup:
+        Shared-memory footprint (occupancy input).
+    workgroup_work:
+        Optional per-workgroup relative work weights (any consistent unit);
+        drives the dispatch-based imbalance factor.  ``None`` means
+        perfectly uniform.
+    barriers_per_workgroup:
+        Intra-workgroup barrier count.
+    atomics:
+        Global atomic operations issued in total.
+    sync_chain_lengths:
+        Lengths of adjacent-synchronization dependence chains (runs of
+        consecutive workgroups each waiting on its predecessor); empty
+        when the kernel needs no inter-workgroup ordering.
+    n_launches:
+        Kernel launches this stats object covers.
+    extra_latency_s:
+        Already-converted latency seconds a kernel wants added verbatim
+        (used sparingly, e.g. result-cache spill round trips).
+    """
+
+    flops: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    cached_read_bytes: float = 0.0
+    simd_efficiency: float = 1.0
+    workgroup_size: int = 0
+    n_workgroups: int = 0
+    shared_mem_per_workgroup: int = 0
+    #: Estimated registers per thread (0 = unknown; occupancy input).
+    registers_per_thread: int = 0
+    workgroup_work: np.ndarray | None = None
+    barriers_per_workgroup: float = 0.0
+    atomics: int = 0
+    sync_chain_lengths: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    n_launches: int = 1
+    extra_latency_s: float = 0.0
+    #: True when the kernel's arithmetic is double precision (the timing
+    #: model then applies the device's much lower fp64 peak).
+    fp64: bool = False
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def max_sync_chain(self) -> int:
+        return int(self.sync_chain_lengths.max()) if self.sync_chain_lengths.size else 0
+
+    def imbalance_factor(self) -> float:
+        """Max-over-mean of the per-workgroup work weights (>= 1).
+
+        This is the *workload skew* before scheduling; the dispatch model
+        refines it with actual SM packing.  Uniform work -> 1.0.
+        """
+        w = self.workgroup_work
+        if w is None or w.size == 0:
+            return 1.0
+        mean = float(w.mean())
+        return float(w.max()) / mean if mean > 0 else 1.0
+
+    def sequential(self, other: "KernelStats") -> "KernelStats":
+        """Combine with a kernel that runs *after* this one.
+
+        Traffic, FLOPs, atomics and launches add; geometry and efficiency
+        keep the dominant (larger-traffic) kernel's values; per-workgroup
+        work arrays are dropped (the merged object keeps the dominant
+        kernel's, already folded into ``workgroup_work`` if set).
+        """
+        dominant = self if self.dram_bytes >= other.dram_bytes else other
+        return KernelStats(
+            flops=self.flops + other.flops,
+            dram_read_bytes=self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes=self.dram_write_bytes + other.dram_write_bytes,
+            cached_read_bytes=self.cached_read_bytes + other.cached_read_bytes,
+            simd_efficiency=dominant.simd_efficiency,
+            workgroup_size=dominant.workgroup_size,
+            n_workgroups=dominant.n_workgroups,
+            shared_mem_per_workgroup=dominant.shared_mem_per_workgroup,
+            registers_per_thread=dominant.registers_per_thread,
+            workgroup_work=dominant.workgroup_work,
+            barriers_per_workgroup=dominant.barriers_per_workgroup,
+            atomics=self.atomics + other.atomics,
+            sync_chain_lengths=(
+                self.sync_chain_lengths
+                if self.sync_chain_lengths.size
+                else other.sync_chain_lengths
+            ),
+            n_launches=self.n_launches + other.n_launches,
+            extra_latency_s=self.extra_latency_s + other.extra_latency_s,
+            fp64=self.fp64 or other.fp64,
+        )

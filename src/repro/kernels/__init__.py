@@ -1,0 +1,48 @@
+"""Simulated SpMV kernels: the yaSpMV kernel and all baselines.
+
+Importing this package registers every kernel; look them up with
+:func:`get_kernel` / :func:`available_kernels`.
+"""
+
+from .base import (
+    KernelResult,
+    SpMVKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from .baselines import (
+    BCSRKernel,
+    BELLKernel,
+    COOSegmentedKernel,
+    CSRScalarKernel,
+    CSRVectorKernel,
+    DIAKernel,
+    ELLKernel,
+    HYBKernel,
+    SELLKernel,
+)
+from .config import YaSpMVConfig
+from .faithful import FaithfulTrace, yaspmv_faithful
+from .yaspmv import YaSpMVKernel
+
+__all__ = [
+    "KernelResult",
+    "SpMVKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "BCSRKernel",
+    "BELLKernel",
+    "COOSegmentedKernel",
+    "CSRScalarKernel",
+    "CSRVectorKernel",
+    "DIAKernel",
+    "ELLKernel",
+    "HYBKernel",
+    "SELLKernel",
+    "YaSpMVConfig",
+    "FaithfulTrace",
+    "yaspmv_faithful",
+    "YaSpMVKernel",
+]

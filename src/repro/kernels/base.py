@@ -1,0 +1,104 @@
+"""Kernel interface and registry.
+
+A *kernel* is a simulated-GPU SpMV implementation: it computes the exact
+numerical result the corresponding OpenCL/CUDA kernel would produce and
+a :class:`repro.gpu.KernelStats` cost profile for the timing model.
+
+Kernels are pure functions of ``(format_instance, x, device, config)``;
+they never mutate the format.  Each kernel registers itself so the
+engine and auto-tuner can enumerate them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from ..errors import KernelConfigError
+from ..formats.base import SparseFormat
+from ..gpu.counters import KernelStats
+from ..gpu.device import DeviceSpec
+
+__all__ = ["KernelResult", "SpMVKernel", "register_kernel", "get_kernel", "available_kernels"]
+
+
+@dataclass
+class KernelResult:
+    """Output of one simulated kernel execution."""
+
+    y: np.ndarray
+    stats: KernelStats
+
+    def __iter__(self):
+        # Allow ``y, stats = kernel.run(...)``.
+        yield self.y
+        yield self.stats
+
+
+class SpMVKernel(abc.ABC):
+    """Base class for simulated SpMV kernels."""
+
+    #: Registry key, e.g. ``"yaspmv"``.
+    name: ClassVar[str] = ""
+    #: Format registry name this kernel executes.
+    format_name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fmt: SparseFormat,
+        x: np.ndarray,
+        device: DeviceSpec,
+        **config,
+    ) -> KernelResult:
+        """Execute SpMV; returns exact ``y`` plus the cost profile."""
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_workgroup(workgroup_size: int, device: DeviceSpec) -> None:
+        if workgroup_size < device.warp_size:
+            raise KernelConfigError(
+                f"workgroup size {workgroup_size} below warp size {device.warp_size}"
+            )
+        if workgroup_size % device.warp_size != 0:
+            raise KernelConfigError(
+                f"workgroup size {workgroup_size} must be a multiple of the "
+                f"warp size {device.warp_size}"
+            )
+        if workgroup_size > device.max_workgroup_size:
+            raise KernelConfigError(
+                f"workgroup size {workgroup_size} exceeds device limit "
+                f"{device.max_workgroup_size}"
+            )
+
+
+_REGISTRY: dict[str, SpMVKernel] = {}
+
+
+def register_kernel(cls: type[SpMVKernel]) -> type[SpMVKernel]:
+    """Class decorator: instantiate and register the kernel."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate kernel name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def get_kernel(name: str) -> SpMVKernel:
+    """Look up a registered kernel instance by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KernelConfigError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_kernels() -> dict[str, SpMVKernel]:
+    """Read-only view of the kernel registry."""
+    return dict(_REGISTRY)

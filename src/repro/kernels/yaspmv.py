@@ -1,0 +1,441 @@
+"""The yaSpMV kernel: single-launch BCCOO SpMV with matrix-based
+segmented sum/scan (paper section 3).
+
+The numerical path computes exactly what the device kernel computes --
+per-block products, per-thread sequential segmented sums, workgroup scan
+of ``last_partial_sums``, adjacent-synchronization carries -- which all
+telescope into per-segment sums over the padded block stream (validated
+against the step-by-step executor in :mod:`repro.kernels.faithful`).
+
+The cost path charges, per the launch configuration:
+
+* coalesced streams for values, column indices (short/delta/int), bit
+  flags and section 2.4 auxiliary info -- the bandwidth term BCCOO
+  shrinks;
+* multiplied-vector reads through the texture-cache model;
+* the workgroup parallel scan (skippable by the fine-grain early check),
+  barriers, the Grp_sum chain or the second-kernel alternative, and the
+  strategy-specific shared-memory/register budgets.
+
+Ablation switches in :class:`YaSpMVConfig` reproduce Figure 14's steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import KernelConfigError
+from ..formats.bccoo import BCCOOMatrix
+from ..formats.bccoo_plus import BCCOOPlusMatrix
+from ..gpu.adjacent_sync import chain_segments
+from ..gpu.caches import vector_read_traffic
+from ..gpu.counters import KernelStats
+from ..gpu.device import DeviceSpec
+from ..gpu.memory import stream_bytes
+from ..scan.reference import segment_sums_by_stops
+from ..util import ceil_div
+from .base import KernelResult, SpMVKernel, register_kernel
+from .config import YaSpMVConfig
+from .yaspmv_common import PaddedBCCOO, block_contributions, prepare
+
+__all__ = ["YaSpMVKernel"]
+
+#: Value/index element sizes for bandwidth accounting (fp32 device data).
+_VAL_B = 4
+_IDX_B = 4
+_SHORT_B = 2
+#: Minimum useful DRAM granule for an isolated random read.
+_SECTOR_B = 32
+#: SIMD efficiency of the sequential per-thread segmented sum (the only
+#: divergence is the predicated row-stop check).
+_MATRIX_SIMD_EFF = 0.95
+#: SIMD efficiency of the lockstep tree scan (idle lanes + bank traffic).
+_TREE_SIMD_EFF = 0.80
+#: Relative cost of one shared-memory scan op versus one FMA.
+_SHM_OP_WEIGHT = 2.0
+
+
+@register_kernel
+class YaSpMVKernel(SpMVKernel):
+    """Single-kernel BCCOO/BCCOO+ SpMV (the paper's contribution)."""
+
+    name = "yaspmv"
+    format_name = "bccoo"
+
+    def run(
+        self,
+        fmt,
+        x: np.ndarray,
+        device: DeviceSpec,
+        config: YaSpMVConfig | None = None,
+        **kw,
+    ) -> KernelResult:
+        cfg = config if config is not None else YaSpMVConfig(**kw)
+        if isinstance(fmt, BCCOOPlusMatrix):
+            return self._run_plus(fmt, x, device, cfg)
+        if not isinstance(fmt, BCCOOMatrix):
+            raise KernelConfigError(
+                f"yaspmv kernel needs a BCCOO/BCCOO+ matrix, got {type(fmt).__name__}"
+            )
+        return self._run_bccoo(fmt, x, device, cfg)
+
+    # ------------------------------------------------------------------ #
+    # BCCOO core
+    # ------------------------------------------------------------------ #
+
+    def _run_bccoo(
+        self,
+        fmt: BCCOOMatrix,
+        x: np.ndarray,
+        device: DeviceSpec,
+        cfg: YaSpMVConfig,
+    ) -> KernelResult:
+        self._check_workgroup(cfg.workgroup_size, device)
+        self._check_resources(fmt, device, cfg)
+
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"vector length {x.shape[0]} != matrix columns {fmt.ncols}"
+            )
+
+        padded = prepare(fmt, cfg)
+        contribs, gather = block_contributions(padded, x)
+
+        # Exact numerics: the thread/workgroup/Grp_sum hierarchy of
+        # section 3.2 computes, for every row stop, the sum of all block
+        # contributions since the previous stop -- i.e. per-segment sums
+        # over the padded stream (cross-checked by kernels.faithful).
+        per_stop = segment_sums_by_stops(contribs, padded.stops)
+        h = fmt.block_height
+        y_full = np.zeros(fmt.n_block_rows * h, dtype=np.float64)
+        if per_stop.shape[0]:
+            rows = fmt.nonempty_block_rows[: per_stop.shape[0]]
+            y_full.reshape(-1, h)[rows] = per_stop
+        y = y_full[: fmt.nrows]
+
+        stats = self._stats(padded, gather, device, cfg)
+        return KernelResult(y=y, stats=stats)
+
+    def _run_plus(
+        self,
+        fmt: BCCOOPlusMatrix,
+        x: np.ndarray,
+        device: DeviceSpec,
+        cfg: YaSpMVConfig,
+    ) -> KernelResult:
+        inner = self._run_bccoo(fmt.stacked, x, device, cfg)
+        # inner.y covers the stacked rows; fold slices (Figure 5).
+        stride = fmt.padded_rows_per_slice
+        y_stacked = np.zeros(fmt.slice_count * stride, dtype=np.float64)
+        y_stacked[: inner.y.shape[0]] = inner.y
+        y = fmt.combine(y_stacked)
+
+        combine_stats = self._combine_stats(fmt, device)
+        return KernelResult(y=y, stats=inner.stats.sequential(combine_stats))
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+
+    def _stats(
+        self,
+        padded: PaddedBCCOO,
+        gather: np.ndarray,
+        device: DeviceSpec,
+        cfg: YaSpMVConfig,
+    ) -> KernelStats:
+        fmt = padded.fmt
+        h, w = fmt.block_height, fmt.block_width
+        nb_p = padded.nb_padded
+        tile = cfg.effective_tile
+        txn = device.transaction_bytes
+        val_b = cfg.value_bytes
+
+        # ---- matrix streams (read once, coalesced after transpose).
+        read = stream_bytes(nb_p * h * w, val_b, txn)
+        col_mode = fmt.col_storage if cfg.fine_grain else "int32"
+        if col_mode == "int32":
+            read += stream_bytes(nb_p, _IDX_B, txn)
+        else:
+            read += stream_bytes(nb_p, _SHORT_B, txn)
+            if col_mode == "delta" and fmt.delta is not None:
+                # Per-tile base columns stream once.
+                read += stream_bytes(fmt.delta.n_tiles, _IDX_B, txn)
+                # Sentinel entries re-fetch the uncompressed index; the
+                # fallback array is indexed in block order, so those
+                # reads coalesce -- a transaction is touched when any of
+                # its 32 int32 entries is a fallback.
+                p = fmt.delta.fallback_fraction
+                touched = 1.0 - (1.0 - min(p, 1.0)) ** 32
+                read += touched * stream_bytes(nb_p, _IDX_B, txn)
+        read += stream_bytes(ceil_div(nb_p, 8), 1, txn)  # bit flags
+        read += stream_bytes(padded.n_threads_total, _IDX_B, txn)  # §2.4 aux
+
+        # ---- multiplied vector through the texture path.
+        vec_dram, vec_cached = vector_read_traffic(
+            gather,
+            val_b,
+            cache_bytes=device.tex_cache_bytes,
+            line_bytes=device.tex_line_bytes,
+            use_cache=cfg.use_texture,
+        )
+        read += vec_dram
+
+        # ---- result writes.
+        thread_stops = padded.thread_stops()
+        n_stops = int(padded.stops.sum())
+        write = stream_bytes(n_stops * h, val_b, txn)
+        if cfg.strategy == 1:
+            # Per-thread scattered stores retire in smaller bursts than
+            # the coalesced result-cache flush of strategy 2.
+            write = int(write * 1.5)
+
+        extra_latency = 0.0
+        spill_bytes = 0
+        if cfg.strategy == 2:
+            entries = cfg.result_cache_multiple * cfg.workgroup_size
+            wg_stop_counts = padded.workgroup_stops().sum(axis=1)
+            spilled = np.maximum(wg_stop_counts - entries, 0).sum()
+            if spilled:
+                # Spilled segment sums take a global round trip and are
+                # re-read by the write-back phase (section 3.2.2).
+                spill_bytes = int(spilled) * h * val_b
+                write += 2 * spill_bytes
+                extra_latency += device.dram_latency_s
+
+        # ---- compute.
+        flops = 2.0 * nb_p * h * w  # block product mul+add
+        flops += nb_p * h  # sequential segmented-sum adds
+        wg = cfg.workgroup_size
+        log_wg = max(int(math.ceil(math.log2(max(wg, 2)))), 1)
+
+        tile_has_stop = thread_stops.any(axis=1)
+        wg_all_tiles_stop = tile_has_stop.reshape(padded.n_workgroups, -1).all(axis=1)
+        skip_frac = float(wg_all_tiles_stop.mean()) if cfg.fine_grain else 0.0
+
+        if cfg.scan_mode == "tree":
+            # Lockstep tree scan replaces the sequential phase: every
+            # element goes through log2(wg) shared-memory combine steps.
+            flops += nb_p * h * log_wg * _SHM_OP_WEIGHT
+            simd_eff = _TREE_SIMD_EFF
+            barriers = float(tile * log_wg)
+        else:
+            # Small parallel scan over wg last partials, skippable.
+            flops += (1.0 - skip_frac) * padded.n_workgroups * wg * log_wg * h
+            simd_eff = _MATRIX_SIMD_EFF
+            barriers = 2.0 + (1.0 - skip_frac) * log_wg
+        if cfg.transpose == "online":
+            barriers += tile  # one staging round trip per tile pass
+
+        # ---- cross-workgroup accumulation.
+        wg_has_stop = padded.workgroup_stops().any(axis=1)
+        n_launches = 1
+        chains = np.empty(0, dtype=np.int64)
+        if cfg.cross_wg == "adjacent":
+            chains = chain_segments(wg_has_stop)
+            # Grp_sum array traffic: one write + (up to) one read per wg.
+            grp_bytes = padded.n_workgroups * h * val_b
+            read += grp_bytes
+            write += grp_bytes
+        else:
+            # Two-kernel variant: last partials spill to global memory,
+            # a second launch scans them and patches first results.
+            n_launches = 2
+            round_trip = padded.n_workgroups * h * val_b
+            write += 2 * round_trip
+            read += 2 * round_trip
+            extra_latency += device.dram_latency_s
+
+        atomics = padded.n_workgroups if cfg.workgroup_ids == "atomic" else 0
+
+        return KernelStats(
+            flops=flops,
+            dram_read_bytes=float(read),
+            dram_write_bytes=float(write),
+            cached_read_bytes=float(vec_cached),
+            simd_efficiency=simd_eff,
+            workgroup_size=wg,
+            n_workgroups=padded.n_workgroups,
+            shared_mem_per_workgroup=self._shared_mem(fmt, cfg),
+            registers_per_thread=self._registers(fmt, cfg),
+            workgroup_work=None,  # equal tiles: the design's point
+            barriers_per_workgroup=barriers,
+            atomics=atomics,
+            sync_chain_lengths=chains,
+            n_launches=n_launches,
+            extra_latency_s=extra_latency,
+            fp64=(cfg.precision == "fp64"),
+        )
+
+    def _combine_stats(self, fmt: BCCOOPlusMatrix, device: DeviceSpec) -> KernelStats:
+        """BCCOO+ slice-combine kernel (Figure 5's reduction)."""
+        stride = fmt.padded_rows_per_slice
+        txn = device.transaction_bytes
+        return KernelStats(
+            flops=float((fmt.slice_count - 1) * stride),
+            dram_read_bytes=float(stream_bytes(fmt.slice_count * stride, _VAL_B, txn)),
+            dram_write_bytes=float(stream_bytes(fmt.nrows, _VAL_B, txn)),
+            workgroup_size=256,
+            n_workgroups=max(ceil_div(stride, 256), 1),
+            n_launches=1,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resource checks
+    # ------------------------------------------------------------------ #
+
+    def _shared_mem(self, fmt: BCCOOMatrix, cfg: YaSpMVConfig) -> int:
+        h = fmt.block_height
+        wg = cfg.workgroup_size
+        val_b = cfg.value_bytes
+        shm = wg * h * val_b  # last_partial_sums
+        if cfg.strategy == 1:
+            shm += cfg.shm_size * wg * h * val_b
+        else:
+            shm += cfg.result_cache_multiple * wg * h * val_b
+        if cfg.transpose == "online":
+            shm += wg * cfg.effective_tile * val_b  # staging buffer
+        return shm
+
+    @staticmethod
+    def _registers(fmt: BCCOOMatrix, cfg: YaSpMVConfig) -> int:
+        """Estimated registers per thread (bookkeeping + live sums)."""
+        base = 24
+        lanes = fmt.block_height * (2 if cfg.precision == "fp64" else 1)
+        if cfg.strategy == 1:
+            return base + cfg.reg_size * lanes
+        return base + lanes
+
+    def _check_resources(
+        self, fmt: BCCOOMatrix, device: DeviceSpec, cfg: YaSpMVConfig
+    ) -> None:
+        shm = self._shared_mem(fmt, cfg)
+        if shm > device.max_shared_mem_per_workgroup:
+            raise KernelConfigError(
+                f"configuration needs {shm} B shared memory per workgroup; "
+                f"{device.name} allows {device.max_shared_mem_per_workgroup}"
+            )
+        if cfg.strategy == 1:
+            regs = cfg.reg_size * fmt.block_height + 24  # +bookkeeping
+            if regs > device.max_registers_per_thread:
+                raise KernelConfigError(
+                    f"strategy 1 needs ~{regs} registers/thread; "
+                    f"{device.name} allows {device.max_registers_per_thread}"
+                )
+
+
+class YaSpMMKernel(YaSpMVKernel):
+    """Multi-vector extension: Y = A @ X for k right-hand sides.
+
+    SpMM amortizes the matrix stream: values, columns and flags are read
+    once while vector traffic, FLOPs and result writes scale with ``k``.
+    For bandwidth-bound SpMV that makes k simultaneous products much
+    cheaper than k sequential ones -- the block-Krylov / multi-RHS
+    workload a solver library needs.  Not part of the paper's
+    evaluation; the kernel structure is the natural extension of the
+    strategy-2 dataflow with ``k``-wide partial sums.
+    """
+
+    # Not registered: reached through run_multi / SpMVEngine.multiply_many.
+    name = ""
+
+    def run_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        config: YaSpMVConfig | None = None,
+    ) -> KernelResult:
+        """Execute ``Y = A @ X`` with ``X`` of shape ``(ncols, k)``."""
+        cfg = config if config is not None else YaSpMVConfig()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise KernelConfigError(
+                f"X must be 2-D (ncols, k), got shape {X.shape}"
+            )
+        k = X.shape[1]
+        if k < 1:
+            raise KernelConfigError("X needs at least one column")
+
+        if isinstance(fmt, BCCOOPlusMatrix):
+            inner = self.run_multi(fmt.stacked, X, device, cfg)
+            stride = fmt.padded_rows_per_slice
+            buf = np.zeros((fmt.slice_count * stride, k), dtype=np.float64)
+            buf[: inner.y.shape[0]] = inner.y
+            folded = buf.reshape(fmt.slice_count, stride, k).sum(axis=0)
+            y = folded[: fmt.nrows]
+            combine = self._combine_stats(fmt, device)
+            combine.dram_read_bytes *= k
+            combine.dram_write_bytes *= k
+            combine.flops *= k
+            return KernelResult(y=y, stats=inner.stats.sequential(combine))
+        if not isinstance(fmt, BCCOOMatrix):
+            raise KernelConfigError(
+                f"yaspmm kernel needs a BCCOO/BCCOO+ matrix, got {type(fmt).__name__}"
+            )
+        if X.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"X has {X.shape[0]} rows, matrix has {fmt.ncols} columns"
+            )
+
+        self._check_workgroup(cfg.workgroup_size, device)
+        self._check_resources(fmt, device, cfg)
+        padded = prepare(fmt, cfg)
+
+        # Numerics: per-block (h, k) contributions, segment sums by stop.
+        w = fmt.block_width
+        base = padded.cols * w
+        gather = base[:, None] + np.arange(w, dtype=np.int64)[None, :]
+        valid = gather < fmt.ncols
+        safe = np.where(valid, gather, 0)
+        Xg = X[safe]                     # (nb, w, k)
+        Xg[~valid] = 0.0
+        contribs = np.einsum("bhw,bwk->bhk", padded.values, Xg)
+        nb_p = padded.nb_padded
+        h = fmt.block_height
+        per_stop = segment_sums_by_stops(
+            contribs.reshape(nb_p, h * k), padded.stops
+        )
+        Y_full = np.zeros((fmt.n_block_rows * h, k), dtype=np.float64)
+        if per_stop.shape[0]:
+            rows = fmt.nonempty_block_rows[: per_stop.shape[0]]
+            Y_full.reshape(-1, h, k)[rows] = per_stop.reshape(-1, h, k)
+        y = Y_full[: fmt.nrows]
+
+        # Cost: matrix streams once; vector/result/compute terms scale
+        # with k.  Start from the single-vector profile and add the
+        # k-dependent deltas.
+        single = self._stats(padded, safe.ravel(), device, cfg)
+        vec_dram, vec_cached = vector_read_traffic(
+            safe.ravel(),
+            cfg.value_bytes * k,   # each touched index pulls a k-row
+            cache_bytes=device.tex_cache_bytes,
+            line_bytes=device.tex_line_bytes,
+            use_cache=cfg.use_texture,
+        )
+        base_vec_dram, base_vec_cached = vector_read_traffic(
+            safe.ravel(),
+            cfg.value_bytes,
+            cache_bytes=device.tex_cache_bytes,
+            line_bytes=device.tex_line_bytes,
+            use_cache=cfg.use_texture,
+        )
+        n_stops = int(padded.stops.sum())
+        write_delta = (k - 1) * stream_bytes(
+            n_stops * h, cfg.value_bytes, device.transaction_bytes
+        )
+        single.dram_read_bytes += vec_dram - base_vec_dram
+        single.cached_read_bytes += vec_cached - base_vec_cached
+        single.dram_write_bytes += write_delta
+        single.flops *= k
+        single.shared_mem_per_workgroup *= k  # k-wide partial sums
+        if single.shared_mem_per_workgroup > device.max_shared_mem_per_workgroup:
+            raise KernelConfigError(
+                f"k={k} needs {single.shared_mem_per_workgroup} B shared "
+                f"memory per workgroup; {device.name} allows "
+                f"{device.max_shared_mem_per_workgroup}"
+            )
+        return KernelResult(y=y, stats=single)

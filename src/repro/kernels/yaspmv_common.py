@@ -1,0 +1,115 @@
+"""Shared machinery for the yaSpMV kernels (fast path and faithful path).
+
+Holds the launch-time preparation both implementations need: padding the
+BCCOO arrays to the workgroup working set, gathering the multiplied
+vector per block, and computing per-block dot-product contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.bccoo import BCCOOMatrix
+from ..util import round_up
+from .config import YaSpMVConfig
+
+__all__ = ["PaddedBCCOO", "prepare", "block_contributions"]
+
+
+@dataclass
+class PaddedBCCOO:
+    """BCCOO arrays padded to a whole number of workgroup tiles.
+
+    ``stops``/``cols``/``values`` cover ``nb_padded`` blocks, a multiple
+    of ``config.workgroup_work``; blocks past ``nb_valid`` are padding
+    (zero values, continue flags) exactly as section 2.2 prescribes.
+    """
+
+    stops: np.ndarray  # (nb_padded,) bool
+    cols: np.ndarray  # (nb_padded,) int64, decompressed
+    values: np.ndarray  # (nb_padded, h, w)
+    nb_valid: int
+    n_workgroups: int
+    n_threads_total: int
+    fmt: BCCOOMatrix
+    config: YaSpMVConfig
+
+    @property
+    def nb_padded(self) -> int:
+        return int(self.stops.shape[0])
+
+    @property
+    def tile(self) -> int:
+        return self.config.effective_tile
+
+    def thread_stops(self) -> np.ndarray:
+        """Stops reshaped to ``(n_threads_total, tile)``."""
+        return self.stops.reshape(-1, self.tile)
+
+    def workgroup_stops(self) -> np.ndarray:
+        """Stops reshaped to ``(n_workgroups, workgroup_work)``."""
+        return self.stops.reshape(self.n_workgroups, -1)
+
+
+def prepare(fmt: BCCOOMatrix, config: YaSpMVConfig) -> PaddedBCCOO:
+    """Pad and decode a BCCOO instance for a given launch configuration."""
+    wg_work = config.workgroup_work
+    nb = fmt.nblocks
+    nb_pad = fmt.nblocks_padded
+    target = round_up(max(nb_pad, 1), wg_work)
+
+    stops = np.zeros(target, dtype=bool)
+    stops[:nb_pad] = fmt.stops()
+    # Padding past the real blocks must be continue flags ('1' bits);
+    # fmt.stops() already guarantees that for its own padding, and the
+    # zeros-initialized tail (False = continue) matches for ours.
+
+    cols = np.zeros(target, dtype=np.int64)
+    cols[:nb_pad] = fmt.columns().astype(np.int64)
+
+    h, w = fmt.block_height, fmt.block_width
+    values = np.zeros((target, h, w), dtype=np.float64)
+    values[:nb_pad] = fmt.values
+
+    n_wg = target // wg_work
+    return PaddedBCCOO(
+        stops=stops,
+        cols=cols,
+        values=values,
+        nb_valid=nb,
+        n_workgroups=n_wg,
+        n_threads_total=target // config.effective_tile,
+        fmt=fmt,
+        config=config,
+    )
+
+
+def block_contributions(
+    padded: PaddedBCCOO, x: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block partial dot products and the vector gather stream.
+
+    Returns
+    -------
+    contribs:
+        ``(nb_padded, h)``: block ``b`` row ``r`` holds
+        ``sum_j values[b, r, j] * x[col[b] * w + j]``.
+    gather_indices:
+        The flat stream of vector element indices the kernel reads, in
+        block order -- input to the cache/coalescing models.  Out-of-range
+        slots (blocks at the right edge, padding blocks) are clamped to
+        index 0 but multiply a zero value, matching a padded device
+        buffer.
+    """
+    fmt = padded.fmt
+    w = fmt.block_width
+    base = padded.cols * w
+    gather = base[:, None] + np.arange(w, dtype=np.int64)[None, :]
+    valid = gather < fmt.ncols
+    safe = np.where(valid, gather, 0)
+    xg = np.asarray(x, dtype=np.float64)[safe]
+    xg[~valid] = 0.0
+    contribs = np.einsum("bhw,bw->bh", padded.values, xg)
+    return contribs, safe.ravel()

@@ -1,0 +1,37 @@
+"""Evaluation matrices: synthetic Table 2 suite, generators, IO, stats."""
+
+from .generators import (
+    dense_matrix,
+    fem_banded,
+    power_law,
+    random_uniform,
+    stencil,
+    wide_rows,
+)
+from .mmio import read_matrix_market, write_matrix_market
+from .reorder import Reordering, reverse_cuthill_mckee, sort_rows_by_length
+from .stats import RowStats, bandwidth, block_fill_ratio, row_stats
+from .suite import SUITE, MatrixSpec, get_spec, load_matrix, load_suite
+
+__all__ = [
+    "dense_matrix",
+    "fem_banded",
+    "power_law",
+    "random_uniform",
+    "stencil",
+    "wide_rows",
+    "read_matrix_market",
+    "Reordering",
+    "reverse_cuthill_mckee",
+    "sort_rows_by_length",
+    "write_matrix_market",
+    "RowStats",
+    "bandwidth",
+    "block_fill_ratio",
+    "row_stats",
+    "SUITE",
+    "MatrixSpec",
+    "get_spec",
+    "load_matrix",
+    "load_suite",
+]

@@ -1,0 +1,177 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on 20 SuiteSparse / clSpMV matrices (Table 2) we
+cannot download offline.  Each generator below reproduces the
+*structural class* that drives SpMV behaviour -- row-length
+distribution, diagonal band structure, block substructure, aspect ratio
+-- so formats and kernels face the same trade-offs as on the originals:
+
+* :func:`dense_matrix` -- the Dense control case;
+* :func:`fem_banded` -- FEM discretizations: small dense blocks
+  clustered in a diagonal band with near-uniform row lengths (Protein,
+  FEM/*, Wind Tunnel, Ship, Ga/Si quantum-chemistry matrices);
+* :func:`stencil` -- constant-offset diagonals (QCD lattice,
+  Epidemiology grid);
+* :func:`power_law` -- web/circuit graphs with Zipf degree
+  distributions and hub rows (Webbase, eu-2005, in-2004, Circuit*);
+* :func:`wide_rows` -- LP constraint matrices: few rows, thousands of
+  non-zeros each;
+* :func:`random_uniform` -- unstructured fill (Economics-like).
+
+All generators are deterministic in ``seed`` and return canonical CSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import MatrixGenerationError
+from ..util import as_csr
+
+__all__ = [
+    "dense_matrix",
+    "fem_banded",
+    "stencil",
+    "power_law",
+    "wide_rows",
+    "random_uniform",
+]
+
+
+def _finalize(rows, cols, shape, rng) -> _sp.csr_matrix:
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    data = rng.uniform(0.5, 1.5, size=rows.shape[0])
+    mat = _sp.coo_matrix((data, (rows, cols)), shape=shape)
+    out = as_csr(mat)
+    if out.nnz == 0:
+        raise MatrixGenerationError(f"generator produced an empty {shape} matrix")
+    return out
+
+
+def dense_matrix(n_rows: int, n_cols: int, seed: int = 0) -> _sp.csr_matrix:
+    """Fully dense matrix stored sparsely (the paper's Dense case)."""
+    if n_rows < 1 or n_cols < 1:
+        raise MatrixGenerationError(f"invalid shape ({n_rows}, {n_cols})")
+    rng = np.random.default_rng(seed)
+    return as_csr(_sp.csr_matrix(rng.uniform(0.5, 1.5, (n_rows, n_cols))))
+
+
+def fem_banded(
+    n_rows: int,
+    nnz_per_row: int,
+    block: int = 3,
+    band_fraction: float = 0.05,
+    seed: int = 0,
+) -> _sp.csr_matrix:
+    """FEM-style matrix: dense ``block x block`` clusters in a diagonal band.
+
+    Each block row connects to ``nnz_per_row / block`` neighbouring block
+    columns drawn from a window of +/- ``band_fraction * n`` around the
+    diagonal -- giving the near-uniform row lengths and blocked
+    substructure of assembled finite-element systems.
+    """
+    if nnz_per_row < 1 or n_rows < block:
+        raise MatrixGenerationError(
+            f"need n_rows >= block and nnz_per_row >= 1, "
+            f"got n_rows={n_rows}, block={block}, nnz_per_row={nnz_per_row}"
+        )
+    rng = np.random.default_rng(seed)
+    nbr = n_rows // block
+    blocks_per_row = max(nnz_per_row // block, 1)
+    half_band = max(int(band_fraction * nbr), blocks_per_row)
+
+    bi = np.repeat(np.arange(nbr), blocks_per_row)
+    offsets = rng.integers(-half_band, half_band + 1, size=bi.shape[0])
+    bj = np.clip(bi + offsets, 0, nbr - 1)
+    # Always include the diagonal block.
+    bi = np.concatenate([bi, np.arange(nbr)])
+    bj = np.concatenate([bj, np.arange(nbr)])
+
+    # Expand block coordinates to dense element blocks.
+    in_r, in_c = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    rows = (bi[:, None, None] * block + in_r[None]).ravel()
+    cols = (bj[:, None, None] * block + in_c[None]).ravel()
+    return _finalize(rows, cols, (n_rows, n_rows), rng)
+
+
+def stencil(
+    n_rows: int, offsets: tuple[int, ...] = (-1, 0, 1), seed: int = 0
+) -> _sp.csr_matrix:
+    """Constant-diagonal stencil matrix (QCD / Epidemiology class)."""
+    if not offsets:
+        raise MatrixGenerationError("stencil needs at least one offset")
+    rng = np.random.default_rng(seed)
+    rows_list, cols_list = [], []
+    base = np.arange(n_rows, dtype=np.int64)
+    for off in offsets:
+        cols = base + off
+        valid = (cols >= 0) & (cols < n_rows)
+        rows_list.append(base[valid])
+        cols_list.append(cols[valid])
+    return _finalize(
+        np.concatenate(rows_list), np.concatenate(cols_list), (n_rows, n_rows), rng
+    )
+
+
+def power_law(
+    n_rows: int,
+    target_nnz: int,
+    alpha: float = 2.1,
+    locality: float = 0.5,
+    seed: int = 0,
+) -> _sp.csr_matrix:
+    """Web-graph-like matrix: Zipf row degrees, hub columns, some locality.
+
+    ``alpha`` is the Zipf exponent (smaller = heavier tail = more extreme
+    hub rows); ``locality`` mixes diagonal-local targets with global hub
+    targets, reproducing host-locality in web link matrices.
+    """
+    if target_nnz < n_rows // 2:
+        raise MatrixGenerationError(
+            f"target_nnz {target_nnz} too small for {n_rows} rows"
+        )
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(alpha, size=n_rows).astype(np.int64)
+    raw = np.minimum(raw, n_rows)  # a row cannot exceed the width
+    degrees = np.maximum((raw * (target_nnz / raw.sum())).astype(np.int64), 1)
+    degrees = np.minimum(degrees, n_rows)
+
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), degrees)
+    n = rows.shape[0]
+    local = rng.random(n) < locality
+    # Local edges cluster near the diagonal; global edges prefer hubs
+    # (low column ids after a Zipf draw).
+    spread = max(n_rows // 100, 4)
+    local_cols = rows + rng.integers(-spread, spread + 1, size=n)
+    hub_cols = (rng.zipf(1.5, size=n) - 1) % n_rows
+    cols = np.where(local, local_cols, hub_cols)
+    cols = np.clip(cols, 0, n_rows - 1)
+    return _finalize(rows, cols, (n_rows, n_rows), rng)
+
+
+def wide_rows(
+    n_rows: int, n_cols: int, nnz_per_row: int, seed: int = 0
+) -> _sp.csr_matrix:
+    """LP-style matrix: much wider than tall, thousands of nnz per row."""
+    if n_cols < nnz_per_row:
+        raise MatrixGenerationError(
+            f"n_cols {n_cols} must be >= nnz_per_row {nnz_per_row}"
+        )
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), nnz_per_row)
+    cols = rng.integers(0, n_cols, size=rows.shape[0])
+    return _finalize(rows, cols, (n_rows, n_cols), rng)
+
+
+def random_uniform(
+    n_rows: int, n_cols: int, nnz_per_row: float, seed: int = 0
+) -> _sp.csr_matrix:
+    """Unstructured uniform sparsity with Poisson row lengths."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(nnz_per_row, size=n_rows).astype(np.int64)
+    degrees = np.clip(degrees, 1, n_cols)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), degrees)
+    cols = rng.integers(0, n_cols, size=rows.shape[0])
+    return _finalize(rows, cols, (n_rows, n_cols), rng)

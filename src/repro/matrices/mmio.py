@@ -1,0 +1,101 @@
+"""Minimal Matrix Market (``.mtx``) coordinate I/O.
+
+Lets users substitute the *real* Table 2 matrices (downloaded from
+SuiteSparse) for the synthetic stand-ins: drop the ``.mtx`` files in a
+directory and load them with :func:`read_matrix_market`.  Supports the
+``matrix coordinate real/integer/pattern general/symmetric`` subset that
+covers SuiteSparse exports.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..errors import FormatError
+from ..util import as_csr
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(path) -> _sp.csr_matrix:
+    """Parse an ``.mtx`` coordinate file into canonical CSR."""
+    text = Path(path).read_text()
+    return _parse(text)
+
+
+def _parse(text: str) -> _sp.csr_matrix:
+    lines = iter(text.splitlines())
+    try:
+        header = next(lines)
+    except StopIteration:
+        raise FormatError("empty Matrix Market file") from None
+    parts = header.lower().split()
+    if len(parts) < 5 or parts[0] != "%%matrixmarket" or parts[1] != "matrix":
+        raise FormatError(f"not a Matrix Market header: {header!r}")
+    layout, field, symmetry = parts[2], parts[3], parts[4]
+    if layout != "coordinate":
+        raise FormatError(f"only coordinate layout supported, got {layout!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = None
+    for line in lines:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if size_line is None:
+        raise FormatError("missing size line")
+    dims = size_line.split()
+    if len(dims) != 3:
+        raise FormatError(f"bad size line: {size_line!r}")
+    nrows, ncols, nnz = (int(v) for v in dims)
+
+    body = "\n".join(
+        ln for ln in lines if ln.strip() and not ln.lstrip().startswith("%")
+    )
+    if nnz == 0:
+        return _sp.csr_matrix((nrows, ncols))
+    want_cols = 2 if field == "pattern" else 3
+    table = np.loadtxt(io.StringIO(body), ndmin=2)
+    if table.shape[0] != nnz:
+        raise FormatError(
+            f"size line declares {nnz} entries, file has {table.shape[0]}"
+        )
+    if table.shape[1] < want_cols:
+        raise FormatError(
+            f"{field} entries need {want_cols} columns, got {table.shape[1]}"
+        )
+    rows = table[:, 0].astype(np.int64) - 1
+    cols = table[:, 1].astype(np.int64) - 1
+    data = (
+        np.ones(nnz, dtype=np.float64)
+        if field == "pattern"
+        else table[:, 2].astype(np.float64)
+    )
+    if rows.min() < 0 or cols.min() < 0 or rows.max() >= nrows or cols.max() >= ncols:
+        raise FormatError("index out of declared bounds")
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        mirror_rows, mirror_cols = cols[off], rows[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        data = np.concatenate([data, data[off]])
+    return as_csr(_sp.coo_matrix((data, (rows, cols)), shape=(nrows, ncols)))
+
+
+def write_matrix_market(path, matrix) -> None:
+    """Write a matrix as ``coordinate real general`` (1-based indices)."""
+    coo = as_csr(matrix).tocoo()
+    with open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

@@ -1,0 +1,91 @@
+"""Row-structure statistics of sparse matrices.
+
+These are the quantities the paper's analysis (and our tuner heuristics
+and reports) reason about: the row-length distribution drives the load
+imbalance of row-based kernels and the ELL padding blow-up, and the
+block fill ratio drives BCCOO's block-size choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.blocking import extract_blocks
+from ..util import as_csr
+
+__all__ = ["RowStats", "row_stats", "block_fill_ratio", "bandwidth"]
+
+
+@dataclass(frozen=True)
+class RowStats:
+    """Summary of a matrix's row-length distribution."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    mean: float
+    std: float
+    min: int
+    max: int
+    #: Mean over warps (32 consecutive rows) of max/mean within the warp:
+    #: the first-order divergence factor of a scalar-CSR kernel.
+    warp_divergence: float
+    #: Gini coefficient of row lengths (0 = uniform, ->1 = hub-dominated).
+    gini: float
+
+    @property
+    def ell_expansion(self) -> float:
+        """Padded-slot blow-up ELL would pay (max / mean row length)."""
+        return self.max / self.mean if self.mean else 1.0
+
+
+def row_stats(matrix) -> RowStats:
+    """Compute :class:`RowStats` for any matrix."""
+    csr = as_csr(matrix)
+    lengths = np.diff(csr.indptr).astype(np.float64)
+    n = lengths.shape[0]
+    if n == 0 or csr.nnz == 0:
+        return RowStats(csr.shape[0], csr.shape[1], 0, 0.0, 0.0, 0, 0, 1.0, 0.0)
+
+    warp = 32
+    pad = (-n) % warp
+    # Pad with NaN so partial final warps don't dilute the statistics.
+    padded = np.concatenate([lengths, np.full(pad, np.nan)])
+    warps = padded.reshape(-1, warp)
+    means = np.nanmean(warps, axis=1)
+    maxes = np.nanmax(warps, axis=1)
+    nonzero = means > 0
+    divergence = float((maxes[nonzero] / means[nonzero]).mean()) if nonzero.any() else 1.0
+
+    sorted_l = np.sort(lengths)
+    cum = np.cumsum(sorted_l)
+    # Gini = 1 - 2 * area under the Lorenz curve.
+    lorenz = cum / cum[-1]
+    gini = float(1.0 - 2.0 * (lorenz.sum() / n - lorenz[-1] / (2 * n)))
+
+    return RowStats(
+        nrows=csr.shape[0],
+        ncols=csr.shape[1],
+        nnz=int(csr.nnz),
+        mean=float(lengths.mean()),
+        std=float(lengths.std()),
+        min=int(lengths.min()),
+        max=int(lengths.max()),
+        warp_divergence=divergence,
+        gini=max(gini, 0.0),
+    )
+
+
+def block_fill_ratio(matrix, block_height: int, block_width: int) -> float:
+    """Stored slots over true non-zeros for a given blocking (>= 1)."""
+    return extract_blocks(matrix, block_height, block_width).fill_ratio
+
+
+def bandwidth(matrix) -> int:
+    """Matrix bandwidth: max ``|col - row|`` over non-zeros."""
+    coo = as_csr(matrix).tocoo()
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.col.astype(np.int64) - coo.row.astype(np.int64)).max())

@@ -1,0 +1,161 @@
+"""The 20-matrix evaluation suite (paper Table 2), as synthetic stand-ins.
+
+Each :class:`MatrixSpec` records the original's published shape, non-zero
+count and nnz/row together with a generator recipe reproducing its
+structural class (see :mod:`repro.matrices.generators` and DESIGN.md's
+substitution table).  Because a 59M-non-zero matrix is intractable in
+pure Python, specs load at a ``scale`` in (0, 1]: row/column counts
+shrink proportionally while nnz/row -- the quantity that drives format
+and kernel behaviour -- is preserved.  ``load_suite`` picks per-matrix
+scales capping nnz at a budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from scipy import sparse as _sp
+
+from ..errors import MatrixGenerationError
+from . import generators as g
+
+__all__ = ["MatrixSpec", "SUITE", "get_spec", "load_matrix", "load_suite"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One Table 2 row plus its synthetic recipe."""
+
+    name: str
+    rows: int
+    cols: int
+    nnz: int
+    nnz_per_row: int
+    family: str  # generator family, for reporting
+    build: Callable[[int, int, int], _sp.csr_matrix]
+    #: Paper's Table 3 BCCOO footprint in MB (for EXPERIMENTS.md deltas).
+    paper_bccoo_mb: float | None = None
+
+    def load(self, scale: float = 1.0, seed: int = 1234) -> _sp.csr_matrix:
+        """Generate the matrix at ``scale``; nnz/row is preserved."""
+        if not (0 < scale <= 1.0):
+            raise MatrixGenerationError(f"scale must be in (0, 1], got {scale}")
+        rows = max(int(self.rows * scale), 64)
+        cols = max(int(self.cols * scale), 64)
+        return self.build(rows, cols, seed)
+
+    def scale_for_nnz(self, cap: int) -> float:
+        """Largest scale keeping the expected nnz under ``cap``."""
+        if self.nnz <= cap:
+            return 1.0
+        return cap / self.nnz
+
+
+def _dense(rows, cols, seed):
+    return g.dense_matrix(rows, cols, seed=seed)
+
+
+def _fem(nnz_per_row, block, band):
+    def build(rows, cols, seed):
+        return g.fem_banded(
+            rows, nnz_per_row, block=block, band_fraction=band, seed=seed
+        )
+
+    return build
+
+
+def _stencil_qcd(rows, cols, seed):
+    # 4D lattice operator: 39 regular diagonals around the main one.
+    side = max(int(round(rows ** 0.25)), 2)
+    offs = [0]
+    for d in (1, side, side * side, side**3):
+        offs += [d, -d, 2 * d, -2 * d]
+    extra = 3
+    while len(offs) < 39:
+        offs += [extra, -extra]
+        extra += 2
+    return g.stencil(rows, tuple(offs[:39]), seed=seed)
+
+
+def _stencil_epid(rows, cols, seed):
+    # 2D grid 4-point stencil: exactly 4 regular diagonals.
+    side = max(int(math.isqrt(rows)), 2)
+    return g.stencil(rows, (-side, -1, 1, side), seed=seed)
+
+
+def _power(nnz_per_row, alpha):
+    def build(rows, cols, seed):
+        return g.power_law(rows, rows * nnz_per_row, alpha=alpha, seed=seed)
+
+    return build
+
+
+def _lp(nnz_per_row):
+    def build(rows, cols, seed):
+        return g.wide_rows(rows, cols, min(nnz_per_row, cols), seed=seed)
+
+    return build
+
+
+def _uniform(nnz_per_row):
+    def build(rows, cols, seed):
+        return g.random_uniform(rows, cols, nnz_per_row, seed=seed)
+
+    return build
+
+
+SUITE: tuple[MatrixSpec, ...] = (
+    MatrixSpec("Dense", 2_000, 2_000, 4_000_000, 2000, "dense", _dense, 17),
+    MatrixSpec("Protein", 36_000, 36_000, 4_344_765, 119, "fem", _fem(119, 4, 0.02), 21),
+    MatrixSpec("FEM/Spheres", 83_000, 83_000, 6_010_480, 72, "fem", _fem(72, 3, 0.02), 31),
+    MatrixSpec("FEM/Cantilever", 62_000, 62_000, 4_007_383, 65, "fem", _fem(65, 3, 0.02), 21),
+    MatrixSpec("Wind Tunnel", 218_000, 218_000, 11_634_424, 53, "fem", _fem(53, 3, 0.01), 65),
+    MatrixSpec("FEM/Harbor", 47_000, 47_000, 2_374_001, 59, "fem", _fem(59, 3, 0.03), 14),
+    MatrixSpec("QCD", 49_000, 49_000, 1_916_928, 39, "stencil", _stencil_qcd, 9),
+    MatrixSpec("FEM/Ship", 141_000, 141_000, 7_813_404, 28, "fem", _fem(28, 2, 0.02), 34),
+    MatrixSpec("Economics", 207_000, 207_000, 1_273_389, 6, "uniform", _uniform(6), 8),
+    MatrixSpec("Epidemiology", 526_000, 526_000, 2_100_225, 4, "stencil", _stencil_epid, 14),
+    MatrixSpec("FEM/Accelerator", 121_000, 121_000, 2_620_000, 22, "fem", _fem(22, 2, 0.05), 17),
+    MatrixSpec("Circuit", 171_000, 171_000, 958_936, 6, "powerlaw", _power(6, 2.3), 6),
+    MatrixSpec("Webbase", 1_000_000, 1_000_000, 3_105_536, 3, "powerlaw", _power(3, 1.9), 27),
+    MatrixSpec("LP", 4_000, 1_100_000, 11_279_748, 2825, "lp", _lp(2825), 85),
+    MatrixSpec("Circuit5M", 5_560_000, 5_560_000, 59_524_291, 11, "powerlaw", _power(11, 2.2), 516),
+    MatrixSpec("eu-2005", 863_000, 863_000, 19_235_140, 22, "powerlaw", _power(22, 2.0), 159),
+    MatrixSpec("Ga41As41H72", 268_000, 268_000, 18_488_476, 67, "fem", _fem(67, 1, 0.1), 136),
+    MatrixSpec("in-2004", 1_380_000, 1_380_000, 16_917_053, 12, "powerlaw", _power(12, 2.0), 132),
+    MatrixSpec("mip1", 66_000, 66_000, 10_352_819, 152, "fem", _fem(152, 4, 0.05), 51),
+    MatrixSpec("Si41Ge41H72", 186_000, 186_000, 15_011_265, 81, "fem", _fem(81, 1, 0.1), 105),
+)
+
+_BY_NAME = {s.name.lower(): s for s in SUITE}
+
+
+def get_spec(name: str) -> MatrixSpec:
+    """Look up a suite entry by (case-insensitive) Table 2 name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise MatrixGenerationError(
+            f"unknown suite matrix {name!r}; available: {[s.name for s in SUITE]}"
+        ) from None
+
+
+def load_matrix(name: str, scale: float = 1.0, seed: int = 1234) -> _sp.csr_matrix:
+    """Generate one suite matrix at the given scale."""
+    return get_spec(name).load(scale=scale, seed=seed)
+
+
+def load_suite(
+    cap_nnz: int = 200_000, seed: int = 1234
+) -> dict[str, _sp.csr_matrix]:
+    """Generate the whole suite, capping each matrix's nnz at ``cap_nnz``.
+
+    Returns name -> CSR.  The per-matrix scale is recorded implicitly in
+    the returned shapes; benchmarks report it alongside results.
+    """
+    out: dict[str, _sp.csr_matrix] = {}
+    for spec in SUITE:
+        out[spec.name] = spec.load(scale=spec.scale_for_nnz(cap_nnz), seed=seed)
+    return out

@@ -1,0 +1,34 @@
+"""Segmented scan/sum primitives.
+
+``reference`` holds the sequential ground truth, ``tree`` the classic
+log-depth parallel scan the paper replaces, and ``matrix_scan`` the
+matrix-based approach the yaSpMV kernels customize.  ``flags`` converts
+between BCCOO bit flags (row stops) and classic start flags.
+"""
+
+from .blelloch import BlellochStats, blelloch_segmented_scan
+from .flags import segment_ids, starts_from_stops, stops_from_starts
+from .matrix_scan import MatrixScanStats, matrix_segmented_scan
+from .reference import (
+    segment_sums_by_stops,
+    segmented_scan_exclusive,
+    segmented_scan_inclusive,
+    segmented_sum,
+)
+from .tree import TreeScanStats, tree_segmented_scan
+
+__all__ = [
+    "BlellochStats",
+    "blelloch_segmented_scan",
+    "segment_ids",
+    "starts_from_stops",
+    "stops_from_starts",
+    "MatrixScanStats",
+    "matrix_segmented_scan",
+    "segment_sums_by_stops",
+    "segmented_scan_exclusive",
+    "segmented_scan_inclusive",
+    "segmented_sum",
+    "TreeScanStats",
+    "tree_segmented_scan",
+]

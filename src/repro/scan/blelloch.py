@@ -1,0 +1,149 @@
+"""Work-efficient (Blelloch) segmented scan -- the CUDPP-style baseline.
+
+The paper's related work distinguishes two tree-scan families: the
+log-stepping network in :mod:`repro.scan.tree` (Hillis-Steele:
+``n log n`` work, ``log n`` steps) and the *work-efficient*
+up-sweep/down-sweep scan of Blelloch [5] as implemented for segments by
+Sengupta et al. [18] and shipped in CUDPP [9] (``O(n)`` work,
+``2 log n`` barrier stages).  CUDPP's segmented-scan SpMV is the "tree
+based scan algorithm, which has been shown to be inefficient" that
+section 7 contrasts against.
+
+This is the exact algorithm of Sengupta, Harris, Zhang & Owens (Graphics
+Hardware 2007), over a power-of-two padded Schwartz tree:
+
+up-sweep, for ``d = 1, 2, 4, ...``::
+
+    if not f[bi]: data[bi] += data[ai]
+    f[bi] |= f[ai]
+
+down-sweep (after ``data[last] = 0``), for ``d = m/2, ..., 1``::
+
+    t = data[ai]; data[ai] = data[bi]
+    data[bi] = 0        if orig_f[ai + 1]
+             = t        elif f[ai]         (up-swept flags, then cleared)
+             = t + data[bi] otherwise
+    f[ai] = 0
+
+with ``ai = k*2d + d - 1`` and ``bi = ai + d``.  The native result is
+the *exclusive* segmented scan; the inclusive form adds the input back.
+
+:class:`BlellochStats` mirrors :class:`~repro.scan.tree.TreeScanStats`:
+half the total work of Hillis-Steele but twice the stages, with lane
+utilization collapsing geometrically toward the tree root -- the
+load-imbalance signature the paper's section 3.1 criticizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["BlellochStats", "blelloch_segmented_scan"]
+
+
+@dataclass
+class BlellochStats:
+    """Cost accounting of one work-efficient segmented scan.
+
+    ``steps`` counts barrier-separated stages (up + down sweeps),
+    ``element_ops`` the combine operations actually performed, and
+    ``element_slots`` the lane slots scheduled: each stage dispatches a
+    half-array wave regardless of how few pairs are active at its depth.
+    """
+
+    n: int
+    steps: int
+    element_ops: int
+    element_slots: int
+    barriers: int
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.element_slots == 0:
+            return 0.0
+        return 1.0 - self.element_ops / self.element_slots
+
+
+def blelloch_segmented_scan(
+    values: np.ndarray, start_flags: np.ndarray
+) -> tuple[np.ndarray, BlellochStats]:
+    """Inclusive segmented scan via up-sweep / down-sweep.
+
+    Returns ``(result, stats)``; ``values`` may be 1-D or ``(n, lanes)``.
+    """
+    v_in = np.asarray(values, dtype=np.float64)
+    f_in = np.asarray(start_flags, dtype=bool)
+    if f_in.ndim != 1:
+        raise ReproError(f"start_flags must be 1-D, got shape {f_in.shape}")
+    n = f_in.shape[0]
+    if v_in.shape[0] != n:
+        raise ReproError(f"values length {v_in.shape[0]} != flags length {n}")
+    if n == 0:
+        return v_in.copy(), BlellochStats(0, 0, 0, 0, 0)
+
+    m = 1 << int(np.ceil(np.log2(n))) if n > 1 else 1
+    lane_shape = v_in.shape[1:]
+
+    v = np.zeros((m,) + lane_shape, dtype=np.float64)
+    v[:n] = v_in
+    f = np.zeros(m, dtype=bool)
+    f[:n] = f_in
+    if m > n:
+        # Wall off the padding as its own segment.
+        f[n] = True
+    orig_f = f.copy()
+
+    def lanes(mask: np.ndarray):
+        """Broadcast a boolean pair-mask over the lane axes."""
+        if lane_shape:
+            return mask.reshape(mask.shape + (1,) * len(lane_shape))
+        return mask
+
+    steps = ops = slots = 0
+
+    # ---- up-sweep (segmented reduce).
+    d = 1
+    while d < m:
+        ai = np.arange(d - 1, m - d, 2 * d)
+        bi = ai + d
+        active = ~f[bi]
+        v[bi] = np.where(lanes(active), v[ai] + v[bi], v[bi])
+        f[bi] |= f[ai]
+        ops += int(active.sum())
+        slots += m // 2
+        steps += 1
+        d <<= 1
+
+    # ---- down-sweep (exclusive propagation).
+    v[m - 1] = 0.0
+    d = m >> 1
+    while d >= 1:
+        ai = np.arange(d - 1, m - d, 2 * d)
+        bi = ai + d
+        t = v[ai].copy()
+        v[ai] = v[bi]
+        case_zero = orig_f[ai + 1]
+        case_keep = f[ai] & ~case_zero
+        new_bi = t + v[bi]
+        new_bi = np.where(lanes(case_keep), t, new_bi)
+        new_bi = np.where(lanes(case_zero), 0.0, new_bi)
+        v[bi] = new_bi
+        f[ai] = False
+        ops += int(ai.size)
+        slots += m // 2
+        steps += 1
+        d >>= 1
+
+    inclusive = v[:n] + v_in
+    stats = BlellochStats(
+        n=n,
+        steps=steps,
+        element_ops=ops,
+        element_slots=slots,
+        barriers=max(steps - 1, 0),
+    )
+    return inclusive, stats

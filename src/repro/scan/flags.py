@@ -1,0 +1,80 @@
+"""Flag conventions for segmented scans.
+
+Two equivalent encodings of segment structure appear in the paper:
+
+* **bit flags** (BCCOO's native form): ``0`` marks the *last* element of a
+  segment (a "row stop"); everything else is ``1``.  We manipulate these
+  as a boolean ``stops`` mask (True = stop).
+* **start flags** (classic segmented-scan form, Figure 7): True marks the
+  *first* element of a segment.
+
+The paper keeps bit flags through the whole pipeline because "it is
+straightforward to tell whether a segment ends from the bit flags" --
+finding a segment end from start flags requires looking ahead (section
+3.2.1).  The converters here are used by the baselines and by tests that
+cross-check both encodings.
+
+Convention for partial segments: a leading run with no preceding stop is
+assumed to start at index 0, and a trailing run with no stop is an *open*
+segment (padding semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import check_1d
+
+__all__ = ["starts_from_stops", "stops_from_starts", "segment_ids"]
+
+
+def starts_from_stops(stops: np.ndarray) -> np.ndarray:
+    """Start-flag mask from a stop-flag mask.
+
+    Element 0 always starts a segment; element ``i > 0`` starts one when
+    element ``i - 1`` was a stop.
+
+    >>> starts_from_stops(np.array([0, 0, 1, 0, 1], dtype=bool)).astype(int)
+    array([1, 0, 0, 1, 0])
+    """
+    stops = check_1d("stops", stops).astype(bool)
+    starts = np.empty_like(stops)
+    if stops.shape[0] == 0:
+        return starts
+    starts[0] = True
+    starts[1:] = stops[:-1]
+    return starts
+
+
+def stops_from_starts(starts: np.ndarray) -> np.ndarray:
+    """Stop-flag mask from a start-flag mask.
+
+    Element ``i`` is a stop when element ``i + 1`` starts a new segment;
+    the final element closes the last segment (the inverse convention of
+    :func:`starts_from_stops` modulo the open trailing segment, which
+    start flags cannot express).
+    """
+    starts = check_1d("starts", starts).astype(bool)
+    stops = np.empty_like(starts)
+    if starts.shape[0] == 0:
+        return stops
+    stops[:-1] = starts[1:]
+    stops[-1] = True
+    return stops
+
+
+def segment_ids(starts: np.ndarray) -> np.ndarray:
+    """0-based segment index of every element, from start flags.
+
+    Elements before the first start (possible only when ``starts[0]`` is
+    False, i.e. a segment continued from a previous chunk) form their own
+    leading segment with id 0; flagged segments then count from 1.  With
+    ``starts[0]`` set, ids are simply 0-based.
+    """
+    starts = check_1d("starts", starts).astype(np.int64)
+    if starts.shape[0] == 0:
+        return starts
+    # With starts[0] set, cumsum begins at 1, so shift to 0-based; with a
+    # leading continued run, the run keeps id 0 and the first flagged
+    # segment becomes id 1.
+    return np.cumsum(starts) - int(starts[0])

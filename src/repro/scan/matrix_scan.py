@@ -1,0 +1,144 @@
+"""Matrix-based segmented scan (Dotsenko et al. [8], customized in §3.2).
+
+The input is viewed as a ``(threads, tile)`` matrix.  Each thread scans
+its tile *sequentially* (perfect balance, no barriers), every thread's
+last partial sum enters a small ``last_partial_sums`` array, a parallel
+segmented scan runs over those ``threads`` values, and each thread whose
+tile's leading run continues a previous tile adds the scanned carry to
+the elements before its first segment start.
+
+The implementation is honest about the dataflow -- each phase below is
+the vectorized equivalent of what all threads do concurrently -- and the
+numerical output is validated against :mod:`repro.scan.reference` in the
+test suite.  :class:`MatrixScanStats` captures the cost structure the
+timing model consumes: sequential work per thread, the (much smaller)
+parallel scan, and whether the parallel scan could be skipped entirely
+(the paper's §2.4 "quick check": every tile contains a row stop =>
+every segment in ``last_partial_sums`` has length 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+from .reference import segmented_scan_inclusive
+from .tree import TreeScanStats, tree_segmented_scan
+
+__all__ = ["MatrixScanStats", "matrix_segmented_scan"]
+
+
+@dataclass
+class MatrixScanStats:
+    """Cost accounting of one matrix-based segmented scan.
+
+    Attributes
+    ----------
+    threads:
+        Number of (virtual) threads = rows of the matrix view.
+    tile:
+        Elements scanned sequentially per thread.
+    sequential_ops:
+        Adds performed in the sequential phase (= n, perfectly balanced:
+        every thread does exactly ``tile`` of them).
+    parallel_scan:
+        Stats of the scan over ``last_partial_sums`` (tree scan over
+        ``threads`` elements), or ``None`` when skipped.
+    parallel_scan_skipped:
+        True when the §2.4 early check fired (every tile had a start).
+    carry_fixups:
+        Threads that had to apply a cross-tile carry.
+    """
+
+    threads: int
+    tile: int
+    sequential_ops: int
+    parallel_scan: TreeScanStats | None
+    parallel_scan_skipped: bool
+    carry_fixups: int
+
+
+def matrix_segmented_scan(
+    values: np.ndarray,
+    start_flags: np.ndarray,
+    num_threads: int,
+) -> tuple[np.ndarray, MatrixScanStats]:
+    """Inclusive segmented scan through the matrix-based dataflow.
+
+    ``len(values)`` must be a multiple of ``num_threads``; callers pad
+    (BCCOO pads with zero blocks and continue flags, which leave every
+    segment sum unchanged).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    starts = np.asarray(start_flags, dtype=bool)
+    if starts.ndim != 1:
+        raise ReproError(f"start_flags must be 1-D, got shape {starts.shape}")
+    n = starts.shape[0]
+    if v.shape[0] != n:
+        raise ReproError(f"values length {v.shape[0]} != flags length {n}")
+    if num_threads < 1:
+        raise ReproError(f"num_threads must be >= 1, got {num_threads}")
+    if n % num_threads != 0:
+        raise ReproError(
+            f"length {n} is not a multiple of num_threads {num_threads}; pad first"
+        )
+    tile = n // num_threads
+    if n == 0:
+        return v.copy(), MatrixScanStats(num_threads, 0, 0, None, True, 0)
+
+    # ---- Phase 1: per-thread sequential segmented scan of each tile.
+    # Equivalent formulation: force a segment break at every tile start so
+    # the 1-D reference scan computes all tiles' local scans at once.
+    local_starts = starts.copy()
+    local_starts[::tile] = True
+    local = segmented_scan_inclusive(v, local_starts)
+
+    tiles_starts = starts.reshape(num_threads, tile)
+    tile_has_start = tiles_starts.any(axis=1)
+    last_partial = local[tile - 1 :: tile].copy()  # (threads,) [+ lanes]
+
+    # ---- Phase 2: parallel segmented scan over last_partial_sums.
+    # Segment starts in that array: thread t's last partial starts a new
+    # segment iff its tile contains a segment start (§3.2.2: "each thread
+    # checks whether there is a row stop in its thread-level tile").
+    lp_starts = tile_has_start.copy()
+    lp_starts[0] = True
+    all_have_starts = bool(tile_has_start.all())
+    if all_have_starts:
+        # §2.4 early check: every segment in last_partial_sums has length
+        # one; the scan is the identity and is skipped.
+        scanned = last_partial
+        pstats: TreeScanStats | None = None
+    else:
+        scanned, pstats = tree_segmented_scan(last_partial, lp_starts)
+
+    # ---- Phase 3: carry fixup.  Thread t > 0 whose tile's leading run
+    # continues from tile t-1 adds scanned[t-1] to its elements before the
+    # first local start.
+    out = local.copy()
+    needs_carry = np.zeros(num_threads, dtype=bool)
+    needs_carry[1:] = True  # candidate: every non-first thread
+    first_start = np.where(
+        tile_has_start, tiles_starts.argmax(axis=1), tile
+    )  # position of first true start; `tile` = none
+    carries = 0
+    out2d = out.reshape((num_threads, tile) + out.shape[1:])
+    for t in range(1, num_threads):
+        fs = int(first_start[t])
+        if fs == 0:
+            continue  # tile begins a new segment immediately; no carry
+        out2d[t, :fs] += scanned[t - 1]
+        carries += 1
+
+    stats = MatrixScanStats(
+        threads=num_threads,
+        tile=tile,
+        sequential_ops=n,
+        parallel_scan=pstats,
+        parallel_scan_skipped=all_have_starts,
+        carry_fixups=carries,
+    )
+    return out2d.reshape(out.shape), stats

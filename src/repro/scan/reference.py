@@ -1,0 +1,109 @@
+"""Sequential (host) reference implementations of segmented primitives.
+
+These are the ground truth every parallel variant (tree-based,
+matrix-based, and the yaSpMV kernels) is validated against.  All are
+fully vectorized; the inclusive segmented scan uses the standard
+"cumsum minus segment-start offset" trick.
+
+Values may be 1-D or 2-D ``(n, lanes)`` -- the lane axis carries the
+``h`` intra-block rows of a blocked format through the same scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .flags import segment_ids, starts_from_stops
+
+__all__ = [
+    "segmented_scan_inclusive",
+    "segmented_scan_exclusive",
+    "segmented_sum",
+    "segment_sums_by_stops",
+]
+
+
+def _check(values: np.ndarray, flags: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    values = np.asarray(values, dtype=np.float64)
+    flags = np.asarray(flags, dtype=bool)
+    if flags.ndim != 1:
+        raise ReproError(f"flags must be 1-D, got shape {flags.shape}")
+    if values.shape[0] != flags.shape[0]:
+        raise ReproError(
+            f"values length {values.shape[0]} != flags length {flags.shape[0]}"
+        )
+    return values, flags
+
+
+def segmented_scan_inclusive(
+    values: np.ndarray, start_flags: np.ndarray
+) -> np.ndarray:
+    """Inclusive segmented prefix sum (Figure 7's 'Result' array).
+
+    ``start_flags[i]`` True marks the first element of a segment; a
+    leading unflagged run is treated as segment 0 (continuation).
+    """
+    values, starts = _check(values, start_flags)
+    n = values.shape[0]
+    if n == 0:
+        return values.copy()
+    cums = np.cumsum(values, axis=0)
+    ids = segment_ids(starts)
+    start_idx = np.flatnonzero(starts)
+    n_ids = int(ids[-1]) + 1
+    # offset[k] = cumulative total just before segment k begins.
+    offsets = np.zeros((n_ids,) + values.shape[1:], dtype=np.float64)
+    if starts[0]:
+        # segment k starts at start_idx[k]
+        nonzero_start = start_idx[start_idx > 0]
+        offsets[ids[nonzero_start]] = cums[nonzero_start - 1]
+    else:
+        # leading run is segment 0 with offset 0; flagged segment k >= 1
+        # starts at start_idx[k-1].
+        offsets[ids[start_idx]] = cums[start_idx - 1]
+    return cums - offsets[ids]
+
+
+def segmented_scan_exclusive(
+    values: np.ndarray, start_flags: np.ndarray
+) -> np.ndarray:
+    """Exclusive segmented prefix sum (identity 0 at every segment start)."""
+    inc = segmented_scan_inclusive(values, start_flags)
+    return inc - np.asarray(values, dtype=np.float64)
+
+
+def segmented_sum(values: np.ndarray, start_flags: np.ndarray) -> np.ndarray:
+    """Per-segment totals, one per segment in order.
+
+    A leading continuation run counts as segment 0.  This is the
+    segmented *reduction* the paper notes suffices for SpMV ("the last
+    sum of each segment is sufficient").
+    """
+    values, starts = _check(values, start_flags)
+    if values.shape[0] == 0:
+        return values.copy()
+    ids = segment_ids(starts)
+    n_ids = int(ids[-1]) + 1
+    out = np.zeros((n_ids,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, ids, values)
+    return out
+
+
+def segment_sums_by_stops(values: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Per-*closed*-segment totals from BCCOO-style stop flags.
+
+    Only segments that actually end with a stop produce an output; a
+    trailing open run (bit-flag padding) is discarded -- exactly what the
+    SpMV kernels write back.  Output ``k`` is the dot-product result for
+    stop ordinal ``k``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    stops = np.asarray(stops, dtype=bool)
+    if values.shape[0] != stops.shape[0]:
+        raise ReproError(
+            f"values length {values.shape[0]} != stops length {stops.shape[0]}"
+        )
+    sums = segmented_sum(values, starts_from_stops(stops))
+    n_closed = int(np.count_nonzero(stops))
+    return sums[:n_closed]

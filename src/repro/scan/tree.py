@@ -1,0 +1,98 @@
+"""Tree-based parallel segmented scan (the baseline the paper replaces).
+
+This models the scan underlying CUDPP/CUSP-era segmented SpMV
+(Blelloch [5], Sengupta et al. [18]): a log-depth network of combine
+steps executed in lockstep.  We implement the Hillis-Steele segmented
+variant -- at step ``d`` every element ``i >= d`` whose accumulated flag
+is clear adds element ``i - d`` and ORs its flag:
+
+    ``v[i] += v[i-d]  if no segment start lies in (i-d, i]``
+
+The numerical result equals the sequential reference; what the baseline
+*costs* is captured in :class:`TreeScanStats`: ``ceil(log2 n)`` lockstep
+stages, each touching all ``n`` elements with a workgroup barrier, with a
+growing fraction of threads idle -- the load-imbalance and
+synchronization overheads sections 3.1 and 7 attribute to tree scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["TreeScanStats", "tree_segmented_scan"]
+
+
+@dataclass
+class TreeScanStats:
+    """Cost accounting of one tree-based segmented scan.
+
+    Attributes
+    ----------
+    n:
+        Scanned length.
+    steps:
+        Lockstep stages executed (``ceil(log2 n)``).
+    element_ops:
+        Total add operations actually performed (active lanes only).
+    element_slots:
+        Total lane slots scheduled (``n * steps``); the gap to
+        ``element_ops`` is idle SIMD lanes.
+    barriers:
+        Workgroup barriers between stages.
+    """
+
+    n: int
+    steps: int
+    element_ops: int
+    element_slots: int
+    barriers: int
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of scheduled lanes that did no useful work."""
+        if self.element_slots == 0:
+            return 0.0
+        return 1.0 - self.element_ops / self.element_slots
+
+
+def tree_segmented_scan(
+    values: np.ndarray, start_flags: np.ndarray
+) -> tuple[np.ndarray, TreeScanStats]:
+    """Inclusive segmented scan via the lockstep log-stepping network.
+
+    Returns ``(result, stats)``.  ``values`` may be 1-D or ``(n, lanes)``.
+    """
+    v = np.asarray(values, dtype=np.float64).copy()
+    f = np.asarray(start_flags, dtype=bool).copy()
+    if f.ndim != 1:
+        raise ReproError(f"start_flags must be 1-D, got shape {f.shape}")
+    n = f.shape[0]
+    if v.shape[0] != n:
+        raise ReproError(f"values length {v.shape[0]} != flags length {n}")
+
+    steps = 0
+    ops = 0
+    d = 1
+    while d < n:
+        active = np.zeros(n, dtype=bool)
+        active[d:] = ~f[d:]
+        idx = np.flatnonzero(active)
+        if idx.size:
+            v[idx] += v[idx - d]
+            f[idx] |= f[idx - d]
+        ops += int(idx.size)
+        steps += 1
+        d <<= 1
+
+    stats = TreeScanStats(
+        n=n,
+        steps=steps,
+        element_ops=ops,
+        element_slots=n * steps,
+        barriers=max(steps - 1, 0),
+    )
+    return v, stats

@@ -1,0 +1,11 @@
+"""Iterative solvers on top of the SpMV engine."""
+
+from .iterative import SolveResult, bicgstab, conjugate_gradient, jacobi, power_method
+
+__all__ = [
+    "SolveResult",
+    "bicgstab",
+    "conjugate_gradient",
+    "jacobi",
+    "power_method",
+]

@@ -1,0 +1,38 @@
+"""Auto-tuning framework (paper section 4)."""
+
+from .cache import CompiledPlan, FormatCache, KernelPlanCache
+from .model import CostModel, MatrixSummary, ModelDrivenTuner
+from .persistence import TuningStore, matrix_fingerprint
+from .parameters import (
+    BIT_WORDS,
+    BLOCK_HEIGHTS,
+    BLOCK_WIDTHS,
+    SLICE_COUNTS,
+    WORKGROUP_SIZES,
+    TuningPoint,
+)
+from .space import candidate_slice_counts, exhaustive_space, pruned_space
+from .tuner import AutoTuner, Evaluation, TuningResult
+
+__all__ = [
+    "CostModel",
+    "MatrixSummary",
+    "ModelDrivenTuner",
+    "CompiledPlan",
+    "FormatCache",
+    "KernelPlanCache",
+    "BIT_WORDS",
+    "BLOCK_HEIGHTS",
+    "BLOCK_WIDTHS",
+    "SLICE_COUNTS",
+    "WORKGROUP_SIZES",
+    "TuningPoint",
+    "candidate_slice_counts",
+    "exhaustive_space",
+    "pruned_space",
+    "AutoTuner",
+    "Evaluation",
+    "TuningResult",
+    "TuningStore",
+    "matrix_fingerprint",
+]

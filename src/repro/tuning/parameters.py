@@ -1,0 +1,101 @@
+"""The auto-tuner's parameter space (paper Table 1).
+
+A :class:`TuningPoint` bundles the format-side choices (BCCOO vs BCCOO+,
+block dimensions, bit-flag word type, column compression, slice count)
+with the kernel-side :class:`~repro.kernels.config.YaSpMVConfig`.  Points
+are hashable so the kernel-plan cache can key on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import TuningError
+from ..kernels.config import YaSpMVConfig
+
+__all__ = [
+    "TuningPoint",
+    "BIT_WORDS",
+    "BLOCK_WIDTHS",
+    "BLOCK_HEIGHTS",
+    "WORKGROUP_SIZES",
+    "SLICE_COUNTS",
+]
+
+#: Table 1 enumerations.
+BLOCK_WIDTHS: tuple[int, ...] = (1, 2, 4)
+BLOCK_HEIGHTS: tuple[int, ...] = (1, 2, 3, 4)
+BIT_WORDS: tuple[str, ...] = ("uint8", "uint16", "uint32")
+WORKGROUP_SIZES: tuple[int, ...] = (64, 128, 256, 512)
+SLICE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One candidate configuration: format choices + kernel choices."""
+
+    block_height: int = 1
+    block_width: int = 1
+    bit_word: str = "uint32"
+    col_compress: bool = True
+    slice_count: int = 1
+    kernel: YaSpMVConfig = field(default_factory=YaSpMVConfig)
+
+    def __post_init__(self):
+        if self.block_height not in BLOCK_HEIGHTS:
+            raise TuningError(
+                f"block_height {self.block_height} not in {BLOCK_HEIGHTS}"
+            )
+        if self.block_width not in BLOCK_WIDTHS:
+            raise TuningError(f"block_width {self.block_width} not in {BLOCK_WIDTHS}")
+        if self.bit_word not in BIT_WORDS:
+            raise TuningError(f"bit_word {self.bit_word!r} not in {BIT_WORDS}")
+        if self.slice_count not in SLICE_COUNTS:
+            raise TuningError(f"slice_count {self.slice_count} not in {SLICE_COUNTS}")
+
+    @property
+    def format_name(self) -> str:
+        """``"bccoo"`` or ``"bccoo+"`` (BCCOO+ iff sliced)."""
+        return "bccoo+" if self.slice_count > 1 else "bccoo"
+
+    @property
+    def bit_word_dtype(self) -> np.dtype:
+        return np.dtype(self.bit_word)
+
+    def format_key(self) -> tuple:
+        """Hashable key identifying the format build (conversion cache)."""
+        return (
+            self.format_name,
+            self.block_height,
+            self.block_width,
+            self.bit_word,
+            self.col_compress,
+            self.slice_count,
+            self.kernel.effective_tile if self.col_compress else 0,
+        )
+
+    def plan_key(self) -> tuple:
+        """Hashable key identifying the compiled kernel specialization.
+
+        Mirrors what the paper's OpenCL code generator bakes into a
+        kernel binary: everything except the matrix contents.
+        """
+        return self.format_key() + (
+            self.kernel.workgroup_size,
+            self.kernel.strategy,
+            self.kernel.reg_size,
+            self.kernel.shm_size,
+            self.kernel.tile_size,
+            self.kernel.result_cache_multiple,
+            self.kernel.transpose,
+            self.kernel.use_texture,
+            self.kernel.scan_mode,
+            self.kernel.cross_wg,
+            self.kernel.fine_grain,
+        )
+
+    def with_kernel(self, **kw) -> "TuningPoint":
+        """Copy with kernel-config fields overridden."""
+        return replace(self, kernel=self.kernel.with_overrides(**kw))

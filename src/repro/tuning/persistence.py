@@ -1,0 +1,127 @@
+"""Persisting tuned configurations.
+
+Auto-tuning costs seconds per matrix; production libraries persist the
+winner so later runs skip the search (the paper's framework keeps its
+compiled-kernel hash table for the same reason).  This module stores
+:class:`TuningPoint` records in a small JSON file keyed by a structural
+matrix fingerprint plus the device name:
+
+* the fingerprint hashes the sparsity *structure* (shape, nnz, row-
+  pointer and column arrays), not the values -- tuned configurations
+  depend only on structure;
+* entries are versioned; loading an entry written by an incompatible
+  schema returns a miss instead of an error.
+
+Typical use::
+
+    store = TuningStore("~/.cache/repro-tuning.json")
+    point = store.get(A, device) or tune_and_put(store, A, device)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TuningError
+from ..gpu.device import DeviceSpec
+from ..kernels.config import YaSpMVConfig
+from ..util import as_csr
+from .parameters import TuningPoint
+
+__all__ = ["matrix_fingerprint", "TuningStore"]
+
+_SCHEMA_VERSION = 1
+
+
+def matrix_fingerprint(matrix) -> str:
+    """Structural hash of a sparse matrix (values excluded)."""
+    csr = as_csr(matrix)
+    h = hashlib.sha256()
+    h.update(np.asarray(csr.shape, dtype=np.int64).tobytes())
+    h.update(np.int64(csr.nnz).tobytes())
+    h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()[:24]
+
+
+def _encode(point: TuningPoint) -> dict:
+    return {
+        "version": _SCHEMA_VERSION,
+        "block_height": point.block_height,
+        "block_width": point.block_width,
+        "bit_word": point.bit_word,
+        "col_compress": point.col_compress,
+        "slice_count": point.slice_count,
+        "kernel": asdict(point.kernel),
+    }
+
+
+def _decode(blob: dict) -> TuningPoint | None:
+    if blob.get("version") != _SCHEMA_VERSION:
+        return None
+    try:
+        return TuningPoint(
+            block_height=blob["block_height"],
+            block_width=blob["block_width"],
+            bit_word=blob["bit_word"],
+            col_compress=blob["col_compress"],
+            slice_count=blob["slice_count"],
+            kernel=YaSpMVConfig(**blob["kernel"]),
+        )
+    except Exception:
+        # Malformed or future-version entry: treat as a cache miss.
+        return None
+
+
+class TuningStore:
+    """JSON-backed store of tuned configurations.
+
+    The file is read lazily and written eagerly (every ``put`` persists),
+    so concurrent readers see a consistent snapshot and a crashed run
+    loses at most nothing.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path).expanduser()
+        self._entries: dict[str, dict] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _key(self, matrix, device: DeviceSpec | str) -> str:
+        dev = device if isinstance(device, str) else device.name
+        return f"{dev}:{matrix_fingerprint(matrix)}"
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            if self.path.exists():
+                try:
+                    self._entries = json.loads(self.path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    self._entries = {}
+            else:
+                self._entries = {}
+        return self._entries
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, matrix, device: DeviceSpec | str) -> TuningPoint | None:
+        """Stored configuration for (matrix structure, device), or None."""
+        blob = self._load().get(self._key(matrix, device))
+        return _decode(blob) if blob is not None else None
+
+    def put(self, matrix, device: DeviceSpec | str, point: TuningPoint) -> None:
+        """Persist a configuration (overwrites any previous entry)."""
+        entries = self._load()
+        entries[self._key(matrix, device)] = _encode(point)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(entries, indent=1, sort_keys=True))
+        tmp.replace(self.path)
+
+    def __len__(self) -> int:
+        return len(self._load())

@@ -1,0 +1,163 @@
+"""The auto-tuner: evaluate candidate configurations, keep the best.
+
+Mirrors the paper's framework (section 4): enumerate a (pruned or
+exhaustive) space of :class:`TuningPoint` candidates, "compile" each
+kernel through the plan cache, execute it on the simulated device, and
+rank by estimated execution time.  The tuner reports wall-clock spent,
+simulated compile time, cache statistics and the full evaluation history
+so the benchmark can reproduce the section 4 numbers (pruned-vs-optimal
+quality gap, tuning cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import KernelConfigError, TuningError
+from ..gpu.device import DeviceSpec
+from ..gpu.timing import TimingBreakdown, TimingModel
+from ..kernels.yaspmv import YaSpMVKernel
+from ..util import as_csr
+from .cache import FormatCache, KernelPlanCache
+from .parameters import TuningPoint
+from .space import exhaustive_space, pruned_space
+
+__all__ = ["Evaluation", "TuningResult", "AutoTuner"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated candidate."""
+
+    point: TuningPoint
+    time_s: float
+    gflops: float
+    breakdown: TimingBreakdown
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    best: Evaluation
+    evaluated: int
+    skipped: int
+    wall_seconds: float
+    simulated_compile_s: float
+    plan_cache_hits: int
+    plan_cache_misses: int
+    history: list[Evaluation] = field(default_factory=list)
+
+    @property
+    def best_point(self) -> TuningPoint:
+        return self.best.point
+
+    def top(self, k: int = 5) -> list[Evaluation]:
+        """The k fastest evaluations, best first."""
+        return sorted(self.history, key=lambda e: e.time_s)[:k]
+
+
+class AutoTuner:
+    """Searches the Table 1 space for one matrix on one device.
+
+    Parameters
+    ----------
+    device:
+        Target :class:`DeviceSpec`.
+    mode:
+        ``"pruned"`` (the section 4 accelerated search, default) or
+        ``"exhaustive"``.
+    plan_cache:
+        Share one :class:`KernelPlanCache` across matrices to reproduce
+        the paper's cross-matrix kernel reuse.
+    keep_history:
+        Retain every evaluation (needed by the tuning benchmarks;
+        disable to save memory on huge spaces).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        mode: str = "pruned",
+        plan_cache: KernelPlanCache | None = None,
+        keep_history: bool = True,
+        exhaustive_kwargs: dict | None = None,
+        pruned_kwargs: dict | None = None,
+    ):
+        if mode not in ("pruned", "exhaustive"):
+            raise TuningError(f"mode must be 'pruned' or 'exhaustive', got {mode!r}")
+        self.device = device
+        self.mode = mode
+        self.plan_cache = plan_cache if plan_cache is not None else KernelPlanCache()
+        self.keep_history = keep_history
+        self.exhaustive_kwargs = exhaustive_kwargs or {}
+        #: Extra arguments for :func:`pruned_space` (e.g. a smaller
+        #: ``keep_block_dims`` for time-boxed benchmark runs).
+        self.pruned_kwargs = pruned_kwargs or {}
+        self._kernel = YaSpMVKernel()
+        self._timing = TimingModel(device)
+
+    def tune(self, matrix, x: np.ndarray | None = None) -> TuningResult:
+        """Search; returns the ranked result.
+
+        ``x`` defaults to an all-ones vector -- only the cost profile
+        depends on it (via gather locality), not the ranking mechanics.
+        """
+        csr = as_csr(matrix)
+        if x is None:
+            x = np.ones(csr.shape[1], dtype=np.float64)
+
+        if self.mode == "pruned":
+            space = pruned_space(csr, self.device, **self.pruned_kwargs)
+        else:
+            space = exhaustive_space(csr, self.device, **self.exhaustive_kwargs)
+
+        fmt_cache = FormatCache(csr)
+        t0 = time.perf_counter()
+        best: Evaluation | None = None
+        history: list[Evaluation] = []
+        evaluated = 0
+        skipped = 0
+        nnz = int(csr.nnz)
+
+        for point in space:
+            try:
+                fmt = fmt_cache.get(point)
+            except Exception:
+                skipped += 1
+                continue
+            self.plan_cache.get(point)  # compile (or reuse) the plan
+            try:
+                result = self._kernel.run(fmt, x, self.device, config=point.kernel)
+            except KernelConfigError:
+                skipped += 1
+                continue
+            breakdown = self._timing.estimate(result.stats)
+            ev = Evaluation(
+                point=point,
+                time_s=breakdown.t_total,
+                gflops=breakdown.gflops(nnz),
+                breakdown=breakdown,
+            )
+            evaluated += 1
+            if self.keep_history:
+                history.append(ev)
+            if best is None or ev.time_s < best.time_s:
+                best = ev
+
+        if best is None:
+            raise TuningError("no tuning candidate was evaluable for this matrix")
+
+        return TuningResult(
+            best=best,
+            evaluated=evaluated,
+            skipped=skipped,
+            wall_seconds=time.perf_counter() - t0,
+            simulated_compile_s=self.plan_cache.simulated_compile_time_s,
+            plan_cache_hits=self.plan_cache.hits,
+            plan_cache_misses=self.plan_cache.misses,
+            history=history,
+        )

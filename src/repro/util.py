@@ -1,0 +1,147 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+Everything in here is deliberately dependency-free (NumPy only) and
+vectorized; these helpers sit on hot paths of the format converters and the
+simulated kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse as _sp
+
+__all__ = [
+    "ceil_div",
+    "round_up",
+    "as_csr",
+    "as_coo_sorted",
+    "segment_lengths_from_stops",
+    "run_lengths",
+    "first_true_per_segment",
+    "pad_to_multiple",
+    "check_1d",
+    "dtype_nbytes",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires a >= 0, got {a}")
+    return -(-a // b)
+
+
+def round_up(a: int, multiple: int) -> int:
+    """Round ``a`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(a, multiple) * multiple
+
+
+def as_csr(matrix) -> _sp.csr_matrix:
+    """Coerce any scipy-sparse / dense input to canonical CSR.
+
+    The result has sorted indices, no duplicates, and no explicit zeros --
+    the baseline every format converter in :mod:`repro.formats` assumes.
+    """
+    if _sp.issparse(matrix):
+        csr = matrix.tocsr()
+    else:
+        csr = _sp.csr_matrix(np.asarray(matrix))
+    csr = csr.copy()
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    return csr
+
+
+def as_coo_sorted(matrix) -> _sp.coo_matrix:
+    """Coerce input to COO with entries sorted in row-major order."""
+    coo = as_csr(matrix).tocoo()
+    # CSR -> COO already yields row-major ordering with sorted columns.
+    return coo
+
+
+def segment_lengths_from_stops(stops: np.ndarray) -> np.ndarray:
+    """Lengths of segments delimited by ``True`` stop markers.
+
+    ``stops[i]`` is True when element ``i`` is the *last* element of its
+    segment.  A trailing open segment (no final stop) is *not* reported --
+    matching the paper's semantics where padding extends the final segment
+    but never closes it.
+
+    >>> segment_lengths_from_stops(np.array([0, 0, 1, 1, 0, 1], dtype=bool))
+    array([3, 1, 2])
+    """
+    stops = np.asarray(stops, dtype=bool)
+    idx = np.flatnonzero(stops)
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.diff(np.concatenate(([-1], idx)))
+
+
+def run_lengths(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length encode ``values`` -> ``(run_values, run_lengths)``.
+
+    >>> run_lengths(np.array([3, 3, 5, 5, 5, 2]))
+    (array([3, 5, 2]), array([2, 3, 1]))
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return values[:0], np.empty(0, dtype=np.int64)
+    change = np.empty(values.size, dtype=bool)
+    change[0] = True
+    np.not_equal(values[1:], values[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    lengths = np.diff(np.concatenate((starts, [values.size])))
+    return values[starts], lengths
+
+
+def first_true_per_segment(flags: np.ndarray, segment_size: int) -> np.ndarray:
+    """Index of the first True within each fixed-size segment, or -1.
+
+    ``flags`` is reshaped to ``(-1, segment_size)``; for every row the index
+    of its first True element is returned (or -1 when the row has none).
+    Used to find the first row stop of each thread-level tile.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    if flags.size % segment_size != 0:
+        raise ValueError(
+            f"flags length {flags.size} is not a multiple of segment size {segment_size}"
+        )
+    grid = flags.reshape(-1, segment_size)
+    has_any = grid.any(axis=1)
+    first = grid.argmax(axis=1)
+    return np.where(has_any, first, -1)
+
+
+def pad_to_multiple(arr: np.ndarray, multiple: int, fill) -> np.ndarray:
+    """Pad a 1-D array with ``fill`` so its length is a multiple of ``multiple``."""
+    arr = np.asarray(arr)
+    target = round_up(arr.shape[0], multiple) if arr.shape[0] else multiple * 0
+    if target == arr.shape[0]:
+        return arr
+    out = np.full(target, fill, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+def check_1d(name: str, arr: np.ndarray) -> np.ndarray:
+    """Validate that ``arr`` is one-dimensional; return it as ndarray."""
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def dtype_nbytes(dtype) -> int:
+    """Size in bytes of one element of ``dtype``."""
+    return int(np.dtype(dtype).itemsize)
+
+
+def iter_chunks(n: int, chunk: int) -> Iterable[tuple[int, int]]:
+    """Yield ``(start, stop)`` pairs covering ``range(n)`` in ``chunk`` steps."""
+    for start in range(0, n, chunk):
+        yield start, min(start + chunk, n)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20140215)  # PPoPP'14 conference date
+
+
+@pytest.fixture
+def paper_matrix_a():
+    """Matrix A of Eq. 1 -- the paper's running example.
+
+    ::
+
+        0 0 a 0 0 0 b c
+        0 0 d e 0 0 f 0
+        0 0 0 0 g h i j
+        k l 0 0 m n o p
+
+    with a..p = 1..16 so tests can assert exact values.
+    """
+    dense = np.array(
+        [
+            [0, 0, 1, 0, 0, 0, 2, 3],
+            [0, 0, 4, 5, 0, 0, 6, 0],
+            [0, 0, 0, 0, 7, 8, 9, 10],
+            [11, 12, 0, 0, 13, 14, 15, 16],
+        ],
+        dtype=np.float64,
+    )
+    return sparse.csr_matrix(dense)
+
+
+@pytest.fixture
+def random_matrix(rng):
+    """Factory for random CSR matrices."""
+
+    def make(nrows=60, ncols=80, density=0.08, seed=None):
+        rs = int(rng.integers(1 << 31)) if seed is None else seed
+        return sparse.random(
+            nrows, ncols, density=density, random_state=rs, format="csr"
+        )
+
+    return make
+
+
+@pytest.fixture
+def skewed_matrix(rng):
+    """Matrix with one hub row -- the row-based kernels' worst case."""
+    A = sparse.random(400, 400, density=0.01, random_state=3, format="lil")
+    A[5, :300] = rng.standard_normal(300)
+    out = A.tocsr()
+    out.eliminate_zeros()
+    return out
+
+
+@pytest.fixture
+def stencil_matrix():
+    """Tridiagonal stencil -- the regular-format-friendly case."""
+    n = 300
+    return sparse.diags(
+        [np.ones(n - 1), 2.0 * np.ones(n), np.ones(n - 1)], [-1, 0, 1]
+    ).tocsr()
+
+
+@pytest.fixture
+def empty_row_matrix():
+    """Matrix with many empty rows (exercises the non-empty-row map)."""
+    rows = np.array([0, 0, 7, 31, 31, 31])
+    cols = np.array([3, 9, 0, 2, 9, 15])
+    data = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    return sparse.csr_matrix((data, (rows, cols)), shape=(40, 20))

@@ -1,0 +1,54 @@
+"""Tests for the comparator runners (CUSPARSE / CUSP / clSpMV stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    run_clspmv_best_single,
+    run_clspmv_cocktail,
+    run_cusp,
+    run_cusparse_best,
+)
+from repro.gpu import GTX680
+
+RUNNERS = [run_cusparse_best, run_cusp, run_clspmv_best_single, run_clspmv_cocktail]
+
+
+@pytest.mark.parametrize("runner", RUNNERS)
+class TestCorrectness:
+    def test_exact_product(self, runner, random_matrix, rng):
+        A = random_matrix(nrows=120, ncols=120, density=0.06)
+        x = rng.standard_normal(120)
+        res = runner(A, x, GTX680)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+        assert res.time_s > 0 and res.gflops > 0
+        assert res.system
+
+    def test_skewed_matrix(self, runner, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        res = runner(skewed_matrix, x, GTX680)
+        np.testing.assert_allclose(res.y, skewed_matrix @ x, atol=1e-8)
+
+
+class TestSelection:
+    def test_cusparse_picks_among_its_formats(self, random_matrix, rng):
+        A = random_matrix()
+        res = run_cusparse_best(A, rng.standard_normal(A.shape[1]), GTX680)
+        assert res.variant.split("-")[0] in ("csr", "hyb", "bcsr")
+
+    def test_cusp_is_coo(self, random_matrix, rng):
+        A = random_matrix()
+        res = run_cusp(A, rng.standard_normal(A.shape[1]), GTX680)
+        assert res.variant == "coo"
+
+    def test_single_prefers_dia_on_stencil(self, stencil_matrix, rng):
+        x = rng.standard_normal(stencil_matrix.shape[1])
+        res = run_clspmv_best_single(stencil_matrix, x, GTX680)
+        assert res.variant in ("dia", "ell")  # regular formats win
+
+    def test_cocktail_never_worse_than_single(self, skewed_matrix, stencil_matrix, rng):
+        for A in (skewed_matrix, stencil_matrix):
+            x = rng.standard_normal(A.shape[1])
+            single = run_clspmv_best_single(A, x, GTX680)
+            cocktail = run_clspmv_cocktail(A, x, GTX680)
+            assert cocktail.time_s <= single.time_s * 1.0001

@@ -1,0 +1,114 @@
+"""Tests for the OpenCL source generator."""
+
+import pytest
+
+from repro.codegen import generate_kernel_source, kernel_name, source_fingerprint
+from repro.kernels import YaSpMVConfig
+from repro.tuning import TuningPoint
+
+
+class TestSpecialization:
+    def test_defines_reflect_point(self):
+        p = TuningPoint(
+            block_height=2,
+            block_width=4,
+            bit_word="uint16",
+            kernel=YaSpMVConfig(workgroup_size=128, strategy=2, tile_size=8),
+        )
+        src = generate_kernel_source(p)
+        assert "#define BLOCK_H 2" in src
+        assert "#define BLOCK_W 4" in src
+        assert "#define WG_SIZE 128" in src
+        assert "#define TILE 8" in src
+        assert "#define FLAG_BITS 16" in src
+        assert "#define FLAG_WORD ushort" in src
+
+    def test_strategy_bodies_differ(self):
+        s1 = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(strategy=1, reg_size=16))
+        )
+        s2 = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(strategy=2, tile_size=16))
+        )
+        assert "intermediate_sums" in s1 and "REG_SUMS" in s1
+        assert "result_cache" in s2 and "CACHE_ENTRIES" in s2
+        assert "Figure 11" in s1 and "Figure 12" in s2
+
+    def test_adjacent_vs_second_kernel(self):
+        adj = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(cross_wg="adjacent"))
+        )
+        two = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(cross_wg="second_kernel"))
+        )
+        assert "adjacent synchronization" in adj
+        assert "two-kernel variant" in two
+
+    def test_column_paths(self):
+        compressed = generate_kernel_source(TuningPoint(col_compress=True))
+        raw = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(fine_grain=False))
+        )
+        assert "col_delta" in compressed and "col_fallback" in compressed
+        assert "const int* restrict col_index" in raw
+
+    def test_texture_toggle(self):
+        on = generate_kernel_source(TuningPoint())
+        off = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(use_texture=False))
+        )
+        assert "USE_TEXTURE" in on
+        assert "USE_TEXTURE" not in off
+
+    def test_fine_grain_early_check(self):
+        src = generate_kernel_source(TuningPoint(kernel=YaSpMVConfig(fine_grain=True)))
+        assert "early check" in src
+
+    def test_atomic_ids(self):
+        src = generate_kernel_source(
+            TuningPoint(kernel=YaSpMVConfig(workgroup_ids="atomic"))
+        )
+        assert "atomic_add" in src
+
+    def test_plus_gets_combine_kernel(self):
+        plain = generate_kernel_source(TuningPoint())
+        plus = generate_kernel_source(TuningPoint(slice_count=4))
+        assert "yaspmv_slice_combine" not in plain
+        assert "yaspmv_slice_combine" in plus
+        assert "#define SLICES 4" in plus
+
+
+class TestIdentity:
+    def test_same_plan_key_same_source(self):
+        a = TuningPoint(kernel=YaSpMVConfig(workgroup_size=256))
+        b = TuningPoint(kernel=YaSpMVConfig(workgroup_size=256))
+        assert a.plan_key() == b.plan_key()
+        assert generate_kernel_source(a) == generate_kernel_source(b)
+        assert source_fingerprint(a) == source_fingerprint(b)
+
+    def test_different_plan_key_different_source(self):
+        # The plan cache's premise: distinct keys <=> distinct binaries.
+        points = [
+            TuningPoint(),
+            TuningPoint(block_height=2),
+            TuningPoint(bit_word="uint8"),
+            TuningPoint(kernel=YaSpMVConfig(strategy=1, reg_size=8)),
+            TuningPoint(kernel=YaSpMVConfig(workgroup_size=64)),
+            TuningPoint(slice_count=4),
+        ]
+        fingerprints = {source_fingerprint(p) for p in points}
+        assert len(fingerprints) == len(points)
+
+    def test_kernel_name_is_identifier(self):
+        name = kernel_name(TuningPoint(slice_count=8))
+        assert name.isidentifier()
+        assert name.endswith("_plus")
+
+    def test_balanced_braces(self):
+        for p in (
+            TuningPoint(),
+            TuningPoint(slice_count=4),
+            TuningPoint(kernel=YaSpMVConfig(strategy=1, reg_size=4)),
+        ):
+            src = generate_kernel_source(p)
+            assert src.count("{") == src.count("}")

@@ -1,0 +1,82 @@
+"""Tests for the public engine API."""
+
+import numpy as np
+import pytest
+
+from repro import SpMVEngine, yaspmv
+from repro.gpu import GTX480, GTX680
+from repro.tuning import TuningPoint
+
+
+class TestEngine:
+    def test_prepare_and_multiply(self, random_matrix, rng):
+        A = random_matrix(nrows=150, ncols=150, density=0.05)
+        x = rng.standard_normal(150)
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(A)
+        res = eng.multiply(prep, x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+        assert res.gflops > 0
+        assert res.time_s > 0
+        assert prep.tuning is not None
+
+    def test_prepare_once_multiply_many(self, random_matrix, rng):
+        A = random_matrix(nrows=100, ncols=100, density=0.08)
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(A)
+        for _ in range(3):
+            x = rng.standard_normal(100)
+            np.testing.assert_allclose(eng.multiply(prep, x).y, A @ x, atol=1e-9)
+
+    def test_explicit_point_skips_tuning(self, random_matrix, rng):
+        A = random_matrix()
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(A, point=TuningPoint())
+        assert prep.tuning is None
+        x = rng.standard_normal(A.shape[1])
+        np.testing.assert_allclose(eng.multiply(prep, x).y, A @ x, atol=1e-9)
+
+    def test_bccoo_plus_point(self, random_matrix, rng):
+        A = random_matrix(nrows=60, ncols=120)
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(A, point=TuningPoint(slice_count=4))
+        assert prep.point.format_name == "bccoo+"
+        x = rng.standard_normal(120)
+        np.testing.assert_allclose(eng.multiply(prep, x).y, A @ x, atol=1e-9)
+
+    def test_device_spec_accepted(self, random_matrix, rng):
+        eng = SpMVEngine(GTX480)
+        A = random_matrix()
+        x = rng.standard_normal(A.shape[1])
+        res = eng.multiply(eng.prepare(A, point=TuningPoint()), x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+        assert res.time_s > 0
+
+    def test_one_shot(self, random_matrix, rng):
+        A = random_matrix(nrows=100, ncols=100)
+        x = rng.standard_normal(100)
+        np.testing.assert_allclose(yaspmv(A, x), A @ x, atol=1e-9)
+
+    def test_tuning_kwargs_trim_search(self, random_matrix):
+        A = random_matrix(nrows=120, ncols=120, density=0.05)
+        full = SpMVEngine("gtx680")
+        trimmed = SpMVEngine(
+            "gtx680",
+            tuning_kwargs=dict(
+                pruned_kwargs=dict(
+                    keep_block_dims=1,
+                    workgroup_sizes=(64,),
+                    bit_words=("uint8",),
+                )
+            ),
+        )
+        full_prep = full.prepare(A, keep_history=True)
+        trim_prep = trimmed.prepare(A, keep_history=True)
+        assert trim_prep.tuning.evaluated < full_prep.tuning.evaluated / 3
+
+    def test_stats_exposed(self, random_matrix, rng):
+        A = random_matrix()
+        eng = SpMVEngine("gtx680")
+        res = eng.multiply(eng.prepare(A, point=TuningPoint()), rng.standard_normal(A.shape[1]))
+        assert res.stats.dram_read_bytes > 0
+        assert res.breakdown.bound in ("memory", "compute")

@@ -1,0 +1,102 @@
+"""Tests for the registry plumbing and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.formats.base import SparseFormat, register_format
+from repro.kernels.base import SpMVKernel, register_kernel
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.FormatError,
+            errors.FormatNotApplicableError,
+            errors.KernelConfigError,
+            errors.DeviceError,
+            errors.TuningError,
+            errors.MatrixGenerationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_not_applicable_is_format_error(self):
+        # Callers that catch FormatError also see N/A formats.
+        assert issubclass(errors.FormatNotApplicableError, errors.FormatError)
+
+    def test_single_except_catches_everything(self, random_matrix):
+        from repro.formats import ELLMatrix
+
+        with pytest.raises(errors.ReproError):
+            ELLMatrix.from_scipy(random_matrix(), max_expansion=0.0001)
+
+
+class TestFormatRegistry:
+    def test_duplicate_name_rejected(self):
+        class Dup(SparseFormat):
+            name = "coo"  # already taken
+
+            @classmethod
+            def from_scipy(cls, matrix, **params):  # pragma: no cover
+                raise NotImplementedError
+
+            def to_scipy(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def footprint(self, sizes=None):  # pragma: no cover
+                raise NotImplementedError
+
+            def multiply(self, x):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_format(Dup)
+
+    def test_empty_name_rejected(self):
+        class NoName(SparseFormat):
+            name = ""
+
+            @classmethod
+            def from_scipy(cls, matrix, **params):  # pragma: no cover
+                raise NotImplementedError
+
+            def to_scipy(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def footprint(self, sizes=None):  # pragma: no cover
+                raise NotImplementedError
+
+            def multiply(self, x):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_format(NoName)
+
+    def test_bad_shape_rejected(self):
+        from repro.formats import COOMatrix
+
+        with pytest.raises(errors.FormatError, match="positive"):
+            COOMatrix((0, 5), [], [], [])
+
+
+class TestKernelRegistry:
+    def test_duplicate_name_rejected(self):
+        class Dup(SpMVKernel):
+            name = "yaspmv"
+            format_name = "bccoo"
+
+            def run(self, fmt, x, device, **config):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_kernel(Dup)
+
+    def test_empty_name_rejected(self):
+        class NoName(SpMVKernel):
+            name = ""
+            format_name = "coo"
+
+            def run(self, fmt, x, device, **config):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_kernel(NoName)

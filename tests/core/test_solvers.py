@@ -1,0 +1,125 @@
+"""Tests for the iterative-solver layer."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from repro import SpMVEngine
+from repro.errors import ReproError
+from repro.solvers import (
+    SolveResult,
+    bicgstab,
+    conjugate_gradient,
+    jacobi,
+    power_method,
+)
+from repro.tuning import TuningPoint
+
+
+def spd_system(n=150):
+    A = sparse.diags(
+        [np.full(n - 1, -1.0), np.full(n, 4.0), np.full(n - 1, -1.0)], [-1, 0, 1]
+    ).tocsr()
+    return A, np.ones(n)
+
+
+def nonsymmetric_system(n=120, seed=7):
+    rng = np.random.default_rng(seed)
+    A = sparse.random(n, n, density=0.05, random_state=seed, format="csr")
+    A = A + sparse.diags(np.full(n, 10.0))  # well-conditioned
+    return A.tocsr(), rng.standard_normal(n)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SpMVEngine("gtx680")
+
+
+class TestConjugateGradient:
+    def test_solves_spd(self):
+        A, b = spd_system()
+        res = conjugate_gradient(A, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-8)
+
+    def test_history_monotonic_tail(self):
+        A, b = spd_system()
+        res = conjugate_gradient(A, b)
+        assert res.history[0] > res.history[-1]
+        assert res.residual_norm == res.history[-1]
+
+    def test_counts_spmv_time(self):
+        A, b = spd_system()
+        res = conjugate_gradient(A, b)
+        assert res.spmv_count == res.iterations + 1  # +1 initial residual
+        assert res.spmv_time_s > 0
+
+    def test_prepared_matrix_reuse(self, engine):
+        A, b = spd_system()
+        prep = engine.prepare(A, point=TuningPoint())
+        res = conjugate_gradient(prep, b, engine=engine)
+        assert res.converged
+
+    def test_prepared_without_engine_rejected(self, engine):
+        A, b = spd_system()
+        prep = engine.prepare(A, point=TuningPoint())
+        with pytest.raises(ReproError, match="engine"):
+            conjugate_gradient(prep, b)
+
+    def test_rectangular_rejected(self):
+        A = sparse.random(10, 20, density=0.3, random_state=0, format="csr")
+        with pytest.raises(ReproError, match="square"):
+            conjugate_gradient(A, np.ones(10))
+
+    def test_max_iter_reported(self):
+        A, b = spd_system()
+        res = conjugate_gradient(A, b, tol=1e-30, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+
+class TestBiCGSTAB:
+    def test_solves_nonsymmetric(self):
+        A, b = nonsymmetric_system()
+        res = bicgstab(A, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-7)
+
+    def test_agrees_with_cg_on_spd(self):
+        A, b = spd_system()
+        x_cg = conjugate_gradient(A, b, tol=1e-12).x
+        x_bi = bicgstab(A, b, tol=1e-12).x
+        np.testing.assert_allclose(x_bi, x_cg, atol=1e-8)
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant(self):
+        A, b = nonsymmetric_system()
+        res = jacobi(A, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-7)
+
+    def test_zero_diagonal_rejected(self):
+        A = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ReproError, match="diagonal"):
+            jacobi(A, np.ones(2))
+
+
+class TestPowerMethod:
+    def test_finds_dominant_eigenvalue(self):
+        A, _ = spd_system(100)
+        res = power_method(A, tol=1e-10, max_iter=20_000)
+        lam_ref = eigsh(A, k=1, which="LA", return_eigenvectors=False)[0]
+        assert res.eigenvalue == pytest.approx(lam_ref, rel=1e-4)
+
+    def test_eigenvector_quality(self):
+        A, _ = spd_system(100)
+        res = power_method(A, tol=1e-10, max_iter=20_000)
+        ratio = np.linalg.norm(A @ res.x) / np.linalg.norm(res.x)
+        assert ratio == pytest.approx(abs(res.eigenvalue), rel=1e-4)
+
+    def test_one_spmv_per_iteration(self):
+        A, _ = spd_system(60)
+        res = power_method(A, max_iter=50, tol=0.0)
+        assert res.spmv_count == res.iterations + 1

@@ -1,0 +1,224 @@
+"""Tests for the BCCOO format (the paper's section 2.2)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import FormatError
+from repro.formats import BCCOOMatrix, COOMatrix
+
+
+class TestPaperFigure3:
+    """Matrix A with 2x2 blocks must reproduce Figure 3 exactly."""
+
+    @pytest.fixture
+    def fmt(self, paper_matrix_a):
+        return BCCOOMatrix.from_scipy(
+            paper_matrix_a, block_height=2, block_width=2, bit_word_dtype=np.uint8
+        )
+
+    def test_bit_flags(self, fmt):
+        flags = (~fmt.stops()[: fmt.nblocks]).astype(int)
+        assert flags.tolist() == [1, 0, 1, 1, 0]
+
+    def test_col_index(self, fmt):
+        assert fmt.columns()[: fmt.nblocks].tolist() == [1, 3, 0, 2, 3]
+
+    def test_value_rows_separable(self, fmt):
+        # Figure 2/3 store intra-block rows in separate arrays; our
+        # (nb, h, w) layout slices to exactly those arrays.
+        top = fmt.values[: fmt.nblocks, 0, :].ravel()
+        bottom = fmt.values[: fmt.nblocks, 1, :].ravel()
+        assert top.tolist() == [1, 0, 2, 3, 0, 0, 7, 8, 9, 10]
+        assert bottom.tolist() == [4, 5, 6, 0, 11, 12, 13, 14, 15, 16]
+
+    def test_block_rows_reconstruct(self, fmt):
+        assert fmt.block_rows().tolist() == [0, 0, 1, 1, 1]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    @pytest.mark.parametrize("w", [1, 2, 4])
+    def test_all_block_sizes(self, h, w, random_matrix):
+        A = random_matrix(nrows=37, ncols=53, density=0.1)
+        fmt = BCCOOMatrix.from_scipy(A, block_height=h, block_width=w)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @pytest.mark.parametrize("word", [np.uint8, np.uint16, np.uint32])
+    def test_all_word_types(self, word, random_matrix):
+        A = random_matrix()
+        fmt = BCCOOMatrix.from_scipy(A, bit_word_dtype=word)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @pytest.mark.parametrize("storage", ["int32", "ushort", "delta"])
+    def test_all_col_storages(self, storage, random_matrix, rng):
+        A = random_matrix(nrows=64, ncols=64, density=0.1)
+        fmt = BCCOOMatrix.from_scipy(A, col_storage=storage, delta_tile_size=8)
+        assert fmt.col_storage == storage
+        assert (fmt.to_scipy() != A).nnz == 0
+        x = rng.standard_normal(64)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, atol=1e-10)
+
+    def test_empty_block_rows(self, empty_row_matrix, rng):
+        fmt = BCCOOMatrix.from_scipy(empty_row_matrix, block_height=2, block_width=2)
+        assert fmt.has_empty_block_rows
+        assert (fmt.to_scipy() != empty_row_matrix).nnz == 0
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(fmt.multiply(x), empty_row_matrix @ x)
+
+    def test_pad_multiple(self, random_matrix):
+        A = random_matrix()
+        fmt = BCCOOMatrix.from_scipy(A, pad_multiple=64)
+        assert fmt.nblocks_padded % 64 == 0
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    def test_single_element(self):
+        A = sparse.csr_matrix((np.array([3.0]), (np.array([2]), np.array([5]))), shape=(9, 9))
+        fmt = BCCOOMatrix.from_scipy(A, block_height=2, block_width=2)
+        assert fmt.nblocks == 1
+        assert (fmt.to_scipy() != A).nnz == 0
+
+
+class TestColumnStorageSelection:
+    def test_auto_narrow_is_ushort(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(ncols=100))
+        assert fmt.col_storage == "ushort"
+
+    def test_auto_wide_compressible_is_delta(self):
+        # Contiguous column runs: deltas are tiny, so the cost-based
+        # auto decision keeps the 16-bit representation.
+        nrows, run = 300, 100
+        rows = np.repeat(np.arange(nrows), run)
+        cols = (np.arange(nrows * run) % run) + 1000 * np.repeat(
+            np.arange(nrows), run
+        )
+        A = sparse.csr_matrix(
+            (np.ones(rows.size), (rows, cols)), shape=(nrows, 300_000)
+        )
+        fmt = BCCOOMatrix.from_scipy(A, block_width=1)
+        assert fmt.col_storage == "delta"
+
+    def test_auto_wide_scattered_is_int32(self):
+        # Column gaps far beyond int16 on nearly every entry: delta
+        # would fall back too often to pay off, so auto declines the
+        # compression (the Table 1 "Col_index compress: No" decision).
+        rng = np.random.default_rng(0)
+        rows = np.repeat(np.arange(100), 10)
+        cols = rng.choice(5_000_000, size=1000, replace=False)
+        A = sparse.csr_matrix(
+            (np.ones(1000), (rows, np.sort(cols.reshape(100, 10), axis=1).ravel())),
+            shape=(100, 5_000_000),
+        )
+        fmt = BCCOOMatrix.from_scipy(A, block_width=1, delta_tile_size=16)
+        assert fmt.col_storage == "int32"
+
+    def test_auto_wide_dense_rows_is_delta(self):
+        A = sparse.random(50, 300_000, density=0.0005, random_state=0, format="csr")
+        fmt = BCCOOMatrix.from_scipy(A, block_width=1, delta_tile_size=16)
+        assert fmt.col_storage == "delta"
+
+    def test_ushort_rejected_when_wide(self):
+        A = sparse.random(50, 300_000, density=0.0005, random_state=0, format="csr")
+        with pytest.raises(FormatError, match="ushort"):
+            BCCOOMatrix.from_scipy(A, col_storage="ushort")
+
+    def test_blocking_widens_ushort_reach(self):
+        # 100k columns exceed ushort at width 1... no: 100k > 65535, but
+        # with block width 4 there are only 25k block columns.
+        A = sparse.random(50, 100_000, density=0.001, random_state=0, format="csr")
+        fmt = BCCOOMatrix.from_scipy(A, block_width=4, col_storage="auto")
+        assert fmt.col_storage == "ushort"
+
+    def test_invalid_mode(self, random_matrix):
+        with pytest.raises(FormatError, match="col_storage"):
+            BCCOOMatrix.from_scipy(random_matrix(), col_storage="zip")
+
+
+class TestFootprint:
+    def test_smaller_than_coo(self, random_matrix):
+        A = random_matrix(nrows=200, ncols=200, density=0.05)
+        bccoo = BCCOOMatrix.from_scipy(A).footprint_bytes()
+        coo = COOMatrix.from_scipy(A).footprint_bytes()
+        assert bccoo < coo
+
+    def test_bit_flags_tiny(self, random_matrix):
+        A = random_matrix(nrows=200, ncols=200, density=0.05)
+        fp = BCCOOMatrix.from_scipy(A, bit_word_dtype=np.uint8).footprint()
+        # One bit per block vs 32 bits: flags must be < 4% of a COO row array.
+        assert fp.arrays["bit_flags"] * 25 < A.nnz * 4
+
+    def test_dense_matches_table3_math(self):
+        # Table 3: Dense (2K x 2K, 4M nnz) = 17 MB with 4x4 blocks.  At
+        # 1/10 linear scale the same arithmetic gives values+cols+flags.
+        n = 200
+        A = sparse.csr_matrix(np.ones((n, n)))
+        fmt = BCCOOMatrix.from_scipy(A, block_height=4, block_width=4)
+        fp = fmt.footprint()
+        nb = (n // 4) ** 2
+        assert fmt.nblocks == nb
+        # Padding to whole bit-flag words adds <2% at this size.
+        assert fp.arrays["values"] == fmt.nblocks_padded * 16 * 4
+        assert fp.arrays["values"] <= nb * 16 * 4 * 1.02
+        assert fp.arrays["col_index"] == fmt.nblocks_padded * 2
+
+    def test_aux_info_optional(self, random_matrix):
+        A = random_matrix()
+        fmt = BCCOOMatrix.from_scipy(A, pad_multiple=16)
+        base = fmt.footprint()
+        with_aux = fmt.footprint(tile_size=16)
+        assert with_aux.total > base.total
+        assert "first_result_entry" in with_aux.arrays
+
+    def test_row_map_charged_only_when_gaps(self, empty_row_matrix, random_matrix):
+        gappy = BCCOOMatrix.from_scipy(empty_row_matrix).footprint()
+        assert "row_map" in gappy.arrays
+        full = BCCOOMatrix.from_scipy(random_matrix(density=0.5)).footprint()
+        assert "row_map" not in full.arrays
+
+
+class TestAuxiliary:
+    def test_tile_has_stop(self, random_matrix):
+        A = random_matrix()
+        fmt = BCCOOMatrix.from_scipy(A, pad_multiple=8)
+        aux = fmt.auxiliary(8)
+        stops = fmt.stops().reshape(-1, 8)
+        np.testing.assert_array_equal(aux["tile_has_stop"], stops.any(axis=1))
+
+    def test_indivisible_tile_rejected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(), pad_multiple=8)
+        with pytest.raises(FormatError, match="does not divide"):
+            fmt.auxiliary(7)
+
+
+class TestValidation:
+    def test_tampered_row_map_detected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix())
+        with pytest.raises(FormatError, match="row stops"):
+            BCCOOMatrix(
+                fmt.shape,
+                fmt.block_height,
+                fmt.block_width,
+                fmt.flags,
+                fmt.col_block,
+                fmt.values,
+                fmt.nonempty_block_rows[:-1],  # one entry short
+                fmt.col_storage,
+                fmt.delta,
+                fmt.nnz,
+            )
+
+    def test_wrong_values_shape_detected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix())
+        with pytest.raises(FormatError, match="values shape"):
+            BCCOOMatrix(
+                fmt.shape,
+                fmt.block_height + 1,
+                fmt.block_width,
+                fmt.flags,
+                fmt.col_block,
+                fmt.values,
+                fmt.nonempty_block_rows,
+                fmt.col_storage,
+                fmt.delta,
+                fmt.nnz,
+            )

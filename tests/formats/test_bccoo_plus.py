@@ -1,0 +1,106 @@
+"""Tests for BCCOO+ (vertical slicing, paper section 2.3)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import FormatError
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix
+
+
+class TestPaperFigure4:
+    """Matrix A, 2 slices, 2x2 blocks must reproduce Figure 4 exactly."""
+
+    @pytest.fixture
+    def fmt(self, paper_matrix_a):
+        return BCCOOPlusMatrix.from_scipy(
+            paper_matrix_a, slice_count=2, block_height=2, block_width=2
+        )
+
+    def test_bit_flags(self, fmt):
+        flags = (~fmt.stacked.stops()[: fmt.nblocks]).astype(int)
+        assert flags.tolist() == [0, 0, 0, 1, 0]
+
+    def test_col_index_in_original_coordinates(self, fmt):
+        # Figure 4b: [1, 0, 3, 2, 3] -- block columns of matrix A, not B.
+        assert fmt.stacked.columns()[: fmt.nblocks].tolist() == [1, 0, 3, 2, 3]
+
+    def test_slice_width(self, fmt):
+        assert fmt.slice_width == 4
+        assert fmt.slice_count == 2
+
+    def test_stacked_shape(self, fmt):
+        # B is 8x4 logically; the stacked BCCOO keeps original columns.
+        assert fmt.stacked.shape[0] == 8
+        assert fmt.stacked.ncols == 8  # indexes the original vector
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("slices", [1, 2, 4, 8])
+    def test_slice_counts(self, slices, random_matrix):
+        A = random_matrix(nrows=50, ncols=90, density=0.1)
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=slices, block_height=2, block_width=2)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @pytest.mark.parametrize("slices", [2, 4])
+    def test_multiply(self, slices, random_matrix, rng):
+        A = random_matrix(nrows=45, ncols=73, density=0.12)
+        x = rng.standard_normal(73)
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=slices, block_height=3, block_width=2)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, atol=1e-10)
+
+    def test_more_slices_than_columns(self, rng):
+        A = sparse.random(20, 6, density=0.4, random_state=0, format="csr")
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=8, block_width=2)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, atol=1e-12)
+
+    def test_empty_slice_tolerated(self, rng):
+        # All non-zeros in the left half; right slices are empty.
+        A = sparse.random(30, 100, density=0.1, random_state=0, format="csr").tolil()
+        A[:, 50:] = 0
+        A = A.tocsr()
+        A.eliminate_zeros()
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=4)
+        x = rng.standard_normal(100)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, atol=1e-12)
+
+
+class TestCombine:
+    def test_figure5_decomposition(self, paper_matrix_a, rng):
+        # A @ y == sum over slices of (slice @ y-window): verify through
+        # the stacked partial results.
+        fmt = BCCOOPlusMatrix.from_scipy(
+            paper_matrix_a, slice_count=2, block_height=2, block_width=2
+        )
+        x = rng.standard_normal(8)
+        y_stacked = fmt.stacked.multiply(x)
+        top, bottom = y_stacked[:4], y_stacked[4:]
+        dense = paper_matrix_a.toarray()
+        np.testing.assert_allclose(top, dense[:, :4] @ x[:4], atol=1e-12)
+        np.testing.assert_allclose(bottom, dense[:, 4:] @ x[4:], atol=1e-12)
+        np.testing.assert_allclose(fmt.combine(y_stacked), dense @ x, atol=1e-12)
+
+    def test_combine_length_check(self, paper_matrix_a):
+        fmt = BCCOOPlusMatrix.from_scipy(paper_matrix_a, slice_count=2)
+        with pytest.raises(FormatError, match="stacked result"):
+            fmt.combine(np.zeros(3))
+
+    def test_temp_buffer_size(self, random_matrix):
+        A = random_matrix(nrows=33, ncols=80)
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=4, block_height=2)
+        assert fmt.temp_buffer_rows == 4 * 34  # rows padded to block height
+
+
+class TestFootprint:
+    def test_charges_temp_buffer(self, random_matrix):
+        A = random_matrix(nrows=60, ncols=120, density=0.1)
+        plus = BCCOOPlusMatrix.from_scipy(A, slice_count=4)
+        plain = BCCOOMatrix.from_scipy(A)
+        fp = plus.footprint()
+        assert "slice_temp_buffer" in fp.arrays
+        assert fp.total > plain.footprint_bytes()
+
+    def test_invalid_slice_count(self, random_matrix):
+        with pytest.raises(FormatError, match="slice_count"):
+            BCCOOPlusMatrix.from_scipy(random_matrix(), slice_count=0)

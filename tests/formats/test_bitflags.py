@@ -1,0 +1,125 @@
+"""Tests for bit-flag row-index compression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import bitflags as bf
+
+
+class TestStopsFromBlockRows:
+    def test_paper_figure3(self):
+        # Matrix A, 2x2 blocks: block rows [0, 0, 1, 1, 1].
+        stops = bf.stops_from_block_rows(np.array([0, 0, 1, 1, 1]))
+        # Paper bit flags are [1 0 1 1 0]: stops at positions 1 and 4.
+        assert (~stops).astype(int).tolist() == [1, 0, 1, 1, 0]
+
+    def test_last_block_always_stop(self):
+        stops = bf.stops_from_block_rows(np.array([0, 0, 0]))
+        assert stops.tolist() == [False, False, True]
+
+    def test_every_block_own_row(self):
+        stops = bf.stops_from_block_rows(np.array([0, 1, 2, 3]))
+        assert stops.all()
+
+    def test_empty(self):
+        assert bf.stops_from_block_rows(np.array([], dtype=int)).size == 0
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            bf.stops_from_block_rows(np.array([1, 0]))
+
+    def test_gap_rows_supported(self):
+        # Empty block rows simply don't appear; stops still mark ends.
+        stops = bf.stops_from_block_rows(np.array([0, 0, 5, 9]))
+        assert stops.tolist() == [False, True, True, True]
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32])
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 31, 32, 33, 100])
+    def test_round_trip(self, dtype, n, rng):
+        stops = rng.random(n) < 0.4
+        packed = bf.pack(stops, dtype)
+        back = bf.unpack(packed)
+        assert back[:n].tolist() == stops.tolist()
+
+    def test_padding_is_continue_bits(self, rng):
+        stops = np.array([True, False, True])
+        packed = bf.pack(stops, np.uint32, pad_multiple=16)
+        back = bf.unpack(packed)
+        assert not back[3:].any()  # padding never closes a segment
+
+    def test_pad_multiple_respected(self):
+        packed = bf.pack(np.array([True] * 5), np.uint8, pad_multiple=12)
+        # Padded first to the working-set multiple, then to whole words.
+        assert packed.nbits >= 12
+        assert packed.nbits % 8 == 0
+        assert packed.n_valid == 5
+
+    def test_nbits_whole_words(self):
+        for dtype in (np.uint8, np.uint16, np.uint32):
+            packed = bf.pack(np.array([True] * 3), dtype)
+            assert packed.nbits % (np.dtype(dtype).itemsize * 8) == 0
+
+    def test_compression_ratio(self):
+        # 32 blocks: int32 row indices = 128 B; uint32 bit flags = 4 B.
+        packed = bf.pack(np.ones(32, dtype=bool), np.uint32)
+        assert packed.nbytes == 4
+
+    def test_word_dtype_validation(self):
+        with pytest.raises(FormatError, match="word dtype"):
+            bf.pack(np.array([True]), np.int32)
+
+    def test_bad_pad_multiple(self):
+        with pytest.raises(FormatError, match="pad_multiple"):
+            bf.pack(np.array([True]), np.uint8, pad_multiple=0)
+
+    def test_n_row_stops(self, rng):
+        stops = rng.random(50) < 0.3
+        packed = bf.pack(stops, np.uint16)
+        assert packed.n_row_stops == int(stops.sum())
+
+
+class TestRowReconstruction:
+    def test_ordinals_count_preceding_stops(self):
+        stops = np.array([0, 0, 1, 0, 1, 1, 0], dtype=bool)
+        ords = bf.reconstruct_row_ordinals(stops)
+        assert ords.tolist() == [0, 0, 0, 1, 1, 2, 3]
+
+    def test_lossless_via_row_map(self, rng):
+        # block rows with gaps (empty block rows) reconstruct exactly
+        # through the non-empty-row map.
+        block_row = np.sort(rng.integers(0, 30, 50))
+        stops = bf.stops_from_block_rows(block_row)
+        ords = bf.reconstruct_row_ordinals(stops)
+        nonempty = np.unique(block_row)
+        np.testing.assert_array_equal(nonempty[ords], block_row)
+
+    def test_empty(self):
+        assert bf.reconstruct_row_ordinals(np.array([], dtype=bool)).size == 0
+
+
+class TestFirstResultEntries:
+    def test_matches_paper_figure6(self):
+        # Matrix C: 16 blocks, row lengths 5/2/3/6, 4 threads x 4 blocks.
+        # Figure 6b: first-result entries are [0, 0, 2, 3].
+        block_row = np.repeat([0, 1, 2, 3], [5, 2, 3, 6])
+        stops = bf.stops_from_block_rows(block_row)
+        entries = bf.first_result_entries(stops, 4)
+        assert entries.tolist() == [0, 0, 2, 3]
+
+    def test_bruteforce_agreement(self, rng):
+        stops = rng.random(64) < 0.35
+        for tile in (2, 4, 8, 16):
+            entries = bf.first_result_entries(stops, tile)
+            expected = [int(stops[: t * tile].sum()) for t in range(64 // tile)]
+            assert entries.tolist() == expected
+
+    def test_indivisible_length_rejected(self):
+        with pytest.raises(FormatError, match="multiple"):
+            bf.first_result_entries(np.zeros(10, dtype=bool), 4)
+
+    def test_bad_tile(self):
+        with pytest.raises(FormatError, match="tile_size"):
+            bf.first_result_entries(np.zeros(8, dtype=bool), 0)

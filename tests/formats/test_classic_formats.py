@@ -1,0 +1,214 @@
+"""Tests for the classic format zoo: COO, CSR, ELL, DIA, HYB, BCSR, BELL, SELL."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import FormatError, FormatNotApplicableError
+from repro.formats import (
+    BCSRMatrix,
+    BELLMatrix,
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    SELLMatrix,
+    available_formats,
+    get_format,
+)
+
+ALL_CLASSIC = [
+    ("coo", {}),
+    ("csr", {}),
+    ("ell", {}),
+    ("dia", {"max_expansion": 100.0}),
+    ("hyb", {}),
+    ("bcsr", {"block_height": 2, "block_width": 2}),
+    ("bell", {"block_height": 2, "block_width": 2}),
+    ("sell", {"slice_height": 8}),
+]
+
+
+class TestRegistry:
+    def test_all_formats_registered(self):
+        names = set(available_formats())
+        assert {
+            "coo",
+            "csr",
+            "ell",
+            "dia",
+            "hyb",
+            "bcsr",
+            "bell",
+            "sell",
+            "bccoo",
+            "bccoo+",
+        } <= names
+
+    def test_get_format_unknown(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            get_format("nope")
+
+
+@pytest.mark.parametrize("name,kw", ALL_CLASSIC)
+class TestUniformContract:
+    """Every format satisfies the SparseFormat contract."""
+
+    def test_round_trip_lossless(self, name, kw, random_matrix):
+        A = random_matrix(nrows=40, ncols=40, density=0.15)
+        fmt = get_format(name).from_scipy(A, **kw)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    def test_multiply_matches_scipy(self, name, kw, random_matrix, rng):
+        A = random_matrix(nrows=40, ncols=40, density=0.15)
+        x = rng.standard_normal(40)
+        fmt = get_format(name).from_scipy(A, **kw)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, atol=1e-10)
+
+    def test_footprint_positive(self, name, kw, random_matrix):
+        A = random_matrix(nrows=40, ncols=40, density=0.15)
+        fmt = get_format(name).from_scipy(A, **kw)
+        fp = fmt.footprint()
+        assert fp.total > 0
+        assert all(v >= 0 for v in fp.arrays.values())
+
+    def test_wrong_vector_length(self, name, kw, random_matrix):
+        A = random_matrix(nrows=30, ncols=50, density=0.15)
+        fmt = get_format(name).from_scipy(A, **kw)
+        with pytest.raises(FormatError, match="vector length"):
+            fmt.multiply(np.zeros(49))
+
+    def test_paper_example(self, name, kw, paper_matrix_a, rng):
+        x = rng.standard_normal(8)
+        fmt = get_format(name).from_scipy(paper_matrix_a, **kw)
+        np.testing.assert_allclose(fmt.multiply(x), paper_matrix_a @ x, atol=1e-12)
+
+
+class TestCOO:
+    def test_footprint_is_12_bytes_per_nnz(self, random_matrix):
+        A = random_matrix()
+        fmt = COOMatrix.from_scipy(A)
+        assert fmt.footprint_bytes() == A.nnz * 12
+
+    def test_row_major_sorted(self, random_matrix):
+        fmt = COOMatrix.from_scipy(random_matrix())
+        key = fmt.row.astype(np.int64) * fmt.ncols + fmt.col
+        assert (np.diff(key) > 0).all()
+
+
+class TestCSR:
+    def test_row_lengths(self, paper_matrix_a):
+        fmt = CSRMatrix.from_scipy(paper_matrix_a)
+        assert fmt.row_lengths().tolist() == [3, 3, 4, 6]
+
+    def test_empty_rows(self, empty_row_matrix, rng):
+        fmt = CSRMatrix.from_scipy(empty_row_matrix)
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(fmt.multiply(x), empty_row_matrix @ x)
+
+    def test_footprint(self, random_matrix):
+        A = random_matrix(nrows=25)
+        fp = CSRMatrix.from_scipy(A).footprint()
+        assert fp.arrays["row_ptr"] == 26 * 4
+        assert fp.arrays["col_index"] == A.nnz * 4
+
+
+class TestELL:
+    def test_uniform_rows_no_waste(self, stencil_matrix):
+        fmt = ELLMatrix.from_scipy(stencil_matrix)
+        assert fmt.K == 3
+        assert fmt.stored_slots <= stencil_matrix.nnz + 2 * 3  # edge rows
+
+    def test_skewed_rejected(self, skewed_matrix):
+        with pytest.raises(FormatNotApplicableError, match="too skewed"):
+            ELLMatrix.from_scipy(skewed_matrix)
+
+    def test_expansion_budget_override(self, skewed_matrix):
+        fmt = ELLMatrix.from_scipy(skewed_matrix, max_expansion=1e9)
+        assert fmt.K >= 300  # the hub row (plus its pre-existing entries)
+
+    def test_column_major_layout(self, paper_matrix_a):
+        fmt = ELLMatrix.from_scipy(paper_matrix_a)
+        assert fmt.col_index.shape == (6, 4)  # (K, nrows)
+
+
+class TestDIA:
+    def test_stencil_is_three_diagonals(self, stencil_matrix):
+        fmt = DIAMatrix.from_scipy(stencil_matrix)
+        assert fmt.ndiags == 3
+        assert fmt.offsets.tolist() == [-1, 0, 1]
+
+    def test_scattered_rejected(self, rng):
+        A = sparse.random(500, 500, density=0.02, random_state=1, format="csr")
+        with pytest.raises(FormatNotApplicableError, match="diagonal"):
+            DIAMatrix.from_scipy(A)
+
+    def test_rectangular(self, rng):
+        A = sparse.diags([np.ones(30)], [5], shape=(30, 40)).tocsr()
+        fmt = DIAMatrix.from_scipy(A)
+        x = rng.standard_normal(40)
+        np.testing.assert_allclose(fmt.multiply(x), A @ x)
+
+
+class TestHYB:
+    def test_tune_k_uniform_prefers_full_ell(self, stencil_matrix):
+        k = HYBMatrix.tune_k(stencil_matrix)
+        assert k == 3  # all rows fit; no COO spill
+
+    def test_tune_k_skewed_small(self, skewed_matrix):
+        k = HYBMatrix.tune_k(skewed_matrix)
+        assert k < 20  # hub row must spill
+
+    def test_split_preserves_nnz(self, skewed_matrix):
+        fmt = HYBMatrix.from_scipy(skewed_matrix, k=5)
+        assert fmt.ell.nnz + fmt.coo.nnz == skewed_matrix.nnz
+
+    def test_explicit_k_zero_is_pure_coo(self, random_matrix):
+        A = random_matrix()
+        fmt = HYBMatrix.from_scipy(A, k=0)
+        assert fmt.ell.nnz == 0
+        assert fmt.coo.nnz == A.nnz
+
+    def test_negative_k_rejected(self, random_matrix):
+        with pytest.raises(FormatError, match="k must be"):
+            HYBMatrix.from_scipy(random_matrix(), k=-1)
+
+
+class TestBCSR:
+    def test_block_row_ptr(self, paper_matrix_a):
+        fmt = BCSRMatrix.from_scipy(paper_matrix_a, block_height=2, block_width=2)
+        assert fmt.block_row_ptr.tolist() == [0, 2, 5]
+        assert fmt.nblocks == 5
+
+    def test_fill_in_counted_in_footprint(self, paper_matrix_a):
+        fmt = BCSRMatrix.from_scipy(paper_matrix_a, block_height=2, block_width=2)
+        assert fmt.footprint().arrays["values"] == 5 * 4 * 4  # 5 blocks x 2x2 x fp32
+
+
+class TestBELL:
+    def test_uniform_width(self, paper_matrix_a):
+        fmt = BELLMatrix.from_scipy(paper_matrix_a, block_height=2, block_width=2)
+        assert fmt.K == 3  # widest block row has 3 blocks
+        assert fmt.n_block_rows == 2
+
+    def test_skewed_rejected(self, skewed_matrix):
+        with pytest.raises(FormatNotApplicableError):
+            BELLMatrix.from_scipy(skewed_matrix, block_height=2, block_width=2)
+
+
+class TestSELL:
+    def test_per_slice_widths(self, skewed_matrix):
+        fmt = SELLMatrix.from_scipy(skewed_matrix, slice_height=32)
+        widths = fmt.slice_width
+        assert widths.max() >= 300  # hub row's slice
+        assert np.median(widths) < 20  # other slices stay small
+
+    def test_smaller_than_ell(self, skewed_matrix):
+        sell = SELLMatrix.from_scipy(skewed_matrix, slice_height=32)
+        ell = ELLMatrix.from_scipy(skewed_matrix, max_expansion=1e9)
+        assert sell.footprint_bytes() < ell.footprint_bytes()
+
+    def test_bad_slice_height(self, random_matrix):
+        with pytest.raises(FormatError, match="slice_height"):
+            SELLMatrix.from_scipy(random_matrix(), slice_height=0)

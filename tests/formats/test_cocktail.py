@@ -1,0 +1,89 @@
+"""Tests for the COCKTAIL partitioned format."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.formats import CocktailMatrix, COOMatrix, CSRMatrix
+from repro.gpu import GTX680
+from repro.kernels import get_kernel
+
+
+@pytest.fixture
+def stencil_plus_hubs(rng):
+    n = 600
+    body = sparse.diags(
+        [np.ones(n - 1), 2.0 * np.ones(n), np.ones(n - 1)], [-1, 0, 1]
+    ).tolil()
+    for hub in (3, 450):
+        body[hub, rng.choice(n, 400, replace=False)] = 1.0
+    out = body.tocsr()
+    out.eliminate_zeros()
+    return out
+
+
+class TestConstruction:
+    def test_uniform_matrix_stays_single(self, stencil_matrix):
+        fmt = CocktailMatrix.from_scipy(stencil_matrix)
+        assert fmt.recipe.startswith("single:")
+        assert len(fmt.partitions) == 1
+
+    def test_stencil_plus_hubs_splits(self, stencil_plus_hubs):
+        # A tridiagonal body (DIA prices it at 4 bytes/nnz) plus hub
+        # rows that break DIA/ELL: only a split prices both well.
+        fmt = CocktailMatrix.from_scipy(stencil_plus_hubs)
+        assert "+" in fmt.recipe
+        assert len(fmt.partitions) == 2
+
+    def test_partitions_cover_disjoint_rows(self, stencil_plus_hubs):
+        fmt = CocktailMatrix.from_scipy(stencil_plus_hubs)
+        seen = None
+        for _, part in fmt.partitions:
+            rows = np.unique(part.to_scipy().tocoo().row)
+            if seen is None:
+                seen = set(rows.tolist())
+            else:
+                assert not (seen & set(rows.tolist()))
+
+
+class TestContract:
+    def test_round_trip(self, skewed_matrix, stencil_matrix, random_matrix):
+        for A in (skewed_matrix, stencil_matrix, random_matrix()):
+            fmt = CocktailMatrix.from_scipy(A)
+            assert (fmt.to_scipy() != A).nnz == 0
+
+    def test_multiply(self, skewed_matrix, rng):
+        fmt = CocktailMatrix.from_scipy(skewed_matrix)
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        np.testing.assert_allclose(fmt.multiply(x), skewed_matrix @ x, atol=1e-9)
+
+    def test_footprint_beats_worst_single(self, skewed_matrix):
+        cocktail = CocktailMatrix.from_scipy(skewed_matrix).footprint_bytes()
+        coo = COOMatrix.from_scipy(skewed_matrix).footprint_bytes()
+        assert cocktail <= coo
+
+    def test_footprint_labels_partitions(self, stencil_plus_hubs):
+        fp = CocktailMatrix.from_scipy(stencil_plus_hubs).footprint()
+        assert any(k.endswith(("_values", "_bands")) for k in fp.arrays)
+        assert "partition_map" in fp.arrays
+
+
+class TestKernel:
+    def test_numerics(self, skewed_matrix, rng):
+        fmt = CocktailMatrix.from_scipy(skewed_matrix)
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        res = get_kernel("cocktail").run(fmt, x, GTX680)
+        np.testing.assert_allclose(res.y, skewed_matrix @ x, atol=1e-9)
+
+    def test_launches_accumulate(self, skewed_matrix, rng):
+        fmt = CocktailMatrix.from_scipy(skewed_matrix)
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        res = get_kernel("cocktail").run(fmt, x, GTX680)
+        # One launch per partition at minimum (COO's two count extra).
+        assert res.stats.n_launches >= len(fmt.partitions)
+
+    def test_single_partition_single_launchish(self, stencil_matrix, rng):
+        fmt = CocktailMatrix.from_scipy(stencil_matrix)
+        x = rng.standard_normal(stencil_matrix.shape[1])
+        res = get_kernel("cocktail").run(fmt, x, GTX680)
+        np.testing.assert_allclose(res.y, stencil_matrix @ x, atol=1e-10)

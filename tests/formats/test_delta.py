@@ -1,0 +1,89 @@
+"""Tests for column-index delta compression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.delta import SENTINEL, compress_columns, decompress_columns
+
+
+class TestRoundTrip:
+    def test_small_indices(self):
+        col = np.array([1, 3, 0, 2, 3, 7, 7, 9])
+        dc = compress_columns(col, 4)
+        np.testing.assert_array_equal(decompress_columns(dc), col)
+
+    def test_random(self, rng):
+        for _ in range(20):
+            tiles = int(rng.integers(1, 10))
+            tile = int(rng.choice([1, 2, 4, 8, 16]))
+            col = rng.integers(0, 5_000_000, tiles * tile)
+            dc = compress_columns(col, tile)
+            np.testing.assert_array_equal(decompress_columns(dc), col)
+
+    def test_sorted_stream_compresses_fully(self, rng):
+        col = np.sort(rng.integers(0, 30_000, 64))
+        dc = compress_columns(col, 16)
+        # Small deltas + per-tile bases: no fallbacks at all.
+        assert dc.n_fallbacks == 0
+        assert dc.n_tiles == 4
+
+    def test_large_jumps_fall_back(self):
+        col = np.array([0, 1_000_000, 0, 2_000_000])
+        dc = compress_columns(col, 4)
+        assert dc.n_fallbacks >= 2
+        np.testing.assert_array_equal(decompress_columns(dc), col)
+
+
+class TestSentinelSemantics:
+    def test_genuine_minus_one_difference_uses_fallback(self):
+        # A true difference of -1 collides with the sentinel; the paper's
+        # scheme stays correct because the fallback holds the truth.
+        col = np.array([5, 4, 3, 2])
+        dc = compress_columns(col, 4)
+        assert (dc.deltas[1:] == SENTINEL).all()
+        np.testing.assert_array_equal(decompress_columns(dc), col)
+
+    def test_tile_bases_are_absolute(self):
+        col = np.array([100, 101, 200, 201])
+        dc = compress_columns(col, 2)
+        assert dc.start_cols.tolist() == [100, 200]
+        assert dc.deltas[0] == 0 and dc.deltas[2] == 0
+
+    def test_wide_tile_start_needs_no_fallback(self):
+        # The per-tile base spares tile starts from int16 overflow even
+        # past column 32767.
+        col = np.array([70_000, 70_001])
+        dc = compress_columns(col, 2)
+        assert dc.n_fallbacks == 0
+        np.testing.assert_array_equal(decompress_columns(dc), col)
+
+    def test_fallback_fraction(self):
+        col = np.array([0, 1, 2, 3])
+        dc = compress_columns(col, 4)
+        assert dc.fallback_fraction == 0.0
+        col = np.array([0, 1_000_000, 2_000_000, 3_000_000])
+        dc = compress_columns(col, 4)
+        assert dc.fallback_fraction == pytest.approx(0.75)
+
+    def test_deltas_are_int16(self):
+        dc = compress_columns(np.array([0, 1, 2, 3]), 4)
+        assert dc.deltas.dtype == np.int16
+
+
+class TestValidation:
+    def test_indivisible_length(self):
+        with pytest.raises(FormatError, match="multiple"):
+            compress_columns(np.arange(10), 4)
+
+    def test_negative_indices(self):
+        with pytest.raises(FormatError, match="non-negative"):
+            compress_columns(np.array([-1, 0, 1, 2]), 4)
+
+    def test_bad_tile(self):
+        with pytest.raises(FormatError, match="tile_size"):
+            compress_columns(np.arange(4), 0)
+
+    def test_empty(self):
+        dc = compress_columns(np.empty(0, dtype=np.int64), 4)
+        assert decompress_columns(dc).size == 0

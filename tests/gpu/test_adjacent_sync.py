@@ -1,0 +1,102 @@
+"""Tests for the adjacent-synchronization model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import chain_carries, chain_segments, propagation_delay
+from repro.scan import segmented_scan_inclusive
+
+
+class TestChainCarries:
+    def test_matches_sequential_spec(self, rng):
+        lp = rng.standard_normal(30)
+        hs = rng.random(30) < 0.5
+        carry, grp = chain_carries(lp, hs)
+        running = 0.0
+        for x in range(30):
+            assert carry[x] == pytest.approx(running)
+            running = lp[x] if hs[x] else running + lp[x]
+            assert grp[x] == pytest.approx(running)
+
+    def test_is_segmented_scan(self, rng):
+        # Grp_sum is an inclusive segmented scan whose segments restart
+        # *at* each stop-carrying workgroup ("breaks such chained
+        # updates and directly updates Grp_sum[X]").
+        lp = rng.standard_normal(40)
+        hs = rng.random(40) < 0.4
+        _, grp = chain_carries(lp, hs)
+        starts = hs.copy()
+        starts[0] = True
+        expected = segmented_scan_inclusive(lp, starts)
+        np.testing.assert_allclose(grp, expected)
+
+    def test_all_stops_identity(self, rng):
+        lp = rng.standard_normal(10)
+        carry, grp = chain_carries(lp, np.ones(10, dtype=bool))
+        np.testing.assert_allclose(grp, lp)
+        assert carry[0] == 0.0
+
+    def test_no_stops_accumulates(self):
+        lp = np.ones(5)
+        carry, grp = chain_carries(lp, np.zeros(5, dtype=bool))
+        np.testing.assert_allclose(grp, [1, 2, 3, 4, 5])
+        np.testing.assert_allclose(carry, [0, 1, 2, 3, 4])
+
+    def test_lanes(self, rng):
+        lp = rng.standard_normal((12, 3))
+        hs = rng.random(12) < 0.5
+        carry, grp = chain_carries(lp, hs)
+        for lane in range(3):
+            c1, g1 = chain_carries(lp[:, lane], hs)
+            np.testing.assert_allclose(carry[:, lane], c1)
+            np.testing.assert_allclose(grp[:, lane], g1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            chain_carries(np.zeros(3), np.zeros(4, dtype=bool))
+
+
+class TestChainSegments:
+    def test_all_stops_unit_chains(self):
+        chains = chain_segments(np.ones(10, dtype=bool))
+        assert chains.max() == 1
+
+    def test_no_stops_one_long_chain(self):
+        chains = chain_segments(np.zeros(10, dtype=bool))
+        assert chains.tolist() == [11]
+
+    def test_mixed(self):
+        hs = np.array([1, 0, 0, 1, 1, 0, 1], dtype=bool)
+        chains = chain_segments(hs)
+        assert sorted(chains.tolist()) == [2, 3]
+
+    def test_empty(self):
+        assert chain_segments(np.array([], dtype=bool)).size == 0
+
+
+class TestPropagationDelay:
+    def test_no_delay_when_chain_matches_stagger(self):
+        # Workgroups finish 1 time unit apart; hop latency far smaller:
+        # every Grp_sum is ready before its consumer finishes.
+        finish = np.arange(1, 11, dtype=float)
+        hs = np.ones(10, dtype=bool)
+        assert propagation_delay(finish, hs, 1e-3) == pytest.approx(0.0, abs=1e-2)
+
+    def test_long_chain_adds_latency(self):
+        # All finish simultaneously, but no workgroup has a stop: the
+        # chain serializes all ten updates.
+        finish = np.ones(10)
+        hs = np.zeros(10, dtype=bool)
+        delay = propagation_delay(finish, hs, 0.5)
+        assert delay == pytest.approx(0.5 * 9)
+
+    def test_stops_break_the_chain(self):
+        finish = np.ones(10)
+        broken = propagation_delay(finish, np.ones(10, dtype=bool), 0.5)
+        unbroken = propagation_delay(finish, np.zeros(10, dtype=bool), 0.5)
+        assert broken < unbroken
+
+    def test_non_negative(self, rng):
+        finish = np.sort(rng.uniform(0, 1, 20))
+        hs = rng.random(20) < 0.5
+        assert propagation_delay(finish, hs, 1e-4) >= 0.0

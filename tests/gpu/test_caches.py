@@ -1,0 +1,100 @@
+"""Tests for the texture-cache models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import LRUCache, vector_read_traffic, windowed_miss_estimate
+
+
+class TestLRUCache:
+    def test_cold_misses(self):
+        c = LRUCache(4)
+        for i in range(4):
+            assert not c.access(i)
+        assert c.misses == 4 and c.hits == 0
+
+    def test_hits_on_reuse(self):
+        c = LRUCache(4)
+        c.run(np.array([0, 1, 2, 0, 1, 2]))
+        assert c.hits == 3
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 1 is now LRU
+        c.access(2)  # evicts 1
+        assert c.access(0)  # still resident
+        assert not c.access(1)  # was evicted
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestWindowedEstimate:
+    def test_matches_lru_on_streaming(self):
+        # Pure streaming: both models report one miss per line.
+        stream = np.arange(10_000)
+        assert windowed_miss_estimate(stream, 512) == 10_000
+        lru = LRUCache(512)
+        lru.run(stream)
+        assert lru.misses == 10_000
+
+    def test_close_to_lru_on_loopy_stream(self, rng):
+        stream = np.concatenate(
+            [np.tile(np.arange(100), 10), rng.integers(0, 5000, 3000)]
+        )
+        est = windowed_miss_estimate(stream, 512)
+        lru = LRUCache(512)
+        lru.run(stream)
+        assert est == pytest.approx(lru.misses, rel=0.25)
+
+    def test_tiny_reuse_window_hits(self):
+        stream = np.repeat(np.arange(100), 8)  # immediate reuse
+        assert windowed_miss_estimate(stream, 512) <= 110
+
+    def test_zero_capacity_all_miss(self):
+        assert windowed_miss_estimate(np.arange(10), 0) == 10
+
+    def test_empty(self):
+        assert windowed_miss_estimate(np.array([], dtype=np.int64), 16) == 0
+
+
+class TestVectorReadTraffic:
+    def test_conservation(self, rng):
+        idx = rng.integers(0, 4096, 2000)
+        dram, cached = vector_read_traffic(idx, 4, 48 * 1024, 32)
+        assert dram >= 0 and cached >= 0
+        # Cached bytes never exceed total requested bytes.
+        assert cached <= idx.size * 4
+
+    def test_local_stream_mostly_cached(self):
+        idx = np.repeat(np.arange(64), 50)  # heavy reuse of 64 elements
+        dram, cached = vector_read_traffic(idx, 4, 48 * 1024, 32)
+        assert cached > dram
+
+    def test_scattered_stream_mostly_dram(self, rng):
+        idx = rng.integers(0, 10_000_000, 5000)
+        dram, cached = vector_read_traffic(idx, 4, 12 * 1024, 32)
+        assert dram > cached
+
+    def test_no_cache_worse_or_equal(self, rng):
+        idx = rng.integers(0, 100_000, 5000)
+        with_cache, _ = vector_read_traffic(idx, 4, 48 * 1024, 32, use_cache=True)
+        without, _ = vector_read_traffic(idx, 4, 48 * 1024, 32, use_cache=False)
+        assert without >= with_cache
+
+    def test_slicing_improves_locality(self, rng):
+        # The BCCOO+ mechanism: the same accesses grouped by slice touch
+        # fewer distinct lines per reuse window.
+        n = 20_000
+        cols = rng.integers(0, 65536, n)
+        interleaved = cols
+        sliced = np.sort(cols) // 1  # grouping by value = extreme slicing
+        d_inter, _ = vector_read_traffic(interleaved, 4, 12 * 1024, 32)
+        d_sliced, _ = vector_read_traffic(sliced, 4, 12 * 1024, 32)
+        assert d_sliced < d_inter
+
+    def test_empty(self):
+        assert vector_read_traffic(np.array([], dtype=np.int64), 4, 1024, 32) == (0, 0)

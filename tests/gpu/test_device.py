@@ -1,0 +1,86 @@
+"""Tests for device descriptors and occupancy."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import GTX480, GTX680, available_devices, get_device
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device("gtx680") is GTX680
+        assert get_device("GTX480") is GTX480
+
+    def test_unknown(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("h100")
+
+    def test_available(self):
+        devs = available_devices()
+        assert set(devs) == {"gtx480", "gtx680"}
+
+
+class TestSpecs:
+    def test_paper_devices_flop_byte_ratio(self):
+        # The paper's argument: Kepler has ~2x the FLOPs per byte, so
+        # bandwidth savings matter more on GTX680.
+        assert GTX680.flop_byte_ratio > 1.9 * GTX480.flop_byte_ratio
+
+    def test_total_cores(self):
+        assert GTX480.total_cores == 480
+        assert GTX680.total_cores == 1536
+
+    def test_effective_bandwidth_below_peak(self):
+        for dev in (GTX480, GTX680):
+            assert dev.effective_bandwidth < dev.dram_bandwidth
+
+    def test_with_overrides(self):
+        fast = GTX680.with_overrides(dram_bandwidth=400e9)
+        assert fast.dram_bandwidth == 400e9
+        assert fast.num_sms == GTX680.num_sms
+        assert GTX680.dram_bandwidth != 400e9  # original untouched
+
+
+class TestOccupancy:
+    def test_thread_budget_limits(self):
+        # 2048 threads / 512 per wg = 4 concurrent on GTX680.
+        assert GTX680.max_concurrent_workgroups(512) == 4
+
+    def test_slot_budget_limits(self):
+        # Small workgroups hit the workgroup-slot cap, not threads.
+        assert GTX680.max_concurrent_workgroups(64) == 16
+        assert GTX480.max_concurrent_workgroups(64) == 8
+
+    def test_shared_memory_limits(self):
+        # 24 KB per workgroup: only 2 fit in 48 KB.
+        assert GTX680.max_concurrent_workgroups(64, 24 * 1024) == 2
+
+    def test_oversized_workgroup(self):
+        with pytest.raises(DeviceError, match="workgroup size"):
+            GTX680.max_concurrent_workgroups(2048)
+
+    def test_oversized_shared_memory(self):
+        with pytest.raises(DeviceError, match="shared memory"):
+            GTX680.max_concurrent_workgroups(64, 64 * 1024)
+
+
+class TestRegisterOccupancy:
+    def test_register_file_limits(self):
+        from repro.gpu import GTX480
+
+        # 32768 regs/SM, 256 threads x 63 regs = 16128/wg -> 2 concurrent.
+        assert GTX480.max_concurrent_workgroups(256, 0, 63) == 2
+
+    def test_zero_means_unconstrained(self):
+        from repro.gpu import GTX680
+
+        assert GTX680.max_concurrent_workgroups(
+            256, 0, 0
+        ) == GTX680.max_concurrent_workgroups(256)
+
+    def test_kepler_bigger_register_file(self):
+        from repro.gpu import GTX480, GTX680
+
+        assert GTX680.max_concurrent_workgroups(
+            256, 0, 40
+        ) > GTX480.max_concurrent_workgroups(256, 0, 40)

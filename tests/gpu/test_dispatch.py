@@ -1,0 +1,54 @@
+"""Tests for the workgroup dispatch model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import schedule_workgroups
+
+
+class TestScheduling:
+    def test_uniform_work_balances(self):
+        res = schedule_workgroups(np.ones(64), num_sms=8, max_concurrent_per_sm=1)
+        assert res.imbalance_factor == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(8.0)
+
+    def test_single_heavy_workgroup_dominates(self):
+        costs = np.ones(64)
+        costs[0] = 100.0
+        res = schedule_workgroups(costs, num_sms=8)
+        assert res.makespan == pytest.approx(100.0)
+        assert res.imbalance_factor > 4.0
+
+    def test_fewer_workgroups_than_slots(self):
+        res = schedule_workgroups(np.array([3.0, 1.0]), num_sms=8)
+        assert res.makespan == 3.0
+        assert res.start.tolist() == [0.0, 0.0]
+
+    def test_in_order_starts(self, rng):
+        costs = rng.uniform(0.5, 2.0, 100)
+        res = schedule_workgroups(costs, num_sms=4, max_concurrent_per_sm=2)
+        # In-order dispatch: start times are non-decreasing in id.
+        assert (np.diff(res.start) >= -1e-12).all()
+
+    def test_concurrency_helps(self):
+        costs = np.ones(64)
+        serial = schedule_workgroups(costs, num_sms=4, max_concurrent_per_sm=1)
+        parallel = schedule_workgroups(costs, num_sms=4, max_concurrent_per_sm=4)
+        assert parallel.makespan < serial.makespan
+
+    def test_makespan_bounds(self, rng):
+        costs = rng.uniform(0.1, 5.0, 200)
+        res = schedule_workgroups(costs, num_sms=8)
+        assert res.makespan >= res.balanced_lower_bound
+        assert res.makespan >= costs.max()
+        assert res.makespan <= costs.sum()
+
+    def test_empty(self):
+        res = schedule_workgroups(np.empty(0), num_sms=8)
+        assert res.makespan == 0.0
+        assert res.imbalance_factor == 1.0
+
+    def test_finish_consistency(self, rng):
+        costs = rng.uniform(0.1, 2.0, 50)
+        res = schedule_workgroups(costs, num_sms=3)
+        np.testing.assert_allclose(res.finish - res.start, costs)

@@ -1,0 +1,73 @@
+"""Tests for the cost-explanation report."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GTX680, KernelStats, TimingModel
+
+
+@pytest.fixture
+def stats():
+    return KernelStats(
+        flops=2e6,
+        dram_read_bytes=10e6,
+        dram_write_bytes=1e6,
+        cached_read_bytes=2e6,
+        workgroup_size=256,
+        n_workgroups=50,
+        barriers_per_workgroup=3.0,
+        atomics=50,
+        n_launches=2,
+    )
+
+
+class TestExplain:
+    def test_contains_all_components(self, stats):
+        text = TimingModel(GTX680).explain(stats)
+        for needle in (
+            "memory term",
+            "cache term",
+            "compute term",
+            "launches",
+            "synchronization",
+            "MB read",
+            "2 kernel(s)",
+            "50 atomics",
+        ):
+            assert needle in text, needle
+
+    def test_gflops_shown_with_nnz(self, stats):
+        text = TimingModel(GTX680).explain(stats, nnz=1_000_000)
+        assert "GFLOPS" in text
+
+    def test_bound_label_matches_estimate(self, stats):
+        tm = TimingModel(GTX680)
+        br = tm.estimate(stats)
+        assert f"{br.bound}-bound" in tm.explain(stats)
+
+    def test_imbalance_annotated_when_present(self):
+        w = np.ones(50)
+        w[0] = 40.0
+        st = KernelStats(
+            flops=1e6,
+            dram_read_bytes=5e6,
+            workgroup_size=256,
+            n_workgroups=50,
+            workgroup_work=w,
+        )
+        text = TimingModel(GTX680).explain(st)
+        assert "imbalance x" in text
+
+    def test_fp64_flagged(self):
+        st = KernelStats(flops=1e6, dram_read_bytes=1e6, fp64=True)
+        assert "fp64" in TimingModel(GTX680).explain(st)
+
+    def test_percentages_roughly_sum(self, stats):
+        text = TimingModel(GTX680).explain(stats)
+        pcts = [
+            float(tok.rstrip("%"))
+            for line in text.splitlines()
+            for tok in line.split()
+            if tok.endswith("%")
+        ]
+        assert sum(pcts) == pytest.approx(100.0, abs=2.0)

@@ -1,0 +1,165 @@
+"""Edge cases and failure injection across the whole pipeline.
+
+Degenerate shapes, pathological values, and deliberately corrupted
+structures: the library must either compute exactly or fail loudly --
+never return silently wrong results.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import SpMVEngine
+from repro.errors import FormatError
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix
+from repro.gpu import GTX680
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+from repro.tuning import TuningPoint
+
+KERNEL = YaSpMVKernel()
+SMALL = YaSpMVConfig(workgroup_size=32, tile_size=2)
+
+
+def _check(A, rng, cfg=SMALL, **fmt_kw):
+    fmt = BCCOOMatrix.from_scipy(A, **fmt_kw)
+    x = rng.standard_normal(A.shape[1])
+    res = KERNEL.run(fmt, x, GTX680, config=cfg)
+    np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+
+class TestDegenerateShapes:
+    def test_single_row(self, rng):
+        _check(sparse.random(1, 500, density=0.3, random_state=0, format="csr"), rng)
+
+    def test_single_column(self, rng):
+        _check(sparse.random(500, 1, density=0.3, random_state=0, format="csr"), rng)
+
+    def test_one_by_one(self, rng):
+        _check(sparse.csr_matrix(np.array([[3.5]])), rng)
+
+    def test_single_nonzero_in_corner(self, rng):
+        A = sparse.csr_matrix(
+            (np.array([2.0]), (np.array([99]), np.array([99]))), shape=(100, 100)
+        )
+        _check(A, rng, block_height=4, block_width=4)
+
+    def test_extreme_aspect_ratio(self, rng):
+        _check(sparse.random(3, 50_000, density=0.001, random_state=1, format="csr"), rng)
+
+    def test_last_row_and_column_only(self, rng):
+        # Exercises the padded-block edge clamping on both axes.
+        n = 33  # deliberately not a multiple of any block size
+        A = sparse.csr_matrix(
+            (np.ones(2), (np.array([n - 1, 0]), np.array([0, n - 1]))),
+            shape=(n, n),
+        )
+        for h, w in [(2, 2), (4, 4), (3, 2)]:
+            _check(A, rng, block_height=h, block_width=w)
+
+
+class TestPathologicalValues:
+    def test_huge_and_tiny_magnitudes(self, rng):
+        A = sparse.random(60, 60, density=0.1, random_state=2, format="csr")
+        A.data *= 10.0 ** rng.integers(-150, 150, size=A.nnz)
+        _check(A, rng)
+
+    def test_exact_cancellation(self, rng):
+        # +v and -v in one row: the segmented sum must cancel exactly.
+        A = sparse.csr_matrix(
+            (np.array([1e10, -1e10, 1.0]), (np.array([0, 0, 0]), np.array([0, 1, 2]))),
+            shape=(1, 3),
+        )
+        fmt = BCCOOMatrix.from_scipy(A)
+        y = KERNEL.run(fmt, np.ones(3), GTX680, config=SMALL).y
+        assert y[0] == 1.0
+
+    def test_negative_values_round_trip(self, rng):
+        A = sparse.random(50, 50, density=0.2, random_state=3, format="csr")
+        A.data = -np.abs(A.data)
+        fmt = BCCOOMatrix.from_scipy(A, block_height=2, block_width=2)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    def test_inf_and_nan_propagate(self):
+        # IEEE semantics must survive the kernel path (no masking bugs).
+        A = sparse.csr_matrix(np.array([[np.inf, 0.0], [0.0, 1.0]]))
+        fmt = BCCOOMatrix.from_scipy(A)
+        y = KERNEL.run(fmt, np.array([1.0, 1.0]), GTX680, config=SMALL).y
+        assert np.isinf(y[0]) and y[1] == 1.0
+
+
+class TestCorruptionDetection:
+    def test_truncated_values_rejected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix())
+        with pytest.raises(FormatError):
+            BCCOOMatrix(
+                fmt.shape,
+                fmt.block_height,
+                fmt.block_width,
+                fmt.flags,
+                fmt.col_block,
+                fmt.values[:-1],  # truncated
+                fmt.nonempty_block_rows,
+                fmt.col_storage,
+                fmt.delta,
+                fmt.nnz,
+            )
+
+    def test_flag_row_map_mismatch_rejected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix())
+        bad_map = np.concatenate([fmt.nonempty_block_rows, [10**6]])
+        with pytest.raises(FormatError, match="row stops"):
+            BCCOOMatrix(
+                fmt.shape,
+                fmt.block_height,
+                fmt.block_width,
+                fmt.flags,
+                fmt.col_block,
+                fmt.values,
+                bad_map,
+                fmt.col_storage,
+                fmt.delta,
+                fmt.nnz,
+            )
+
+    def test_delta_missing_payload_rejected(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(ncols=100))
+        with pytest.raises(FormatError, match="delta"):
+            BCCOOMatrix(
+                fmt.shape,
+                fmt.block_height,
+                fmt.block_width,
+                fmt.flags,
+                fmt.col_block,
+                fmt.values,
+                fmt.nonempty_block_rows,
+                "delta",
+                None,
+                fmt.nnz,
+            )
+
+
+class TestEngineEdges:
+    def test_diagonal_identity(self, rng):
+        A = sparse.identity(257, format="csr")
+        eng = SpMVEngine(GTX680)
+        prep = eng.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(257)
+        np.testing.assert_allclose(eng.multiply(prep, x).y, x)
+
+    def test_plus_with_empty_right_half(self, rng):
+        A = sparse.random(40, 200, density=0.1, random_state=4, format="csr").tolil()
+        A[:, 100:] = 0
+        A = A.tocsr()
+        A.eliminate_zeros()
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=8)
+        x = rng.standard_normal(200)
+        res = KERNEL.run(fmt, x, GTX680, config=SMALL)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-10)
+
+    def test_dense_column_matrix(self, rng):
+        # Every row hits the same single column: one giant vector reuse.
+        n = 400
+        A = sparse.csr_matrix(
+            (np.ones(n), (np.arange(n), np.zeros(n, dtype=int))), shape=(n, n)
+        )
+        _check(A, rng)

@@ -1,0 +1,141 @@
+"""Tests for the baseline kernels."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import KernelConfigError
+from repro.formats import (
+    BCSRMatrix,
+    BELLMatrix,
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    SELLMatrix,
+)
+from repro.gpu import GTX680, TimingModel
+from repro.kernels import available_kernels, get_kernel
+
+PAIRS = [
+    ("csr_scalar", CSRMatrix, {}),
+    ("csr_vector", CSRMatrix, {}),
+    ("ell", ELLMatrix, {}),
+    ("dia", DIAMatrix, {"max_expansion": 1e9}),
+    ("hyb", HYBMatrix, {}),
+    ("bcsr", BCSRMatrix, {"block_height": 2, "block_width": 2}),
+    ("bell", BELLMatrix, {"block_height": 2, "block_width": 2, "max_expansion": 1e9}),
+    ("sell", SELLMatrix, {"slice_height": 16}),
+    ("coo_segmented", COOMatrix, {}),
+]
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(available_kernels()) >= {name for name, _, _ in PAIRS} | {"yaspmv"}
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelConfigError, match="unknown kernel"):
+            get_kernel("turbo")
+
+
+@pytest.mark.parametrize("kname,fmt_cls,kw", PAIRS)
+class TestNumerics:
+    def test_matches_scipy(self, kname, fmt_cls, kw, random_matrix, rng):
+        A = random_matrix(nrows=80, ncols=80, density=0.1)
+        x = rng.standard_normal(80)
+        fmt = fmt_cls.from_scipy(A, **kw)
+        res = get_kernel(kname).run(fmt, x, GTX680)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_stats_sane(self, kname, fmt_cls, kw, random_matrix, rng):
+        A = random_matrix(nrows=80, ncols=80, density=0.1)
+        fmt = fmt_cls.from_scipy(A, **kw)
+        res = get_kernel(kname).run(fmt, rng.standard_normal(80), GTX680)
+        st = res.stats
+        assert st.flops > 0
+        assert st.dram_read_bytes > 0
+        assert 0 < st.simd_efficiency <= 1.0
+        assert st.n_workgroups >= 1
+        assert st.n_launches >= 1
+
+    def test_rejects_wrong_format(self, kname, fmt_cls, kw, random_matrix, rng):
+        from repro.formats import BCCOOMatrix
+
+        wrong = BCCOOMatrix.from_scipy(random_matrix())
+        with pytest.raises(KernelConfigError, match="expects"):
+            get_kernel(kname).run(wrong, rng.standard_normal(wrong.ncols), GTX680)
+
+
+class TestDivergenceModeling:
+    def test_scalar_csr_divergence_on_skew(self, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        fmt = CSRMatrix.from_scipy(skewed_matrix)
+        st = get_kernel("csr_scalar").run(fmt, x, GTX680).stats
+        assert st.simd_efficiency < 0.5
+
+    def test_scalar_csr_fine_on_uniform(self, stencil_matrix, rng):
+        x = rng.standard_normal(stencil_matrix.shape[1])
+        fmt = CSRMatrix.from_scipy(stencil_matrix)
+        st = get_kernel("csr_scalar").run(fmt, x, GTX680).stats
+        assert st.simd_efficiency > 0.9
+
+    def test_vector_csr_idles_on_short_rows(self, stencil_matrix, rng):
+        # 3-long rows on 32-lane warps: ~29/32 lanes idle.
+        x = rng.standard_normal(stencil_matrix.shape[1])
+        fmt = CSRMatrix.from_scipy(stencil_matrix)
+        st = get_kernel("csr_vector").run(fmt, x, GTX680).stats
+        assert st.simd_efficiency < 0.15
+
+    def test_coo_kernel_balanced(self, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        fmt = COOMatrix.from_scipy(skewed_matrix)
+        st = get_kernel("coo_segmented").run(fmt, x, GTX680).stats
+        assert st.workgroup_work is None  # even non-zero split
+
+    def test_skew_inflates_scalar_csr_time(self, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        tm = TimingModel(GTX680)
+        t_scalar = tm.estimate(
+            get_kernel("csr_scalar")
+            .run(CSRMatrix.from_scipy(skewed_matrix), x, GTX680)
+            .stats
+        )
+        t_coo = tm.estimate(
+            get_kernel("coo_segmented")
+            .run(COOMatrix.from_scipy(skewed_matrix), x, GTX680)
+            .stats
+        )
+        assert t_scalar.imbalance_factor > t_coo.imbalance_factor
+        assert t_scalar.t_total > t_coo.t_total
+
+
+class TestTrafficModeling:
+    def test_ell_pays_for_padding(self, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        ell = ELLMatrix.from_scipy(skewed_matrix, max_expansion=1e9)
+        csr = CSRMatrix.from_scipy(skewed_matrix)
+        st_ell = get_kernel("ell").run(ell, x, GTX680).stats
+        st_csr = get_kernel("csr_vector").run(csr, x, GTX680).stats
+        assert st_ell.dram_read_bytes > st_csr.dram_read_bytes
+
+    def test_hyb_is_two_launches(self, skewed_matrix, rng):
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        fmt = HYBMatrix.from_scipy(skewed_matrix)
+        st = get_kernel("hyb").run(fmt, x, GTX680).stats
+        assert st.n_launches >= 2
+
+    def test_coo_reads_twelve_bytes_per_nnz(self, random_matrix, rng):
+        A = random_matrix(nrows=100, ncols=100, density=0.2)
+        fmt = COOMatrix.from_scipy(A)
+        st = get_kernel("coo_segmented").run(fmt, rng.standard_normal(100), GTX680).stats
+        assert st.dram_read_bytes >= A.nnz * 12
+
+    def test_dia_avoids_column_indices(self, stencil_matrix, rng):
+        x = rng.standard_normal(stencil_matrix.shape[1])
+        dia = DIAMatrix.from_scipy(stencil_matrix)
+        csr = CSRMatrix.from_scipy(stencil_matrix)
+        st_dia = get_kernel("dia").run(dia, x, GTX680).stats
+        st_csr = get_kernel("csr_scalar").run(csr, x, GTX680).stats
+        assert st_dia.dram_read_bytes < st_csr.dram_read_bytes

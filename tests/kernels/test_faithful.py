@@ -1,0 +1,102 @@
+"""Cross-validation of the fast yaSpMV path against the faithful executor.
+
+The faithful executor in :mod:`repro.kernels.faithful` follows the
+paper's Figures 9-12 literally.  These tests are the proof obligation
+that the closed-form fast path computes exactly what the specified
+dataflow computes, plus assertions on the executor's internal trace
+(early-check skips, result-cache spills, Grp_sum values).
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix
+from repro.gpu import GTX680
+from repro.kernels import FaithfulTrace, YaSpMVConfig, YaSpMVKernel, yaspmv_faithful
+
+KERNEL = YaSpMVKernel()
+
+
+def _agree(A, cfg, rng, atol=1e-9):
+    fmt = BCCOOMatrix.from_scipy(A)
+    x = rng.standard_normal(A.shape[1])
+    fast = KERNEL.run(fmt, x, GTX680, config=cfg).y
+    slow = yaspmv_faithful(fmt, x, cfg)
+    np.testing.assert_allclose(slow, fast, atol=atol)
+    np.testing.assert_allclose(fast, A @ x, atol=atol)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("strategy", [1, 2])
+    @pytest.mark.parametrize("fine_grain", [True, False])
+    def test_random(self, strategy, fine_grain, random_matrix, rng):
+        cfg = YaSpMVConfig(
+            workgroup_size=32,
+            strategy=strategy,
+            reg_size=3,
+            shm_size=1,
+            tile_size=4,
+            fine_grain=fine_grain,
+        )
+        _agree(random_matrix(nrows=90, ncols=70, density=0.08), cfg, rng)
+
+    def test_long_row_spanning_workgroups(self, rng):
+        A = sparse.csr_matrix(np.ones((2, 500)))
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=2)
+        _agree(A, cfg, rng)
+
+    def test_tiny_result_cache_spills(self, rng):
+        # One-nonzero rows: a 128-block workgroup tile produces 128
+        # segment sums against 32 cache entries, forcing spills.
+        A = sparse.identity(500, format="csr")
+        cfg = YaSpMVConfig(workgroup_size=32, strategy=2, tile_size=4,
+                           result_cache_multiple=1)
+        fmt = BCCOOMatrix.from_scipy(A)
+        x = rng.standard_normal(500)
+        tr = FaithfulTrace()
+        slow = yaspmv_faithful(fmt, x, cfg, tr)
+        np.testing.assert_allclose(slow, A @ x, atol=1e-9)
+        assert tr.cache_spills > 0
+
+    def test_plus_agrees(self, random_matrix, rng):
+        A = random_matrix(nrows=50, ncols=120, density=0.1)
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=4, block_height=2, block_width=2)
+        x = rng.standard_normal(120)
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=4)
+        fast = KERNEL.run(fmt, x, GTX680, config=cfg).y
+        slow = yaspmv_faithful(fmt, x, cfg)
+        np.testing.assert_allclose(slow, fast, atol=1e-9)
+
+
+class TestTrace:
+    def test_early_check_skips_scan_on_dense_stops(self, rng):
+        # Every 1x1 block of a diagonal matrix is a row stop, so every
+        # thread tile has a stop: all parallel scans are skipped.
+        A = sparse.identity(256, format="csr")
+        fmt = BCCOOMatrix.from_scipy(A)
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=2, fine_grain=True)
+        tr = FaithfulTrace()
+        yaspmv_faithful(fmt, rng.standard_normal(256), cfg, tr)
+        assert tr.parallel_scans_skipped > 0
+        assert tr.parallel_scans_run == 0
+
+    def test_no_skip_when_fine_grain_off(self, rng):
+        A = sparse.identity(256, format="csr")
+        fmt = BCCOOMatrix.from_scipy(A)
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=2, fine_grain=False)
+        tr = FaithfulTrace()
+        yaspmv_faithful(fmt, rng.standard_normal(256), cfg, tr)
+        assert tr.parallel_scans_skipped == 0
+        assert tr.parallel_scans_run > 0
+
+    def test_grp_sum_zero_convention(self, rng):
+        # A workgroup ending exactly on a row stop publishes Grp_sum 0
+        # (the paper's "0 eliminates the condition check" property).
+        n = 64  # one workgroup tile = 32 threads x 2 = 64 blocks
+        A = sparse.csr_matrix(np.ones((1, n)))  # row ends at block 63
+        fmt = BCCOOMatrix.from_scipy(A)
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=2)
+        tr = FaithfulTrace()
+        yaspmv_faithful(fmt, rng.standard_normal(n), cfg, tr)
+        assert tr.grp_sum[0] == pytest.approx(0.0)

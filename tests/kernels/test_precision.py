@@ -1,0 +1,89 @@
+"""Tests for the double-precision extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelConfigError
+from repro.formats import BCCOOMatrix
+from repro.gpu import GTX480, GTX680, TimingModel
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+
+KERNEL = YaSpMVKernel()
+
+
+class TestPrecisionConfig:
+    def test_value_bytes(self):
+        assert YaSpMVConfig(precision="fp32").value_bytes == 4
+        assert YaSpMVConfig(precision="fp64").value_bytes == 8
+
+    def test_invalid(self):
+        with pytest.raises(KernelConfigError, match="precision"):
+            YaSpMVConfig(precision="fp16")
+
+
+class TestPrecisionCosts:
+    @pytest.fixture
+    def pair(self, random_matrix, rng):
+        A = random_matrix(nrows=300, ncols=300, density=0.05)
+        return A, rng.standard_normal(300)
+
+    def test_same_numerics(self, pair):
+        A, x = pair
+        fmt = BCCOOMatrix.from_scipy(A)
+        y32 = KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig()).y
+        y64 = KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig(precision="fp64")).y
+        np.testing.assert_array_equal(y32, y64)  # host math is float64
+
+    def test_fp64_moves_more_bytes(self, pair):
+        A, x = pair
+        fmt = BCCOOMatrix.from_scipy(A)
+        s32 = KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig()).stats
+        s64 = KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig(precision="fp64")).stats
+        assert s64.fp64 and not s32.fp64
+        # Values dominate the stream; doubling them should land the
+        # total well above 1.4x the fp32 traffic.
+        assert s64.dram_read_bytes > 1.4 * s32.dram_read_bytes
+
+    def test_fp64_slower_end_to_end(self, pair):
+        A, x = pair
+        fmt = BCCOOMatrix.from_scipy(A)
+        tm = TimingModel(GTX680)
+        t32 = tm.estimate(KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig()).stats)
+        t64 = tm.estimate(
+            KERNEL.run(fmt, x, GTX680, config=YaSpMVConfig(precision="fp64")).stats
+        )
+        assert t64.t_total > t32.t_total
+
+    def test_fp64_peak_applied(self):
+        from repro.gpu import KernelStats
+
+        st = KernelStats(flops=1e9, dram_read_bytes=1e3, fp64=True)
+        br64 = TimingModel(GTX680).estimate(st)
+        st32 = KernelStats(flops=1e9, dram_read_bytes=1e3, fp64=False)
+        br32 = TimingModel(GTX680).estimate(st32)
+        # GK104's fp64 rate is 1/24 of fp32: a compute-heavy profile
+        # slows by that order.
+        assert br64.t_compute > 20 * br32.t_compute
+        assert br64.bound == "compute"
+
+    def test_fermi_better_fp64_ratio(self):
+        # GF100's fp64:fp32 is 1:8, GK104's 1:24 -- the Kepler GeForce
+        # trade-off the era's HPC users complained about.
+        assert GTX480.peak_flops / GTX480.peak_flops_dp < 10
+        assert GTX680.peak_flops / GTX680.peak_flops_dp > 20
+
+    def test_shared_memory_budget_doubles(self, pair):
+        # An fp64 configuration can exceed the shared-memory budget that
+        # its fp32 twin fits in.
+        A, x = pair
+        fmt = BCCOOMatrix.from_scipy(A, block_height=4)
+        big = YaSpMVConfig(
+            workgroup_size=512,
+            strategy=2,
+            result_cache_multiple=2,
+            transpose="online",
+            tile_size=16,
+            precision="fp64",
+        )
+        with pytest.raises(KernelConfigError, match="shared memory"):
+            KERNEL.run(fmt, x, GTX680, config=big)

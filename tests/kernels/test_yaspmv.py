@@ -1,0 +1,204 @@
+"""Tests for the yaSpMV kernel (fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelConfigError
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix, CSRMatrix
+from repro.gpu import GTX480, GTX680, TimingModel
+from repro.kernels import YaSpMVConfig, YaSpMVKernel
+
+KERNEL = YaSpMVKernel()
+SMALL = YaSpMVConfig(workgroup_size=32, tile_size=4, reg_size=4)
+
+
+class TestNumerics:
+    def test_paper_example(self, paper_matrix_a, rng):
+        fmt = BCCOOMatrix.from_scipy(paper_matrix_a, block_height=2, block_width=2)
+        x = rng.standard_normal(8)
+        res = KERNEL.run(fmt, x, GTX680, config=SMALL)
+        np.testing.assert_allclose(res.y, paper_matrix_a @ x, atol=1e-12)
+
+    @pytest.mark.parametrize("strategy", [1, 2])
+    @pytest.mark.parametrize("h,w", [(1, 1), (2, 2), (4, 4), (3, 2)])
+    def test_blocks_and_strategies(self, strategy, h, w, random_matrix, rng):
+        A = random_matrix(nrows=70, ncols=90, density=0.08)
+        x = rng.standard_normal(90)
+        fmt = BCCOOMatrix.from_scipy(A, block_height=h, block_width=w)
+        cfg = YaSpMVConfig(workgroup_size=32, strategy=strategy, tile_size=4, reg_size=4)
+        res = KERNEL.run(fmt, x, GTX680, config=cfg)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_empty_block_rows(self, empty_row_matrix, rng):
+        fmt = BCCOOMatrix.from_scipy(empty_row_matrix, block_height=2, block_width=2)
+        x = rng.standard_normal(20)
+        res = KERNEL.run(fmt, x, GTX680, config=SMALL)
+        np.testing.assert_allclose(res.y, empty_row_matrix @ x, atol=1e-12)
+
+    def test_bccoo_plus(self, random_matrix, rng):
+        A = random_matrix(nrows=60, ncols=120, density=0.1)
+        x = rng.standard_normal(120)
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=4, block_height=2, block_width=2)
+        res = KERNEL.run(fmt, x, GTX680, config=SMALL)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_segment_spanning_workgroups(self, rng):
+        # One dense row much longer than a workgroup tile: the adjacent
+        # sync chain must carry partial sums across workgroups.
+        from scipy import sparse
+
+        n = 600
+        A = sparse.csr_matrix(np.ones((1, n)))
+        x = rng.standard_normal(n)
+        fmt = BCCOOMatrix.from_scipy(A)
+        cfg = YaSpMVConfig(workgroup_size=32, tile_size=2)
+        res = KERNEL.run(fmt, x, GTX680, config=cfg)
+        np.testing.assert_allclose(res.y, [x.sum()], atol=1e-9)
+
+    @pytest.mark.parametrize("kw", [
+        dict(scan_mode="tree"),
+        dict(cross_wg="second_kernel"),
+        dict(fine_grain=False),
+        dict(transpose="online"),
+        dict(use_texture=False),
+        dict(workgroup_ids="atomic"),
+    ])
+    def test_ablations_do_not_change_numerics(self, kw, random_matrix, rng):
+        A = random_matrix(nrows=80, ncols=80, density=0.1)
+        x = rng.standard_normal(80)
+        fmt = BCCOOMatrix.from_scipy(A)
+        cfg = SMALL.with_overrides(**kw)
+        res = KERNEL.run(fmt, x, GTX680, config=cfg)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+
+class TestCostModel:
+    @pytest.fixture
+    def fmt(self, random_matrix):
+        return BCCOOMatrix.from_scipy(random_matrix(nrows=200, ncols=200, density=0.1))
+
+    @pytest.fixture
+    def x(self, rng):
+        return rng.standard_normal(200)
+
+    def test_workload_is_balanced(self, fmt, x):
+        res = KERNEL.run(fmt, x, GTX680, config=SMALL)
+        assert res.stats.workgroup_work is None  # equal tiles by design
+
+    def test_fine_grain_reduces_col_bytes(self, fmt, x):
+        on = KERNEL.run(fmt, x, GTX680, config=SMALL).stats
+        off = KERNEL.run(
+            fmt, x, GTX680, config=SMALL.with_overrides(fine_grain=False)
+        ).stats
+        assert on.dram_read_bytes < off.dram_read_bytes
+
+    def test_second_kernel_costs_extra_launch(self, fmt, x):
+        adj = KERNEL.run(fmt, x, GTX680, config=SMALL).stats
+        two = KERNEL.run(
+            fmt, x, GTX680, config=SMALL.with_overrides(cross_wg="second_kernel")
+        ).stats
+        assert two.n_launches == adj.n_launches + 1
+        assert adj.sync_chain_lengths.size > 0
+        assert two.sync_chain_lengths.size == 0
+
+    def test_tree_scan_costs_more_flops(self, fmt, x):
+        matrix = KERNEL.run(fmt, x, GTX680, config=SMALL).stats
+        tree = KERNEL.run(
+            fmt, x, GTX680, config=SMALL.with_overrides(scan_mode="tree")
+        ).stats
+        assert tree.flops > matrix.flops
+        assert tree.simd_efficiency < matrix.simd_efficiency
+
+    def test_texture_off_more_dram(self, fmt, x):
+        on = KERNEL.run(fmt, x, GTX680, config=SMALL).stats
+        off = KERNEL.run(
+            fmt, x, GTX680, config=SMALL.with_overrides(use_texture=False)
+        ).stats
+        assert off.dram_read_bytes >= on.dram_read_bytes
+
+    def test_atomic_ids_counted(self, fmt, x):
+        st = KERNEL.run(
+            fmt, x, GTX680, config=SMALL.with_overrides(workgroup_ids="atomic")
+        ).stats
+        assert st.atomics == st.n_workgroups
+
+    def test_atomic_overhead_small(self, fmt, x):
+        # Paper: logical-id atomics cost < 2%.
+        tm = TimingModel(GTX680)
+        t_in = tm.estimate(KERNEL.run(fmt, x, GTX680, config=SMALL).stats).t_total
+        t_at = tm.estimate(
+            KERNEL.run(
+                fmt, x, GTX680, config=SMALL.with_overrides(workgroup_ids="atomic")
+            ).stats
+        ).t_total
+        assert t_at <= t_in * 1.05
+
+    def test_end_to_end_faster_than_two_kernel(self, fmt, x):
+        tm = TimingModel(GTX680)
+        adj = tm.estimate(KERNEL.run(fmt, x, GTX680, config=SMALL).stats).t_total
+        two = tm.estimate(
+            KERNEL.run(
+                fmt, x, GTX680, config=SMALL.with_overrides(cross_wg="second_kernel")
+            ).stats
+        ).t_total
+        assert adj < two
+
+    def test_plus_adds_combine_launch(self, random_matrix, rng):
+        A = random_matrix(nrows=60, ncols=100, density=0.1)
+        x = rng.standard_normal(100)
+        plain = KERNEL.run(BCCOOMatrix.from_scipy(A), x, GTX680, config=SMALL).stats
+        plus = KERNEL.run(
+            BCCOOPlusMatrix.from_scipy(A, slice_count=4), x, GTX680, config=SMALL
+        ).stats
+        assert plus.n_launches == plain.n_launches + 1
+
+
+class TestValidation:
+    def test_rejects_non_bccoo(self, random_matrix, rng):
+        csr = CSRMatrix.from_scipy(random_matrix())
+        with pytest.raises(KernelConfigError, match="BCCOO"):
+            KERNEL.run(csr, rng.standard_normal(csr.ncols), GTX680, config=SMALL)
+
+    def test_rejects_bad_vector(self, random_matrix):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(ncols=50))
+        with pytest.raises(KernelConfigError, match="vector length"):
+            KERNEL.run(fmt, np.zeros(49), GTX680, config=SMALL)
+
+    def test_rejects_non_warp_multiple_workgroup(self, random_matrix, rng):
+        fmt = BCCOOMatrix.from_scipy(random_matrix())
+        with pytest.raises(KernelConfigError, match="warp"):
+            KERNEL.run(
+                fmt,
+                rng.standard_normal(fmt.ncols),
+                GTX680,
+                config=YaSpMVConfig(workgroup_size=48),
+            )
+
+    def test_rejects_register_blowup(self, random_matrix, rng):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(), block_height=4)
+        cfg = YaSpMVConfig(workgroup_size=32, strategy=1, reg_size=32)
+        with pytest.raises(KernelConfigError, match="registers"):
+            KERNEL.run(fmt, rng.standard_normal(fmt.ncols), GTX480, config=cfg)
+
+    def test_rejects_shared_memory_blowup(self, random_matrix, rng):
+        fmt = BCCOOMatrix.from_scipy(random_matrix(), block_height=4)
+        cfg = YaSpMVConfig(
+            workgroup_size=512, strategy=2, tile_size=32, result_cache_multiple=2,
+            transpose="online",
+        )
+        with pytest.raises(KernelConfigError, match="shared memory"):
+            KERNEL.run(fmt, rng.standard_normal(fmt.ncols), GTX680, config=cfg)
+
+    def test_config_validation(self):
+        with pytest.raises(KernelConfigError):
+            YaSpMVConfig(strategy=3)
+        with pytest.raises(KernelConfigError):
+            YaSpMVConfig(transpose="diagonal")
+        with pytest.raises(KernelConfigError):
+            YaSpMVConfig(strategy=2, tile_size=0)
+        with pytest.raises(KernelConfigError):
+            YaSpMVConfig(strategy=1, reg_size=0, shm_size=0)
+
+    def test_effective_tile(self):
+        assert YaSpMVConfig(strategy=1, reg_size=12, shm_size=4).effective_tile == 16
+        assert YaSpMVConfig(strategy=2, tile_size=8).effective_tile == 8

@@ -1,0 +1,116 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.matrices import (
+    dense_matrix,
+    fem_banded,
+    power_law,
+    random_uniform,
+    row_stats,
+    stencil,
+    wide_rows,
+)
+
+
+class TestDense:
+    def test_fully_dense(self):
+        A = dense_matrix(30, 40, seed=1)
+        assert A.nnz == 30 * 40
+
+    def test_deterministic(self):
+        a = dense_matrix(10, 10, seed=7)
+        b = dense_matrix(10, 10, seed=7)
+        assert (a != b).nnz == 0
+
+    def test_invalid_shape(self):
+        with pytest.raises(MatrixGenerationError):
+            dense_matrix(0, 5)
+
+
+class TestFemBanded:
+    def test_near_uniform_rows(self):
+        A = fem_banded(3000, nnz_per_row=50, block=3, seed=2)
+        rs = row_stats(A)
+        assert 0.5 * 50 < rs.mean < 1.5 * 50
+        assert rs.gini < 0.2  # FEM matrices are regular
+
+    def test_banded(self):
+        from repro.matrices import bandwidth
+
+        A = fem_banded(3000, nnz_per_row=30, band_fraction=0.02, seed=3)
+        assert bandwidth(A) < 3000 * 0.1
+
+    def test_block_substructure_pays_off(self):
+        from repro.matrices import block_fill_ratio
+
+        A = fem_banded(900, nnz_per_row=40, block=3, seed=4)
+        # 3x3 blocking should see low fill-in (dense clusters)...
+        assert block_fill_ratio(A, 3, 3) < 1.6
+        # ...much lower than on an unstructured matrix of equal density.
+        B = random_uniform(900, 900, 40, seed=4)
+        assert block_fill_ratio(A, 3, 3) < block_fill_ratio(B, 3, 3)
+
+    def test_invalid(self):
+        with pytest.raises(MatrixGenerationError):
+            fem_banded(2, nnz_per_row=5, block=3)
+
+
+class TestStencil:
+    def test_exact_diagonals(self):
+        A = stencil(500, (-10, -1, 0, 1, 10), seed=0)
+        from repro.formats import DIAMatrix
+
+        dia = DIAMatrix.from_scipy(A)
+        assert dia.ndiags == 5
+
+    def test_interior_row_length(self):
+        A = stencil(1000, (-1, 0, 1), seed=0)
+        assert row_stats(A).max == 3
+
+    def test_empty_offsets(self):
+        with pytest.raises(MatrixGenerationError):
+            stencil(100, ())
+
+
+class TestPowerLaw:
+    def test_skewed_degrees(self):
+        A = power_law(20_000, 120_000, alpha=2.0, seed=5)
+        rs = row_stats(A)
+        assert rs.gini > 0.3
+        assert rs.max > 10 * rs.mean
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        heavy = row_stats(power_law(20_000, 100_000, alpha=1.8, seed=6))
+        light = row_stats(power_law(20_000, 100_000, alpha=3.0, seed=6))
+        assert heavy.gini > light.gini
+
+    def test_nnz_near_target(self):
+        A = power_law(10_000, 80_000, seed=7)
+        assert 0.4 * 80_000 < A.nnz <= 1.2 * 80_000
+
+    def test_too_few_nnz(self):
+        with pytest.raises(MatrixGenerationError):
+            power_law(1000, 10)
+
+
+class TestWideRows:
+    def test_lp_shape(self):
+        A = wide_rows(50, 20_000, 1500, seed=8)
+        assert A.shape == (50, 20_000)
+        rs = row_stats(A)
+        assert rs.mean > 1000  # dedup loses a few
+
+    def test_validation(self):
+        with pytest.raises(MatrixGenerationError):
+            wide_rows(10, 100, 200)
+
+
+class TestRandomUniform:
+    def test_poisson_rows(self):
+        A = random_uniform(5000, 5000, 6.0, seed=9)
+        rs = row_stats(A)
+        assert 4 < rs.mean < 8
+        assert rs.gini < 0.35

@@ -1,0 +1,99 @@
+"""Tests for Matrix Market IO."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import FormatError
+from repro.matrices import read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_general_real(self, tmp_path, random_matrix):
+        A = random_matrix(nrows=30, ncols=25, density=0.2)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert B.shape == A.shape
+        np.testing.assert_allclose(B.toarray(), A.toarray())
+
+    def test_empty_matrix(self, tmp_path):
+        A = sparse.csr_matrix((5, 7))
+        path = tmp_path / "e.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert B.shape == (5, 7) and B.nnz == 0
+
+
+class TestParsing:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "m.mtx"
+        p.write_text(text)
+        return p
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 7.0\n",
+        )
+        A = read_matrix_market(p).toarray()
+        assert A[1, 0] == 5.0 and A[0, 1] == 5.0
+        assert A[2, 2] == 7.0  # diagonal not duplicated
+
+    def test_pattern_field(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 2\n",
+        )
+        A = read_matrix_market(p).toarray()
+        np.testing.assert_array_equal(A, np.eye(2))
+
+    def test_comments_skipped(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 2 3.5\n",
+        )
+        assert read_matrix_market(p)[0, 1] == 3.5
+
+    def test_bad_header(self, tmp_path):
+        p = self._write(tmp_path, "%%NotMM matrix\n1 1 0\n")
+        with pytest.raises(FormatError, match="header"):
+            read_matrix_market(p)
+
+    def test_array_layout_rejected(self, tmp_path):
+        p = self._write(
+            tmp_path, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"
+        )
+        with pytest.raises(FormatError, match="coordinate"):
+            read_matrix_market(p)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+        )
+        with pytest.raises(FormatError, match="declares"):
+            read_matrix_market(p)
+
+    def test_out_of_bounds(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        )
+        with pytest.raises(FormatError, match="bounds"):
+            read_matrix_market(p)
+
+    def test_empty_file(self, tmp_path):
+        p = self._write(tmp_path, "")
+        with pytest.raises(FormatError, match="empty"):
+            read_matrix_market(p)

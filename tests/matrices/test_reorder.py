@@ -1,0 +1,82 @@
+"""Tests for matrix reordering."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices import bandwidth, row_stats
+from repro.matrices.reorder import (
+    Reordering,
+    reverse_cuthill_mckee,
+    sort_rows_by_length,
+)
+
+
+class TestRCM:
+    def test_reduces_bandwidth(self, rng):
+        # A banded matrix scrambled by a random permutation: RCM should
+        # recover (most of) the band.
+        n = 300
+        base = sparse.diags(
+            [np.ones(n - k) for k in (0, 1, 2)], [0, 1, 2]
+        ).tocsr()
+        p = rng.permutation(n)
+        scrambled = base[p][:, p]
+        reord = reverse_cuthill_mckee(scrambled)
+        assert bandwidth(reord.matrix) < bandwidth(scrambled) / 4
+
+    def test_multiply_round_trip(self, rng):
+        A = sparse.random(120, 120, density=0.05, random_state=1, format="csr")
+        reord = reverse_cuthill_mckee(A)
+        x = rng.standard_normal(120)
+        np.testing.assert_allclose(reord.multiply(x), A @ x, atol=1e-10)
+
+    def test_rejects_rectangular(self):
+        A = sparse.random(10, 20, density=0.3, random_state=0, format="csr")
+        with pytest.raises(ValueError, match="square"):
+            reverse_cuthill_mckee(A)
+
+    def test_permutation_valid(self, random_matrix):
+        A = random_matrix(nrows=60, ncols=60)
+        reord = reverse_cuthill_mckee(A)
+        assert sorted(reord.row_perm.tolist()) == list(range(60))
+        assert (reord.row_perm == reord.col_perm).all()  # symmetric
+
+
+class TestDegreeSort:
+    def test_rows_become_monotone(self, skewed_matrix):
+        reord = sort_rows_by_length(skewed_matrix)
+        lengths = np.diff(reord.matrix.indptr)
+        assert (np.diff(lengths) <= 0).all()
+
+    def test_reduces_warp_divergence(self, skewed_matrix):
+        before = row_stats(skewed_matrix).warp_divergence
+        after = row_stats(sort_rows_by_length(skewed_matrix).matrix).warp_divergence
+        assert after < before
+
+    def test_multiply_round_trip(self, skewed_matrix, rng):
+        reord = sort_rows_by_length(skewed_matrix)
+        x = rng.standard_normal(skewed_matrix.shape[1])
+        np.testing.assert_allclose(
+            reord.multiply(x), skewed_matrix @ x, atol=1e-9
+        )
+
+    def test_columns_untouched(self, skewed_matrix):
+        reord = sort_rows_by_length(skewed_matrix)
+        assert (reord.col_perm == np.arange(skewed_matrix.shape[1])).all()
+
+
+class TestInteroperation:
+    def test_engine_on_reordered_matrix(self, rng):
+        # The end-to-end pattern a user would run: reorder, tune on the
+        # permuted matrix, permute/restore around each multiply.
+        from repro import SpMVEngine
+        from repro.tuning import TuningPoint
+
+        A = sparse.random(200, 200, density=0.04, random_state=5, format="csr")
+        reord = reverse_cuthill_mckee(A)
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(reord.matrix, point=TuningPoint())
+        x = rng.standard_normal(200)
+        y_perm = eng.multiply(prep, reord.apply_to_vector(x)).y
+        np.testing.assert_allclose(reord.restore_result(y_perm), A @ x, atol=1e-9)

@@ -1,0 +1,52 @@
+"""Tests for matrix statistics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices import bandwidth, block_fill_ratio, row_stats
+
+
+class TestRowStats:
+    def test_uniform_rows(self, stencil_matrix):
+        rs = row_stats(stencil_matrix)
+        assert rs.mean == pytest.approx(stencil_matrix.nnz / 300)
+        assert rs.gini < 0.01
+        assert rs.warp_divergence < 1.05
+        assert rs.min >= 2 and rs.max == 3
+
+    def test_hub_row_detected(self, skewed_matrix):
+        rs = row_stats(skewed_matrix)
+        assert rs.max >= 300
+        assert rs.warp_divergence > 2.0
+        assert rs.ell_expansion > 10
+
+    def test_gini_bounds(self, random_matrix):
+        rs = row_stats(random_matrix())
+        assert 0.0 <= rs.gini <= 1.0
+
+    def test_empty_matrix(self):
+        rs = row_stats(sparse.csr_matrix((5, 5)))
+        assert rs.nnz == 0
+        assert rs.mean == 0.0
+
+
+class TestBlockFillRatio:
+    def test_dense_blocks_fill_one(self):
+        A = sparse.csr_matrix(np.ones((8, 8)))
+        assert block_fill_ratio(A, 2, 2) == 1.0
+
+    def test_diagonal_2x2_fill_two(self):
+        A = sparse.identity(16, format="csr")
+        assert block_fill_ratio(A, 2, 2) == pytest.approx(2.0)
+
+
+class TestBandwidth:
+    def test_tridiagonal(self, stencil_matrix):
+        assert bandwidth(stencil_matrix) == 1
+
+    def test_diagonal(self):
+        assert bandwidth(sparse.identity(10, format="csr")) == 0
+
+    def test_empty(self):
+        assert bandwidth(sparse.csr_matrix((4, 4))) == 0

@@ -1,0 +1,67 @@
+"""Tests for the Table 2 suite specs."""
+
+import pytest
+
+from repro.errors import MatrixGenerationError
+from repro.matrices import SUITE, get_spec, load_matrix, load_suite, row_stats
+
+
+class TestSpecs:
+    def test_twenty_matrices(self):
+        assert len(SUITE) == 20
+
+    def test_paper_metadata_recorded(self):
+        lp = get_spec("LP")
+        assert lp.rows == 4_000
+        assert lp.cols == 1_100_000
+        assert lp.nnz_per_row == 2825
+        dense = get_spec("dense")  # case-insensitive
+        assert dense.nnz == 4_000_000
+
+    def test_unknown(self):
+        with pytest.raises(MatrixGenerationError, match="unknown suite"):
+            get_spec("Fluid")
+
+    def test_scale_for_nnz(self):
+        spec = get_spec("Circuit5M")
+        s = spec.scale_for_nnz(100_000)
+        assert 0 < s < 0.01
+        assert get_spec("Circuit").scale_for_nnz(10**9) == 1.0
+
+    def test_bad_scale(self):
+        with pytest.raises(MatrixGenerationError, match="scale"):
+            get_spec("QCD").load(scale=0.0)
+
+
+class TestLoading:
+    def test_nnz_per_row_preserved_under_scaling(self):
+        for name in ("Protein", "FEM/Ship", "Economics"):
+            spec = get_spec(name)
+            A = spec.load(scale=spec.scale_for_nnz(40_000))
+            mean = row_stats(A).mean
+            assert 0.4 * spec.nnz_per_row < mean < 2.0 * spec.nnz_per_row, name
+
+    def test_structural_classes(self):
+        qcd = load_matrix("QCD", scale=0.05)
+        assert row_stats(qcd).gini < 0.1  # stencil: regular
+        web = load_matrix("Webbase", scale=0.02)
+        assert row_stats(web).gini > 0.3  # power law: skewed
+
+    def test_lp_is_wide(self):
+        A = load_matrix("LP", scale=0.01)
+        assert A.shape[1] > 50 * A.shape[0]
+
+    def test_deterministic(self):
+        a = load_matrix("Circuit", scale=0.05, seed=3)
+        b = load_matrix("Circuit", scale=0.05, seed=3)
+        assert (a != b).nnz == 0
+
+    def test_load_suite_caps_nnz(self):
+        suite = load_suite(cap_nnz=30_000)
+        assert len(suite) == 20
+        for name, A in suite.items():
+            spec = get_spec(name)
+            # The 64-row floor preserves nnz/row for extreme aspect
+            # ratios (LP), which can exceed tiny caps by design.
+            floor_nnz = 64 * spec.nnz_per_row * 1.1
+            assert A.nnz <= max(30_000 * 1.3, floor_nnz), name

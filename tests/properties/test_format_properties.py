@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) on the format layer.
+
+Strategy: generate arbitrary small sparse matrices (shape, pattern and
+values all random) plus arbitrary format parameters, and assert the
+universal contracts: lossless round trip, exact multiply, byte-count
+consistency.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.formats import (
+    BCCOOMatrix,
+    BCCOOPlusMatrix,
+    bitflags as bf,
+)
+from repro.formats.delta import compress_columns, decompress_columns
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=40):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, min(nrows * ncols, 80)))
+    if nnz == 0:
+        # Formats need at least one entry to be interesting; keep one.
+        nnz = 1
+    idx = draw(
+        st.lists(
+            st.tuples(st.integers(0, nrows - 1), st.integers(0, ncols - 1)),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    rows, cols = zip(*idx)
+    vals = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False).filter(lambda v: v != 0.0),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    A = sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(nrows, ncols)
+    ).tocsr()
+    A.sum_duplicates()
+    A.eliminate_zeros()
+    return A
+
+
+@st.composite
+def block_dims(draw):
+    return draw(st.integers(1, 4)), draw(st.sampled_from([1, 2, 4]))
+
+
+class TestBCCOOProperties:
+    @given(A=sparse_matrices(), dims=block_dims(), word=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, A, dims, word):
+        h, w = dims
+        fmt = BCCOOMatrix.from_scipy(
+            A, block_height=h, block_width=w, bit_word_dtype=np.dtype(f"uint{word}")
+        )
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @given(A=sparse_matrices(), dims=block_dims(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_exact(self, A, dims, data):
+        h, w = dims
+        fmt = BCCOOMatrix.from_scipy(A, block_height=h, block_width=w)
+        x = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False),
+                    min_size=A.shape[1],
+                    max_size=A.shape[1],
+                )
+            )
+        )
+        np.testing.assert_allclose(fmt.multiply(x), A @ x, rtol=1e-9, atol=1e-6)
+
+    @given(A=sparse_matrices(), slices=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_plus_round_trip(self, A, slices):
+        fmt = BCCOOPlusMatrix.from_scipy(A, slice_count=slices, block_height=2, block_width=2)
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @given(A=sparse_matrices(), dims=block_dims())
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_accounting_consistent(self, A, dims):
+        h, w = dims
+        fmt = BCCOOMatrix.from_scipy(A, block_height=h, block_width=w)
+        fp = fmt.footprint()
+        assert fp.total == sum(fp.arrays.values())
+        assert fp.arrays["values"] == fmt.nblocks_padded * h * w * 4
+
+
+class TestBitFlagProperties:
+    @given(
+        stops=st.lists(st.booleans(), min_size=1, max_size=300),
+        word=st.sampled_from([8, 16, 32]),
+        pad=st.integers(1, 64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_identity(self, stops, word, pad):
+        arr = np.array(stops, dtype=bool)
+        packed = bf.pack(arr, np.dtype(f"uint{word}"), pad_multiple=pad)
+        back = bf.unpack(packed)
+        assert back[: len(stops)].tolist() == stops
+        assert not back[len(stops):].any()
+
+    @given(rows=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_row_index_reconstruction_lossless(self, rows):
+        block_row = np.sort(np.array(rows, dtype=np.int64))
+        stops = bf.stops_from_block_rows(block_row)
+        ordinals = bf.reconstruct_row_ordinals(stops)
+        nonempty = np.unique(block_row)
+        np.testing.assert_array_equal(nonempty[ordinals], block_row)
+
+
+class TestDeltaProperties:
+    @given(
+        cols=st.lists(st.integers(0, 10_000_000), min_size=1, max_size=128),
+        tile=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_compress_decompress_identity(self, cols, tile):
+        arr = np.array(cols, dtype=np.int64)
+        pad = (-arr.size) % tile
+        arr = np.concatenate([arr, np.zeros(pad, dtype=np.int64)])
+        dc = compress_columns(arr, tile)
+        np.testing.assert_array_equal(decompress_columns(dc), arr)

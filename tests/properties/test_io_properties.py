@@ -1,0 +1,79 @@
+"""Property-based tests on IO and the partitioned/layout machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.formats import CocktailMatrix
+from repro.formats.layout import from_device_order, to_device_order
+from repro.matrices import read_matrix_market, write_matrix_market
+
+
+@st.composite
+def small_matrices(draw):
+    nrows = draw(st.integers(1, 25))
+    ncols = draw(st.integers(1, 25))
+    nnz = draw(st.integers(1, 50))
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, nrows - 1),
+                st.integers(0, ncols - 1),
+                st.floats(-1e6, 1e6, allow_nan=False).filter(lambda v: v != 0),
+            ),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    r, c, v = zip(*entries)
+    A = sparse.coo_matrix((v, (r, c)), shape=(nrows, ncols)).tocsr()
+    A.sum_duplicates()
+    A.eliminate_zeros()
+    return A
+
+
+class TestMatrixMarketProperties:
+    @given(A=small_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_identity(self, A, tmp_path_factory):
+        path = tmp_path_factory.mktemp("mm") / "m.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert B.shape == A.shape
+        np.testing.assert_allclose(B.toarray(), A.toarray(), rtol=1e-15)
+
+
+class TestCocktailProperties:
+    @given(A=small_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_and_multiply(self, A):
+        if A.nnz == 0:
+            return
+        fmt = CocktailMatrix.from_scipy(A)
+        assert (fmt.to_scipy() != A).nnz == 0
+        x = np.linspace(-1, 1, A.shape[1])
+        np.testing.assert_allclose(
+            fmt.multiply(x), A @ x, rtol=1e-9, atol=1e-7
+        )
+
+
+class TestLayoutProperties:
+    @given(
+        n_wg=st.integers(1, 4),
+        wg=st.sampled_from([2, 4, 8, 32]),
+        tile=st.integers(1, 8),
+        lanes=st.integers(0, 2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_device_order_is_involution(self, n_wg, wg, tile, lanes):
+        n = n_wg * wg * tile
+        rng = np.random.default_rng(n)
+        shape = (n,) if lanes == 0 else (n,) + (2,) * lanes
+        blocks = rng.standard_normal(shape)
+        dev = to_device_order(blocks, wg, tile)
+        back = from_device_order(dev, wg, tile)
+        np.testing.assert_array_equal(back, blocks)
+        # The permutation is measure-preserving: same multiset of values.
+        np.testing.assert_allclose(
+            np.sort(dev.ravel()), np.sort(blocks.ravel())
+        )

@@ -1,0 +1,116 @@
+"""Property-based tests on the segmented-scan implementations.
+
+The central invariant: every parallel formulation (tree-based,
+matrix-based, the Grp_sum chain) computes exactly what the sequential
+reference computes, for arbitrary values and flag patterns.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import chain_carries
+from repro.scan import (
+    matrix_segmented_scan,
+    segment_sums_by_stops,
+    segmented_scan_inclusive,
+    starts_from_stops,
+    tree_segmented_scan,
+)
+
+values_and_flags = st.integers(1, 200).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+    )
+)
+
+
+class TestScanEquivalence:
+    @given(vf=values_and_flags)
+    @settings(max_examples=150, deadline=None)
+    def test_tree_equals_reference(self, vf):
+        vals, flags = vf
+        v = np.array(vals)
+        starts = np.array(flags, dtype=bool)
+        got, _ = tree_segmented_scan(v, starts)
+        np.testing.assert_allclose(
+            got, segmented_scan_inclusive(v, starts), rtol=1e-9, atol=1e-6
+        )
+
+    @given(vf=values_and_flags, threads=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=150, deadline=None)
+    def test_matrix_equals_reference(self, vf, threads):
+        vals, flags = vf
+        v = np.array(vals)
+        starts = np.array(flags, dtype=bool)
+        pad = (-v.size) % threads
+        v = np.concatenate([v, np.zeros(pad)])
+        starts = np.concatenate([starts, np.zeros(pad, dtype=bool)])
+        got, _ = matrix_segmented_scan(v, starts, threads)
+        np.testing.assert_allclose(
+            got, segmented_scan_inclusive(v, starts), rtol=1e-9, atol=1e-6
+        )
+
+    @given(vf=values_and_flags)
+    @settings(max_examples=100, deadline=None)
+    def test_stop_sums_equal_scan_at_stops(self, vf):
+        vals, flags = vf
+        v = np.array(vals)
+        stops = np.array(flags, dtype=bool)
+        sums = segment_sums_by_stops(v, stops)
+        scan = segmented_scan_inclusive(v, starts_from_stops(stops))
+        np.testing.assert_allclose(
+            sums, scan[stops], rtol=1e-9, atol=1e-6
+        )
+
+
+class TestChainProperties:
+    @given(vf=values_and_flags)
+    @settings(max_examples=100, deadline=None)
+    def test_grp_sum_is_segmented_scan(self, vf):
+        vals, flags = vf
+        lp = np.array(vals)
+        hs = np.array(flags, dtype=bool)
+        _, grp = chain_carries(lp, hs)
+        starts = hs.copy()
+        starts[0] = True
+        np.testing.assert_allclose(
+            grp, segmented_scan_inclusive(lp, starts), rtol=1e-9, atol=1e-6
+        )
+
+    @given(vf=values_and_flags)
+    @settings(max_examples=100, deadline=None)
+    def test_carry_is_previous_grp_sum(self, vf):
+        vals, flags = vf
+        lp = np.array(vals)
+        hs = np.array(flags, dtype=bool)
+        carry, grp = chain_carries(lp, hs)
+        assert carry[0] == 0.0
+        np.testing.assert_allclose(carry[1:], grp[:-1], rtol=1e-12)
+
+
+class TestBlellochEquivalence:
+    @given(vf=values_and_flags)
+    @settings(max_examples=150, deadline=None)
+    def test_blelloch_equals_reference(self, vf):
+        from repro.scan import blelloch_segmented_scan
+
+        vals, flags = vf
+        v = np.array(vals)
+        starts = np.array(flags, dtype=bool)
+        got, _ = blelloch_segmented_scan(v, starts)
+        np.testing.assert_allclose(
+            got, segmented_scan_inclusive(v, starts), rtol=1e-9, atol=1e-6
+        )
+
+    @given(vf=values_and_flags)
+    @settings(max_examples=60, deadline=None)
+    def test_all_scans_agree(self, vf):
+        from repro.scan import blelloch_segmented_scan
+
+        vals, flags = vf
+        v = np.array(vals)
+        starts = np.array(flags, dtype=bool)
+        hs, _ = tree_segmented_scan(v, starts)
+        bl, _ = blelloch_segmented_scan(v, starts)
+        np.testing.assert_allclose(bl, hs, rtol=1e-9, atol=1e-6)

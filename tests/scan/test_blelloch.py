@@ -1,0 +1,81 @@
+"""Tests for the work-efficient (Blelloch/Sengupta) segmented scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scan import (
+    blelloch_segmented_scan,
+    segmented_scan_inclusive,
+    starts_from_stops,
+    tree_segmented_scan,
+)
+
+
+class TestCorrectness:
+    def test_figure7(self):
+        inp = np.array([3, 2, 0, 2, 1, 0, 4, 2, 4, 3, 2, 2, 0, 1, 3, 1], dtype=float)
+        bits = np.array([1, 1, 1, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1, 0])
+        starts = starts_from_stops(bits == 0)
+        got, _ = blelloch_segmented_scan(inp, starts)
+        assert got.tolist() == [3, 5, 5, 7, 8, 0, 4, 2, 6, 9, 2, 4, 4, 5, 8, 9]
+
+    def test_matches_reference_random(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 200))
+            v = rng.standard_normal(n)
+            starts = rng.random(n) < 0.25
+            starts[0] = bool(rng.random() < 0.8)
+            ref = segmented_scan_inclusive(v, starts)
+            got, _ = blelloch_segmented_scan(v, starts)
+            np.testing.assert_allclose(got, ref, atol=1e-9)
+
+    def test_non_power_of_two(self, rng):
+        v = rng.standard_normal(100)
+        starts = np.zeros(100, dtype=bool)
+        starts[0] = True
+        got, _ = blelloch_segmented_scan(v, starts)
+        np.testing.assert_allclose(got, np.cumsum(v), atol=1e-9)
+
+    def test_2d_lanes(self, rng):
+        v = rng.standard_normal((48, 2))
+        starts = rng.random(48) < 0.2
+        starts[0] = True
+        got, _ = blelloch_segmented_scan(v, starts)
+        np.testing.assert_allclose(got, segmented_scan_inclusive(v, starts))
+
+    def test_single_element(self):
+        got, st = blelloch_segmented_scan(np.array([7.0]), np.array([True]))
+        assert got.tolist() == [7.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            blelloch_segmented_scan(np.zeros(4), np.zeros(3, dtype=bool))
+
+
+class TestWorkEfficiency:
+    def test_linear_work(self):
+        # O(n) combines versus Hillis-Steele's O(n log n).
+        n = 1024
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        _, bl = blelloch_segmented_scan(np.ones(n), starts)
+        _, hs = tree_segmented_scan(np.ones(n), starts)
+        assert bl.element_ops < 2 * n
+        assert hs.element_ops > 5 * n
+
+    def test_twice_the_stages(self):
+        n = 256
+        starts = np.ones(n, dtype=bool)
+        _, bl = blelloch_segmented_scan(np.ones(n), starts)
+        _, hs = tree_segmented_scan(np.ones(n), starts)
+        assert bl.steps == 2 * hs.steps
+
+    def test_idle_lanes_near_root(self):
+        # At depth k only n/2^k pairs are active but a half-wave is
+        # scheduled: substantial idling -- the paper's critique.
+        n = 1024
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        _, st = blelloch_segmented_scan(np.ones(n), starts)
+        assert st.idle_fraction > 0.5

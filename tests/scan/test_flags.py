@@ -1,0 +1,50 @@
+"""Tests for flag conversions."""
+
+import numpy as np
+import pytest
+
+from repro.scan.flags import segment_ids, starts_from_stops, stops_from_starts
+
+
+class TestStartsFromStops:
+    def test_basic(self):
+        stops = np.array([0, 0, 1, 0, 1], dtype=bool)
+        assert starts_from_stops(stops).astype(int).tolist() == [1, 0, 0, 1, 0]
+
+    def test_first_always_start(self):
+        assert starts_from_stops(np.zeros(4, dtype=bool))[0]
+
+    def test_empty(self):
+        assert starts_from_stops(np.array([], dtype=bool)).size == 0
+
+    def test_figure7_flags(self):
+        bits = np.array([1, 1, 1, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1, 0])
+        starts = starts_from_stops(bits == 0)
+        expected = [1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0]
+        assert starts.astype(int).tolist() == expected
+
+
+class TestStopsFromStarts:
+    def test_inverse_up_to_open_tail(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 60))
+            stops = rng.random(n) < 0.3
+            stops[-1] = True  # closed tail is recoverable
+            starts = starts_from_stops(stops)
+            np.testing.assert_array_equal(stops_from_starts(starts), stops)
+
+    def test_last_always_stop(self):
+        assert stops_from_starts(np.array([True, False, False]))[-1]
+
+
+class TestSegmentIds:
+    def test_flagged_zero_based(self):
+        starts = np.array([1, 0, 1, 0, 0, 1], dtype=bool)
+        assert segment_ids(starts).tolist() == [0, 0, 1, 1, 1, 2]
+
+    def test_leading_continuation(self):
+        starts = np.array([0, 0, 1, 0], dtype=bool)
+        assert segment_ids(starts).tolist() == [0, 0, 1, 1]
+
+    def test_empty(self):
+        assert segment_ids(np.array([], dtype=bool)).size == 0

@@ -1,0 +1,79 @@
+"""Tests for the matrix-based segmented scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scan import matrix_segmented_scan, segmented_scan_inclusive
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8, 16])
+    def test_matches_reference(self, threads, rng):
+        for _ in range(10):
+            tiles = int(rng.integers(1, 8))
+            n = threads * tiles * 4
+            v = rng.standard_normal(n)
+            starts = rng.random(n) < 0.2
+            starts[0] = True
+            expected = segmented_scan_inclusive(v, starts)
+            got, _ = matrix_segmented_scan(v, starts, threads)
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_segment_spanning_many_tiles(self):
+        # One segment across the whole array: the carry chain must
+        # thread through every tile.
+        n = 32
+        v = np.ones(n)
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        got, stats = matrix_segmented_scan(v, starts, 8)
+        np.testing.assert_allclose(got, np.arange(1, n + 1))
+        assert stats.carry_fixups == 7  # every thread but 0
+
+    def test_2d_lanes(self, rng):
+        v = rng.standard_normal((24, 3))
+        starts = rng.random(24) < 0.3
+        starts[0] = True
+        got, _ = matrix_segmented_scan(v, starts, 4)
+        np.testing.assert_allclose(got, segmented_scan_inclusive(v, starts))
+
+
+class TestStats:
+    def test_sequential_ops_equal_n(self, rng):
+        v = rng.standard_normal(64)
+        starts = rng.random(64) < 0.3
+        _, stats = matrix_segmented_scan(v, starts, 8)
+        assert stats.sequential_ops == 64
+        assert stats.threads == 8
+        assert stats.tile == 8
+
+    def test_parallel_scan_skipped_when_every_tile_has_start(self):
+        # Force a start in every tile of 4.
+        starts = np.zeros(32, dtype=bool)
+        starts[::4] = True
+        _, stats = matrix_segmented_scan(np.ones(32), starts, 8)
+        assert stats.parallel_scan_skipped
+        assert stats.parallel_scan is None
+
+    def test_parallel_scan_runs_otherwise(self):
+        starts = np.zeros(32, dtype=bool)
+        starts[0] = True  # only the first tile has a start
+        _, stats = matrix_segmented_scan(np.ones(32), starts, 8)
+        assert not stats.parallel_scan_skipped
+        assert stats.parallel_scan is not None
+        assert stats.parallel_scan.n == 8  # scan over threads, not elements
+
+
+class TestValidation:
+    def test_indivisible_length(self):
+        with pytest.raises(ReproError, match="multiple"):
+            matrix_segmented_scan(np.zeros(10), np.zeros(10, dtype=bool), 4)
+
+    def test_bad_threads(self):
+        with pytest.raises(ReproError, match="num_threads"):
+            matrix_segmented_scan(np.zeros(8), np.zeros(8, dtype=bool), 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError, match="length"):
+            matrix_segmented_scan(np.zeros(8), np.zeros(9, dtype=bool), 4)

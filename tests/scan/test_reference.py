@@ -1,0 +1,120 @@
+"""Tests for the sequential reference segmented primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scan import (
+    segment_sums_by_stops,
+    segmented_scan_exclusive,
+    segmented_scan_inclusive,
+    segmented_sum,
+    starts_from_stops,
+)
+
+FIG7_INPUT = np.array([3, 2, 0, 2, 1, 0, 4, 2, 4, 3, 2, 2, 0, 1, 3, 1], dtype=float)
+FIG7_BITS = np.array([1, 1, 1, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1, 0])
+FIG7_RESULT = [3, 5, 5, 7, 8, 0, 4, 2, 6, 9, 2, 4, 4, 5, 8, 9]
+
+
+class TestInclusive:
+    def test_figure7(self):
+        starts = starts_from_stops(FIG7_BITS == 0)
+        res = segmented_scan_inclusive(FIG7_INPUT, starts)
+        assert res.tolist() == FIG7_RESULT
+
+    def test_single_segment_is_cumsum(self, rng):
+        v = rng.standard_normal(50)
+        starts = np.zeros(50, dtype=bool)
+        starts[0] = True
+        np.testing.assert_allclose(
+            segmented_scan_inclusive(v, starts), np.cumsum(v)
+        )
+
+    def test_all_starts_is_identity(self, rng):
+        v = rng.standard_normal(30)
+        np.testing.assert_allclose(
+            segmented_scan_inclusive(v, np.ones(30, dtype=bool)), v
+        )
+
+    def test_leading_continuation_run(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        starts = np.array([0, 0, 1, 0], dtype=bool)
+        res = segmented_scan_inclusive(v, starts)
+        assert res.tolist() == [1.0, 3.0, 3.0, 7.0]
+
+    def test_2d_lanes_scan_independently(self, rng):
+        v = rng.standard_normal((40, 3))
+        starts = rng.random(40) < 0.3
+        starts[0] = True
+        res = segmented_scan_inclusive(v, starts)
+        for lane in range(3):
+            np.testing.assert_allclose(
+                res[:, lane], segmented_scan_inclusive(v[:, lane], starts)
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError, match="length"):
+            segmented_scan_inclusive(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_empty(self):
+        out = segmented_scan_inclusive(np.zeros(0), np.zeros(0, dtype=bool))
+        assert out.size == 0
+
+
+class TestExclusive:
+    def test_shifts_by_self(self, rng):
+        v = rng.standard_normal(25)
+        starts = rng.random(25) < 0.3
+        starts[0] = True
+        inc = segmented_scan_inclusive(v, starts)
+        exc = segmented_scan_exclusive(v, starts)
+        np.testing.assert_allclose(exc, inc - v)
+
+    def test_zero_at_starts(self, rng):
+        v = rng.standard_normal(25)
+        starts = rng.random(25) < 0.4
+        starts[0] = True
+        exc = segmented_scan_exclusive(v, starts)
+        np.testing.assert_allclose(exc[starts], 0.0, atol=1e-12)
+
+
+class TestSegmentedSum:
+    def test_figure7_totals(self):
+        starts = starts_from_stops(FIG7_BITS == 0)
+        sums = segmented_sum(FIG7_INPUT, starts)
+        assert sums.tolist() == [8.0, 4.0, 9.0, 9.0]
+
+    def test_matches_bincount(self, rng):
+        v = rng.standard_normal(100)
+        starts = rng.random(100) < 0.2
+        starts[0] = True
+        ids = np.cumsum(starts) - 1
+        expected = np.bincount(ids, weights=v)
+        np.testing.assert_allclose(segmented_sum(v, starts), expected)
+
+
+class TestSegmentSumsByStops:
+    def test_trailing_open_segment_dropped(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        stops = np.array([0, 1, 0, 0, 0], dtype=bool)
+        assert segment_sums_by_stops(v, stops).tolist() == [3.0]
+
+    def test_figure7(self):
+        sums = segment_sums_by_stops(FIG7_INPUT, FIG7_BITS == 0)
+        assert sums.tolist() == [8.0, 4.0, 9.0, 9.0]
+
+    def test_2d(self, rng):
+        v = rng.standard_normal((20, 2))
+        stops = rng.random(20) < 0.3
+        out = segment_sums_by_stops(v, stops)
+        assert out.shape == (int(stops.sum()), 2)
+
+    def test_no_stops_no_output(self, rng):
+        v = rng.standard_normal(10)
+        out = segment_sums_by_stops(v, np.zeros(10, dtype=bool))
+        assert out.shape[0] == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            segment_sums_by_stops(np.zeros(3), np.zeros(2, dtype=bool))

@@ -1,0 +1,66 @@
+"""Tests for the lockstep tree-based segmented scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scan import segmented_scan_inclusive, tree_segmented_scan
+
+
+class TestCorrectness:
+    def test_matches_reference(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(1, 200))
+            v = rng.standard_normal(n)
+            starts = rng.random(n) < 0.25
+            starts[0] = True
+            expected = segmented_scan_inclusive(v, starts)
+            got, _ = tree_segmented_scan(v, starts)
+            np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_2d_lanes(self, rng):
+        v = rng.standard_normal((64, 2))
+        starts = rng.random(64) < 0.2
+        starts[0] = True
+        got, _ = tree_segmented_scan(v, starts)
+        np.testing.assert_allclose(got, segmented_scan_inclusive(v, starts))
+
+    def test_continuation_run(self):
+        v = np.array([1.0, 1.0, 1.0, 1.0])
+        starts = np.array([0, 0, 0, 0], dtype=bool)
+        got, _ = tree_segmented_scan(v, starts)
+        assert got.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            tree_segmented_scan(np.zeros(3), np.zeros(5, dtype=bool))
+
+
+class TestStats:
+    def test_log_steps(self):
+        for n, steps in [(1, 0), (2, 1), (16, 4), (17, 5), (256, 8)]:
+            _, st = tree_segmented_scan(np.ones(n), np.ones(n, dtype=bool))
+            assert st.steps == steps, n
+
+    def test_idle_fraction_grows(self):
+        # Single segment: step d idles exactly d lanes -> nonzero idling.
+        n = 128
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        _, st = tree_segmented_scan(np.ones(n), starts)
+        assert 0.0 < st.idle_fraction < 1.0
+        # ops = sum over steps of (n - d) for d = 1, 2, ..., 64
+        assert st.element_ops == sum(n - (1 << k) for k in range(7))
+
+    def test_all_starts_still_pays_slots(self):
+        # Segment length 1 everywhere: zero useful adds, full slot bill --
+        # exactly the waste the paper's early check avoids.
+        n = 64
+        _, st = tree_segmented_scan(np.ones(n), np.ones(n, dtype=bool))
+        assert st.element_ops == 0
+        assert st.element_slots == n * st.steps
+        assert st.idle_fraction == 1.0
+
+    def test_barriers(self):
+        _, st = tree_segmented_scan(np.ones(32), np.ones(32, dtype=bool))
+        assert st.barriers == st.steps - 1

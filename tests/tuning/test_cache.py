@@ -1,0 +1,64 @@
+"""Tests for the kernel-plan and format caches."""
+
+from repro.formats import BCCOOMatrix, BCCOOPlusMatrix
+from repro.kernels import YaSpMVConfig
+from repro.tuning import FormatCache, KernelPlanCache, TuningPoint
+
+
+class TestKernelPlanCache:
+    def test_miss_then_hit(self):
+        cache = KernelPlanCache(compile_cost_s=0.1)
+        p = TuningPoint()
+        _, hit1 = cache.get(p)
+        _, hit2 = cache.get(p)
+        assert (hit1, hit2) == (False, True)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_reuse_across_matrices_by_design(self):
+        # The key contains no matrix identity: the same configuration on
+        # another matrix reuses the plan (the paper's acceleration #2).
+        cache = KernelPlanCache()
+        a = TuningPoint(block_height=2)
+        b = TuningPoint(block_height=2)
+        cache.get(a)
+        _, hit = cache.get(b)
+        assert hit
+
+    def test_simulated_times(self):
+        cache = KernelPlanCache(compile_cost_s=0.2)
+        p1, p2 = TuningPoint(), TuningPoint(block_height=2)
+        cache.get(p1)
+        cache.get(p2)
+        cache.get(p1)
+        assert cache.simulated_compile_time_s == 0.4
+        assert cache.simulated_time_saved_s == 0.2
+        assert len(cache) == 2
+
+
+class TestFormatCache:
+    def test_conversion_reused_across_kernel_geometry(self, random_matrix):
+        fc = FormatCache(random_matrix())
+        a = TuningPoint(kernel=YaSpMVConfig(workgroup_size=64, tile_size=16))
+        b = TuningPoint(kernel=YaSpMVConfig(workgroup_size=512, tile_size=16))
+        fa = fc.get(a)
+        fb = fc.get(b)
+        assert fa is fb
+        assert fc.conversions == 1
+
+    def test_distinct_blocks_distinct_builds(self, random_matrix):
+        fc = FormatCache(random_matrix())
+        fc.get(TuningPoint(block_height=1))
+        fc.get(TuningPoint(block_height=2))
+        assert fc.conversions == 2
+
+    def test_builds_requested_types(self, random_matrix):
+        fc = FormatCache(random_matrix(ncols=200))
+        plain = fc.get(TuningPoint())
+        plus = fc.get(TuningPoint(slice_count=4))
+        assert isinstance(plain, BCCOOMatrix)
+        assert isinstance(plus, BCCOOPlusMatrix)
+
+    def test_col_compress_flag(self, random_matrix):
+        fc = FormatCache(random_matrix(ncols=100))
+        raw = fc.get(TuningPoint(col_compress=False))
+        assert raw.col_storage == "int32"

@@ -1,0 +1,77 @@
+"""Tests for the model-driven tuner extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.gpu import GTX680
+from repro.tuning import (
+    AutoTuner,
+    CostModel,
+    MatrixSummary,
+    ModelDrivenTuner,
+    TuningPoint,
+)
+
+
+@pytest.fixture
+def matrix(random_matrix):
+    return random_matrix(nrows=150, ncols=150, density=0.05)
+
+
+class TestCostModel:
+    def test_predicts_positive_time(self, matrix):
+        summary = MatrixSummary.measure(matrix, [(1, 1), (2, 2)])
+        model = CostModel(GTX680)
+        t = model.predict(TuningPoint(), summary)
+        assert t > 0
+
+    def test_bigger_blocks_cost_fill_in(self, matrix):
+        # On a scattered matrix, 2x2 blocks store ~4x the values: the
+        # model must rank 1x1 faster.
+        summary = MatrixSummary.measure(matrix, [(1, 1), (2, 2)])
+        model = CostModel(GTX680)
+        t11 = model.predict(TuningPoint(block_height=1, block_width=1), summary)
+        t22 = model.predict(TuningPoint(block_height=2, block_width=2), summary)
+        assert t11 < t22
+
+    def test_fp64_costs_more(self, matrix):
+        summary = MatrixSummary.measure(matrix, [(1, 1)])
+        model = CostModel(GTX680)
+        p32 = TuningPoint()
+        p64 = p32.with_kernel(precision="fp64")
+        assert model.predict(p64, summary) > model.predict(p32, summary)
+
+    def test_missing_dimension_rejected(self, matrix):
+        summary = MatrixSummary.measure(matrix, [(1, 1)])
+        with pytest.raises(TuningError, match="lacks block counts"):
+            CostModel(GTX680).predict(TuningPoint(block_height=2), summary)
+
+
+class TestModelDrivenTuner:
+    def test_finds_near_optimal_with_fraction_of_work(self, matrix):
+        full = AutoTuner(GTX680).tune(matrix)
+        fast = ModelDrivenTuner(GTX680, evaluate_fraction=0.2).tune(matrix)
+        # Far fewer kernel executions...
+        assert fast.evaluated < full.evaluated / 2
+        # ...and a winner within 15% of the full pruned search.
+        assert fast.best.time_s <= full.best.time_s * 1.15
+
+    def test_best_point_runnable(self, matrix, rng):
+        from repro.core import SpMVEngine
+
+        res = ModelDrivenTuner(GTX680).tune(matrix)
+        eng = SpMVEngine(GTX680)
+        prep = eng.prepare(matrix, point=res.best_point)
+        x = rng.standard_normal(matrix.shape[1])
+        np.testing.assert_allclose(eng.multiply(prep, x).y, matrix @ x, atol=1e-9)
+
+    def test_fraction_validation(self):
+        with pytest.raises(TuningError, match="evaluate_fraction"):
+            ModelDrivenTuner(GTX680, evaluate_fraction=0.0)
+
+    def test_min_evaluations_floor(self, matrix):
+        res = ModelDrivenTuner(
+            GTX680, evaluate_fraction=0.001, min_evaluations=10
+        ).tune(matrix)
+        assert res.evaluated + res.skipped >= 10

@@ -1,0 +1,64 @@
+"""Tests for tuning points and keys."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.kernels import YaSpMVConfig
+from repro.tuning import TuningPoint
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = TuningPoint()
+        assert p.format_name == "bccoo"
+
+    def test_bad_block(self):
+        with pytest.raises(TuningError):
+            TuningPoint(block_height=5)
+        with pytest.raises(TuningError):
+            TuningPoint(block_width=3)
+
+    def test_bad_word(self):
+        with pytest.raises(TuningError):
+            TuningPoint(bit_word="uint64")
+
+    def test_bad_slices(self):
+        with pytest.raises(TuningError):
+            TuningPoint(slice_count=3)
+
+    def test_plus_name(self):
+        assert TuningPoint(slice_count=4).format_name == "bccoo+"
+
+
+class TestKeys:
+    def test_plan_key_hashable_and_stable(self):
+        a = TuningPoint(block_height=2, kernel=YaSpMVConfig(workgroup_size=128))
+        b = TuningPoint(block_height=2, kernel=YaSpMVConfig(workgroup_size=128))
+        assert a.plan_key() == b.plan_key()
+        assert hash(a.plan_key()) == hash(b.plan_key())
+
+    def test_plan_key_distinguishes_kernel_config(self):
+        a = TuningPoint(kernel=YaSpMVConfig(strategy=1, reg_size=8))
+        b = TuningPoint(kernel=YaSpMVConfig(strategy=2, tile_size=8))
+        assert a.plan_key() != b.plan_key()
+
+    def test_format_key_ignores_kernel_geometry(self):
+        # Same format build, different workgroup size: one conversion.
+        a = TuningPoint(kernel=YaSpMVConfig(workgroup_size=64, tile_size=16))
+        b = TuningPoint(kernel=YaSpMVConfig(workgroup_size=512, tile_size=16))
+        assert a.format_key() == b.format_key()
+
+    def test_format_key_tracks_delta_tile(self):
+        # Delta compression segments by the tile size -> different build.
+        a = TuningPoint(kernel=YaSpMVConfig(tile_size=8))
+        b = TuningPoint(kernel=YaSpMVConfig(tile_size=16))
+        assert a.format_key() != b.format_key()
+
+    def test_bit_word_dtype(self):
+        assert TuningPoint(bit_word="uint16").bit_word_dtype == np.dtype(np.uint16)
+
+    def test_with_kernel(self):
+        p = TuningPoint().with_kernel(workgroup_size=512)
+        assert p.kernel.workgroup_size == 512
+        assert p.block_height == 1

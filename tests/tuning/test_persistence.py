@@ -1,0 +1,94 @@
+"""Tests for tuned-configuration persistence."""
+
+import json
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.gpu import GTX480, GTX680
+from repro.kernels import YaSpMVConfig
+from repro.tuning import TuningPoint, TuningStore, matrix_fingerprint
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TuningStore(tmp_path / "tuning.json")
+
+
+@pytest.fixture
+def A(random_matrix):
+    return random_matrix(nrows=80, ncols=80, density=0.1)
+
+
+class TestFingerprint:
+    def test_structure_only(self, A):
+        B = A.copy()
+        B.data = B.data * 3.0  # same structure, different values
+        assert matrix_fingerprint(A) == matrix_fingerprint(B)
+
+    def test_different_pattern_differs(self, random_matrix):
+        a = random_matrix(seed=1)
+        b = random_matrix(seed=2)
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_shape_included(self):
+        a = sparse.identity(10, format="csr")
+        b = sparse.identity(11, format="csr")[:10]
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+
+class TestStore:
+    def test_round_trip(self, store, A):
+        point = TuningPoint(
+            block_height=2,
+            bit_word="uint16",
+            kernel=YaSpMVConfig(strategy=1, reg_size=8, workgroup_size=128),
+        )
+        store.put(A, GTX680, point)
+        loaded = TuningStore(store.path).get(A, GTX680)  # fresh reader
+        assert loaded == point
+
+    def test_miss_returns_none(self, store, A):
+        assert store.get(A, GTX680) is None
+
+    def test_device_keyed(self, store, A):
+        store.put(A, GTX680, TuningPoint(block_height=2))
+        assert store.get(A, GTX480) is None
+        assert store.get(A, "gtx680") is not None  # name and spec agree
+
+    def test_overwrite(self, store, A):
+        store.put(A, GTX680, TuningPoint(block_height=1))
+        store.put(A, GTX680, TuningPoint(block_height=3))
+        assert store.get(A, GTX680).block_height == 3
+        assert len(store) == 1
+
+    def test_corrupt_file_is_empty_store(self, tmp_path, A):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert TuningStore(path).get(A, GTX680) is None
+
+    def test_incompatible_version_is_miss(self, store, A):
+        store.put(A, GTX680, TuningPoint())
+        blobs = json.loads(store.path.read_text())
+        for v in blobs.values():
+            v["version"] = 999
+        store.path.write_text(json.dumps(blobs))
+        assert TuningStore(store.path).get(A, GTX680) is None
+
+
+class TestEngineIntegration:
+    def test_store_skips_second_search(self, store, A, rng):
+        from repro import SpMVEngine
+
+        eng = SpMVEngine("gtx680")
+        first = eng.prepare(A, store=store)
+        assert first.tuning is not None  # searched
+        assert len(store) == 1
+
+        second = eng.prepare(A, store=store)
+        assert second.tuning is None  # served from the store
+        assert second.point == first.point
+
+        x = rng.standard_normal(80)
+        np.testing.assert_allclose(eng.multiply(second, x).y, A @ x, atol=1e-9)

@@ -1,0 +1,80 @@
+"""Tests for the auto-tuner driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.gpu import GTX480, GTX680
+from repro.tuning import AutoTuner, KernelPlanCache
+
+
+@pytest.fixture
+def small(random_matrix):
+    return random_matrix(nrows=120, ncols=120, density=0.06)
+
+
+class TestTune:
+    def test_returns_consistent_best(self, small):
+        res = AutoTuner(GTX680).tune(small)
+        assert res.evaluated > 0
+        assert res.best.time_s > 0
+        assert res.best.time_s == min(e.time_s for e in res.history)
+
+    def test_history_top(self, small):
+        res = AutoTuner(GTX680).tune(small)
+        top = res.top(3)
+        assert len(top) == 3
+        assert top[0].time_s <= top[1].time_s <= top[2].time_s
+        assert top[0].time_s == res.best.time_s
+
+    def test_best_point_is_runnable(self, small, rng):
+        from repro.core import SpMVEngine
+
+        res = AutoTuner(GTX680).tune(small)
+        eng = SpMVEngine(GTX680)
+        prep = eng.prepare(small, point=res.best_point)
+        x = rng.standard_normal(small.shape[1])
+        out = eng.multiply(prep, x)
+        np.testing.assert_allclose(out.y, small @ x, atol=1e-9)
+
+    def test_plan_cache_shared_across_matrices(self, random_matrix):
+        cache = KernelPlanCache()
+        tuner = AutoTuner(GTX680, plan_cache=cache)
+        tuner.tune(random_matrix(seed=1))
+        misses_after_first = cache.misses
+        tuner.tune(random_matrix(seed=2))
+        # Second matrix reuses nearly every compiled plan.
+        assert cache.misses <= misses_after_first * 1.5
+        assert cache.hits > 0
+
+    def test_devices_can_disagree(self, small):
+        # Not asserting they must differ -- only that both tune cleanly
+        # and report device-consistent bests.
+        r680 = AutoTuner(GTX680).tune(small)
+        r480 = AutoTuner(GTX480).tune(small)
+        assert r680.best.time_s > 0 and r480.best.time_s > 0
+
+    def test_no_history_mode(self, small):
+        res = AutoTuner(GTX680, keep_history=False).tune(small)
+        assert res.history == []
+        assert res.best.time_s > 0
+
+    def test_bad_mode(self):
+        with pytest.raises(TuningError, match="mode"):
+            AutoTuner(GTX680, mode="random")
+
+    def test_exhaustive_restricted_finds_at_least_pruned_quality(self, small):
+        pruned = AutoTuner(GTX680).tune(small)
+        exhaustive = AutoTuner(
+            GTX680,
+            mode="exhaustive",
+            exhaustive_kwargs=dict(
+                workgroup_sizes=(pruned.best_point.kernel.workgroup_size,),
+                block_heights=(pruned.best_point.block_height,),
+                block_widths=(pruned.best_point.block_width,),
+                bit_words=(pruned.best_point.bit_word,),
+            ),
+        ).tune(small)
+        # The exhaustive sweep includes the pruned winner's axes, so it
+        # can only match or beat it.
+        assert exhaustive.best.time_s <= pruned.best.time_s * 1.0001
