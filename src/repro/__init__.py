@@ -22,7 +22,7 @@ Entry points
     The subsystems, individually usable.
 """
 
-from . import formats, gpu, kernels, matrices, scan, solvers, tuning
+from . import fault, formats, gpu, kernels, matrices, scan, solvers, tuning
 from .core import (
     BaselineResult,
     PreparedMatrix,
@@ -36,17 +36,21 @@ from .core import (
 )
 from .errors import (
     DeviceError,
+    FaultInjectedError,
     FormatError,
     FormatNotApplicableError,
     KernelConfigError,
     MatrixGenerationError,
     ReproError,
     TuningError,
+    ValidationError,
 )
+from .fault import FaultPlan, FaultSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "fault",
     "formats",
     "solvers",
     "gpu",
@@ -64,11 +68,15 @@ __all__ = [
     "run_cusparse_best",
     "yaspmv",
     "DeviceError",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSpec",
     "FormatError",
     "FormatNotApplicableError",
     "KernelConfigError",
     "MatrixGenerationError",
     "ReproError",
     "TuningError",
+    "ValidationError",
     "__version__",
 ]

@@ -7,7 +7,9 @@ Gives the library's main workflows a shell entry point:
   print the winning configuration, optionally the generated OpenCL;
 * ``multiply``  -- run one simulated SpMV and report the profile;
 * ``footprint`` -- print the Table 3 row for a matrix;
-* ``compare``   -- run the full comparator panel on a matrix.
+* ``compare``   -- run the full comparator panel on a matrix;
+* ``verify``    -- validate format invariants and check the kernel
+  output against the full CSR reference (non-zero exit on mismatch).
 """
 
 from __future__ import annotations
@@ -121,6 +123,30 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .core import SpMVEngine
+    from .fault.validation import validate_format, verify_output
+    from .tuning import TuningStore
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
+    eng = SpMVEngine(device=args.device)
+    store = TuningStore(args.store) if args.store else None
+    prepared = eng.prepare(A, store=store)
+
+    fmt_report = validate_format(prepared.fmt)
+    print(fmt_report.summary())
+
+    res = eng.multiply(prepared, x)
+    out_report = verify_output(
+        prepared.reference_csr(), x, res.y, n_samples=None
+    )
+    print(out_report.summary())
+    ok = fmt_report.ok and out_report.ok
+    print(f"{name}: {'VERIFIED' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="yaSpMV reproduction CLI"
@@ -153,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="yaSpMV vs all comparators")
     matrix_args(p_cmp)
 
+    p_ver = sub.add_parser(
+        "verify", help="validate format invariants + full reference check"
+    )
+    matrix_args(p_ver)
+    p_ver.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -162,6 +194,7 @@ _COMMANDS = {
     "multiply": _cmd_multiply,
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
+    "verify": _cmd_verify,
 }
 
 

@@ -21,11 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import FaultInjectedError, ReproError, ValidationError
+from ..fault.injection import FaultPlan, fault_scope
+from ..fault.resilience import AttemptRecord, FailureReport
+from ..fault.validation import ValidationReport, verify_output
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
+from ..formats.csr import CSRMatrix
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec, get_device
 from ..gpu.timing import TimingBreakdown, TimingModel
+from ..kernels.base import get_kernel
 from ..kernels.config import YaSpMVConfig
 from ..kernels.yaspmv import YaSpMVKernel
 from ..tuning.cache import KernelPlanCache
@@ -44,10 +50,20 @@ class PreparedMatrix:
     point: TuningPoint
     tuning: TuningResult | None
     nnz: int
+    #: CSR source retained for the resilience layer (reference checks
+    #: and the fallback chain); ``None`` for hand-built instances, in
+    #: which case it is lazily reconstructed from ``fmt``.
+    csr: object | None = None
 
     @property
     def config(self) -> YaSpMVConfig:
         return self.point.kernel
+
+    def reference_csr(self):
+        """The trusted CSR operand (lazily decoded from ``fmt`` if needed)."""
+        if self.csr is None:
+            self.csr = self.fmt.to_scipy()
+        return self.csr
 
 
 @dataclass
@@ -58,6 +74,9 @@ class SpMVResult:
     stats: KernelStats
     breakdown: TimingBreakdown
     nnz: int
+    #: Degradation trail; ``None`` when the tuned path succeeded outright
+    #: (always ``None`` outside resilient mode).
+    failure: FailureReport | None = None
 
     @property
     def time_s(self) -> float:
@@ -66,6 +85,10 @@ class SpMVResult:
     @property
     def gflops(self) -> float:
         return self.breakdown.gflops(self.nnz)
+
+    @property
+    def degraded(self) -> bool:
+        return self.failure is not None and self.failure.degraded
 
 
 class SpMVEngine:
@@ -82,7 +105,29 @@ class SpMVEngine:
         Optional shared :class:`KernelPlanCache`; the engine creates one
         otherwise (kernel plans are reused across matrices, paper
         section 4).
+    policy:
+        ``"strict"`` (default) raises a typed error on the first
+        validation failure; ``"permissive"`` degrades gracefully down
+        the fallback chain (tuned -> bounded retry -> logical-id repair
+        -> untuned default point -> CSR reference) and reports the trail
+        in :attr:`SpMVResult.failure`.
+    fault_plan:
+        Optional :class:`repro.fault.FaultPlan` installed around every
+        kernel execution -- the fault-injection harness.  ``None`` (the
+        default) leaves the hot path untouched and results bit-identical
+        to the plain engine.
+    validate:
+        ``"auto"`` (validate kernel output only when a fault plan is
+        active), ``True`` (always) or ``False`` (never).
+    max_retries:
+        Bounded same-stage retries for transient faults (a plan whose
+        injection budget runs out recovers here).
+    validation_samples:
+        Rows sampled by the per-multiply reference check (``None`` =
+        every row).
     """
+
+    _POLICIES = ("strict", "permissive")
 
     def __init__(
         self,
@@ -90,15 +135,46 @@ class SpMVEngine:
         tuning_mode: str = "pruned",
         plan_cache: KernelPlanCache | None = None,
         tuning_kwargs: dict | None = None,
+        policy: str = "strict",
+        fault_plan: FaultPlan | None = None,
+        validate: bool | str = "auto",
+        max_retries: int = 1,
+        validation_samples: int | None = 64,
+        validation_rtol: float = 1e-9,
+        validation_atol: float = 1e-12,
     ):
+        if policy not in self._POLICIES:
+            raise ValidationError(
+                f"policy must be one of {self._POLICIES}, got {policy!r}"
+            )
+        if validate not in (True, False, "auto"):
+            raise ValidationError(
+                f"validate must be True, False or 'auto', got {validate!r}"
+            )
         self.device = get_device(device) if isinstance(device, str) else device
         self.tuning_mode = tuning_mode
         self.plan_cache = plan_cache if plan_cache is not None else KernelPlanCache()
         #: Extra AutoTuner constructor arguments (e.g. ``pruned_kwargs``
         #: to trim the search for time-boxed runs).
         self.tuning_kwargs = tuning_kwargs or {}
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.validate = validate
+        self.max_retries = max(int(max_retries), 0)
+        self.validation_samples = validation_samples
+        self.validation_rtol = validation_rtol
+        self.validation_atol = validation_atol
         self._kernel = YaSpMVKernel()
         self._timing = TimingModel(self.device)
+
+    @property
+    def _resilient(self) -> bool:
+        """Whether multiplies go through the validating fallback chain."""
+        if self.validate is True:
+            return True
+        if self.validate is False:
+            return self.fault_plan is not None  # injection still needs the scope
+        return self.fault_plan is not None
 
     # ------------------------------------------------------------------ #
 
@@ -136,16 +212,165 @@ class SpMVEngine:
                 store.put(csr, self.device, point)
 
         fmt = self._build_format(csr, point)
-        return PreparedMatrix(fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz))
+        return PreparedMatrix(
+            fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz), csr=csr
+        )
 
     def multiply(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
-        """Execute one SpMV on a prepared matrix."""
-        result = self._kernel.run(
-            prepared.fmt, x, self.device, config=prepared.config
+        """Execute one SpMV on a prepared matrix.
+
+        With no fault plan and validation off (the default), this is the
+        plain tuned execution.  Otherwise the multiply runs through the
+        resilience layer: injection scope, output validation, and --
+        under the ``"permissive"`` policy -- the graceful-degradation
+        fallback chain (see ``docs/robustness.md``).
+        """
+        if not self._resilient:
+            result = self._kernel.run(
+                prepared.fmt, x, self.device, config=prepared.config
+            )
+            breakdown = self._timing.estimate(result.stats)
+            return SpMVResult(
+                y=result.y, stats=result.stats, breakdown=breakdown, nnz=prepared.nnz
+            )
+        return self._multiply_resilient(prepared, x)
+
+    # ------------------------------------------------------------------ #
+    # Resilience layer
+    # ------------------------------------------------------------------ #
+
+    def _multiply_resilient(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
+        """Validating multiply with bounded retry and fallback chain."""
+        plan = self.fault_plan
+        csr = prepared.reference_csr()
+        report = FailureReport()
+
+        stages: list[tuple[str, object, YaSpMVConfig | None, bool]] = [
+            ("tuned", prepared.fmt, prepared.config, True)
+        ]
+        for _ in range(self.max_retries):
+            stages.append(("tuned-retry", prepared.fmt, prepared.config, True))
+        if (
+            plan is not None
+            and plan.targets("dispatch.")
+            and prepared.config.workgroup_ids != "atomic"
+        ):
+            # Targeted repair: out-of-order dispatch is exactly what the
+            # logical-id atomic fallback neutralizes (section 3.2.4).
+            stages.append(
+                (
+                    "logical-ids",
+                    prepared.fmt,
+                    prepared.config.with_overrides(workgroup_ids="atomic"),
+                    True,
+                )
+            )
+        stages.append(("untuned", None, YaSpMVConfig(), True))
+        stages.append(("csr-reference", None, None, False))
+
+        for stage, fmt, config, with_plan in stages:
+            result, record = self._attempt(
+                stage, fmt, config, with_plan, prepared, csr, x, plan
+            )
+            report.attempts.append(record)
+            if result is not None:
+                report.fallback_used = stage
+                breakdown = self._timing.estimate(result.stats)
+                return SpMVResult(
+                    y=result.y,
+                    stats=result.stats,
+                    breakdown=breakdown,
+                    nnz=prepared.nnz,
+                    failure=report,
+                )
+            if self.policy == "strict":
+                self._raise_strict(record, plan)
+        # Unreachable in practice: the CSR reference stage cannot fail
+        # validation against itself; guard against silent wrong answers.
+        raise ValidationError(
+            "every fallback stage failed validation:\n" + report.summary()
         )
-        breakdown = self._timing.estimate(result.stats)
-        return SpMVResult(
-            y=result.y, stats=result.stats, breakdown=breakdown, nnz=prepared.nnz
+
+    def _attempt(
+        self,
+        stage: str,
+        fmt,
+        config: YaSpMVConfig | None,
+        with_plan: bool,
+        prepared: PreparedMatrix,
+        csr,
+        x: np.ndarray,
+        plan: FaultPlan | None,
+    ):
+        """Run one fallback stage; returns ``(KernelResult | None, record)``."""
+        active = plan if with_plan else None
+        try:
+            with fault_scope(active):
+                if stage == "csr-reference":
+                    # Trusted last resort: host-side CSR kernel, fault
+                    # injection explicitly disabled.
+                    kernel_result = get_kernel("csr_vector").run(
+                        CSRMatrix.from_scipy(csr), x, self.device
+                    )
+                elif fmt is None:
+                    # Untuned default point, rebuilt from the CSR source.
+                    kernel_result = self._kernel.run(
+                        BCCOOMatrix.from_scipy(csr), x, self.device, config=config
+                    )
+                else:
+                    kernel_result = self._kernel.run(
+                        fmt, x, self.device, config=config
+                    )
+        except ReproError as exc:
+            injected = active.drain_events() if active is not None else []
+            return None, AttemptRecord(
+                stage=stage,
+                ok=False,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                injected=injected,
+            )
+        injected = active.drain_events() if active is not None else []
+
+        if self.validate is False:
+            validation: ValidationReport | None = None
+            ok = True
+        else:
+            validation = verify_output(
+                csr,
+                np.asarray(x, dtype=np.float64).ravel(),
+                kernel_result.y,
+                n_samples=self.validation_samples,
+                rtol=self.validation_rtol,
+                atol=self.validation_atol,
+            )
+            ok = validation.ok
+        record = AttemptRecord(
+            stage=stage, ok=ok, validation=validation, injected=injected
+        )
+        if not ok:
+            first = validation.failures[0]
+            record.error = f"{first.name}: {first.detail}"
+            record.error_type = "ValidationError"
+            return None, record
+        return kernel_result, record
+
+    def _raise_strict(self, record: AttemptRecord, plan: FaultPlan | None):
+        """Strict policy: surface the first failure as a typed error."""
+        if record.injected:
+            event = record.injected[0]
+            detail = dict(event.detail)
+            raise FaultInjectedError(
+                f"injected fault at {event.site} detected in stage "
+                f"{record.stage!r}: {record.error}",
+                site=event.site,
+                seed=plan.seed if plan is not None else None,
+                workgroup=detail.get("workgroup"),
+            )
+        if record.validation is not None and not record.validation.ok:
+            record.validation.raise_if_failed()
+        raise ValidationError(
+            f"stage {record.stage!r} failed: {record.error_type}: {record.error}"
         )
 
     def multiply_many(self, prepared: PreparedMatrix, X: np.ndarray) -> SpMVResult:

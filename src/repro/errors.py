@@ -54,3 +54,40 @@ class TuningError(ReproError):
 
 class MatrixGenerationError(ReproError):
     """A synthetic matrix generator received unsatisfiable parameters."""
+
+
+class ValidationError(ReproError):
+    """A runtime invariant or output check failed.
+
+    Raised by the :mod:`repro.fault` validators when a format instance
+    violates a structural invariant (e.g. the bit flags encode more row
+    stops than the non-empty-row map holds) or when a kernel's output
+    disagrees with the sampled CSR reference beyond tolerance.
+
+    ``check`` names the failed check; ``detail`` carries a free-form
+    diagnostic string.  Both survive pickling (the message is the sole
+    positional argument; extra context lives in the instance dict).
+    """
+
+    def __init__(self, message: str = "", *, check: str | None = None,
+                 detail: str | None = None):
+        super().__init__(message)
+        self.check = check
+        self.detail = detail
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault was detected and surfaced under strict policy.
+
+    Carries the structured context needed to reproduce the failure:
+    ``site`` (the fault-injection site identifier), ``seed`` (the
+    :class:`repro.fault.FaultPlan` seed) and ``workgroup`` (the affected
+    workgroup id, when the fault is localized to one).
+    """
+
+    def __init__(self, message: str = "", *, site: str | None = None,
+                 seed: int | None = None, workgroup: int | None = None):
+        super().__init__(message)
+        self.site = site
+        self.seed = seed
+        self.workgroup = workgroup

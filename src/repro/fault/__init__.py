@@ -1,0 +1,41 @@
+"""Fault injection, runtime validation and graceful degradation.
+
+The resilience layer of the reproduction: :class:`FaultPlan` perturbs
+the simulated execution at the paper's fragile points (adjacent
+synchronization, bit-flag/delta compression, tile partial sums),
+:func:`validate_format` / :func:`verify_output` make the broken
+invariants *detectable*, and :class:`FailureReport` records how the
+engine degraded around them.  See ``docs/robustness.md``.
+"""
+
+from .injection import (
+    FAULT_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_scope,
+)
+from .resilience import FALLBACK_STAGES, AttemptRecord, FailureReport
+from .validation import (
+    CheckResult,
+    ValidationReport,
+    validate_format,
+    verify_output,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fault_scope",
+    "FALLBACK_STAGES",
+    "AttemptRecord",
+    "FailureReport",
+    "CheckResult",
+    "ValidationReport",
+    "validate_format",
+    "verify_output",
+]

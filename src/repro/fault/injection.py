@@ -1,0 +1,292 @@
+"""Deterministic fault injection for the simulated SpMV engine.
+
+The paper's correctness story rests on invariants that real deployments
+cannot take on faith: adjacent synchronization (section 3.2.4) assumes
+in-order workgroup dispatch, and the bit-flag/delta compressions
+(sections 2.1-2.2) silently produce a wrong ``y`` if a single word is
+corrupted.  This module perturbs the *simulated* execution at those
+exact weak points so the validation layer and the engine's fallback
+chain can be exercised end to end.
+
+Design:
+
+* A :class:`FaultPlan` is a composition of :class:`FaultSpec` entries,
+  one per *site* (see :data:`FAULT_SITES`).  Every random decision draws
+  from a per-site ``numpy`` generator seeded from ``(plan seed, site)``,
+  so a plan is deterministic and its per-site behaviour is independent
+  of which other sites are enabled.
+* Each spec carries an injection *budget* (``count``); once spent, the
+  site goes quiet.  A budget of 1 models a transient fault -- the
+  engine's bounded retry then succeeds on the second attempt --
+  while ``count=None`` models a persistent fault that forces the
+  fallback chain all the way down.
+* Instrumented code (``kernels.yaspmv_common``, ``kernels.yaspmv``)
+  consults :func:`active_plan`; with no plan installed every hook is a
+  no-op and the hot path is byte-for-byte the un-instrumented
+  computation.
+
+Injection never mutates a format instance: perturbations apply to the
+*decoded copies* a kernel launch reads, exactly like a corrupted device
+buffer would.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultPlan",
+    "fault_scope",
+    "active_plan",
+]
+
+#: Every instrumented injection site.
+FAULT_SITES: tuple[str, ...] = (
+    # Adjacent synchronization: a workgroup's Grp_sum read returns the
+    # initialization value instead of the predecessor's published sum.
+    "sync.stale_grp_sum",
+    # Workgroups arrive out of id order (the in-order-dispatch assumption
+    # breaks); harmless iff the logical-id atomic fallback is active.
+    "dispatch.out_of_order",
+    # One bit of the bit-flag stream flips (a corrupted flag word read).
+    "format.bitflag_flip",
+    # The delta-compressed column-index stream is truncated: indices past
+    # a cut point decode to the last good value.
+    "format.column_truncate",
+    # Tile partial sums are corrupted with NaN / Inf.
+    "kernel.nan_partial",
+    "kernel.inf_partial",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's injection policy.
+
+    Attributes
+    ----------
+    site:
+        One of :data:`FAULT_SITES`.
+    probability:
+        Chance the site fires at each opportunity (one kernel launch is
+        one opportunity).
+    count:
+        Injection budget; ``None`` = unbounded (persistent fault).
+    fraction:
+        Site-specific intensity knob: fraction of blocks corrupted
+        (``kernel.*``) or the relative cut position (``format.column_truncate``).
+    """
+
+    site: str
+    probability: float = 1.0
+    count: int | None = 1
+    fraction: float = 0.25
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; known: {FAULT_SITES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ReproError(f"count must be >= 1 or None, got {self.count}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ReproError(f"fraction must be in (0, 1], got {self.fraction}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injection that actually happened."""
+
+    site: str
+    detail: tuple = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ", ".join(f"{k}={v}" for k, v in self.detail)
+        return f"{self.site}({extra})" if extra else self.site
+
+
+class FaultPlan:
+    """A seeded, composable set of fault specs.
+
+    ``reset()`` rewinds every per-site generator and budget, so the same
+    plan object replays identically -- tests and the CLI rely on that.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0):
+        self.seed = int(seed)
+        self.specs: dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self.specs:
+                raise ReproError(f"duplicate fault spec for site {spec.site!r}")
+            self.specs[spec.site] = spec
+        self.events: list[FaultEvent] = []
+        self._rng: dict[str, np.random.Generator] = {}
+        self._budget: dict[str, int | None] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def single(cls, site: str, seed: int = 0, **kw) -> "FaultPlan":
+        """Plan with one spec -- the common test/CLI shape."""
+        return cls([FaultSpec(site=site, **kw)], seed=seed)
+
+    def reset(self) -> None:
+        """Rewind generators, budgets and the event log."""
+        self.events = []
+        for i, site in enumerate(FAULT_SITES):
+            if site in self.specs:
+                self._rng[site] = np.random.default_rng([self.seed, i])
+                self._budget[site] = self.specs[site].count
+        # Drop state of sites no longer spec'd (defensive; specs are fixed).
+        for site in list(self._rng):
+            if site not in self.specs:
+                del self._rng[site], self._budget[site]
+
+    def targets(self, prefix: str) -> bool:
+        """True if any spec'd site starts with ``prefix`` (budget or not).
+
+        Used by kernels to choose the instrumented execution path; the
+        path itself stays exact when budgets are exhausted.
+        """
+        return any(site.startswith(prefix) for site in self.specs)
+
+    def drain_events(self) -> list[FaultEvent]:
+        """Return and clear the events recorded since the last drain."""
+        out, self.events = self.events, []
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Firing machinery
+    # ------------------------------------------------------------------ #
+
+    def _fire(self, site: str) -> FaultSpec | None:
+        """Draw the site's trigger; consumes budget only when it fires."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return None
+        budget = self._budget[site]
+        if budget is not None and budget <= 0:
+            return None
+        if spec.probability < 1.0 and self._rng[site].random() >= spec.probability:
+            return None
+        if budget is not None:
+            self._budget[site] = budget - 1
+        return spec
+
+    def _record(self, site: str, **detail) -> None:
+        self.events.append(FaultEvent(site=site, detail=tuple(detail.items())))
+
+    # ------------------------------------------------------------------ #
+    # Site hooks (called by instrumented code; copy-on-write)
+    # ------------------------------------------------------------------ #
+
+    def perturb_partials(self, contribs: np.ndarray) -> np.ndarray:
+        """NaN/Inf corruption of per-block partial sums (``kernel.*``)."""
+        out = contribs
+        for site, value in (
+            ("kernel.nan_partial", np.nan),
+            ("kernel.inf_partial", np.inf),
+        ):
+            spec = self._fire(site)
+            if spec is None or out.shape[0] == 0:
+                continue
+            n = out.shape[0]
+            k = max(int(round(n * spec.fraction)), 1)
+            idx = self._rng[site].choice(n, size=min(k, n), replace=False)
+            if out is contribs:
+                out = contribs.copy()
+            out[idx] = value
+            self._record(site, blocks=int(idx.shape[0]))
+        return out
+
+    def perturb_stops(self, stops: np.ndarray, n_valid: int) -> np.ndarray:
+        """Flip one valid bit of the stop mask (``format.bitflag_flip``)."""
+        spec = self._fire("format.bitflag_flip")
+        if spec is None or n_valid == 0:
+            return stops
+        pos = int(self._rng["format.bitflag_flip"].integers(n_valid))
+        out = stops.copy()
+        out[pos] = ~out[pos]
+        self._record("format.bitflag_flip", bit=pos, was_stop=bool(stops[pos]))
+        return out
+
+    def perturb_columns(self, cols: np.ndarray, n_valid: int) -> np.ndarray:
+        """Truncate the column stream (``format.column_truncate``):
+        indices past the cut decode to the last value before it, the
+        signature of a delta stream whose tail went missing."""
+        spec = self._fire("format.column_truncate")
+        if spec is None or n_valid < 2:
+            return cols
+        cut = int(n_valid * (1.0 - spec.fraction))
+        cut = min(max(cut, 1), n_valid - 1)
+        out = cols.copy()
+        out[cut:n_valid] = out[cut - 1]
+        self._record("format.column_truncate", cut=cut, n_valid=n_valid)
+        return out
+
+    def dispatch_order(self, n_workgroups: int) -> np.ndarray | None:
+        """Out-of-order arrival permutation, or ``None`` when quiet."""
+        spec = self._fire("dispatch.out_of_order")
+        if spec is None or n_workgroups < 2:
+            return None
+        order = self._rng["dispatch.out_of_order"].permutation(n_workgroups)
+        # Guarantee genuine disorder (a sampled identity would silently
+        # make the fault a no-op).
+        if np.array_equal(order, np.arange(n_workgroups)):
+            order[[0, -1]] = order[[-1, 0]]
+        self._record("dispatch.out_of_order", n_workgroups=n_workgroups)
+        return order
+
+    def stale_mask(self, n_workgroups: int) -> np.ndarray | None:
+        """Mask of workgroups whose Grp_sum read is stale, or ``None``."""
+        spec = self._fire("sync.stale_grp_sum")
+        if spec is None or n_workgroups < 2:
+            return None
+        # Workgroup 0 has no predecessor to read.
+        wg = int(self._rng["sync.stale_grp_sum"].integers(1, n_workgroups))
+        mask = np.zeros(n_workgroups, dtype=bool)
+        mask[wg] = True
+        self._record("sync.stale_grp_sum", workgroup=wg)
+        return mask
+
+
+# ---------------------------------------------------------------------- #
+# Active-plan scope
+# ---------------------------------------------------------------------- #
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan installed by the innermost :func:`fault_scope`, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def fault_scope(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Install ``plan`` as the active fault plan for the dynamic extent.
+
+    ``fault_scope(None)`` is an explicit no-op scope, letting callers
+    write one code path for both injected and clean runs.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

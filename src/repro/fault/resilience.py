@@ -1,0 +1,84 @@
+"""Failure bookkeeping for the engine's graceful-degradation chain.
+
+When :class:`repro.core.SpMVEngine` runs in *permissive* policy it walks
+a fallback chain -- tuned BCCOO+/BCCOO, a logical-id repair retry,
+the untuned default point, and finally the trusted CSR reference
+kernel -- until an attempt validates.  Every attempt is recorded as an
+:class:`AttemptRecord`, and the full trail ships with the result as a
+:class:`FailureReport` so callers can observe *that* something degraded
+and *why*, instead of silently getting a slower (but correct) answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .injection import FaultEvent
+from .validation import ValidationReport
+
+__all__ = ["AttemptRecord", "FailureReport", "FALLBACK_STAGES"]
+
+#: The engine's fallback chain, in order.
+FALLBACK_STAGES: tuple[str, ...] = (
+    "tuned",          # the prepared (auto-tuned) BCCOO/BCCOO+ instance
+    "tuned-retry",    # bounded re-run: recovers transient faults
+    "logical-ids",    # same format, workgroup_ids="atomic" (out-of-order repair)
+    "untuned",        # default-point BCCOO rebuilt from the CSR source
+    "csr-reference",  # trusted host-side CSR kernel, injection disabled
+)
+
+
+@dataclass
+class AttemptRecord:
+    """One failed (or finally successful) stage of the fallback chain."""
+
+    stage: str
+    ok: bool
+    error: str = ""
+    error_type: str = ""
+    validation: ValidationReport | None = None
+    injected: list[FaultEvent] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "ok" if self.ok else "FAILED"
+        msg = f"{self.stage}: {mark}"
+        if self.error:
+            msg += f" ({self.error_type}: {self.error})"
+        if self.injected:
+            msg += " injected=[" + ", ".join(map(str, self.injected)) + "]"
+        return msg
+
+
+@dataclass
+class FailureReport:
+    """Degradation trail attached to :class:`repro.core.SpMVResult`.
+
+    ``attempts`` lists every stage tried (failures first, the winning
+    stage last); ``fallback_used`` names the stage that produced the
+    returned ``y`` (``None`` only when nothing succeeded, which the
+    engine treats as a hard error).
+    """
+
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    fallback_used: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the returned result did not come from the tuned path."""
+        return self.fallback_used not in (None, "tuned")
+
+    @property
+    def injected_events(self) -> list[FaultEvent]:
+        return [e for a in self.attempts for e in a.injected]
+
+    @property
+    def failed_stages(self) -> list[str]:
+        return [a.stage for a in self.attempts if not a.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"fallback_used={self.fallback_used!r} "
+            f"({len(self.failed_stages)} failed attempt(s))"
+        ]
+        lines.extend(f"  {a}" for a in self.attempts)
+        return "\n".join(lines)

@@ -302,6 +302,17 @@ class BCCOOMatrix(SparseFormat):
             "tile_has_stop": stops.reshape(-1, tile_size).any(axis=1),
         }
 
+    def validate(self):
+        """Run the runtime invariant checkers over this instance.
+
+        Returns a :class:`repro.fault.ValidationReport`; call its
+        ``raise_if_failed()`` to convert failures into a typed
+        :class:`repro.errors.ValidationError`.
+        """
+        from ..fault.validation import validate_format
+
+        return validate_format(self)
+
     # ------------------------------------------------------------------ #
     # SparseFormat interface
     # ------------------------------------------------------------------ #

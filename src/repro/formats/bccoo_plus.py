@@ -179,6 +179,15 @@ class BCCOOPlusMatrix(SparseFormat):
         folded = y_stacked.reshape(self.slice_count, stride).sum(axis=0)
         return folded[: self.nrows]
 
+    def validate(self):
+        """Run the runtime invariant checkers (stacked + slice checks).
+
+        Returns a :class:`repro.fault.ValidationReport`.
+        """
+        from ..fault.validation import validate_format
+
+        return validate_format(self)
+
     # ------------------------------------------------------------------ #
     # SparseFormat interface
     # ------------------------------------------------------------------ #

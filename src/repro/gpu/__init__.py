@@ -7,7 +7,13 @@ synchronization, and the analytical timing model that converts kernel
 cost profiles into seconds and GFLOPS.
 """
 
-from .adjacent_sync import chain_carries, chain_segments, propagation_delay
+from .adjacent_sync import (
+    chain_carries,
+    chain_carries_hazard,
+    chain_segments,
+    logical_workgroup_ids,
+    propagation_delay,
+)
 from .caches import LRUCache, vector_read_traffic, windowed_miss_estimate
 from .counters import KernelStats
 from .device import GTX480, GTX680, DeviceSpec, available_devices, get_device
@@ -22,6 +28,8 @@ from .timing import TimingBreakdown, TimingModel
 
 __all__ = [
     "chain_carries",
+    "chain_carries_hazard",
+    "logical_workgroup_ids",
     "chain_segments",
     "propagation_delay",
     "LRUCache",

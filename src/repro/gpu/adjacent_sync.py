@@ -23,7 +23,13 @@ import numpy as np
 
 from ..util import check_1d, run_lengths
 
-__all__ = ["chain_carries", "chain_segments", "propagation_delay"]
+__all__ = [
+    "chain_carries",
+    "chain_carries_hazard",
+    "chain_segments",
+    "logical_workgroup_ids",
+    "propagation_delay",
+]
 
 
 def chain_carries(
@@ -68,6 +74,87 @@ def chain_carries(
         else:
             grp_sum[x] = running + lp[x]
             running = grp_sum[x]
+    return carry, grp_sum
+
+
+def logical_workgroup_ids(arrival_order: np.ndarray) -> np.ndarray:
+    """The logical-id fallback: one atomic fetch-and-add per workgroup.
+
+    The paper (section 3.2.4) notes that when in-order dispatch cannot
+    be assumed, each workgroup acquires a *logical* id from a global
+    counter instead of using its physical id -- the k-th workgroup to
+    arrive gets logical id k, so the data tiles and the Grp_sum chain
+    are traversed in arrival order and adjacent synchronization stays
+    deadlock-free (<2% overhead in the paper's experiments).
+
+    ``arrival_order[k]`` is the physical id of the k-th arriver; returns
+    ``logical[phys]`` -- each physical workgroup's acquired logical id.
+    """
+    order = check_1d("arrival_order", np.asarray(arrival_order, dtype=np.int64))
+    n = order.shape[0]
+    if n and (np.unique(order).shape[0] != n or order.min() < 0 or order.max() >= n):
+        raise ValueError("arrival_order must be a permutation of 0..n-1")
+    logical = np.empty(n, dtype=np.int64)
+    logical[order] = np.arange(n, dtype=np.int64)
+    return logical
+
+
+def chain_carries_hazard(
+    last_partials: np.ndarray,
+    has_stop: np.ndarray,
+    arrival_order: np.ndarray | None = None,
+    stale_reads: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grp_sum chain under dispatch/staleness hazards.
+
+    The exact chain of :func:`chain_carries` assumes workgroup ``X-1``
+    publishes before ``X`` reads.  This variant models two violations:
+
+    * ``arrival_order`` -- workgroups execute in this (permuted) order.
+      A workgroup arriving before its predecessor has published cannot
+      spin forever (on real hardware this is the deadlock the paper
+      warns about); we model the bounded-wait outcome: it reads the
+      initialization value (0) -- a *stale* carry.
+    * ``stale_reads[X]`` -- workgroup ``X``'s read of ``Grp_sum[X-1]``
+      returns the initialization value even though the predecessor
+      published (a delayed-visibility fault).
+
+    With ``arrival_order=None`` and ``stale_reads=None`` the result is
+    identical to :func:`chain_carries`.  Callers needing immunity to
+    out-of-order arrival should remap data tiles through
+    :func:`logical_workgroup_ids` first -- that is the fallback path the
+    engine's resilience layer exercises.
+    """
+    lp = np.asarray(last_partials, dtype=np.float64)
+    stops = check_1d("has_stop", np.asarray(has_stop, dtype=bool))
+    n = stops.shape[0]
+    if lp.shape[0] != n:
+        raise ValueError(
+            f"last_partials length {lp.shape[0]} != has_stop length {n}"
+        )
+    if arrival_order is None:
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = check_1d(
+            "arrival_order", np.asarray(arrival_order, dtype=np.int64)
+        )
+        if order.shape[0] != n:
+            raise ValueError("arrival_order length must match has_stop")
+    grp_sum = np.zeros_like(lp)
+    carry = np.zeros_like(lp)
+    published = np.zeros(n, dtype=bool)
+    zero = np.zeros(lp.shape[1:], dtype=np.float64)
+    for x in order:
+        x = int(x)
+        if x == 0:
+            c = zero
+        elif published[x - 1] and not (stale_reads is not None and stale_reads[x]):
+            c = grp_sum[x - 1]
+        else:
+            c = zero  # stale read: the initialization value
+        carry[x] = c
+        grp_sum[x] = lp[x] if stops[x] else c + lp[x]
+        published[x] = True
     return carry, grp_sum
 
 

@@ -26,10 +26,15 @@ import math
 
 import numpy as np
 
-from ..errors import KernelConfigError
+from ..errors import KernelConfigError, ValidationError
+from ..fault.injection import FaultEvent, active_plan
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
-from ..gpu.adjacent_sync import chain_segments
+from ..gpu.adjacent_sync import (
+    chain_carries_hazard,
+    chain_segments,
+    logical_workgroup_ids,
+)
 from ..gpu.caches import vector_read_traffic
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec
@@ -55,6 +60,62 @@ _MATRIX_SIMD_EFF = 0.95
 _TREE_SIMD_EFF = 0.80
 #: Relative cost of one shared-memory scan op versus one FMA.
 _SHM_OP_WEIGHT = 2.0
+
+
+def _per_stop_via_chain(contribs, padded, cfg, plan):
+    """Per-stop sums computed through the explicit Grp_sum chain.
+
+    Functionally equivalent to ``segment_sums_by_stops`` when no fault
+    fires (modulo floating-point summation order), but decomposed the
+    way the device actually runs -- per-workgroup local segment sums,
+    ``last_partial`` open tails, and the adjacent-synchronization chain
+    -- so the fault plan can corrupt the chain itself: stale ``Grp_sum``
+    reads and out-of-order dispatch.  The logical-id atomic fallback
+    (``cfg.workgroup_ids == "atomic"``) is modeled explicitly: acquired
+    ids follow arrival order, so the chain is traversed in the order
+    workgroups actually run and out-of-order dispatch is absorbed.
+    """
+    n_wg = padded.n_workgroups
+    h = contribs.shape[1]
+    wg_stops = padded.workgroup_stops()
+    wg_contribs = contribs.reshape(n_wg, -1, h)
+    has_stop = wg_stops.any(axis=1)
+
+    # Each workgroup's open tail: the sum of contributions after its
+    # last row stop (the whole tile when it has none).
+    last_partials = np.zeros((n_wg, h), dtype=np.float64)
+    for wg in range(n_wg):
+        idx = np.flatnonzero(wg_stops[wg])
+        start = int(idx[-1]) + 1 if idx.size else 0
+        last_partials[wg] = wg_contribs[wg, start:].sum(axis=0)
+
+    arrival = plan.dispatch_order(n_wg)
+    stale = plan.stale_mask(n_wg)
+    if arrival is not None and cfg.workgroup_ids == "atomic":
+        # Logical-id fallback absorbs the disorder: tiles are consumed
+        # by acquired (arrival-ordered) ids, so the chain is exact.
+        logical_workgroup_ids(arrival)
+        plan.events.append(
+            FaultEvent(
+                site="dispatch.out_of_order",
+                detail=(("absorbed_by", "logical_ids"), ("n_workgroups", n_wg)),
+            )
+        )
+        arrival = None
+
+    carry, _ = chain_carries_hazard(
+        last_partials, has_stop, arrival_order=arrival, stale_reads=stale
+    )
+
+    parts = []
+    for wg in range(n_wg):
+        seg = segment_sums_by_stops(wg_contribs[wg], wg_stops[wg])
+        if seg.shape[0]:
+            seg[0] = seg[0] + carry[wg]
+        parts.append(seg)
+    if not parts:
+        return np.empty((0, h), dtype=np.float64)
+    return np.concatenate(parts, axis=0)
 
 
 @register_kernel
@@ -108,8 +169,24 @@ class YaSpMVKernel(SpMVKernel):
         # section 3.2 computes, for every row stop, the sum of all block
         # contributions since the previous stop -- i.e. per-segment sums
         # over the padded stream (cross-checked by kernels.faithful).
-        per_stop = segment_sums_by_stops(contribs, padded.stops)
+        # When a fault plan targets the synchronization layer, route
+        # through the explicit per-workgroup Grp_sum chain instead so
+        # stale reads and out-of-order dispatch can actually corrupt it.
+        plan = active_plan()
+        if plan is not None and (plan.targets("sync.") or plan.targets("dispatch.")):
+            per_stop = _per_stop_via_chain(contribs, padded, cfg, plan)
+        else:
+            per_stop = segment_sums_by_stops(contribs, padded.stops)
         h = fmt.block_height
+        # Runtime invariant: the stop count carried by the bit flags must
+        # equal the non-empty-row map -- the compression is unreadable
+        # otherwise (a flipped flag word lands here).
+        if per_stop.shape[0] != fmt.nonempty_block_rows.shape[0]:
+            raise ValidationError(
+                f"bit flags encode {per_stop.shape[0]} row stops but the "
+                f"row map holds {fmt.nonempty_block_rows.shape[0]}",
+                check="row_stop_count",
+            )
         y_full = np.zeros(fmt.n_block_rows * h, dtype=np.float64)
         if per_stop.shape[0]:
             rows = fmt.nonempty_block_rows[: per_stop.shape[0]]

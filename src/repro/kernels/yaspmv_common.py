@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..fault.injection import active_plan
 from ..formats.bccoo import BCCOOMatrix
 from ..util import round_up
 from .config import YaSpMVConfig
@@ -69,6 +70,14 @@ def prepare(fmt: BCCOOMatrix, config: YaSpMVConfig) -> PaddedBCCOO:
     cols = np.zeros(target, dtype=np.int64)
     cols[:nb_pad] = fmt.columns().astype(np.int64)
 
+    # Fault-injection hooks: perturb the *decoded copies* this launch
+    # reads (a corrupted flag word / truncated delta stream), never the
+    # format instance itself.  No-ops without an active plan.
+    plan = active_plan()
+    if plan is not None:
+        stops = plan.perturb_stops(stops, n_valid=nb)
+        cols = plan.perturb_columns(cols, n_valid=nb)
+
     h, w = fmt.block_height, fmt.block_width
     values = np.zeros((target, h, w), dtype=np.float64)
     values[:nb_pad] = fmt.values
@@ -112,4 +121,7 @@ def block_contributions(
     xg = np.asarray(x, dtype=np.float64)[safe]
     xg[~valid] = 0.0
     contribs = np.einsum("bhw,bw->bh", padded.values, xg)
+    plan = active_plan()
+    if plan is not None:
+        contribs = plan.perturb_partials(contribs)
     return contribs, safe.ravel()

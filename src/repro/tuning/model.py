@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import TuningError
+from ..errors import ReproError, TuningError
 from ..formats.blocking import extract_blocks
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingModel
@@ -169,13 +169,16 @@ class ModelDrivenTuner:
         best: Evaluation | None = None
         history: list[Evaluation] = []
         skipped = 0
+        skip_reasons: dict[str, int] = {}
         for point in survivors:
             try:
                 fmt = fmt_cache.get(point)
                 self.plan_cache.get(point)
                 result = self._kernel.run(fmt, x, self.device, config=point.kernel)
-            except Exception:
+            except ReproError as exc:
                 skipped += 1
+                name = type(exc).__name__
+                skip_reasons[name] = skip_reasons.get(name, 0) + 1
                 continue
             breakdown = self._timing.estimate(result.stats)
             ev = Evaluation(
@@ -199,4 +202,5 @@ class ModelDrivenTuner:
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
             history=history,
+            skip_reasons=skip_reasons,
         )

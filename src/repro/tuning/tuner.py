@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import KernelConfigError, TuningError
+from ..errors import ReproError, TuningError
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingBreakdown, TimingModel
 from ..kernels.yaspmv import YaSpMVKernel
@@ -50,6 +50,10 @@ class TuningResult:
     plan_cache_hits: int
     plan_cache_misses: int
     history: list[Evaluation] = field(default_factory=list)
+    #: Per-reason quarantine counters: error class name -> candidates
+    #: skipped for that reason (the skip-reason taxonomy; ``skipped``
+    #: stays the total).
+    skip_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def best_point(self) -> TuningPoint:
@@ -123,17 +127,29 @@ class AutoTuner:
         skipped = 0
         nnz = int(csr.nnz)
 
+        skip_reasons: dict[str, int] = {}
+
+        def quarantine(exc: ReproError) -> None:
+            # Per-candidate error quarantine: a failing candidate is
+            # skipped and *counted by reason* instead of aborting (or
+            # silently swallowing arbitrary exceptions -- genuine bugs
+            # like TypeError still propagate).
+            nonlocal skipped
+            skipped += 1
+            name = type(exc).__name__
+            skip_reasons[name] = skip_reasons.get(name, 0) + 1
+
         for point in space:
             try:
                 fmt = fmt_cache.get(point)
-            except Exception:
-                skipped += 1
+            except ReproError as exc:
+                quarantine(exc)
                 continue
             self.plan_cache.get(point)  # compile (or reuse) the plan
             try:
                 result = self._kernel.run(fmt, x, self.device, config=point.kernel)
-            except KernelConfigError:
-                skipped += 1
+            except ReproError as exc:
+                quarantine(exc)
                 continue
             breakdown = self._timing.estimate(result.stats)
             ev = Evaluation(
@@ -160,4 +176,5 @@ class AutoTuner:
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
             history=history,
+            skip_reasons=skip_reasons,
         )

@@ -59,6 +59,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "nnz" in out
 
+    def test_verify_clean_matrix(self, capsys):
+        assert main(["verify", "Economics", "--cap", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "row_stop_count" in out  # format invariants ran
+        assert "sampled_reference" in out  # full reference check ran
+
+    def test_verify_mtx_file(self, tmp_path, capsys):
+        A = sparse.random(50, 50, density=0.15, random_state=1, format="csr")
+        path = tmp_path / "v.mtx"
+        write_matrix_market(path, A)
+        assert main(["verify", str(path)]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
     def test_store_roundtrip_via_cli(self, tmp_path, capsys):
         store = tmp_path / "store.json"
         assert main(["tune", "Economics", "--cap", "8000", "--store", str(store)]) == 0

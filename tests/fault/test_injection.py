@@ -1,0 +1,174 @@
+"""Tests for the seeded fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.fault import (
+    FAULT_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_scope,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("sync.nonexistent")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("kernel.nan_partial", probability=1.5)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("kernel.nan_partial", count=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("format.column_truncate", fraction=0.0)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(
+                [FaultSpec("kernel.nan_partial"), FaultSpec("kernel.nan_partial")]
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_perturbation(self, rng):
+        contribs = rng.standard_normal((32, 2))
+        p1 = FaultPlan.single("kernel.nan_partial", seed=9, count=None)
+        p2 = FaultPlan.single("kernel.nan_partial", seed=9, count=None)
+        np.testing.assert_array_equal(
+            p1.perturb_partials(contribs), p2.perturb_partials(contribs)
+        )
+
+    def test_reset_replays(self, rng):
+        contribs = rng.standard_normal((32, 2))
+        plan = FaultPlan.single("kernel.inf_partial", seed=4, count=None)
+        first = plan.perturb_partials(contribs)
+        plan.reset()
+        np.testing.assert_array_equal(first, plan.perturb_partials(contribs))
+
+    def test_sites_draw_independently(self):
+        # Adding a second site must not shift the first site's draws.
+        solo = FaultPlan.single("format.bitflag_flip", seed=3, count=None)
+        combo = FaultPlan(
+            [
+                FaultSpec("format.bitflag_flip", count=None),
+                FaultSpec("kernel.nan_partial", count=None),
+            ],
+            seed=3,
+        )
+        stops = np.zeros(64, dtype=bool)
+        np.testing.assert_array_equal(
+            solo.perturb_stops(stops, n_valid=64),
+            combo.perturb_stops(stops, n_valid=64),
+        )
+
+
+class TestBudget:
+    def test_transient_fires_once(self):
+        plan = FaultPlan.single("format.bitflag_flip", count=1)
+        stops = np.zeros(16, dtype=bool)
+        first = plan.perturb_stops(stops, n_valid=16)
+        assert first.sum() == 1  # one bit flipped
+        second = plan.perturb_stops(stops, n_valid=16)
+        assert second is stops  # budget spent: untouched passthrough
+
+    def test_persistent_keeps_firing(self):
+        plan = FaultPlan.single("format.bitflag_flip", count=None)
+        stops = np.zeros(16, dtype=bool)
+        for _ in range(5):
+            assert plan.perturb_stops(stops, n_valid=16).sum() == 1
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan.single("kernel.nan_partial", probability=0.0, count=None)
+        contribs = np.ones((8, 1))
+        assert plan.perturb_partials(contribs) is contribs
+
+
+class TestSiteHooks:
+    def test_partials_copy_on_write(self, rng):
+        contribs = rng.standard_normal((20, 3))
+        keep = contribs.copy()
+        plan = FaultPlan.single("kernel.nan_partial", fraction=0.5)
+        out = plan.perturb_partials(contribs)
+        np.testing.assert_array_equal(contribs, keep)  # input untouched
+        assert np.isnan(out).any()
+        assert np.isnan(out.sum(axis=1)).sum() == 10  # fraction honoured
+
+    def test_inf_partials(self, rng):
+        plan = FaultPlan.single("kernel.inf_partial", fraction=0.25)
+        out = plan.perturb_partials(rng.standard_normal((16, 2)))
+        assert np.isinf(out).any() and not np.isnan(out).any()
+
+    def test_stops_flip_changes_count_by_one(self):
+        stops = np.zeros(32, dtype=bool)
+        stops[[7, 15, 31]] = True
+        plan = FaultPlan.single("format.bitflag_flip")
+        out = plan.perturb_stops(stops, n_valid=32)
+        assert abs(int(out.sum()) - 3) == 1
+
+    def test_columns_truncated_to_last_value(self):
+        cols = np.arange(40, dtype=np.int64)
+        plan = FaultPlan.single("format.column_truncate", fraction=0.25)
+        out = plan.perturb_columns(cols, n_valid=40)
+        np.testing.assert_array_equal(out[:30], cols[:30])
+        np.testing.assert_array_equal(out[30:40], 29)
+
+    def test_dispatch_order_is_nonidentity_permutation(self):
+        plan = FaultPlan.single("dispatch.out_of_order", count=None)
+        order = plan.dispatch_order(8)
+        assert sorted(order.tolist()) == list(range(8))
+        assert not np.array_equal(order, np.arange(8))
+
+    def test_dispatch_single_workgroup_is_noop(self):
+        plan = FaultPlan.single("dispatch.out_of_order")
+        assert plan.dispatch_order(1) is None
+
+    def test_stale_mask_spares_workgroup_zero(self):
+        plan = FaultPlan.single("sync.stale_grp_sum", count=None)
+        for _ in range(10):
+            mask = plan.stale_mask(6)
+            assert mask.sum() == 1 and not mask[0]
+
+    def test_events_record_and_drain(self):
+        plan = FaultPlan.single("sync.stale_grp_sum")
+        plan.stale_mask(4)
+        events = plan.drain_events()
+        assert len(events) == 1
+        assert isinstance(events[0], FaultEvent)
+        assert events[0].site == "sync.stale_grp_sum"
+        assert plan.drain_events() == []
+
+    def test_targets_prefix(self):
+        plan = FaultPlan.single("sync.stale_grp_sum")
+        assert plan.targets("sync.")
+        assert not plan.targets("dispatch.")
+
+
+class TestScope:
+    def test_scope_installs_and_restores(self):
+        plan = FaultPlan.single("kernel.nan_partial")
+        assert active_plan() is None
+        with fault_scope(plan):
+            assert active_plan() is plan
+            with fault_scope(None):  # nested no-op scope
+                assert active_plan() is None
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_scope_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_scope(FaultPlan.single("kernel.nan_partial")):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_all_sites_constructible(self):
+        for site in FAULT_SITES:
+            FaultPlan.single(site)

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.gpu import chain_carries, chain_segments, propagation_delay
+from repro.gpu import (
+    chain_carries,
+    chain_carries_hazard,
+    chain_segments,
+    logical_workgroup_ids,
+    propagation_delay,
+)
 from repro.scan import segmented_scan_inclusive
 
 
@@ -55,6 +61,26 @@ class TestChainCarries:
         with pytest.raises(ValueError):
             chain_carries(np.zeros(3), np.zeros(4, dtype=bool))
 
+    def test_empty_input(self):
+        carry, grp = chain_carries(
+            np.zeros((0,)), np.zeros(0, dtype=bool)
+        )
+        assert carry.shape == (0,) and grp.shape == (0,)
+
+    def test_empty_lanes(self):
+        carry, grp = chain_carries(
+            np.zeros((0, 4)), np.zeros(0, dtype=bool)
+        )
+        assert carry.shape == (0, 4) and grp.shape == (0, 4)
+
+    def test_giant_row_no_stops_lanes(self, rng):
+        # One matrix row spanning every workgroup, 2-D lane input: the
+        # chain is a plain prefix sum per lane.
+        lp = rng.standard_normal((9, 2))
+        carry, grp = chain_carries(lp, np.zeros(9, dtype=bool))
+        np.testing.assert_allclose(grp, np.cumsum(lp, axis=0))
+        np.testing.assert_allclose(carry[1:], np.cumsum(lp, axis=0)[:-1])
+
 
 class TestChainSegments:
     def test_all_stops_unit_chains(self):
@@ -72,6 +98,13 @@ class TestChainSegments:
 
     def test_empty(self):
         assert chain_segments(np.array([], dtype=bool)).size == 0
+
+    def test_no_stops_conserves_total(self, rng):
+        # Chain lengths partition n+1 "updates" however the stops fall.
+        hs = rng.random(50) < 0.3
+        if not hs.any():
+            hs[-1] = True
+        assert chain_segments(hs).sum() == 50 - hs.sum() + chain_segments(hs).size
 
 
 class TestPropagationDelay:
@@ -100,3 +133,103 @@ class TestPropagationDelay:
         finish = np.sort(rng.uniform(0, 1, 20))
         hs = rng.random(20) < 0.5
         assert propagation_delay(finish, hs, 1e-4) >= 0.0
+
+    def test_empty_input(self):
+        assert propagation_delay(
+            np.zeros(0), np.zeros(0, dtype=bool), 0.5
+        ) == 0.0
+
+    def test_single_workgroup_no_chain(self):
+        assert propagation_delay(np.array([3.0]), np.ones(1, dtype=bool), 0.5) == 0.0
+
+
+class TestLogicalWorkgroupIds:
+    def test_inverse_of_arrival_order(self, rng):
+        order = rng.permutation(12)
+        logical = logical_workgroup_ids(order)
+        # The k-th arriver (physical id order[k]) acquires logical id k.
+        np.testing.assert_array_equal(logical[order], np.arange(12))
+
+    def test_identity_arrival(self):
+        np.testing.assert_array_equal(
+            logical_workgroup_ids(np.arange(5)), np.arange(5)
+        )
+
+    def test_empty(self):
+        assert logical_workgroup_ids(np.array([], dtype=np.int64)).size == 0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            logical_workgroup_ids(np.array([0, 0, 2]))
+        with pytest.raises(ValueError):
+            logical_workgroup_ids(np.array([1, 2, 3]))
+
+
+class TestChainCarriesHazard:
+    def test_no_hazards_matches_exact(self, rng):
+        lp = rng.standard_normal(25)
+        hs = rng.random(25) < 0.4
+        c0, g0 = chain_carries(lp, hs)
+        c1, g1 = chain_carries_hazard(lp, hs)
+        np.testing.assert_array_equal(c0, c1)
+        np.testing.assert_array_equal(g0, g1)
+
+    def test_identity_arrival_matches_exact(self, rng):
+        lp = rng.standard_normal((18, 2))
+        hs = rng.random(18) < 0.4
+        c0, g0 = chain_carries(lp, hs)
+        c1, g1 = chain_carries_hazard(lp, hs, arrival_order=np.arange(18))
+        np.testing.assert_array_equal(c0, c1)
+        np.testing.assert_array_equal(g0, g1)
+
+    def test_stale_read_sees_initialization_value(self):
+        # wg1 continues wg0's segment; a stale read loses wg0's partial.
+        lp = np.array([1.0, 10.0, 100.0])
+        hs = np.array([False, False, True])
+        stale = np.array([False, True, False])
+        carry, _ = chain_carries_hazard(lp, hs, stale_reads=stale)
+        assert carry[1] == 0.0  # should have been 1.0
+        c_exact, _ = chain_carries(lp, hs)
+        assert c_exact[1] == 1.0
+
+    def test_out_of_order_arrival_reads_unpublished_slot(self):
+        # wg2 arrives before wg1 has published: its carry is stale 0.
+        lp = np.array([1.0, 2.0, 4.0])
+        hs = np.zeros(3, dtype=bool)
+        carry, _ = chain_carries_hazard(
+            lp, hs, arrival_order=np.array([0, 2, 1])
+        )
+        assert carry[2] == 0.0
+        c_exact, _ = chain_carries(lp, hs)
+        assert c_exact[2] == 3.0
+
+    def test_logical_id_remap_absorbs_disorder(self, rng):
+        # The section 3.2.4 fallback: remap tiles through logical ids so
+        # the chain is traversed in arrival order -- the result (indexed
+        # back to physical tiles) matches the exact chain on the
+        # logically-ordered data.
+        lp = rng.standard_normal(10)
+        hs = rng.random(10) < 0.5
+        order = rng.permutation(10)
+        logical = logical_workgroup_ids(order)
+        # Physical wg p works on tile logical[p]; equivalently the chain
+        # processes tiles order[0], order[1], ... in sequence.
+        c_repaired, _ = chain_carries_hazard(
+            lp[order], hs[order], arrival_order=logical[order]
+        )
+        c_exact, _ = chain_carries(lp[order], hs[order])
+        np.testing.assert_array_equal(c_repaired, c_exact)
+
+    def test_hazard_on_stop_workgroup_is_harmless_for_grp_sum(self):
+        # A stop-carrying workgroup publishes its own partial regardless
+        # of what it read; only its carry-in (first segment) is wrong.
+        lp = np.array([1.0, 5.0])
+        hs = np.array([False, True])
+        _, grp = chain_carries_hazard(
+            lp, hs, stale_reads=np.array([False, True])
+        )
+        assert grp[1] == 5.0
+
+    def test_empty(self):
+        carry, grp = chain_carries_hazard(np.zeros(0), np.zeros(0, dtype=bool))
+        assert carry.size == 0 and grp.size == 0
