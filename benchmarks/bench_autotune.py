@@ -18,6 +18,9 @@ quality gap; plus the plan-cache reuse statistics across matrices.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -132,14 +135,84 @@ def test_plan_cache_amortizes_across_matrices(cap_nnz, benchmark):
     second = spec.load(scale=scale, seed=2)
 
     def run_all():
-        AutoTuner(GTX680, plan_cache=cache, keep_history=False).tune(first)
-        h0, m0 = cache.hits, cache.misses
-        AutoTuner(GTX680, plan_cache=cache, keep_history=False).tune(second)
-        later = (cache.hits - h0) + (cache.misses - m0)
-        return (cache.hits - h0) / max(later, 1)
+        res1 = AutoTuner(GTX680, plan_cache=cache, keep_history=False).tune(first)
+        res2 = AutoTuner(GTX680, plan_cache=cache, keep_history=False).tune(second)
+        return res1, res2
 
-    hit_rate = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    res1, res2 = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # The per-run deltas on TuningResult make shared-cache accounting
+    # explicit: no hits on a cold cache, near-total reuse on the second.
+    assert res1.cache_hits == 0
+    assert res1.cache_misses == cache.misses
+    assert res2.cache_hits + res2.cache_misses > 0
+    assert res1.cache_hits + res2.cache_hits == cache.hits
+    assert res1.cache_misses + res2.cache_misses == cache.misses
+    hit_rate = res2.cache_hits / (res2.cache_hits + res2.cache_misses)
     assert hit_rate > 0.9
+
+
+def test_parallel_tuning_identical_and_faster(cap_nnz, benchmark):
+    """The parallel tuner is an observable no-op except for wall clock.
+
+    Equivalence (identical best point, identical evaluation set and
+    skip-reason counters, identical shared plan-cache state) is asserted
+    unconditionally.  The wall-clock speedup assertion needs real
+    hardware parallelism, so it scales with the CPUs this process may
+    use: >= 2x with 4+ cores (the acceptance bar), a token >= 1.05x with
+    2-3 cores, and skipped on a single core where a process pool cannot
+    physically beat the serial walk.  ``REPRO_BENCH_WORKERS`` overrides
+    the pool width (the CI smoke job sets 2).
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    spec = get_spec("FEM/Harbor")
+    A = spec.load(scale=spec.scale_for_nnz(min(cap_nnz, 120_000)))
+
+    serial_cache = KernelPlanCache()
+    t0 = time.perf_counter()
+    serial = AutoTuner(GTX680, plan_cache=serial_cache).tune(A)
+    t_serial = time.perf_counter() - t0
+
+    parallel_cache = KernelPlanCache()
+
+    def run_parallel():
+        return AutoTuner(
+            GTX680, plan_cache=parallel_cache, workers=workers
+        ).tune(A)
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    t_parallel = time.perf_counter() - t0
+
+    assert parallel.best_point == serial.best_point
+    assert parallel.evaluated == serial.evaluated
+    assert parallel.skipped == serial.skipped
+    assert parallel.skip_reasons == serial.skip_reasons
+    assert [(e.point, e.time_s) for e in parallel.history] == [
+        (e.point, e.time_s) for e in serial.history
+    ]
+    assert (parallel_cache.hits, parallel_cache.misses) == (
+        serial_cache.hits,
+        serial_cache.misses,
+    )
+    assert (parallel.cache_hits, parallel.cache_misses) == (
+        serial.cache_hits,
+        serial.cache_misses,
+    )
+
+    speedup = t_serial / max(t_parallel, 1e-9)
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    record_table(
+        "autotune_parallel",
+        f"Parallel tuning on FEM/Harbor ({serial.evaluated} evaluations): "
+        f"serial {t_serial:.2f}s vs {workers} workers {t_parallel:.2f}s "
+        f"= {speedup:.2f}x ({cores} cores available); results identical",
+    )
+    if cores >= 4 and workers >= 4:
+        assert speedup >= 2.0
+    elif cores >= 2 and workers >= 2:
+        assert speedup >= 1.05
 
 
 def test_atomic_ticket_overhead_under_2_percent(cap_nnz, benchmark):

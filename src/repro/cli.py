@@ -55,25 +55,42 @@ def _cmd_tune(args) -> int:
     from .tuning import AutoTuner
 
     name, A = _load_matrix(args.matrix, args.cap)
-    tuner = AutoTuner(get_device(args.device), mode=args.mode)
-    res = tuner.tune(A)
-    bp = res.best_point
+    store = None
     if args.store:
         from .tuning import TuningStore
 
-        TuningStore(args.store).put(A, args.device, bp)
+        store = TuningStore(args.store)
+        cached = store.get(A, args.device)
+        if cached is not None:
+            bp = cached
+            print(f"{name}: warm start from {args.store} "
+                  f"(0 configurations evaluated)")
+            _print_point(bp)
+            if args.emit_opencl:
+                print("\n" + generate_kernel_source(bp))
+            return 0
+    tuner = AutoTuner(get_device(args.device), mode=args.mode, workers=args.workers)
+    res = tuner.tune(A)
+    bp = res.best_point
+    if store is not None:
+        store.put(A, args.device, bp)
         print(f"saved configuration to {args.store}")
+    workers = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"{name}: evaluated {res.evaluated} configurations "
-          f"in {res.wall_seconds:.1f}s ({res.skipped} skipped)")
-    print(f"best: {bp.format_name} {bp.block_height}x{bp.block_width} "
-          f"word={bp.bit_word} slices={bp.slice_count} "
-          f"strategy={bp.kernel.strategy} wg={bp.kernel.workgroup_size} "
-          f"tile={bp.kernel.effective_tile}")
+          f"in {res.wall_seconds:.1f}s ({res.skipped} skipped{workers})")
+    _print_point(bp)
     print(f"estimated: {res.best.gflops:.2f} GFLOPS "
           f"({res.best.time_s * 1e6:.1f} us)")
     if args.emit_opencl:
         print("\n" + generate_kernel_source(bp))
     return 0
+
+
+def _print_point(bp) -> None:
+    print(f"best: {bp.format_name} {bp.block_height}x{bp.block_width} "
+          f"word={bp.bit_word} slices={bp.slice_count} "
+          f"strategy={bp.kernel.strategy} wg={bp.kernel.workgroup_size} "
+          f"tile={bp.kernel.effective_tile}")
 
 
 def _cmd_multiply(args) -> int:
@@ -83,9 +100,9 @@ def _cmd_multiply(args) -> int:
 
     name, A = _load_matrix(args.matrix, args.cap)
     x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
-    eng = SpMVEngine(device=args.device)
     store = TuningStore(args.store) if args.store else None
-    res = eng.multiply(eng.prepare(A, store=store), x)
+    eng = SpMVEngine(device=args.device, plan_store=store)
+    res = eng.multiply(eng.prepare(A), x)
     err = np.abs(res.y - A @ x).max()
     print(f"{name}:")
     print(TimingModel(get_device(args.device)).explain(res.stats, nnz=res.nnz))
@@ -130,9 +147,9 @@ def _cmd_verify(args) -> int:
 
     name, A = _load_matrix(args.matrix, args.cap)
     x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
-    eng = SpMVEngine(device=args.device)
     store = TuningStore(args.store) if args.store else None
-    prepared = eng.prepare(A, store=store)
+    eng = SpMVEngine(device=args.device, plan_store=store)
+    prepared = eng.prepare(A)
 
     fmt_report = validate_format(prepared.fmt)
     print(fmt_report.summary())
@@ -166,6 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="auto-tune a matrix")
     matrix_args(p_tune)
     p_tune.add_argument("--mode", default="pruned", choices=["pruned", "exhaustive"])
+    p_tune.add_argument("--workers", type=int, default=1,
+                        help="parallel tuning workers (results are "
+                             "identical to serial; only faster)")
     p_tune.add_argument("--emit-opencl", action="store_true",
                         help="print the generated OpenCL kernel source")
 

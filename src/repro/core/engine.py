@@ -17,6 +17,8 @@ simulated kernel, returning the exact product plus the simulated timing.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,8 +35,9 @@ from ..gpu.device import DeviceSpec, get_device
 from ..gpu.timing import TimingBreakdown, TimingModel
 from ..kernels.base import get_kernel
 from ..kernels.config import YaSpMVConfig
-from ..kernels.yaspmv import YaSpMVKernel
+from ..kernels.yaspmv import YaSpMMKernel, YaSpMVKernel
 from ..tuning.cache import KernelPlanCache
+from ..tuning.persistence import TuningStore
 from ..tuning.parameters import TuningPoint
 from ..tuning.tuner import AutoTuner, TuningResult
 from ..util import as_csr
@@ -105,6 +108,19 @@ class SpMVEngine:
         Optional shared :class:`KernelPlanCache`; the engine creates one
         otherwise (kernel plans are reused across matrices, paper
         section 4).
+    plan_store:
+        Optional :class:`repro.tuning.TuningStore` consulted by every
+        :meth:`prepare`: a persisted configuration for this matrix
+        structure and device skips the search entirely (the returned
+        ``PreparedMatrix.tuning`` has ``store_hit=True`` and
+        ``evaluated == 0``), and a fresh search result is written back.
+    tuning_workers:
+        Pool width for the auto-tuner's candidate fan-out (default 1 =
+        serial).  Any value returns bit-identical tuning results; only
+        the wall clock changes.
+    tuning_executor:
+        ``"process"`` (default) or ``"thread"`` -- the pool kind used
+        when ``tuning_workers > 1``.
     policy:
         ``"strict"`` (default) raises a typed error on the first
         validation failure; ``"permissive"`` degrades gracefully down
@@ -134,6 +150,9 @@ class SpMVEngine:
         device: str | DeviceSpec = "gtx680",
         tuning_mode: str = "pruned",
         plan_cache: KernelPlanCache | None = None,
+        plan_store: TuningStore | None = None,
+        tuning_workers: int = 1,
+        tuning_executor: str = "process",
         tuning_kwargs: dict | None = None,
         policy: str = "strict",
         fault_plan: FaultPlan | None = None,
@@ -154,6 +173,9 @@ class SpMVEngine:
         self.device = get_device(device) if isinstance(device, str) else device
         self.tuning_mode = tuning_mode
         self.plan_cache = plan_cache if plan_cache is not None else KernelPlanCache()
+        self.plan_store = plan_store
+        self.tuning_workers = tuning_workers
+        self.tuning_executor = tuning_executor
         #: Extra AutoTuner constructor arguments (e.g. ``pruned_kwargs``
         #: to trim the search for time-boxed runs).
         self.tuning_kwargs = tuning_kwargs or {}
@@ -189,35 +211,61 @@ class SpMVEngine:
 
         Pass an explicit :class:`TuningPoint` to skip tuning -- used by
         the ablation benchmarks and by callers replaying a saved
-        configuration.  Pass a :class:`repro.tuning.TuningStore` as
-        ``store`` to consult/update persisted configurations: a stored
-        entry for this matrix structure and device skips the search,
+        configuration.  The engine's ``plan_store`` (or a per-call
+        ``store`` override) provides persistent warm starts: a stored
+        entry for this matrix structure and device skips the search --
+        observable as ``tuning.store_hit`` with ``evaluated == 0`` --
         and a fresh search result is written back.
         """
         csr = as_csr(matrix)
+        store = store if store is not None else self.plan_store
         tuning: TuningResult | None = None
+        store_checked = False
+        invalidations0 = store.invalidations if store is not None else 0
         if point is None and store is not None:
-            point = store.get(csr, self.device)
+            store_checked = True
+            t0 = time.perf_counter()
+            cached = store.get(csr, self.device)
+            if cached is not None:
+                point = cached
+                tuning = TuningResult.from_store(
+                    cached,
+                    wall_seconds=time.perf_counter() - t0,
+                    invalidations=store.invalidations - invalidations0,
+                )
         if point is None:
             tuner = AutoTuner(
                 self.device,
                 mode=self.tuning_mode,
                 plan_cache=self.plan_cache,
                 keep_history=keep_history,
+                workers=self.tuning_workers,
+                executor=self.tuning_executor,
                 **self.tuning_kwargs,
             )
             tuning = tuner.tune(csr)
             point = tuning.best_point
             if store is not None:
                 store.put(csr, self.device, point)
+            tuning.store_checked = store_checked
+            if store is not None:
+                tuning.store_invalidations = store.invalidations - invalidations0
 
         fmt = self._build_format(csr, point)
         return PreparedMatrix(
             fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz), csr=csr
         )
 
-    def multiply(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
-        """Execute one SpMV on a prepared matrix.
+    def multiply(
+        self, prepared: PreparedMatrix | object, x: np.ndarray
+    ) -> SpMVResult:
+        """Execute one SpMV: ``y = A @ x``.
+
+        ``prepared`` is normally a :class:`PreparedMatrix` from
+        :meth:`prepare` (amortizes tuning over repeated multiplies), but
+        any sparse matrix is accepted as a documented one-shot overload
+        -- it is prepared (auto-tuned, warm-started from ``plan_store``
+        when set) and multiplied in one call.
 
         With no fault plan and validation off (the default), this is the
         plain tuned execution.  Otherwise the multiply runs through the
@@ -225,6 +273,8 @@ class SpMVEngine:
         under the ``"permissive"`` policy -- the graceful-degradation
         fallback chain (see ``docs/robustness.md``).
         """
+        if not isinstance(prepared, PreparedMatrix):
+            prepared = self.prepare(prepared)
         if not self._resilient:
             result = self._kernel.run(
                 prepared.fmt, x, self.device, config=prepared.config
@@ -240,10 +290,16 @@ class SpMVEngine:
     # ------------------------------------------------------------------ #
 
     def _multiply_resilient(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
-        """Validating multiply with bounded retry and fallback chain."""
+        """Validating multiply with bounded retry and fallback chain.
+
+        Handles both the vector (1-D ``x``) and the multi-RHS (2-D ``x``)
+        cases; the fallback stages and validation are shared.
+        """
         plan = self.fault_plan
         csr = prepared.reference_csr()
         report = FailureReport()
+        x = np.asarray(x, dtype=np.float64)
+        n_rhs = x.shape[1] if x.ndim == 2 else 1
 
         stages: list[tuple[str, object, YaSpMVConfig | None, bool]] = [
             ("tuned", prepared.fmt, prepared.config, True)
@@ -280,7 +336,7 @@ class SpMVEngine:
                     y=result.y,
                     stats=result.stats,
                     breakdown=breakdown,
-                    nnz=prepared.nnz,
+                    nnz=prepared.nnz * n_rhs,
                     failure=report,
                 )
             if self.policy == "strict":
@@ -304,18 +360,27 @@ class SpMVEngine:
     ):
         """Run one fallback stage; returns ``(KernelResult | None, record)``."""
         active = plan if with_plan else None
+        multi = np.asarray(x).ndim == 2
         try:
             with fault_scope(active):
                 if stage == "csr-reference":
                     # Trusted last resort: host-side CSR kernel, fault
                     # injection explicitly disabled.
-                    kernel_result = get_kernel("csr_vector").run(
-                        CSRMatrix.from_scipy(csr), x, self.device
-                    )
+                    kernel_result = self._csr_reference(csr, x)
                 elif fmt is None:
                     # Untuned default point, rebuilt from the CSR source.
-                    kernel_result = self._kernel.run(
-                        BCCOOMatrix.from_scipy(csr), x, self.device, config=config
+                    rebuilt = BCCOOMatrix.from_scipy(csr)
+                    if multi:
+                        kernel_result = YaSpMMKernel().run_multi(
+                            rebuilt, x, self.device, config=config
+                        )
+                    else:
+                        kernel_result = self._kernel.run(
+                            rebuilt, x, self.device, config=config
+                        )
+                elif multi:
+                    kernel_result = YaSpMMKernel().run_multi(
+                        fmt, x, self.device, config=config
                     )
                 else:
                     kernel_result = self._kernel.run(
@@ -336,9 +401,10 @@ class SpMVEngine:
             validation: ValidationReport | None = None
             ok = True
         else:
+            operand = np.asarray(x, dtype=np.float64)
             validation = verify_output(
                 csr,
-                np.asarray(x, dtype=np.float64).ravel(),
+                operand if multi else operand.ravel(),
                 kernel_result.y,
                 n_samples=self.validation_samples,
                 rtol=self.validation_rtol,
@@ -354,6 +420,26 @@ class SpMVEngine:
             record.error_type = "ValidationError"
             return None, record
         return kernel_result, record
+
+    def _csr_reference(self, csr, x: np.ndarray):
+        """Trusted host-side CSR execution, vector or multi-RHS."""
+        kernel = get_kernel("csr_vector")
+        fmt = CSRMatrix.from_scipy(csr)
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            return kernel.run(fmt, x, self.device)
+        # Column-by-column reference; stats chain with ``sequential`` so
+        # the timing model sees k full passes (no SpMM amortization --
+        # this is the degraded path, honesty beats optimism).
+        from ..kernels.base import KernelResult
+
+        columns = []
+        stats = None
+        for j in range(x.shape[1]):
+            res = kernel.run(fmt, x[:, j], self.device)
+            columns.append(res.y)
+            stats = res.stats if stats is None else stats.sequential(res.stats)
+        return KernelResult(y=np.stack(columns, axis=1), stats=stats)
 
     def _raise_strict(self, record: AttemptRecord, plan: FaultPlan | None):
         """Strict policy: surface the first failure as a typed error."""
@@ -373,30 +459,46 @@ class SpMVEngine:
             f"stage {record.stage!r} failed: {record.error_type}: {record.error}"
         )
 
-    def multiply_many(self, prepared: PreparedMatrix, X: np.ndarray) -> SpMVResult:
+    def multiply_many(
+        self, prepared: PreparedMatrix | object, X: np.ndarray
+    ) -> SpMVResult:
         """SpMM extension: ``Y = A @ X`` for ``X`` of shape ``(ncols, k)``.
 
         The matrix stream is read once for all ``k`` right-hand sides,
         so the simulated time grows far slower than ``k`` sequential
         multiplies -- the block-Krylov use case.  ``result.nnz`` counts
         ``nnz * k`` so ``gflops`` stays the throughput of useful work.
-        """
-        from ..kernels.yaspmv import YaSpMMKernel
 
-        result = YaSpMMKernel().run_multi(
-            prepared.fmt, X, self.device, config=prepared.config
-        )
-        breakdown = self._timing.estimate(result.stats)
-        return SpMVResult(
-            y=result.y,
-            stats=result.stats,
-            breakdown=breakdown,
-            nnz=prepared.nnz * int(np.asarray(X).shape[1]),
-        )
+        Accepts a raw matrix as a one-shot overload (like
+        :meth:`multiply`) and runs under the same resilience/validation
+        policy: with a fault plan or validation enabled, SpMM goes
+        through the identical fallback chain and produces the same
+        :class:`FailureReport` trail.
+        """
+        if not isinstance(prepared, PreparedMatrix):
+            prepared = self.prepare(prepared)
+        if not self._resilient:
+            result = YaSpMMKernel().run_multi(
+                prepared.fmt, X, self.device, config=prepared.config
+            )
+            breakdown = self._timing.estimate(result.stats)
+            return SpMVResult(
+                y=result.y,
+                stats=result.stats,
+                breakdown=breakdown,
+                nnz=prepared.nnz * int(np.asarray(X).shape[1]),
+            )
+        return self._multiply_resilient(prepared, X)
 
     def multiply_matrix(self, matrix, x: np.ndarray) -> SpMVResult:
-        """One-shot: prepare (tuned) and multiply."""
-        return self.multiply(self.prepare(matrix), x)
+        """Deprecated alias for the one-shot :meth:`multiply` overload."""
+        warnings.warn(
+            "SpMVEngine.multiply_matrix is deprecated; "
+            "pass the matrix to multiply() directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.multiply(matrix, x)
 
     # ------------------------------------------------------------------ #
 
@@ -418,4 +520,4 @@ class SpMVEngine:
 
 def yaspmv(matrix, x, device: str | DeviceSpec = "gtx680") -> np.ndarray:
     """One-shot convenience: auto-tuned SpMV, returns ``y = A @ x``."""
-    return SpMVEngine(device=device).multiply_matrix(matrix, x).y
+    return SpMVEngine(device=device).multiply(matrix, x).y

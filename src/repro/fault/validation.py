@@ -212,7 +212,14 @@ def verify_output(
     ``n_samples=None`` compares every row (the CLI's ``repro verify``
     does this); the engine's per-multiply check samples.  Sampling is
     deterministic in ``seed``.
+
+    A 2-D ``x`` of shape ``(ncols, k)`` verifies a multi-RHS product
+    ``Y = A @ X`` with the same checks (shape, finiteness, global
+    checksum, sampled rows across all ``k`` columns).
     """
+    x = np.asarray(x)
+    if x.ndim == 2:
+        return _verify_output_multi(csr, x, y, n_samples, rtol, atol, seed)
     y = np.asarray(y)
     report = ValidationReport(subject="kernel output")
     report.add(
@@ -263,5 +270,65 @@ def verify_output(
         )
     else:
         detail = f"{rows.shape[0]} rows sampled"
+    report.add("sampled_reference", n_bad == 0, detail)
+    return report
+
+
+def _verify_output_multi(
+    csr,
+    X: np.ndarray,
+    Y: np.ndarray,
+    n_samples: int | None,
+    rtol: float,
+    atol: float,
+    seed: int,
+) -> ValidationReport:
+    """Multi-RHS variant of :func:`verify_output` (``Y = A @ X``)."""
+    Y = np.asarray(Y)
+    k = X.shape[1]
+    report = ValidationReport(subject="kernel output")
+    report.add(
+        "output_shape",
+        Y.ndim == 2 and Y.shape == (csr.shape[0], k),
+        f"Y has shape {Y.shape}, expected ({csr.shape[0]}, {k})",
+    )
+    if not report.ok:
+        return report
+
+    finite = bool(np.isfinite(Y).all())
+    report.add("output_finite", finite, "Y contains NaN/Inf")
+
+    if finite:
+        colsums = np.asarray(abs(csr).sum(axis=0)).ravel()
+        scale = float(colsums @ np.abs(X).sum(axis=1))
+        expect = float((np.asarray(csr.sum(axis=0)).ravel() @ X).sum())
+        got_sum = float(Y.sum())
+        tol = atol + max(rtol, 64 * np.finfo(np.float64).eps) * max(scale, 1.0)
+        report.add(
+            "checksum",
+            abs(got_sum - expect) <= tol,
+            f"sum(Y)={got_sum!r} vs reference {expect!r} (tol {tol:.3g})",
+        )
+
+    nrows = csr.shape[0]
+    if n_samples is None or n_samples >= nrows:
+        rows = np.arange(nrows)
+    else:
+        rows = np.random.default_rng(seed).choice(nrows, size=n_samples, replace=False)
+        rows.sort()
+    ref = csr[rows] @ X
+    got = Y[rows]
+    with np.errstate(invalid="ignore"):
+        close = np.isclose(got, ref, rtol=rtol, atol=atol)
+    n_bad = int((~close).sum())
+    if n_bad:
+        flat = int(np.argmax(np.where(close, 0.0, np.abs(got - ref))))
+        i, j = np.unravel_index(flat, got.shape)
+        detail = (
+            f"{n_bad}/{close.size} sampled entries off; worst row "
+            f"{int(rows[i])} col {int(j)}: got {got[i, j]!r}, want {ref[i, j]!r}"
+        )
+    else:
+        detail = f"{rows.shape[0]} rows x {k} columns sampled"
     report.add("sampled_reference", n_bad == 0, detail)
     return report

@@ -5,6 +5,7 @@ Importing this package registers every kernel; look them up with
 """
 
 from .base import (
+    BaselineConfig,
     KernelResult,
     SpMVKernel,
     available_kernels,
@@ -27,6 +28,7 @@ from .faithful import FaithfulTrace, yaspmv_faithful
 from .yaspmv import YaSpMVKernel
 
 __all__ = [
+    "BaselineConfig",
     "KernelResult",
     "SpMVKernel",
     "available_kernels",

@@ -7,13 +7,27 @@ a :class:`repro.gpu.KernelStats` cost profile for the timing model.
 Kernels are pure functions of ``(format_instance, x, device, config)``;
 they never mutate the format.  Each kernel registers itself so the
 engine and auto-tuner can enumerate them.
+
+Every kernel shares one execution protocol::
+
+    kernel.run(fmt, x, device, config=kernel.config_cls(...))
+
+``config`` is keyword-only and must be an instance of the kernel's
+:attr:`~SpMVKernel.config_cls` (a small frozen dataclass;
+:class:`BaselineConfig` for the comparator kernels,
+:class:`~repro.kernels.config.YaSpMVConfig` for yaSpMV).  Omitting it
+runs the kernel's defaults.  The pre-unification calling convention --
+loose keyword arguments such as ``run(fmt, x, device,
+workgroup_size=128)`` -- still works for one release through a
+deprecation shim that packs them into ``config_cls``.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import ClassVar
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -22,7 +36,30 @@ from ..formats.base import SparseFormat
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec
 
-__all__ = ["KernelResult", "SpMVKernel", "register_kernel", "get_kernel", "available_kernels"]
+__all__ = [
+    "BaselineConfig",
+    "KernelResult",
+    "SpMVKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
+]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Launch configuration shared by the baseline (comparator) kernels.
+
+    The comparators expose a single knob -- the workgroup size -- so this
+    is deliberately minimal; kernels with richer spaces (yaSpMV) declare
+    their own ``config_cls``.
+    """
+
+    workgroup_size: int = 256
+
+    def with_overrides(self, **kw) -> "BaselineConfig":
+        """Copy with fields replaced."""
+        return replace(self, **kw)
 
 
 @dataclass
@@ -39,24 +76,77 @@ class KernelResult:
 
 
 class SpMVKernel(abc.ABC):
-    """Base class for simulated SpMV kernels."""
+    """Base class for simulated SpMV kernels.
+
+    Subclasses implement :meth:`_execute`, receiving an already-coerced
+    ``config_cls`` instance; :meth:`run` is the single public entry
+    point and handles config validation plus the legacy-kwargs shim.
+    """
 
     #: Registry key, e.g. ``"yaspmv"``.
     name: ClassVar[str] = ""
     #: Format registry name this kernel executes.
     format_name: ClassVar[str] = ""
+    #: Dataclass type of this kernel's launch configuration.
+    config_cls: ClassVar[type] = BaselineConfig
 
-    @abc.abstractmethod
     def run(
         self,
         fmt: SparseFormat,
         x: np.ndarray,
         device: DeviceSpec,
-        **config,
+        *,
+        config: Any | None = None,
+        **legacy,
     ) -> KernelResult:
-        """Execute SpMV; returns exact ``y`` plus the cost profile."""
+        """Execute SpMV; returns exact ``y`` plus the cost profile.
+
+        ``config`` must be an instance of :attr:`config_cls` (defaults
+        are used when omitted).  Loose keyword arguments are accepted
+        for backward compatibility only and emit a
+        :class:`DeprecationWarning`.
+        """
+        return self._execute(fmt, x, device, self._coerce_config(config, legacy))
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        fmt: SparseFormat,
+        x: np.ndarray,
+        device: DeviceSpec,
+        config,
+    ) -> KernelResult:
+        """Kernel body; ``config`` is a validated ``config_cls`` instance."""
 
     # ------------------------------------------------------------------ #
+
+    def _coerce_config(self, config, legacy: dict):
+        """Validate ``config`` or pack deprecated loose kwargs into one."""
+        if legacy:
+            if config is not None:
+                raise KernelConfigError(
+                    f"{type(self).__name__}.run() takes either config= or "
+                    f"legacy keyword arguments, not both: {sorted(legacy)}"
+                )
+            warnings.warn(
+                f"passing loose keyword arguments to {type(self).__name__}"
+                f".run() is deprecated; pass "
+                f"config={self.config_cls.__name__}(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            known = {f.name for f in fields(self.config_cls)}
+            # The old signatures swallowed unknown kwargs (``**kw``);
+            # the shim preserves that tolerance.
+            return self.config_cls(**{k: v for k, v in legacy.items() if k in known})
+        if config is None:
+            return self.config_cls()
+        if not isinstance(config, self.config_cls):
+            raise KernelConfigError(
+                f"{type(self).__name__}.run() needs a "
+                f"{self.config_cls.__name__} config, got {type(config).__name__}"
+            )
+        return config
 
     @staticmethod
     def _check_workgroup(workgroup_size: int, device: DeviceSpec) -> None:

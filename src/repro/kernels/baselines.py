@@ -98,7 +98,8 @@ class CSRScalarKernel(SpMVKernel):
     name = "csr_scalar"
     format_name = "csr"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, CSRMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -161,7 +162,8 @@ class CSRVectorKernel(SpMVKernel):
     name = "csr_vector"
     format_name = "csr"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, CSRMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -214,7 +216,8 @@ class ELLKernel(SpMVKernel):
     name = "ell"
     format_name = "ell"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, ELLMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -247,7 +250,8 @@ class DIAKernel(SpMVKernel):
     name = "dia"
     format_name = "dia"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, DIAMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -283,12 +287,10 @@ class HYBKernel(SpMVKernel):
     name = "hyb"
     format_name = "hyb"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
         fmt = _expect(fmt, HYBMatrix)
-        ell_res = ELLKernel().run(fmt.ell, x, device, workgroup_size=workgroup_size)
-        coo_res = COOSegmentedKernel().run(
-            fmt.coo, x, device, workgroup_size=workgroup_size
-        )
+        ell_res = ELLKernel().run(fmt.ell, x, device, config=config)
+        coo_res = COOSegmentedKernel().run(fmt.coo, x, device, config=config)
         y = ell_res.y + coo_res.y
         stats = ell_res.stats.sequential(coo_res.stats)
         return KernelResult(y=y, stats=stats)
@@ -301,7 +303,8 @@ class BCSRKernel(SpMVKernel):
     name = "bcsr"
     format_name = "bcsr"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, BCSRMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -369,7 +372,8 @@ class COOSegmentedKernel(SpMVKernel):
     name = "coo_segmented"
     format_name = "coo"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         fmt = _expect(fmt, COOMatrix)
         self._check_workgroup(workgroup_size, device)
         y = fmt.multiply(x)
@@ -420,7 +424,8 @@ class SELLKernel(SpMVKernel):
     name = "sell"
     format_name = "sell"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         from ..formats.sell import SELLMatrix
 
         fmt = _expect(fmt, SELLMatrix)
@@ -465,7 +470,8 @@ class BELLKernel(SpMVKernel):
     name = "bell"
     format_name = "bell"
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
+        workgroup_size = config.workgroup_size
         from ..formats.bell import BELLMatrix
 
         fmt = _expect(fmt, BELLMatrix)
@@ -517,7 +523,7 @@ class CocktailKernel(SpMVKernel):
         "coo": "coo_segmented",
     }
 
-    def run(self, fmt, x, device, workgroup_size: int = 256, **kw) -> KernelResult:
+    def _execute(self, fmt, x, device, config) -> KernelResult:
         from ..formats.cocktail import CocktailMatrix
         from .base import get_kernel
 
@@ -526,7 +532,7 @@ class CocktailKernel(SpMVKernel):
         stats = None
         for label, part in fmt.partitions:
             kernel = get_kernel(self._SUB_KERNELS[label])
-            res = kernel.run(part, x, device, workgroup_size=workgroup_size)
+            res = kernel.run(part, x, device, config=config)
             y = res.y if y is None else y + res.y
             stats = res.stats if stats is None else stats.sequential(res.stats)
         assert y is not None and stats is not None

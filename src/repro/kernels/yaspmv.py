@@ -124,23 +124,22 @@ class YaSpMVKernel(SpMVKernel):
 
     name = "yaspmv"
     format_name = "bccoo"
+    config_cls = YaSpMVConfig
 
-    def run(
+    def _execute(
         self,
         fmt,
         x: np.ndarray,
         device: DeviceSpec,
-        config: YaSpMVConfig | None = None,
-        **kw,
+        config: YaSpMVConfig,
     ) -> KernelResult:
-        cfg = config if config is not None else YaSpMVConfig(**kw)
         if isinstance(fmt, BCCOOPlusMatrix):
-            return self._run_plus(fmt, x, device, cfg)
+            return self._run_plus(fmt, x, device, config)
         if not isinstance(fmt, BCCOOMatrix):
             raise KernelConfigError(
                 f"yaspmv kernel needs a BCCOO/BCCOO+ matrix, got {type(fmt).__name__}"
             )
-        return self._run_bccoo(fmt, x, device, cfg)
+        return self._run_bccoo(fmt, x, device, config)
 
     # ------------------------------------------------------------------ #
     # BCCOO core

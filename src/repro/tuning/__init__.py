@@ -2,6 +2,7 @@
 
 from .cache import CompiledPlan, FormatCache, KernelPlanCache
 from .model import CostModel, MatrixSummary, ModelDrivenTuner
+from .parallel import CandidateOutcome, ChunkResult, chunk_candidates, run_parallel
 from .persistence import TuningStore, matrix_fingerprint
 from .parameters import (
     BIT_WORDS,
@@ -31,6 +32,10 @@ __all__ = [
     "exhaustive_space",
     "pruned_space",
     "AutoTuner",
+    "CandidateOutcome",
+    "ChunkResult",
+    "chunk_candidates",
+    "run_parallel",
     "Evaluation",
     "TuningResult",
     "TuningStore",

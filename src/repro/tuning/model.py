@@ -158,6 +158,8 @@ class ModelDrivenTuner:
         model = CostModel(self.device)
 
         t0 = time.perf_counter()
+        hits0 = self.plan_cache.hits
+        misses0 = self.plan_cache.misses
         ranked = sorted(points, key=lambda p: model.predict(p, summary))
         keep = max(
             int(len(ranked) * self.evaluate_fraction), self.min_evaluations
@@ -201,6 +203,8 @@ class ModelDrivenTuner:
             simulated_compile_s=self.plan_cache.simulated_compile_time_s,
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
+            cache_hits=self.plan_cache.hits - hits0,
+            cache_misses=self.plan_cache.misses - misses0,
             history=history,
             skip_reasons=skip_reasons,
         )

@@ -1,0 +1,218 @@
+"""Parallel candidate evaluation: the auto-tuner's fan-out machinery.
+
+Section 4's search is the framework's cost center (the paper reports
+12.8 s per matrix, dominated by kernel compilation), and every candidate
+evaluation is independent of every other -- an embarrassingly parallel
+loop that :class:`~repro.tuning.AutoTuner` nevertheless walked serially.
+This module fans the candidate space out over a ``concurrent.futures``
+pool and merges the results *deterministically*, so ``workers=N`` is an
+observable no-op on everything except wall-clock time.
+
+Three design rules keep the parallel path bit-identical to serial:
+
+1. **Chunking by format affinity.**  Candidates are grouped by their
+   ``(block_height, block_width, bit_word)`` triple.  Every format
+   conversion a chunk needs is therefore performed exactly once, by the
+   worker that owns the chunk -- :class:`~repro.tuning.FormatCache`
+   state never crosses workers and no conversion is duplicated.
+2. **Index-tagged outcomes.**  Each candidate carries its position in
+   the enumeration order; the merge walks outcomes in that order, so the
+   best-point tie-breaking ("first strictly faster wins") and the
+   skip-reason quarantine counters come out exactly as the serial loop
+   would produce them, regardless of worker scheduling.
+3. **Plan-lookup replay.**  Workers compile against throwaway local
+   :class:`~repro.tuning.KernelPlanCache` instances; the merge then
+   replays the plan lookups against the tuner's *shared* cache in
+   enumeration order, leaving it in the identical state (entries, hit
+   and miss counters) a serial run would have left it in.
+
+Worker processes are forked when the platform supports it (cheap, no
+re-import); ``executor="thread"`` opts into a thread pool for callers
+that cannot fork (the GIL limits its speedup to the NumPy-released
+portions of the kernels).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import ReproError, TuningError
+from ..gpu.device import DeviceSpec
+from ..gpu.timing import TimingModel
+from .cache import FormatCache, KernelPlanCache
+from .parameters import TuningPoint
+
+__all__ = [
+    "CandidateOutcome",
+    "ChunkResult",
+    "EXECUTORS",
+    "chunk_candidates",
+    "evaluate_candidates",
+    "run_parallel",
+]
+
+#: Supported ``concurrent.futures`` pool kinds.
+EXECUTORS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One evaluated (or quarantined) candidate, tagged with its
+    position in the enumeration order."""
+
+    index: int
+    point: TuningPoint
+    #: ``None`` when the candidate was quarantined.
+    evaluation: object | None
+    #: Error class name when quarantined (the skip-reason taxonomy).
+    skip_reason: str | None = None
+    #: Quarantined before the plan lookup (format conversion failed), so
+    #: a serial tuner would never have touched the plan cache for it.
+    format_skipped: bool = False
+
+
+@dataclass
+class ChunkResult:
+    """What one worker reports back for its chunk."""
+
+    outcomes: list[CandidateOutcome] = field(default_factory=list)
+    conversions: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+
+def chunk_candidates(
+    items: list[tuple[int, TuningPoint]],
+) -> list[list[tuple[int, TuningPoint]]]:
+    """Group index-tagged candidates by format affinity.
+
+    The chunk key is ``(block_height, block_width, bit_word)`` -- every
+    distinct format a chunk's candidates build (the key is a prefix of
+    ``TuningPoint.format_key``) belongs to that chunk alone, so
+    conversions stay worker-local.  Chunks preserve first-occurrence
+    order and candidates keep their enumeration order within a chunk.
+    """
+    groups: dict[tuple, list[tuple[int, TuningPoint]]] = {}
+    for index, point in items:
+        key = (point.block_height, point.block_width, point.bit_word)
+        groups.setdefault(key, []).append((index, point))
+    return list(groups.values())
+
+
+def evaluate_candidates(
+    items: list[tuple[int, TuningPoint]],
+    csr,
+    x,
+    device: DeviceSpec,
+    fmt_cache: FormatCache,
+    plan_cache: KernelPlanCache,
+) -> list[CandidateOutcome]:
+    """Evaluate candidates in order, mirroring the serial tuner loop.
+
+    A failing candidate is quarantined and counted by reason instead of
+    aborting; genuine bugs (non-:class:`ReproError`) still propagate.
+    """
+    # Imported here: repro.tuning.tuner imports this module at top
+    # level; the deferred import breaks the cycle (and re-runs cheaply
+    # in spawned workers).
+    from ..kernels.yaspmv import YaSpMVKernel
+    from .tuner import Evaluation
+
+    kernel = YaSpMVKernel()
+    timing = TimingModel(device)
+    nnz = int(csr.nnz)
+    outcomes: list[CandidateOutcome] = []
+    for index, point in items:
+        try:
+            fmt = fmt_cache.get(point)
+        except ReproError as exc:
+            outcomes.append(
+                CandidateOutcome(
+                    index=index,
+                    point=point,
+                    evaluation=None,
+                    skip_reason=type(exc).__name__,
+                    format_skipped=True,
+                )
+            )
+            continue
+        plan_cache.get(point)  # compile (or reuse) the plan
+        try:
+            result = kernel.run(fmt, x, device, config=point.kernel)
+        except ReproError as exc:
+            outcomes.append(
+                CandidateOutcome(
+                    index=index,
+                    point=point,
+                    evaluation=None,
+                    skip_reason=type(exc).__name__,
+                )
+            )
+            continue
+        breakdown = timing.estimate(result.stats)
+        outcomes.append(
+            CandidateOutcome(
+                index=index,
+                point=point,
+                evaluation=Evaluation(
+                    point=point,
+                    time_s=breakdown.t_total,
+                    gflops=breakdown.gflops(nnz),
+                    breakdown=breakdown,
+                ),
+            )
+        )
+    return outcomes
+
+
+def _evaluate_chunk(payload) -> ChunkResult:
+    """Worker entry point: evaluate one chunk with worker-local caches."""
+    csr, x, device, items, compile_cost = payload
+    fmt_cache = FormatCache(csr)
+    plan_cache = KernelPlanCache(compile_cost_s=compile_cost)
+    outcomes = evaluate_candidates(items, csr, x, device, fmt_cache, plan_cache)
+    return ChunkResult(
+        outcomes=outcomes,
+        conversions=fmt_cache.conversions,
+        plan_hits=plan_cache.hits,
+        plan_misses=plan_cache.misses,
+    )
+
+
+def _make_pool(executor: str, max_workers: int):
+    if executor == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    import multiprocessing as mp
+
+    if "fork" in mp.get_all_start_methods():
+        # Fork is both the fastest start method and the one that keeps
+        # already-imported modules (no per-worker re-import cost).
+        return ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=mp.get_context("fork")
+        )
+    return ProcessPoolExecutor(max_workers=max_workers)
+
+
+def run_parallel(
+    items: list[tuple[int, TuningPoint]],
+    csr,
+    x,
+    device: DeviceSpec,
+    workers: int,
+    executor: str,
+    compile_cost: float,
+) -> list[CandidateOutcome]:
+    """Fan chunks out over a pool; return outcomes in enumeration order."""
+    if executor not in EXECUTORS:
+        raise TuningError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    chunks = chunk_candidates(items)
+    if not chunks:
+        return []
+    payloads = [(csr, x, device, chunk, compile_cost) for chunk in chunks]
+    max_workers = max(1, min(workers, len(chunks)))
+    with _make_pool(executor, max_workers) as pool:
+        results = list(pool.map(_evaluate_chunk, payloads))
+    outcomes = [o for result in results for o in result.outcomes]
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes

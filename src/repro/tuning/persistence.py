@@ -89,6 +89,13 @@ class TuningStore:
     def __init__(self, path):
         self.path = Path(path).expanduser()
         self._entries: dict[str, dict] | None = None
+        #: Lookup statistics for this store instance.  An *invalidation*
+        #: is a lookup that found an entry but could not use it (schema
+        #: version mismatch or malformed payload); it also counts as a
+        #: miss, so ``hits + misses`` equals total lookups.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------ #
 
@@ -112,7 +119,16 @@ class TuningStore:
     def get(self, matrix, device: DeviceSpec | str) -> TuningPoint | None:
         """Stored configuration for (matrix structure, device), or None."""
         blob = self._load().get(self._key(matrix, device))
-        return _decode(blob) if blob is not None else None
+        if blob is None:
+            self.misses += 1
+            return None
+        point = _decode(blob)
+        if point is None:
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
 
     def put(self, matrix, device: DeviceSpec | str, point: TuningPoint) -> None:
         """Persist a configuration (overwrites any previous entry)."""

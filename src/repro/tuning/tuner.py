@@ -7,6 +7,12 @@ rank by estimated execution time.  The tuner reports wall-clock spent,
 simulated compile time, cache statistics and the full evaluation history
 so the benchmark can reproduce the section 4 numbers (pruned-vs-optimal
 quality gap, tuning cost).
+
+The search can fan out over a process (or thread) pool -- see
+:mod:`repro.tuning.parallel` -- and is guaranteed to return the same
+result as the serial walk: identical ``best_point``, identical
+evaluation set, identical skip-reason counters and identical shared
+plan-cache state.  ``workers`` only changes the wall clock.
 """
 
 from __future__ import annotations
@@ -18,10 +24,10 @@ import numpy as np
 
 from ..errors import ReproError, TuningError
 from ..gpu.device import DeviceSpec
-from ..gpu.timing import TimingBreakdown, TimingModel
-from ..kernels.yaspmv import YaSpMVKernel
+from ..gpu.timing import TimingBreakdown
 from ..util import as_csr
 from .cache import FormatCache, KernelPlanCache
+from .parallel import EXECUTORS, CandidateOutcome, evaluate_candidates, run_parallel
 from .parameters import TuningPoint
 from .space import exhaustive_space, pruned_space
 
@@ -40,15 +46,36 @@ class Evaluation:
 
 @dataclass
 class TuningResult:
-    """Outcome of one tuning run."""
+    """Outcome of one tuning run (or of a persistent-store hit).
 
-    best: Evaluation
-    evaluated: int
-    skipped: int
-    wall_seconds: float
-    simulated_compile_s: float
-    plan_cache_hits: int
-    plan_cache_misses: int
+    A search produces ``best``/``history`` and per-run cache deltas; a
+    warm start served from a :class:`~repro.tuning.TuningStore` carries
+    only the winning ``point`` (``evaluated == 0``, ``store_hit`` set)
+    -- ``best_point`` works for both.
+    """
+
+    best: Evaluation | None = None
+    evaluated: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0
+    simulated_compile_s: float = 0.0
+    #: Cumulative counters of the (possibly shared) plan cache after the
+    #: run -- kept for cross-matrix reuse accounting.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Plan-cache hits/misses incurred *by this run alone* (deltas, so
+    #: they stay meaningful when one cache is shared across matrices).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Pool width the search ran with (1 == serial).
+    workers: int = 1
+    #: Persistent-store bookkeeping: was a store consulted, did it serve
+    #: the point, and how many stale entries were invalidated.
+    store_checked: bool = False
+    store_hit: bool = False
+    store_invalidations: int = 0
+    #: Winning point for store-served results (no :class:`Evaluation`).
+    point: TuningPoint | None = None
     history: list[Evaluation] = field(default_factory=list)
     #: Per-reason quarantine counters: error class name -> candidates
     #: skipped for that reason (the skip-reason taxonomy; ``skipped``
@@ -57,7 +84,25 @@ class TuningResult:
 
     @property
     def best_point(self) -> TuningPoint:
-        return self.best.point
+        if self.best is not None:
+            return self.best.point
+        if self.point is not None:
+            return self.point
+        raise TuningError("TuningResult holds neither an evaluation nor a point")
+
+    @classmethod
+    def from_store(
+        cls, point: TuningPoint, *, wall_seconds: float = 0.0, invalidations: int = 0
+    ) -> "TuningResult":
+        """A warm-start result: the store served ``point``, zero kernel
+        evaluations were performed."""
+        return cls(
+            point=point,
+            wall_seconds=wall_seconds,
+            store_checked=True,
+            store_hit=True,
+            store_invalidations=invalidations,
+        )
 
     def top(self, k: int = 5) -> list[Evaluation]:
         """The k fastest evaluations, best first."""
@@ -80,6 +125,14 @@ class AutoTuner:
     keep_history:
         Retain every evaluation (needed by the tuning benchmarks;
         disable to save memory on huge spaces).
+    workers:
+        Pool width for the candidate fan-out.  ``1`` (default) runs the
+        classic serial walk in-process; ``N > 1`` spreads format-affine
+        candidate chunks over ``N`` workers.  The result is bit-identical
+        either way.
+    executor:
+        ``"process"`` (default, fork-based when available) or
+        ``"thread"``.  Only consulted when ``workers > 1``.
     """
 
     def __init__(
@@ -90,9 +143,15 @@ class AutoTuner:
         keep_history: bool = True,
         exhaustive_kwargs: dict | None = None,
         pruned_kwargs: dict | None = None,
+        workers: int = 1,
+        executor: str = "process",
     ):
         if mode not in ("pruned", "exhaustive"):
             raise TuningError(f"mode must be 'pruned' or 'exhaustive', got {mode!r}")
+        if workers < 1:
+            raise TuningError(f"workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise TuningError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         self.device = device
         self.mode = mode
         self.plan_cache = plan_cache if plan_cache is not None else KernelPlanCache()
@@ -101,8 +160,8 @@ class AutoTuner:
         #: Extra arguments for :func:`pruned_space` (e.g. a smaller
         #: ``keep_block_dims`` for time-boxed benchmark runs).
         self.pruned_kwargs = pruned_kwargs or {}
-        self._kernel = YaSpMVKernel()
-        self._timing = TimingModel(device)
+        self.workers = workers
+        self.executor = executor
 
     def tune(self, matrix, x: np.ndarray | None = None) -> TuningResult:
         """Search; returns the ranked result.
@@ -119,45 +178,63 @@ class AutoTuner:
         else:
             space = exhaustive_space(csr, self.device, **self.exhaustive_kwargs)
 
-        fmt_cache = FormatCache(csr)
+        items = list(enumerate(space))
         t0 = time.perf_counter()
+        hits0 = self.plan_cache.hits
+        misses0 = self.plan_cache.misses
+
+        if self.workers == 1:
+            # Serial walk straight through the shared plan cache -- no
+            # replay needed, the lookups *are* the canonical order.
+            outcomes = evaluate_candidates(
+                items, csr, x, self.device, FormatCache(csr), self.plan_cache
+            )
+        else:
+            outcomes = run_parallel(
+                items,
+                csr,
+                x,
+                self.device,
+                workers=self.workers,
+                executor=self.executor,
+                compile_cost=self.plan_cache.compile_cost_s,
+            )
+            # Workers compiled against throwaway caches; replay the plan
+            # lookups here, in enumeration order, so the shared cache
+            # ends up in the exact state a serial run leaves behind.
+            for outcome in outcomes:
+                if not outcome.format_skipped:
+                    self.plan_cache.get(outcome.point)
+
+        return self._merge(outcomes, t0, hits0, misses0)
+
+    def _merge(
+        self,
+        outcomes: list[CandidateOutcome],
+        t0: float,
+        hits0: int,
+        misses0: int,
+    ) -> TuningResult:
+        """Fold index-ordered outcomes into a :class:`TuningResult`.
+
+        Shared by the serial and parallel paths: walking the outcomes in
+        enumeration order reproduces the serial loop's tie-breaking (the
+        first strictly faster candidate wins) and its skip-reason
+        insertion order.
+        """
         best: Evaluation | None = None
         history: list[Evaluation] = []
         evaluated = 0
         skipped = 0
-        nnz = int(csr.nnz)
-
         skip_reasons: dict[str, int] = {}
 
-        def quarantine(exc: ReproError) -> None:
-            # Per-candidate error quarantine: a failing candidate is
-            # skipped and *counted by reason* instead of aborting (or
-            # silently swallowing arbitrary exceptions -- genuine bugs
-            # like TypeError still propagate).
-            nonlocal skipped
-            skipped += 1
-            name = type(exc).__name__
-            skip_reasons[name] = skip_reasons.get(name, 0) + 1
-
-        for point in space:
-            try:
-                fmt = fmt_cache.get(point)
-            except ReproError as exc:
-                quarantine(exc)
+        for outcome in outcomes:
+            if outcome.evaluation is None:
+                skipped += 1
+                reason = outcome.skip_reason or "ReproError"
+                skip_reasons[reason] = skip_reasons.get(reason, 0) + 1
                 continue
-            self.plan_cache.get(point)  # compile (or reuse) the plan
-            try:
-                result = self._kernel.run(fmt, x, self.device, config=point.kernel)
-            except ReproError as exc:
-                quarantine(exc)
-                continue
-            breakdown = self._timing.estimate(result.stats)
-            ev = Evaluation(
-                point=point,
-                time_s=breakdown.t_total,
-                gflops=breakdown.gflops(nnz),
-                breakdown=breakdown,
-            )
+            ev: Evaluation = outcome.evaluation
             evaluated += 1
             if self.keep_history:
                 history.append(ev)
@@ -175,6 +252,9 @@ class AutoTuner:
             simulated_compile_s=self.plan_cache.simulated_compile_time_s,
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
+            cache_hits=self.plan_cache.hits - hits0,
+            cache_misses=self.plan_cache.misses - misses0,
+            workers=self.workers,
             history=history,
             skip_reasons=skip_reasons,
         )

@@ -80,3 +80,56 @@ class TestEngine:
         res = eng.multiply(eng.prepare(A, point=TuningPoint()), rng.standard_normal(A.shape[1]))
         assert res.stats.dram_read_bytes > 0
         assert res.breakdown.bound in ("memory", "compute")
+
+
+class TestUnifiedExecutionAPI:
+    """The one-shot overload, the deprecated alias, and resilient SpMM."""
+
+    def test_multiply_accepts_raw_matrix(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90)
+        x = rng.standard_normal(90)
+        res = SpMVEngine("gtx680").multiply(A, x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_multiply_many_accepts_raw_matrix(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90)
+        X = rng.standard_normal((90, 3))
+        res = SpMVEngine("gtx680").multiply_many(A, X)
+        np.testing.assert_allclose(res.y, A @ X, atol=1e-9)
+        assert res.nnz == A.nnz * 3
+
+    def test_multiply_matrix_deprecated_alias(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90)
+        x = rng.standard_normal(90)
+        eng = SpMVEngine("gtx680")
+        with pytest.warns(DeprecationWarning, match="multiply_matrix"):
+            res = eng.multiply_matrix(A, x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_multiply_many_validated(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90)
+        X = rng.standard_normal((90, 4))
+        eng = SpMVEngine("gtx680", validate=True, policy="permissive")
+        res = eng.multiply_many(eng.prepare(A, point=TuningPoint()), X)
+        np.testing.assert_allclose(res.y, A @ X, atol=1e-9)
+        # Same resilience policy as multiply: the trail is reported.
+        assert res.failure is not None
+        assert res.failure.fallback_used == "tuned"
+        assert res.failure.attempts[0].validation.ok
+        assert res.nnz == A.nnz * 4
+
+    def test_multiply_many_fallback_chain(self, random_matrix, rng):
+        from repro.fault import FaultPlan
+
+        A = random_matrix(nrows=90, ncols=90)
+        X = rng.standard_normal((90, 2))
+        plan = FaultPlan.single("format.column_truncate", seed=1, count=None)
+        eng = SpMVEngine(
+            "gtx680", policy="permissive", fault_plan=plan, max_retries=0
+        )
+        res = eng.multiply_many(eng.prepare(A, point=TuningPoint()), X)
+        # Every simulated stage is corrupted; the CSR reference (fault
+        # injection disabled) must deliver the exact product.
+        np.testing.assert_allclose(res.y, A @ X, atol=1e-9)
+        assert res.degraded
+        assert res.failure.fallback_used == "csr-reference"

@@ -1,0 +1,112 @@
+"""Shared contract test for the unified kernel execution protocol.
+
+Every registered kernel must honor ``run(fmt, x, device, *, config)``:
+
+* ``config`` is keyword-only and typed (an instance of the kernel's
+  ``config_cls``);
+* omitting ``config`` runs the defaults;
+* legacy loose keyword arguments still work through the deprecation
+  shim (one release), emitting a :class:`DeprecationWarning`;
+* mixing ``config=`` with legacy kwargs, or passing a config of the
+  wrong type, is a :class:`KernelConfigError`.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import KernelConfigError
+from repro.formats import get_format
+from repro.gpu import GTX680
+from repro.kernels import BaselineConfig, YaSpMVConfig, available_kernels
+
+KERNEL_NAMES = sorted(available_kernels())
+
+
+@pytest.fixture(scope="module")
+def banded():
+    """Banded matrix so every format (DIA/ELL included) is applicable."""
+    rng = np.random.default_rng(7)
+    n = 96
+    offsets = [-3, -1, 0, 1, 3]
+    A = sp.diags(
+        [rng.standard_normal(n - abs(k)) for k in offsets], offsets, format="csr"
+    )
+    return A
+
+
+@pytest.fixture(scope="module")
+def formats(banded):
+    """One format instance per registry name used by the kernels."""
+    needed = {available_kernels()[name].format_name for name in KERNEL_NAMES}
+    return {fname: get_format(fname).from_scipy(banded) for fname in needed}
+
+
+def _run(kernel, formats, banded, **kw):
+    fmt = formats[kernel.format_name]
+    x = np.ones(banded.shape[1])
+    return kernel.run(fmt, x, GTX680, **kw), banded @ x
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+class TestRunContract:
+    def test_default_config(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        res, ref = _run(kernel, formats, banded)
+        np.testing.assert_allclose(res.y, ref, atol=1e-9)
+        assert res.stats.dram_read_bytes > 0
+
+    def test_explicit_config_equivalent(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        default, ref = _run(kernel, formats, banded)
+        explicit, _ = _run(kernel, formats, banded, config=kernel.config_cls())
+        np.testing.assert_array_equal(default.y, explicit.y)
+        assert default.stats.workgroup_size == explicit.stats.workgroup_size
+
+    def test_config_is_keyword_only(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        fmt = formats[kernel.format_name]
+        x = np.ones(banded.shape[1])
+        with pytest.raises(TypeError):
+            kernel.run(fmt, x, GTX680, kernel.config_cls())
+
+    def test_legacy_kwargs_shim_warns_and_works(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            res, ref = _run(kernel, formats, banded, workgroup_size=64)
+        np.testing.assert_allclose(res.y, ref, atol=1e-9)
+
+    def test_legacy_unknown_kwargs_tolerated(self, name, formats, banded):
+        # The pre-unification signatures swallowed unknown kwargs; the
+        # shim keeps old call sites running.
+        kernel = available_kernels()[name]
+        with pytest.warns(DeprecationWarning):
+            res, ref = _run(kernel, formats, banded, not_a_real_option=1)
+        np.testing.assert_allclose(res.y, ref, atol=1e-9)
+
+    def test_config_plus_legacy_rejected(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        with pytest.raises(KernelConfigError, match="not both"):
+            _run(
+                kernel,
+                formats,
+                banded,
+                config=kernel.config_cls(),
+                workgroup_size=64,
+            )
+
+    def test_wrong_config_type_rejected(self, name, formats, banded):
+        kernel = available_kernels()[name]
+        wrong = (
+            YaSpMVConfig() if kernel.config_cls is BaselineConfig else BaselineConfig()
+        )
+        with pytest.raises(KernelConfigError, match="config"):
+            _run(kernel, formats, banded, config=wrong)
+
+    def test_config_cls_declared(self, name):
+        kernel = available_kernels()[name]
+        assert isinstance(kernel.config_cls, type)
+        # Every config exposes the knob the engine/tuner rely on.
+        assert hasattr(kernel.config_cls(), "workgroup_size")
