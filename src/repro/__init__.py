@@ -22,7 +22,7 @@ Entry points
     The subsystems, individually usable.
 """
 
-from . import fault, formats, gpu, kernels, matrices, scan, solvers, tuning
+from . import fault, formats, gpu, kernels, matrices, obs, scan, solvers, tuning
 from .core import (
     BaselineResult,
     PreparedMatrix,
@@ -46,6 +46,7 @@ from .errors import (
     ValidationError,
 )
 from .fault import FaultPlan, FaultSpec
+from .obs import NullObserver, Observer, obs_scope
 
 __version__ = "1.0.0"
 
@@ -56,8 +57,12 @@ __all__ = [
     "gpu",
     "kernels",
     "matrices",
+    "obs",
     "scan",
     "tuning",
+    "NullObserver",
+    "Observer",
+    "obs_scope",
     "BaselineResult",
     "PreparedMatrix",
     "SpMVEngine",

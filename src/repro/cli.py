@@ -5,11 +5,18 @@ Gives the library's main workflows a shell entry point:
 * ``info``      -- list devices, formats, kernels and the matrix suite;
 * ``tune``      -- auto-tune a matrix (suite name or ``.mtx`` file) and
   print the winning configuration, optionally the generated OpenCL;
+  ``--trace out.jsonl`` dumps the tuning trace as JSON lines;
 * ``multiply``  -- run one simulated SpMV and report the profile;
+* ``profile``   -- run the full prepare/tune/convert/execute pipeline
+  under an :class:`~repro.obs.Observer` and print the span tree plus
+  the metrics table (``--json out.jsonl`` dumps the raw trace);
 * ``footprint`` -- print the Table 3 row for a matrix;
 * ``compare``   -- run the full comparator panel on a matrix;
 * ``verify``    -- validate format invariants and check the kernel
   output against the full CSR reference (non-zero exit on mismatch).
+
+``profile`` and ``verify`` accept ``--fault SPEC`` (e.g.
+``stale_grp_sum:p=0.5,seed=7``) to run under an injected fault plan.
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ def _cmd_info(args) -> int:
 def _cmd_tune(args) -> int:
     from .codegen import generate_kernel_source
     from .gpu import get_device
-    from .tuning import AutoTuner
+    from .tuning import AutoTuner, TuningResult
 
     name, A = _load_matrix(args.matrix, args.cap)
     store = None
@@ -62,35 +69,38 @@ def _cmd_tune(args) -> int:
         store = TuningStore(args.store)
         cached = store.get(A, args.device)
         if cached is not None:
-            bp = cached
-            print(f"{name}: warm start from {args.store} "
-                  f"(0 configurations evaluated)")
-            _print_point(bp)
+            res = TuningResult.from_store(cached)
+            print(f"{name}: warm start from {args.store}")
+            print(res.summary())
             if args.emit_opencl:
-                print("\n" + generate_kernel_source(bp))
+                print("\n" + generate_kernel_source(res.best_point))
             return 0
-    tuner = AutoTuner(get_device(args.device), mode=args.mode, workers=args.workers)
+    observer = None
+    if args.trace:
+        from .obs import Observer
+
+        observer = Observer()
+    tuner = AutoTuner(
+        get_device(args.device),
+        mode=args.mode,
+        workers=args.workers,
+        observer=observer,
+    )
     res = tuner.tune(A)
     bp = res.best_point
     if store is not None:
         store.put(A, args.device, bp)
         print(f"saved configuration to {args.store}")
-    workers = f", {args.workers} workers" if args.workers > 1 else ""
-    print(f"{name}: evaluated {res.evaluated} configurations "
-          f"in {res.wall_seconds:.1f}s ({res.skipped} skipped{workers})")
-    _print_point(bp)
-    print(f"estimated: {res.best.gflops:.2f} GFLOPS "
-          f"({res.best.time_s * 1e6:.1f} us)")
+    print(f"{name}:")
+    print(res.summary())
+    if observer is not None:
+        from .obs import write_jsonl
+
+        n = write_jsonl(observer, args.trace)
+        print(f"wrote {n} spans to {args.trace}")
     if args.emit_opencl:
         print("\n" + generate_kernel_source(bp))
     return 0
-
-
-def _print_point(bp) -> None:
-    print(f"best: {bp.format_name} {bp.block_height}x{bp.block_width} "
-          f"word={bp.bit_word} slices={bp.slice_count} "
-          f"strategy={bp.kernel.strategy} wg={bp.kernel.workgroup_size} "
-          f"tile={bp.kernel.effective_tile}")
 
 
 def _cmd_multiply(args) -> int:
@@ -108,6 +118,35 @@ def _cmd_multiply(args) -> int:
     print(TimingModel(get_device(args.device)).explain(res.stats, nnz=res.nnz))
     print(f"max |y - A@x| = {err:.2e}")
     return 0 if err < 1e-6 else 1
+
+
+def _cmd_profile(args) -> int:
+    from .core import SpMVEngine
+    from .obs import Observer, console_report, write_jsonl
+    from .tuning import TuningStore
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
+    store = TuningStore(args.store) if args.store else None
+    obs = Observer()
+    # ``validate=True`` + permissive policy routes the multiply through
+    # the resilience chain, so the fallback counters show up even on a
+    # healthy run (``fallback.stage_used{stage="tuned"}``).
+    eng = SpMVEngine(
+        device=args.device,
+        plan_store=store,
+        observer=obs,
+        validate=True,
+        policy="permissive",
+        fault_plan=args.fault or None,
+    )
+    prepared = eng.prepare(A)
+    res = eng.multiply(prepared, x)
+    print(console_report(obs, title=f"{name}: {res.summary()}"))
+    if args.json:
+        n = write_jsonl(obs, args.json)
+        print(f"wrote {n} spans to {args.json}")
+    return 0
 
 
 def _cmd_footprint(args) -> int:
@@ -148,13 +187,25 @@ def _cmd_verify(args) -> int:
     name, A = _load_matrix(args.matrix, args.cap)
     x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
     store = TuningStore(args.store) if args.store else None
-    eng = SpMVEngine(device=args.device, plan_store=store)
+    # With an injected fault plan, run permissive so the fallback chain
+    # recovers and the reference check below still decides the verdict
+    # (strict would abort with FaultInjectedError before reporting).
+    eng = SpMVEngine(
+        device=args.device,
+        plan_store=store,
+        fault_plan=args.fault or None,
+        policy="permissive" if args.fault else "strict",
+        validate="auto" if not args.fault else True,
+    )
     prepared = eng.prepare(A)
 
     fmt_report = validate_format(prepared.fmt)
     print(fmt_report.summary())
 
     res = eng.multiply(prepared, x)
+    if res.failure is not None:
+        print(f"fallback: {res.failure.fallback_used} "
+              f"({len(res.failure.attempts)} attempt(s))")
     out_report = verify_output(
         prepared.reference_csr(), x, res.y, n_samples=None
     )
@@ -188,10 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "identical to serial; only faster)")
     p_tune.add_argument("--emit-opencl", action="store_true",
                         help="print the generated OpenCL kernel source")
+    p_tune.add_argument("--trace", default="",
+                        help="write the tuning trace to this JSON-lines file")
 
     p_mul = sub.add_parser("multiply", help="run one simulated SpMV")
     matrix_args(p_mul)
     p_mul.add_argument("--seed", type=int, default=0)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="prepare/tune/convert/execute under an observer; print the "
+             "span tree and metrics table",
+    )
+    matrix_args(p_prof)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--fault", default="",
+                        help="fault-plan spec, e.g. stale_grp_sum:p=0.5,seed=7")
+    p_prof.add_argument("--json", default="",
+                        help="also write the trace to this JSON-lines file")
 
     p_fp = sub.add_parser("footprint", help="Table 3 row for a matrix")
     matrix_args(p_fp)
@@ -204,6 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix_args(p_ver)
     p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.add_argument("--fault", default="",
+                       help="fault-plan spec, e.g. stale_grp_sum:p=0.5,seed=7")
 
     return parser
 
@@ -212,6 +279,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "tune": _cmd_tune,
     "multiply": _cmd_multiply,
+    "profile": _cmd_profile,
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
     "verify": _cmd_verify,

@@ -17,9 +17,9 @@ simulated kernel, returning the exact product plus the simulated timing.
 
 from __future__ import annotations
 
+import threading
 import time
-import warnings
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..gpu.timing import TimingBreakdown, TimingModel
 from ..kernels.base import get_kernel
 from ..kernels.config import YaSpMVConfig
 from ..kernels.yaspmv import YaSpMMKernel, YaSpMVKernel
+from ..obs import NULL_OBSERVER, obs_scope
 from ..tuning.cache import KernelPlanCache
 from ..tuning.persistence import TuningStore
 from ..tuning.parameters import TuningPoint
@@ -57,15 +58,27 @@ class PreparedMatrix:
     #: and the fallback chain); ``None`` for hand-built instances, in
     #: which case it is lazily reconstructed from ``fmt``.
     csr: object | None = None
+    #: Guards the lazy decode -- ``multiply_many``/``multiply`` may hit
+    #: one PreparedMatrix from several threads concurrently.
+    _csr_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def config(self) -> YaSpMVConfig:
         return self.point.kernel
 
     def reference_csr(self):
-        """The trusted CSR operand (lazily decoded from ``fmt`` if needed)."""
+        """The trusted CSR operand (lazily decoded from ``fmt`` if needed).
+
+        Thread-safe: concurrent first calls decode once; every caller
+        sees the same object, and the instance is never observed
+        half-initialized.
+        """
         if self.csr is None:
-            self.csr = self.fmt.to_scipy()
+            with self._csr_lock:
+                if self.csr is None:
+                    self.csr = self.fmt.to_scipy()
         return self.csr
 
 
@@ -92,6 +105,41 @@ class SpMVResult:
     @property
     def degraded(self) -> bool:
         return self.failure is not None and self.failure.degraded
+
+    # -- the shared result protocol (see TuningResult for the other half)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot -- the exporters' and CLI's interchange
+        form, so callers stop reaching into dataclass internals."""
+        return {
+            "kind": "spmv_result",
+            "nnz": int(self.nnz),
+            "time_s": float(self.time_s),
+            "gflops": float(self.gflops),
+            "bound": self.breakdown.bound,
+            "degraded": self.degraded,
+            "fallback_used": None if self.failure is None else self.failure.fallback_used,
+            "breakdown": asdict(self.breakdown),
+            "stats": {
+                "flops": float(self.stats.flops),
+                "dram_read_bytes": float(self.stats.dram_read_bytes),
+                "dram_write_bytes": float(self.stats.dram_write_bytes),
+                "cached_read_bytes": float(self.stats.cached_read_bytes),
+                "n_workgroups": int(self.stats.n_workgroups),
+                "n_launches": int(self.stats.n_launches),
+                "atomics": int(self.stats.atomics),
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human description of the execution."""
+        line = (
+            f"{self.gflops:.2f} GFLOPS ({self.time_s * 1e6:.1f} us, "
+            f"{self.breakdown.bound}-bound, nnz={self.nnz})"
+        )
+        if self.failure is not None:
+            line += f" [fallback: {self.failure.fallback_used}]"
+        return line
 
 
 class SpMVEngine:
@@ -129,9 +177,17 @@ class SpMVEngine:
         in :attr:`SpMVResult.failure`.
     fault_plan:
         Optional :class:`repro.fault.FaultPlan` installed around every
-        kernel execution -- the fault-injection harness.  ``None`` (the
-        default) leaves the hot path untouched and results bit-identical
-        to the plain engine.
+        kernel execution -- the fault-injection harness.  A spec string
+        (e.g. ``"stale_grp_sum:p=0.01,seed=7"``) is parsed with
+        :meth:`repro.fault.FaultPlan.parse`.  ``None`` (the default)
+        leaves the hot path untouched and results bit-identical to the
+        plain engine.
+    observer:
+        Optional :class:`repro.obs.Observer` receiving spans and metrics
+        from every ``prepare``/``multiply``/``multiply_many`` (and,
+        through the ambient scope, from the tuner, kernels, timing model
+        and fallback chain).  ``None`` (the default) installs the no-op
+        null observer -- no measurable overhead.
     validate:
         ``"auto"`` (validate kernel output only when a fault plan is
         active), ``True`` (always) or ``False`` (never).
@@ -155,12 +211,13 @@ class SpMVEngine:
         tuning_executor: str = "process",
         tuning_kwargs: dict | None = None,
         policy: str = "strict",
-        fault_plan: FaultPlan | None = None,
+        fault_plan: FaultPlan | str | None = None,
         validate: bool | str = "auto",
         max_retries: int = 1,
         validation_samples: int | None = 64,
         validation_rtol: float = 1e-9,
         validation_atol: float = 1e-12,
+        observer=None,
     ):
         if policy not in self._POLICIES:
             raise ValidationError(
@@ -180,8 +237,9 @@ class SpMVEngine:
         #: to trim the search for time-boxed runs).
         self.tuning_kwargs = tuning_kwargs or {}
         self.policy = policy
-        self.fault_plan = fault_plan
+        self.fault_plan = FaultPlan.coerce(fault_plan)
         self.validate = validate
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.max_retries = max(int(max_retries), 0)
         self.validation_samples = validation_samples
         self.validation_rtol = validation_rtol
@@ -217,44 +275,75 @@ class SpMVEngine:
         observable as ``tuning.store_hit`` with ``evaluated == 0`` --
         and a fresh search result is written back.
         """
-        csr = as_csr(matrix)
-        store = store if store is not None else self.plan_store
-        tuning: TuningResult | None = None
-        store_checked = False
-        invalidations0 = store.invalidations if store is not None else 0
-        if point is None and store is not None:
-            store_checked = True
-            t0 = time.perf_counter()
-            cached = store.get(csr, self.device)
-            if cached is not None:
-                point = cached
-                tuning = TuningResult.from_store(
-                    cached,
-                    wall_seconds=time.perf_counter() - t0,
-                    invalidations=store.invalidations - invalidations0,
+        obs = self.observer
+        with obs_scope(obs), obs.span(
+            "engine.prepare", device=self.device.name
+        ) as prep_span:
+            csr = as_csr(matrix)
+            prep_span.set(nnz=int(csr.nnz), shape=f"{csr.shape[0]}x{csr.shape[1]}")
+            store = store if store is not None else self.plan_store
+            tuning: TuningResult | None = None
+            store_checked = False
+            invalidations0 = store.invalidations if store is not None else 0
+            if point is None and store is not None:
+                store_checked = True
+                t0 = time.perf_counter()
+                with obs.span("store.lookup") as store_span:
+                    cached = store.get(csr, self.device)
+                    store_span.set(hit=cached is not None)
+                obs.counter(
+                    "engine.plan_store.hits", "persistent tuning-store hits"
+                ).inc(int(cached is not None))
+                obs.counter(
+                    "engine.plan_store.misses", "persistent tuning-store misses"
+                ).inc(int(cached is None))
+                if cached is not None:
+                    point = cached
+                    tuning = TuningResult.from_store(
+                        cached,
+                        wall_seconds=time.perf_counter() - t0,
+                        invalidations=store.invalidations - invalidations0,
+                    )
+            if point is None:
+                tuner = AutoTuner(
+                    self.device,
+                    mode=self.tuning_mode,
+                    plan_cache=self.plan_cache,
+                    keep_history=keep_history,
+                    workers=self.tuning_workers,
+                    executor=self.tuning_executor,
+                    observer=obs,
+                    **self.tuning_kwargs,
                 )
-        if point is None:
-            tuner = AutoTuner(
-                self.device,
-                mode=self.tuning_mode,
-                plan_cache=self.plan_cache,
-                keep_history=keep_history,
-                workers=self.tuning_workers,
-                executor=self.tuning_executor,
-                **self.tuning_kwargs,
-            )
-            tuning = tuner.tune(csr)
-            point = tuning.best_point
-            if store is not None:
-                store.put(csr, self.device, point)
-            tuning.store_checked = store_checked
-            if store is not None:
-                tuning.store_invalidations = store.invalidations - invalidations0
+                tuning = tuner.tune(csr)
+                point = tuning.best_point
+                if store is not None:
+                    store.put(csr, self.device, point)
+                tuning.store_checked = store_checked
+                if store is not None:
+                    tuning.store_invalidations = store.invalidations - invalidations0
+            # The tuner adds the real plan-cache deltas itself; this only
+            # materializes the counters for warm-started / explicit-point
+            # prepares so the metrics table always shows them.
+            obs.counter("tuner.plan_cache.hits", "kernel-plan cache hits").inc(0)
+            obs.counter("tuner.plan_cache.misses", "kernel-plan cache misses").inc(0)
 
-        fmt = self._build_format(csr, point)
-        return PreparedMatrix(
-            fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz), csr=csr
-        )
+            with obs.span(
+                "format.convert", format=point.format_name
+            ) as conv_span:
+                fmt = self._build_format(csr, point)
+                conv_span.set(
+                    block=f"{point.block_height}x{point.block_width}",
+                    slices=point.slice_count,
+                )
+            obs.counter("engine.prepares", "prepare() calls").inc()
+            prep_span.set(
+                format=point.format_name,
+                store_hit=bool(tuning is not None and tuning.store_hit),
+            )
+            return PreparedMatrix(
+                fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz), csr=csr
+            )
 
     def multiply(
         self, prepared: PreparedMatrix | object, x: np.ndarray
@@ -275,15 +364,25 @@ class SpMVEngine:
         """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
-        if not self._resilient:
-            result = self._kernel.run(
-                prepared.fmt, x, self.device, config=prepared.config
-            )
-            breakdown = self._timing.estimate(result.stats)
-            return SpMVResult(
-                y=result.y, stats=result.stats, breakdown=breakdown, nnz=prepared.nnz
-            )
-        return self._multiply_resilient(prepared, x)
+        obs = self.observer
+        with obs_scope(obs), obs.span(
+            "engine.multiply", nnz=prepared.nnz, resilient=self._resilient
+        ) as sp:
+            if not self._resilient:
+                result = self._kernel.run(
+                    prepared.fmt, x, self.device, config=prepared.config
+                )
+                breakdown = self._timing.estimate(result.stats)
+                out = SpMVResult(
+                    y=result.y,
+                    stats=result.stats,
+                    breakdown=breakdown,
+                    nnz=prepared.nnz,
+                )
+            else:
+                out = self._multiply_resilient(prepared, x)
+            self._observe_result(sp, out)
+            return out
 
     # ------------------------------------------------------------------ #
     # Resilience layer
@@ -324,13 +423,30 @@ class SpMVEngine:
         stages.append(("untuned", None, YaSpMVConfig(), True))
         stages.append(("csr-reference", None, None, False))
 
-        for stage, fmt, config, with_plan in stages:
-            result, record = self._attempt(
-                stage, fmt, config, with_plan, prepared, csr, x, plan
-            )
+        obs = self.observer
+        for depth, (stage, fmt, config, with_plan) in enumerate(stages):
+            with obs.span("fallback.attempt", stage=stage, depth=depth) as stage_span:
+                result, record = self._attempt(
+                    stage, fmt, config, with_plan, prepared, csr, x, plan
+                )
+                stage_span.set(ok=record.ok, injected=len(record.injected))
+                if record.error:
+                    stage_span.set(error=record.error_type)
+            for event in record.injected:
+                obs.counter(
+                    "fault.injections", "fault events caught per site"
+                ).inc(site=event.site)
             report.attempts.append(record)
             if result is not None:
                 report.fallback_used = stage
+                obs.counter(
+                    "fallback.stage_used", "winning fallback stage"
+                ).inc(stage=stage)
+                obs.histogram(
+                    "fallback.depth",
+                    "attempts walked before success",
+                    buckets=(1, 2, 3, 4, 5),
+                ).observe(len(report.attempts))
                 breakdown = self._timing.estimate(result.stats)
                 return SpMVResult(
                     y=result.y,
@@ -339,6 +455,9 @@ class SpMVEngine:
                     nnz=prepared.nnz * n_rhs,
                     failure=report,
                 )
+            obs.counter(
+                "fallback.stage_failed", "failed fallback attempts"
+            ).inc(stage=stage)
             if self.policy == "strict":
                 self._raise_strict(record, plan)
         # Unreachable in practice: the CSR reference stage cannot fail
@@ -477,28 +596,47 @@ class SpMVEngine:
         """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
-        if not self._resilient:
-            result = YaSpMMKernel().run_multi(
-                prepared.fmt, X, self.device, config=prepared.config
-            )
-            breakdown = self._timing.estimate(result.stats)
-            return SpMVResult(
-                y=result.y,
-                stats=result.stats,
-                breakdown=breakdown,
-                nnz=prepared.nnz * int(np.asarray(X).shape[1]),
-            )
-        return self._multiply_resilient(prepared, X)
+        obs = self.observer
+        with obs_scope(obs), obs.span(
+            "engine.multiply_many",
+            nnz=prepared.nnz,
+            n_rhs=int(np.asarray(X).shape[1]) if np.asarray(X).ndim == 2 else 1,
+            resilient=self._resilient,
+        ) as sp:
+            if not self._resilient:
+                result = YaSpMMKernel().run_multi(
+                    prepared.fmt, X, self.device, config=prepared.config
+                )
+                breakdown = self._timing.estimate(result.stats)
+                out = SpMVResult(
+                    y=result.y,
+                    stats=result.stats,
+                    breakdown=breakdown,
+                    nnz=prepared.nnz * int(np.asarray(X).shape[1]),
+                )
+            else:
+                out = self._multiply_resilient(prepared, X)
+            self._observe_result(sp, out)
+            return out
 
-    def multiply_matrix(self, matrix, x: np.ndarray) -> SpMVResult:
-        """Deprecated alias for the one-shot :meth:`multiply` overload."""
-        warnings.warn(
-            "SpMVEngine.multiply_matrix is deprecated; "
-            "pass the matrix to multiply() directly",
-            DeprecationWarning,
-            stacklevel=2,
+    def _observe_result(self, sp, result: SpMVResult) -> None:
+        """Feed one multiply's profile to the observer (span + metrics)."""
+        obs = self.observer
+        br = result.breakdown
+        sp.set(
+            sim_time_s=br.t_total,
+            sim_gflops=result.gflops,
+            bound=br.bound,
+            sim_t_mem=br.t_mem,
+            sim_t_compute=br.t_compute,
+            sim_t_sync=br.t_sync,
+            imbalance=br.imbalance_factor,
+            degraded=result.degraded,
         )
-        return self.multiply(matrix, x)
+        obs.counter("engine.multiplies", "multiply()/multiply_many() calls").inc()
+        obs.histogram(
+            "engine.sim_time_s", "simulated execution time per multiply"
+        ).observe(br.t_total)
 
     # ------------------------------------------------------------------ #
 

@@ -15,6 +15,7 @@ from .injection import (
     FaultSpec,
     active_plan,
     fault_scope,
+    resolve_site,
 )
 from .resilience import FALLBACK_STAGES, AttemptRecord, FailureReport
 from .validation import (
@@ -31,6 +32,7 @@ __all__ = [
     "FaultSpec",
     "active_plan",
     "fault_scope",
+    "resolve_site",
     "FALLBACK_STAGES",
     "AttemptRecord",
     "FailureReport",

@@ -47,6 +47,7 @@ __all__ = [
     "FaultPlan",
     "fault_scope",
     "active_plan",
+    "resolve_site",
 ]
 
 #: Every instrumented injection site.
@@ -66,6 +67,23 @@ FAULT_SITES: tuple[str, ...] = (
     "kernel.nan_partial",
     "kernel.inf_partial",
 )
+
+
+def resolve_site(name: str) -> str:
+    """Resolve a full site name or an unambiguous suffix of one.
+
+    ``"stale_grp_sum"`` -> ``"sync.stale_grp_sum"``; ambiguous or
+    unknown names raise a :class:`~repro.errors.ReproError` listing the
+    candidates.
+    """
+    if name in FAULT_SITES:
+        return name
+    matches = [s for s in FAULT_SITES if s.endswith("." + name) or s.split(".", 1)[1] == name]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise ReproError(f"ambiguous fault site {name!r}: matches {matches}")
+    raise ReproError(f"unknown fault site {name!r}; known: {FAULT_SITES}")
 
 
 @dataclass(frozen=True)
@@ -142,7 +160,89 @@ class FaultPlan:
     @classmethod
     def single(cls, site: str, seed: int = 0, **kw) -> "FaultPlan":
         """Plan with one spec -- the common test/CLI shape."""
-        return cls([FaultSpec(site=site, **kw)], seed=seed)
+        return cls([FaultSpec(site=resolve_site(site), **kw)], seed=seed)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int | None = None) -> "FaultPlan":
+        """Build a plan from a compact spec string -- the one factory
+        behind the CLI ``--fault`` flag, ``SpMVEngine(fault_plan="...")``
+        and test fixtures.
+
+        Grammar (whitespace-tolerant)::
+
+            spec  := entry (';' entry)*
+            entry := site [':' opt (',' opt)*]
+            opt   := ('p'|'prob'|'probability') '=' float
+                   | 'count' '=' (int | 'inf')
+                   | ('f'|'fraction') '=' float
+                   | 'seed' '=' int          # plan-wide
+
+        ``site`` is a full :data:`FAULT_SITES` name or any unambiguous
+        suffix of one (``"stale_grp_sum"`` -> ``"sync.stale_grp_sum"``).
+        Examples::
+
+            FaultPlan.parse("stale_grp_sum:p=0.01,seed=7")
+            FaultPlan.parse("nan_partial:count=1;bitflag_flip:count=inf")
+
+        An explicit ``seed=`` argument overrides any ``seed=`` option in
+        the string.
+        """
+        if not isinstance(spec, str) or not spec.strip():
+            raise ReproError(f"empty fault spec {spec!r}")
+        specs: list[FaultSpec] = []
+        parsed_seed: int | None = None
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site_part, _, opts_part = entry.partition(":")
+            kwargs: dict = {"site": resolve_site(site_part.strip())}
+            for opt in filter(None, (o.strip() for o in opts_part.split(","))):
+                key, eq, value = opt.partition("=")
+                key, value = key.strip(), value.strip()
+                if not eq or not value:
+                    raise ReproError(
+                        f"malformed fault option {opt!r} in {entry!r} "
+                        "(expected key=value)"
+                    )
+                try:
+                    if key in ("p", "prob", "probability"):
+                        kwargs["probability"] = float(value)
+                    elif key == "count":
+                        kwargs["count"] = (
+                            None if value.lower() in ("inf", "none") else int(value)
+                        )
+                    elif key in ("f", "fraction"):
+                        kwargs["fraction"] = float(value)
+                    elif key == "seed":
+                        parsed_seed = int(value)
+                    else:
+                        raise ReproError(
+                            f"unknown fault option {key!r} in {entry!r}; "
+                            "known: p/probability, count, f/fraction, seed"
+                        )
+                except ValueError as exc:
+                    raise ReproError(
+                        f"bad value for fault option {opt!r} in {entry!r}: {exc}"
+                    ) from None
+            specs.append(FaultSpec(**kwargs))
+        if not specs:
+            raise ReproError(f"fault spec {spec!r} names no sites")
+        if seed is None:
+            seed = parsed_seed if parsed_seed is not None else 0
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def coerce(cls, plan: "FaultPlan | str | None") -> "FaultPlan | None":
+        """Pass plans through, :meth:`parse` strings, keep ``None``."""
+        if plan is None or isinstance(plan, FaultPlan):
+            return plan
+        if isinstance(plan, str):
+            return cls.parse(plan)
+        raise ReproError(
+            f"fault_plan must be a FaultPlan, a spec string or None, "
+            f"got {type(plan).__name__}"
+        )
 
     def reset(self) -> None:
         """Rewind generators, budgets and the event log."""

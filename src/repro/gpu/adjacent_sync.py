@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import active_observer
 from ..util import check_1d, run_lengths
 
 __all__ = [
@@ -144,6 +145,7 @@ def chain_carries_hazard(
     carry = np.zeros_like(lp)
     published = np.zeros(n, dtype=bool)
     zero = np.zeros(lp.shape[1:], dtype=np.float64)
+    stale_count = 0
     for x in order:
         x = int(x)
         if x == 0:
@@ -152,9 +154,22 @@ def chain_carries_hazard(
             c = grp_sum[x - 1]
         else:
             c = zero  # stale read: the initialization value
+            stale_count += 1
         carry[x] = c
         grp_sum[x] = lp[x] if stops[x] else c + lp[x]
         published[x] = True
+    obs = active_observer()
+    if obs.enabled:
+        obs.counter(
+            "gpu.sync.hazard_walks", "Grp_sum chains walked under hazards"
+        ).inc()
+        obs.counter(
+            "gpu.sync.stale_reads", "Grp_sum reads that returned init values"
+        ).inc(stale_count)
+        if arrival_order is not None:
+            obs.counter(
+                "gpu.sync.out_of_order_walks", "chains walked in permuted order"
+            ).inc()
     return carry, grp_sum
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import active_observer
 from .adjacent_sync import propagation_delay
 from .counters import KernelStats
 from .device import DeviceSpec
@@ -189,7 +190,19 @@ class TimingModel:
             n = stats.n_workgroups
             finish = np.linspace(t_exec / n, t_exec, n)
             has_stop = self._stops_from_chains(stats.sync_chain_lengths, n)
-            t += propagation_delay(finish, has_stop, dev.dram_latency_s)
+            delay = propagation_delay(finish, has_stop, dev.dram_latency_s)
+            t += delay
+            obs = active_observer()
+            if obs.enabled:
+                obs.counter(
+                    "gpu.sync.chains", "adjacent-sync dependence chains"
+                ).inc(int(stats.sync_chain_lengths.size))
+                obs.gauge(
+                    "gpu.sync.max_chain", "longest Grp_sum chain (workgroups)"
+                ).set(int(stats.sync_chain_lengths.max()))
+                obs.histogram(
+                    "gpu.sync.delay_s", "Grp_sum chain propagation delay"
+                ).observe(delay)
         return t
 
     @staticmethod

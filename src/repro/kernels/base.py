@@ -16,17 +16,20 @@ Every kernel shares one execution protocol::
 :attr:`~SpMVKernel.config_cls` (a small frozen dataclass;
 :class:`BaselineConfig` for the comparator kernels,
 :class:`~repro.kernels.config.YaSpMVConfig` for yaSpMV).  Omitting it
-runs the kernel's defaults.  The pre-unification calling convention --
-loose keyword arguments such as ``run(fmt, x, device,
-workgroup_size=128)`` -- still works for one release through a
-deprecation shim that packs them into ``config_cls``.
+runs the kernel's defaults.  The pre-unification loose-kwargs calling
+convention was removed after its one-release deprecation window; passing
+unknown keyword arguments is now a :class:`TypeError`.
+
+Every execution reports through the ambient observer (see
+:mod:`repro.obs`): a ``kernel.<name>`` span wrapping :meth:`_execute`
+plus launch counters.  With the default null observer the hooks cost a
+module-global read and nothing else.
 """
 
 from __future__ import annotations
 
 import abc
-import warnings
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, replace
 from typing import Any, ClassVar
 
 import numpy as np
@@ -35,6 +38,7 @@ from ..errors import KernelConfigError
 from ..formats.base import SparseFormat
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec
+from ..obs import active_observer
 
 __all__ = [
     "BaselineConfig",
@@ -80,7 +84,7 @@ class SpMVKernel(abc.ABC):
 
     Subclasses implement :meth:`_execute`, receiving an already-coerced
     ``config_cls`` instance; :meth:`run` is the single public entry
-    point and handles config validation plus the legacy-kwargs shim.
+    point and handles config validation plus observability.
     """
 
     #: Registry key, e.g. ``"yaspmv"``.
@@ -97,16 +101,47 @@ class SpMVKernel(abc.ABC):
         device: DeviceSpec,
         *,
         config: Any | None = None,
-        **legacy,
     ) -> KernelResult:
         """Execute SpMV; returns exact ``y`` plus the cost profile.
 
         ``config`` must be an instance of :attr:`config_cls` (defaults
-        are used when omitted).  Loose keyword arguments are accepted
-        for backward compatibility only and emit a
-        :class:`DeprecationWarning`.
+        are used when omitted).
         """
-        return self._execute(fmt, x, device, self._coerce_config(config, legacy))
+        cfg = self._coerce_config(config)
+        obs = active_observer()
+        if not obs.enabled:
+            return self._execute(fmt, x, device, cfg)
+        label = self.name or type(self).__name__
+        with obs.span(
+            f"kernel.{label}",
+            kernel=label,
+            format=type(fmt).__name__,
+            workgroup_size=cfg.workgroup_size,
+        ) as sp:
+            result = self._execute(fmt, x, device, cfg)
+            self._observe(obs, sp, label, result.stats)
+        return result
+
+    @staticmethod
+    def _observe(obs, sp, label: str, stats: KernelStats) -> None:
+        """Feed one execution's cost profile to the active observer."""
+        sp.set(
+            n_launches=stats.n_launches,
+            n_workgroups=stats.n_workgroups,
+            dram_read_bytes=stats.dram_read_bytes,
+            dram_write_bytes=stats.dram_write_bytes,
+            cached_read_bytes=stats.cached_read_bytes,
+            flops=stats.flops,
+        )
+        obs.counter(
+            "kernel.executions", "simulated kernel executions"
+        ).inc(kernel=label)
+        obs.counter(
+            "kernel.launches", "simulated device launches"
+        ).inc(stats.n_launches, kernel=label)
+        obs.counter(
+            "kernel.atomics", "logical-id atomics issued"
+        ).inc(stats.atomics, kernel=label)
 
     @abc.abstractmethod
     def _execute(
@@ -120,25 +155,8 @@ class SpMVKernel(abc.ABC):
 
     # ------------------------------------------------------------------ #
 
-    def _coerce_config(self, config, legacy: dict):
-        """Validate ``config`` or pack deprecated loose kwargs into one."""
-        if legacy:
-            if config is not None:
-                raise KernelConfigError(
-                    f"{type(self).__name__}.run() takes either config= or "
-                    f"legacy keyword arguments, not both: {sorted(legacy)}"
-                )
-            warnings.warn(
-                f"passing loose keyword arguments to {type(self).__name__}"
-                f".run() is deprecated; pass "
-                f"config={self.config_cls.__name__}(...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            known = {f.name for f in fields(self.config_cls)}
-            # The old signatures swallowed unknown kwargs (``**kw``);
-            # the shim preserves that tolerance.
-            return self.config_cls(**{k: v for k, v in legacy.items() if k in known})
+    def _coerce_config(self, config):
+        """Validate ``config``, defaulting to the kernel's ``config_cls``."""
         if config is None:
             return self.config_cls()
         if not isinstance(config, self.config_cls):

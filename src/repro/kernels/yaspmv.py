@@ -39,6 +39,7 @@ from ..gpu.caches import vector_read_traffic
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec
 from ..gpu.memory import stream_bytes
+from ..obs import active_observer
 from ..scan.reference import segment_sums_by_stops
 from ..util import ceil_div
 from .base import KernelResult, SpMVKernel, register_kernel
@@ -427,6 +428,23 @@ class YaSpMMKernel(YaSpMVKernel):
     ) -> KernelResult:
         """Execute ``Y = A @ X`` with ``X`` of shape ``(ncols, k)``."""
         cfg = config if config is not None else YaSpMVConfig()
+        obs = active_observer()
+        if not obs.enabled:
+            return self._run_multi(fmt, X, device, cfg)
+        with obs.span(
+            "kernel.yaspmm", kernel="yaspmm", format=type(fmt).__name__
+        ) as sp:
+            result = self._run_multi(fmt, X, device, cfg)
+            self._observe(obs, sp, "yaspmm", result.stats)
+        return result
+
+    def _run_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        cfg: YaSpMVConfig,
+    ) -> KernelResult:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise KernelConfigError(

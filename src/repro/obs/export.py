@@ -1,0 +1,138 @@
+"""Exporters: trace/metric state out of an :class:`~repro.obs.Observer`.
+
+Three formats, matching the three consumers:
+
+* **JSON-lines** (:func:`dump_jsonl` / :func:`write_jsonl` /
+  :func:`load_jsonl`) -- one flat span record per line, reconstructable
+  into the identical span forest (round-trip tested).  This is what
+  ``repro tune --trace out.jsonl`` writes.
+* **Prometheus text** (:func:`prometheus_text`) -- the standard
+  ``# HELP`` / ``# TYPE`` exposition format for the metrics registry.
+* **Console** (:func:`console_report`) -- the span tree plus a metric
+  table, the ``repro profile`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .metrics import Histogram, MetricsRegistry, _label_text
+from .trace import Span, Tracer
+
+__all__ = [
+    "dump_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "prometheus_text",
+    "console_report",
+]
+
+
+def _iter_spans(source) -> Iterable[Span]:
+    """Accept a Tracer, an Observer, a span forest, or a span iterable."""
+    tracer = getattr(source, "tracer", source)
+    if isinstance(tracer, Tracer):
+        return tracer.spans()
+    spans: list[Span] = []
+    for item in source:
+        spans.extend(item.walk() if isinstance(item, Span) else [item])
+    return spans
+
+
+def dump_jsonl(source) -> str:
+    """Serialize every span as one JSON object per line (depth-first,
+    roots in recording order) -- parent links carried by ``parent_id``."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True, default=_jsonable)
+        for span in _iter_spans(source)
+    )
+
+
+def _jsonable(value):
+    """Best-effort attribute coercion: numpy scalars, odd objects."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def write_jsonl(source, path) -> int:
+    """Write the JSON-lines trace to ``path``; returns the span count."""
+    text = dump_jsonl(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        if text:
+            fh.write(text + "\n")
+    return 0 if not text else text.count("\n") + 1
+
+
+def load_jsonl(source: str | IO) -> list[Span]:
+    """Parse a JSON-lines trace back into its root spans.
+
+    ``source`` is the text itself or an open file.  Children are
+    re-attached by ``parent_id`` preserving line order, so
+    ``load_jsonl(dump_jsonl(tracer))`` reproduces the span forest
+    exactly (a missing parent -- e.g. a truncated file -- promotes the
+    span to a root rather than dropping it).
+    """
+    text = source if isinstance(source, str) else source.read()
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        span = Span.from_dict(json.loads(line))
+        by_id[span.span_id] = span
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots
+
+
+# ---------------------------------------------------------------------- #
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format for every registered metric."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        safe = metric.name.replace(".", "_").replace("-", "_")
+        if metric.help:
+            lines.append(f"# HELP {safe} {metric.help}")
+        lines.append(f"# TYPE {safe} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, total in metric.items():
+                labels = dict(key)
+                cumulative = metric.bucket_counts(**labels)
+                for bound, cum in zip(metric.buckets, cumulative):
+                    bkey = key + (("le", f"{bound:g}"),)
+                    lines.append(f"{safe}_bucket{_label_text(bkey)} {cum}")
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(f"{safe}_bucket{_label_text(inf_key)} {cumulative[-1]}")
+                lines.append(f"{safe}_sum{_label_text(key)} {total:g}")
+                lines.append(f"{safe}_count{_label_text(key)} {cumulative[-1]}")
+        else:
+            for key, value in metric.items():
+                lines.append(f"{safe}{_label_text(key)} {value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def console_report(observer, title: str = "") -> str:
+    """Span tree + metric table: the ``repro profile`` page."""
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    tree = observer.tracer.render()
+    parts.append("spans:")
+    parts.append(tree if tree else "  (no spans recorded)")
+    parts.append("")
+    parts.append("metrics:")
+    parts.append(observer.metrics.render_table())
+    return "\n".join(parts)

@@ -34,6 +34,7 @@ portions of the kernels).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -70,6 +71,9 @@ class CandidateOutcome:
     #: Quarantined before the plan lookup (format conversion failed), so
     #: a serial tuner would never have touched the plan cache for it.
     format_skipped: bool = False
+    #: Wall-clock seconds this candidate's evaluation took (measured in
+    #: the worker; observability only -- never consulted by the merge).
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -124,6 +128,7 @@ def evaluate_candidates(
     nnz = int(csr.nnz)
     outcomes: list[CandidateOutcome] = []
     for index, point in items:
+        t0 = time.perf_counter()
         try:
             fmt = fmt_cache.get(point)
         except ReproError as exc:
@@ -134,6 +139,7 @@ def evaluate_candidates(
                     evaluation=None,
                     skip_reason=type(exc).__name__,
                     format_skipped=True,
+                    wall_s=time.perf_counter() - t0,
                 )
             )
             continue
@@ -147,6 +153,7 @@ def evaluate_candidates(
                     point=point,
                     evaluation=None,
                     skip_reason=type(exc).__name__,
+                    wall_s=time.perf_counter() - t0,
                 )
             )
             continue
@@ -161,6 +168,7 @@ def evaluate_candidates(
                     gflops=breakdown.gflops(nnz),
                     breakdown=breakdown,
                 ),
+                wall_s=time.perf_counter() - t0,
             )
         )
     return outcomes

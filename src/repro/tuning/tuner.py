@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import ReproError, TuningError
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingBreakdown
+from ..obs import NULL_OBSERVER, obs_scope
 from ..util import as_csr
 from .cache import FormatCache, KernelPlanCache
 from .parallel import EXECUTORS, CandidateOutcome, evaluate_candidates, run_parallel
@@ -108,6 +109,74 @@ class TuningResult:
         """The k fastest evaluations, best first."""
         return sorted(self.history, key=lambda e: e.time_s)[:k]
 
+    # -- the shared result protocol (see SpMVResult for the other half)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot -- the exporters' and CLI's interchange
+        form, so callers stop reaching into dataclass internals."""
+        bp = self.best_point
+        out = {
+            "kind": "tuning_result",
+            "evaluated": self.evaluated,
+            "skipped": self.skipped,
+            "wall_seconds": self.wall_seconds,
+            "simulated_compile_s": self.simulated_compile_s,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "store_checked": self.store_checked,
+            "store_hit": self.store_hit,
+            "store_invalidations": self.store_invalidations,
+            "skip_reasons": dict(self.skip_reasons),
+            "best_point": {
+                "format": bp.format_name,
+                "block_height": bp.block_height,
+                "block_width": bp.block_width,
+                "bit_word": bp.bit_word,
+                "slice_count": bp.slice_count,
+                "col_compress": bp.col_compress,
+                "strategy": bp.kernel.strategy,
+                "workgroup_size": bp.kernel.workgroup_size,
+                "tile": bp.kernel.effective_tile,
+            },
+        }
+        if self.best is not None:
+            out["best"] = {
+                "time_s": self.best.time_s,
+                "gflops": self.best.gflops,
+            }
+        return out
+
+    def describe_point(self) -> str:
+        """One-line description of the winning configuration."""
+        bp = self.best_point
+        return (
+            f"{bp.format_name} {bp.block_height}x{bp.block_width} "
+            f"word={bp.bit_word} slices={bp.slice_count} "
+            f"strategy={bp.kernel.strategy} wg={bp.kernel.workgroup_size} "
+            f"tile={bp.kernel.effective_tile}"
+        )
+
+    def summary(self) -> str:
+        """Human-readable account of the run (or the warm start)."""
+        if self.store_hit and self.evaluated == 0:
+            return (
+                "warm start from tuning store (0 configurations evaluated)\n"
+                f"best: {self.describe_point()}"
+            )
+        workers = f", {self.workers} workers" if self.workers > 1 else ""
+        lines = [
+            f"evaluated {self.evaluated} configurations in "
+            f"{self.wall_seconds:.1f}s ({self.skipped} skipped{workers})",
+            f"best: {self.describe_point()}",
+        ]
+        if self.best is not None:
+            lines.append(
+                f"estimated: {self.best.gflops:.2f} GFLOPS "
+                f"({self.best.time_s * 1e6:.1f} us)"
+            )
+        return "\n".join(lines)
+
 
 class AutoTuner:
     """Searches the Table 1 space for one matrix on one device.
@@ -133,6 +202,11 @@ class AutoTuner:
     executor:
         ``"process"`` (default, fork-based when available) or
         ``"thread"``.  Only consulted when ``workers > 1``.
+    observer:
+        Optional :class:`repro.obs.Observer`: the search runs under a
+        ``tuner.tune`` span with one ``tuner.candidate`` child per
+        enumerated configuration (matching ``TuningResult.history``)
+        plus evaluation/prune/plan-cache counters.
     """
 
     def __init__(
@@ -145,6 +219,7 @@ class AutoTuner:
         pruned_kwargs: dict | None = None,
         workers: int = 1,
         executor: str = "process",
+        observer=None,
     ):
         if mode not in ("pruned", "exhaustive"):
             raise TuningError(f"mode must be 'pruned' or 'exhaustive', got {mode!r}")
@@ -162,6 +237,7 @@ class AutoTuner:
         self.pruned_kwargs = pruned_kwargs or {}
         self.workers = workers
         self.executor = executor
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     def tune(self, matrix, x: np.ndarray | None = None) -> TuningResult:
         """Search; returns the ranked result.
@@ -169,44 +245,82 @@ class AutoTuner:
         ``x`` defaults to an all-ones vector -- only the cost profile
         depends on it (via gather locality), not the ranking mechanics.
         """
-        csr = as_csr(matrix)
-        if x is None:
-            x = np.ones(csr.shape[1], dtype=np.float64)
+        obs = self.observer
+        with obs_scope(obs), obs.span(
+            "tuner.tune",
+            mode=self.mode,
+            workers=self.workers,
+            device=self.device.name,
+        ) as tune_span:
+            csr = as_csr(matrix)
+            if x is None:
+                x = np.ones(csr.shape[1], dtype=np.float64)
 
-        if self.mode == "pruned":
-            space = pruned_space(csr, self.device, **self.pruned_kwargs)
-        else:
-            space = exhaustive_space(csr, self.device, **self.exhaustive_kwargs)
+            with obs.span("tuner.enumerate", mode=self.mode) as enum_span:
+                if self.mode == "pruned":
+                    space = pruned_space(csr, self.device, **self.pruned_kwargs)
+                else:
+                    space = exhaustive_space(
+                        csr, self.device, **self.exhaustive_kwargs
+                    )
+                items = list(enumerate(space))
+                enum_span.set(candidates=len(items))
 
-        items = list(enumerate(space))
-        t0 = time.perf_counter()
-        hits0 = self.plan_cache.hits
-        misses0 = self.plan_cache.misses
+            t0 = time.perf_counter()
+            hits0 = self.plan_cache.hits
+            misses0 = self.plan_cache.misses
 
-        if self.workers == 1:
-            # Serial walk straight through the shared plan cache -- no
-            # replay needed, the lookups *are* the canonical order.
-            outcomes = evaluate_candidates(
-                items, csr, x, self.device, FormatCache(csr), self.plan_cache
+            # Candidate evaluation runs under a muted observer: worker
+            # processes cannot share this observer, so letting the serial
+            # (or thread) path emit per-kernel spans would make the trace
+            # depend on the executor.  The merge below records one
+            # ``tuner.candidate`` span per outcome instead -- identical
+            # for every executor.
+            if self.workers == 1:
+                # Serial walk straight through the shared plan cache -- no
+                # replay needed, the lookups *are* the canonical order.
+                with obs_scope(NULL_OBSERVER):
+                    outcomes = evaluate_candidates(
+                        items, csr, x, self.device, FormatCache(csr), self.plan_cache
+                    )
+            else:
+                with obs_scope(NULL_OBSERVER):
+                    outcomes = run_parallel(
+                        items,
+                        csr,
+                        x,
+                        self.device,
+                        workers=self.workers,
+                        executor=self.executor,
+                        compile_cost=self.plan_cache.compile_cost_s,
+                    )
+                # Workers compiled against throwaway caches; replay the plan
+                # lookups here, in enumeration order, so the shared cache
+                # ends up in the exact state a serial run leaves behind.
+                for outcome in outcomes:
+                    if not outcome.format_skipped:
+                        self.plan_cache.get(outcome.point)
+
+            result = self._merge(outcomes, t0, hits0, misses0)
+            tune_span.set(
+                evaluated=result.evaluated,
+                skipped=result.skipped,
+                best_time_s=result.best.time_s,
+                best_gflops=result.best.gflops,
             )
-        else:
-            outcomes = run_parallel(
-                items,
-                csr,
-                x,
-                self.device,
-                workers=self.workers,
-                executor=self.executor,
-                compile_cost=self.plan_cache.compile_cost_s,
+            obs.counter("tuner.evaluations", "candidates evaluated").inc(
+                result.evaluated
             )
-            # Workers compiled against throwaway caches; replay the plan
-            # lookups here, in enumeration order, so the shared cache
-            # ends up in the exact state a serial run leaves behind.
-            for outcome in outcomes:
-                if not outcome.format_skipped:
-                    self.plan_cache.get(outcome.point)
-
-        return self._merge(outcomes, t0, hits0, misses0)
+            obs.counter("tuner.prunes", "candidates quarantined/skipped").inc(
+                result.skipped
+            )
+            obs.counter("tuner.plan_cache.hits", "kernel-plan cache hits").inc(
+                result.cache_hits
+            )
+            obs.counter("tuner.plan_cache.misses", "kernel-plan cache misses").inc(
+                result.cache_misses
+            )
+            return result
 
     def _merge(
         self,
@@ -220,8 +334,13 @@ class AutoTuner:
         Shared by the serial and parallel paths: walking the outcomes in
         enumeration order reproduces the serial loop's tie-breaking (the
         first strictly faster candidate wins) and its skip-reason
-        insertion order.
+        insertion order.  One ``tuner.candidate`` span is recorded per
+        outcome -- at merge time, so the trace is identical whether the
+        evaluation ran serially, on threads, or in worker processes
+        (which cannot share the observer); the measured per-candidate
+        wall clock rides along as the ``wall_s`` attribute.
         """
+        obs = self.observer
         best: Evaluation | None = None
         history: list[Evaluation] = []
         evaluated = 0
@@ -229,10 +348,18 @@ class AutoTuner:
         skip_reasons: dict[str, int] = {}
 
         for outcome in outcomes:
+            candidate = obs.span(
+                "tuner.candidate",
+                index=outcome.index,
+                point=str(outcome.point.format_key()),
+                wall_s=outcome.wall_s,
+            )
             if outcome.evaluation is None:
                 skipped += 1
                 reason = outcome.skip_reason or "ReproError"
                 skip_reasons[reason] = skip_reasons.get(reason, 0) + 1
+                with candidate as csp:
+                    csp.set(skipped=True, skip_reason=reason)
                 continue
             ev: Evaluation = outcome.evaluation
             evaluated += 1
@@ -240,6 +367,8 @@ class AutoTuner:
                 history.append(ev)
             if best is None or ev.time_s < best.time_s:
                 best = ev
+            with candidate as csp:
+                csp.set(sim_time_s=ev.time_s, sim_gflops=ev.gflops)
 
         if best is None:
             raise TuningError("no tuning candidate was evaluable for this matrix")

@@ -73,6 +73,61 @@ class TestCommands:
         assert main(["verify", str(path)]) == 0
         assert "VERIFIED" in capsys.readouterr().out
 
+    def test_profile_prints_spans_and_metrics(self, capsys):
+        assert main(["profile", "Economics", "--cap", "8000"]) == 0
+        out = capsys.readouterr().out
+        # Span tree covers prepare -> tune -> convert -> execute.
+        assert "engine.prepare" in out
+        assert "tuner.tune" in out
+        assert "format.convert" in out
+        assert "engine.multiply" in out
+        assert "kernel.yaspmv" in out
+        # Metrics table includes plan-cache and fallback counters.
+        assert "tuner.plan_cache.misses" in out
+        assert 'fallback.stage_used{stage="tuned"}' in out
+
+    def test_profile_json_trace(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        trace = tmp_path / "prof.jsonl"
+        assert main(
+            ["profile", "Economics", "--cap", "8000", "--json", str(trace)]
+        ) == 0
+        roots = load_jsonl(trace.read_text())
+        names = {s.name for r in roots for s in r.walk()}
+        assert {"engine.prepare", "tuner.tune", "engine.multiply"} <= names
+
+    def test_profile_with_fault_spec(self, capsys):
+        assert main(
+            [
+                "profile", "Economics", "--cap", "8000",
+                "--fault", "nan_partial:p=1.0,count=1,seed=3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'fault.injections{site="kernel.nan_partial"}' in out
+        assert "fallback.stage_failed" in out
+
+    def test_tune_trace_matches_run(self, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        trace = tmp_path / "tune.jsonl"
+        assert main(
+            [
+                "tune", "Economics", "--cap", "8000",
+                "--workers", "2", "--trace", str(trace),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "spans" in out
+        roots = load_jsonl(trace.read_text())
+        spans = [s for r in roots for s in r.walk()]
+        candidates = [s for s in spans if s.name == "tuner.candidate"]
+        assert candidates
+        evaluated = [s for s in candidates if "sim_time_s" in s.attrs]
+        # The printed summary counts the same evaluations the trace holds.
+        assert f"evaluated {len(evaluated)} configurations" in out
+
     def test_store_roundtrip_via_cli(self, tmp_path, capsys):
         store = tmp_path / "store.json"
         assert main(["tune", "Economics", "--cap", "8000", "--store", str(store)]) == 0

@@ -83,7 +83,7 @@ class TestEngine:
 
 
 class TestUnifiedExecutionAPI:
-    """The one-shot overload, the deprecated alias, and resilient SpMM."""
+    """The one-shot overload, the removed alias, and resilient SpMM."""
 
     def test_multiply_accepts_raw_matrix(self, random_matrix, rng):
         A = random_matrix(nrows=90, ncols=90)
@@ -98,13 +98,10 @@ class TestUnifiedExecutionAPI:
         np.testing.assert_allclose(res.y, A @ X, atol=1e-9)
         assert res.nnz == A.nnz * 3
 
-    def test_multiply_matrix_deprecated_alias(self, random_matrix, rng):
-        A = random_matrix(nrows=90, ncols=90)
-        x = rng.standard_normal(90)
-        eng = SpMVEngine("gtx680")
-        with pytest.warns(DeprecationWarning, match="multiply_matrix"):
-            res = eng.multiply_matrix(A, x)
-        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+    def test_multiply_matrix_alias_removed(self, random_matrix, rng):
+        # The deprecated alias is gone; ``multiply`` accepts raw
+        # matrices directly (tested above).
+        assert not hasattr(SpMVEngine("gtx680"), "multiply_matrix")
 
     def test_multiply_many_validated(self, random_matrix, rng):
         A = random_matrix(nrows=90, ncols=90)
@@ -133,3 +130,53 @@ class TestUnifiedExecutionAPI:
         np.testing.assert_allclose(res.y, A @ X, atol=1e-9)
         assert res.degraded
         assert res.failure.fallback_used == "csr-reference"
+
+
+class TestResultProtocol:
+    """``summary()``/``to_dict()``: the exporters' interchange surface."""
+
+    def test_to_dict_is_jsonable(self, random_matrix, rng):
+        import json
+
+        A = random_matrix(nrows=90, ncols=90)
+        x = rng.standard_normal(90)
+        res = SpMVEngine("gtx680").multiply(A, x)
+        d = json.loads(json.dumps(res.to_dict()))
+        assert d["kind"] == "spmv_result"
+        assert d["nnz"] == A.nnz
+        assert d["time_s"] > 0
+        assert d["breakdown"]["t_total"] == pytest.approx(d["time_s"])
+        assert d["stats"]["n_launches"] >= 1
+
+    def test_summary_mentions_throughput_and_fallback(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90)
+        x = rng.standard_normal(90)
+        eng = SpMVEngine("gtx680", validate=True, policy="permissive")
+        res = eng.multiply(eng.prepare(A, point=TuningPoint()), x)
+        text = res.summary()
+        assert "GFLOPS" in text
+        assert "[fallback: tuned]" in text
+
+
+class TestReferenceCsrThreadSafety:
+    def test_concurrent_lazy_decode_yields_one_csr(self, random_matrix):
+        import threading
+
+        A = random_matrix(nrows=120, ncols=120)
+        prep = SpMVEngine("gtx680").prepare(A, point=TuningPoint())
+        results = []
+        barrier = threading.Barrier(8)
+
+        def decode():
+            barrier.wait()
+            results.append(prep.reference_csr())
+
+        threads = [threading.Thread(target=decode) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        # Double-checked locking: every caller sees the same decoded object.
+        assert all(r is results[0] for r in results)
+        np.testing.assert_allclose(results[0].toarray(), A.toarray(), atol=1e-12)

@@ -11,6 +11,7 @@ from repro.fault import (
     FaultSpec,
     active_plan,
     fault_scope,
+    resolve_site,
 )
 
 
@@ -172,3 +173,78 @@ class TestScope:
     def test_all_sites_constructible(self):
         for site in FAULT_SITES:
             FaultPlan.single(site)
+
+
+class TestResolveSite:
+    def test_full_name_passes_through(self):
+        assert resolve_site("sync.stale_grp_sum") == "sync.stale_grp_sum"
+
+    def test_unambiguous_suffix(self):
+        assert resolve_site("stale_grp_sum") == "sync.stale_grp_sum"
+        assert resolve_site("out_of_order") == "dispatch.out_of_order"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault site"):
+            resolve_site("not_a_site")
+
+
+class TestSpecStringParse:
+    def test_single_entry_with_options(self):
+        plan = FaultPlan.parse("stale_grp_sum:p=0.01,seed=7")
+        assert plan.seed == 7
+        spec = plan.specs["sync.stale_grp_sum"]
+        assert spec.probability == 0.01
+        assert spec.count == 1  # FaultSpec default
+
+    def test_multiple_entries(self):
+        plan = FaultPlan.parse("nan_partial:count=2;bitflag_flip:count=inf,f=0.5")
+        assert set(plan.specs) == {"kernel.nan_partial", "format.bitflag_flip"}
+        assert plan.specs["kernel.nan_partial"].count == 2
+        assert plan.specs["format.bitflag_flip"].count is None
+        assert plan.specs["format.bitflag_flip"].fraction == 0.5
+
+    def test_option_aliases(self):
+        plan = FaultPlan.parse("nan_partial:probability=0.5,fraction=0.1")
+        spec = plan.specs["kernel.nan_partial"]
+        assert spec.probability == 0.5
+        assert spec.fraction == 0.1
+
+    def test_explicit_seed_overrides_option(self):
+        assert FaultPlan.parse("nan_partial:seed=7", seed=3).seed == 3
+
+    def test_whitespace_tolerated(self):
+        plan = FaultPlan.parse(" nan_partial : p = 1.0 ; stale_grp_sum ")
+        assert set(plan.specs) == {"kernel.nan_partial", "sync.stale_grp_sum"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError, match="malformed fault option"):
+            FaultPlan.parse("nan_partial:p")
+        with pytest.raises(ReproError, match="empty fault spec"):
+            FaultPlan.parse("   ")
+        with pytest.raises(ReproError):
+            FaultPlan.parse("nan_partial:bogus=1")
+
+    def test_parse_replays_deterministically(self):
+        spec = "nan_partial:p=0.5,count=inf,seed=11"
+        a, b = FaultPlan.parse(spec), FaultPlan.parse(spec)
+        contribs = np.ones((16, 2))
+        for _ in range(5):
+            np.testing.assert_array_equal(
+                a.perturb_partials(contribs), b.perturb_partials(contribs)
+            )
+
+
+class TestCoerce:
+    def test_plan_and_none_pass_through(self):
+        plan = FaultPlan.single("kernel.nan_partial")
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce(None) is None
+
+    def test_string_parsed(self):
+        plan = FaultPlan.coerce("nan_partial:p=0.25")
+        assert isinstance(plan, FaultPlan)
+        assert plan.specs["kernel.nan_partial"].probability == 0.25
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ReproError, match="fault_plan"):
+            FaultPlan.coerce(42)

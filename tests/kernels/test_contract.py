@@ -5,13 +5,10 @@ Every registered kernel must honor ``run(fmt, x, device, *, config)``:
 * ``config`` is keyword-only and typed (an instance of the kernel's
   ``config_cls``);
 * omitting ``config`` runs the defaults;
-* legacy loose keyword arguments still work through the deprecation
-  shim (one release), emitting a :class:`DeprecationWarning`;
-* mixing ``config=`` with legacy kwargs, or passing a config of the
-  wrong type, is a :class:`KernelConfigError`.
+* loose option keyword arguments (the pre-unification calling style)
+  are a plain :class:`TypeError` -- the deprecation shim is gone;
+* passing a config of the wrong type is a :class:`KernelConfigError`.
 """
-
-import warnings
 
 import numpy as np
 import pytest
@@ -72,30 +69,14 @@ class TestRunContract:
         with pytest.raises(TypeError):
             kernel.run(fmt, x, GTX680, kernel.config_cls())
 
-    def test_legacy_kwargs_shim_warns_and_works(self, name, formats, banded):
+    def test_loose_kwargs_rejected(self, name, formats, banded):
+        # The deprecation shim is gone: option kwargs must travel inside
+        # a config object, and unknown names are a plain TypeError.
         kernel = available_kernels()[name]
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            res, ref = _run(kernel, formats, banded, workgroup_size=64)
-        np.testing.assert_allclose(res.y, ref, atol=1e-9)
-
-    def test_legacy_unknown_kwargs_tolerated(self, name, formats, banded):
-        # The pre-unification signatures swallowed unknown kwargs; the
-        # shim keeps old call sites running.
-        kernel = available_kernels()[name]
-        with pytest.warns(DeprecationWarning):
-            res, ref = _run(kernel, formats, banded, not_a_real_option=1)
-        np.testing.assert_allclose(res.y, ref, atol=1e-9)
-
-    def test_config_plus_legacy_rejected(self, name, formats, banded):
-        kernel = available_kernels()[name]
-        with pytest.raises(KernelConfigError, match="not both"):
-            _run(
-                kernel,
-                formats,
-                banded,
-                config=kernel.config_cls(),
-                workgroup_size=64,
-            )
+        with pytest.raises(TypeError):
+            _run(kernel, formats, banded, workgroup_size=64)
+        with pytest.raises(TypeError):
+            _run(kernel, formats, banded, not_a_real_option=1)
 
     def test_wrong_config_type_rejected(self, name, formats, banded):
         kernel = available_kernels()[name]

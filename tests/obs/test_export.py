@@ -1,0 +1,135 @@
+"""Exporter tests: JSON-lines round-trip, Prometheus text, console."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Observer,
+    Tracer,
+    console_report,
+    dump_jsonl,
+    load_jsonl,
+    prometheus_text,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def forest():
+    """A two-root forest with nesting and mixed attribute types."""
+    tr = Tracer()
+    with tr.span("prepare", nnz=100, device="gtx680"):
+        with tr.span("tune", mode="pruned"):
+            with tr.span("candidate", index=0, sim_time_s=1.5e-6):
+                pass
+            with tr.span("candidate", index=1, sim_time_s=np.float64(2.5e-6)):
+                pass
+        with tr.span("convert"):
+            pass
+    with tr.span("multiply", gflops=7.25):
+        pass
+    return tr
+
+
+def _shape(roots):
+    """Structure-only view of a span forest (ignores timestamps/ids)."""
+    return [
+        (r.name, dict(r.attrs), _shape(r.children)) for r in roots
+    ]
+
+
+class TestJsonlRoundTrip:
+    def test_same_span_tree(self, forest):
+        roots = load_jsonl(dump_jsonl(forest))
+        assert _shape(roots) == [
+            ("prepare", {"nnz": 100, "device": "gtx680"}, [
+                ("tune", {"mode": "pruned"}, [
+                    ("candidate", {"index": 0, "sim_time_s": 1.5e-6}, []),
+                    ("candidate", {"index": 1, "sim_time_s": 2.5e-6}, []),
+                ]),
+                ("convert", {}, []),
+            ]),
+            ("multiply", {"gflops": 7.25}, []),
+        ]
+
+    def test_ids_and_times_survive(self, forest):
+        original = forest.spans()
+        loaded = load_jsonl(dump_jsonl(forest))
+        flat = [s for r in loaded for s in r.walk()]
+        assert [s.span_id for s in flat] == [s.span_id for s in original]
+        assert [s.t_start for s in flat] == [s.t_start for s in original]
+        assert [s.t_end for s in flat] == [s.t_end for s in original]
+
+    def test_accepts_observer_tracer_or_spans(self, forest):
+        obs = Observer()
+        obs.tracer = forest
+        assert dump_jsonl(obs) == dump_jsonl(forest) == dump_jsonl(forest.roots)
+
+    def test_write_and_reload_file(self, forest, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(forest, path)
+        assert n == len(forest.spans()) == 6
+        with open(path, encoding="utf-8") as fh:
+            roots = load_jsonl(fh)
+        assert _shape(roots) == _shape(forest.roots)
+
+    def test_missing_parent_promotes_to_root(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                pass
+        lines = dump_jsonl(tr).splitlines()
+        orphaned = load_jsonl(lines[1])  # child line only
+        assert len(orphaned) == 1
+        assert orphaned[0].name == "child"
+
+    def test_empty(self, tmp_path):
+        assert dump_jsonl(Tracer()) == ""
+        assert load_jsonl("") == []
+        assert write_jsonl(Tracer(), tmp_path / "empty.jsonl") == 0
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        obs = Observer()
+        obs.counter("plan.hits", "plan cache hits").inc(3)
+        obs.gauge("depth").set(2, stage="tuned")
+        text = prometheus_text(obs.metrics)
+        assert "# HELP plan_hits plan cache hits" in text
+        assert "# TYPE plan_hits counter" in text
+        assert "plan_hits 3" in text
+        assert 'depth{stage="tuned"} 2' in text
+
+    def test_histogram_buckets(self):
+        obs = Observer()
+        h = obs.histogram("lat.s", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        text = prometheus_text(obs.metrics)
+        assert 'lat_s_bucket{le="1"} 1' in text
+        assert 'lat_s_bucket{le="10"} 2' in text
+        assert 'lat_s_bucket{le="+Inf"} 3' in text
+        assert "lat_s_sum 22.5" in text
+        assert "lat_s_count 3" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(Observer().metrics) == ""
+
+
+class TestConsoleReport:
+    def test_sections_present(self):
+        obs = Observer()
+        with obs.span("engine.multiply"):
+            pass
+        obs.counter("engine.multiplies").inc()
+        text = console_report(obs, title="run")
+        assert text.splitlines()[0] == "run"
+        assert "spans:" in text
+        assert "engine.multiply" in text
+        assert "metrics:" in text
+        assert "engine.multiplies" in text
+
+    def test_empty_observer(self):
+        text = console_report(Observer())
+        assert "(no spans recorded)" in text
+        assert "(no metrics recorded)" in text

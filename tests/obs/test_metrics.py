@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_labels_are_independent(self, reg):
+        c = reg.counter("stage")
+        c.inc(stage="tuned")
+        c.inc(3, stage="untuned")
+        assert c.value(stage="tuned") == 1
+        assert c.value(stage="untuned") == 3
+        assert c.value(stage="other") == 0
+
+    def test_negative_rejected(self, reg):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("c").inc(-1)
+
+    def test_thread_safety(self, reg):
+        c = reg.counter("n")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+
+class TestGauge:
+    def test_set_overwrites_add_accumulates(self, reg):
+        g = reg.gauge("depth")
+        g.set(5)
+        g.set(2)
+        assert g.value() == 2
+        g.add(3)
+        assert g.value() == 5
+
+
+class TestHistogram:
+    def test_count_sum_mean(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(22.5)
+        assert h.mean() == pytest.approx(7.5)
+
+    def test_bucket_counts_cumulative(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        # le=1, le=10, +Inf -- cumulative, Prometheus style.
+        assert h.bucket_counts() == [1, 2, 3]
+
+    def test_empty_histogram(self, reg):
+        h = reg.histogram("lat")
+        assert h.count() == 0
+        assert h.mean() == 0.0
+
+    def test_needs_buckets(self, reg):
+        with pytest.raises(ValueError, match="bucket"):
+            reg.histogram("bad", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_get_unknown_is_none(self, reg):
+        assert reg.get("nope") is None
+
+    def test_as_dict(self, reg):
+        reg.counter("c").inc(2, k="v")
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        d = reg.as_dict()
+        assert d["c"] == {'{k="v"}': 2.0}
+        assert d["h"] == {"": 0.5}
+        assert d["h.count"] == {"": 1}
+
+    def test_render_table_alignment_and_content(self, reg):
+        reg.counter("short").inc()
+        reg.counter("a.much.longer.name").inc(7, kind="x")
+        text = reg.render_table()
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert 'a.much.longer.name{kind="x"}  7' in text
+        assert all("  " in line for line in lines)
+
+    def test_render_table_empty(self, reg):
+        assert "no metrics" in reg.render_table()

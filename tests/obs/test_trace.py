@@ -1,0 +1,133 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+from repro.obs import Span, Tracer
+
+
+class TestSpan:
+    def test_set_is_chainable(self):
+        sp = Span(name="s", span_id=1)
+        assert sp.set(a=1).set(b=2) is sp
+        assert sp.attrs == {"a": 1, "b": 2}
+
+    def test_duration_open_span_is_zero(self):
+        sp = Span(name="s", span_id=1, t_start=5.0)
+        assert sp.duration_s == 0.0
+        sp.t_end = 7.5
+        assert sp.duration_s == 2.5
+
+    def test_walk_and_find(self):
+        root = Span(name="root", span_id=1)
+        a = Span(name="a", span_id=2, parent_id=1)
+        b = Span(name="b", span_id=3, parent_id=1)
+        a2 = Span(name="a", span_id=4, parent_id=3)
+        root.children = [a, b]
+        b.children = [a2]
+        assert [s.span_id for s in root.walk()] == [1, 2, 3, 4]
+        assert root.find("a") is a
+        assert [s.span_id for s in root.find_all("a")] == [2, 4]
+        assert root.find("missing") is None
+
+    def test_dict_roundtrip(self):
+        sp = Span(name="s", span_id=9, parent_id=3, t_start=1.0, t_end=2.0,
+                  attrs={"k": "v", "n": 4})
+        back = Span.from_dict(sp.to_dict())
+        assert back == Span(name="s", span_id=9, parent_id=3, t_start=1.0,
+                            t_end=2.0, attrs={"k": "v", "n": 4})
+
+    def test_render_tree_shape(self):
+        root = Span(name="outer", span_id=1, t_start=0.0, t_end=0.5)
+        root.children.append(
+            Span(name="inner", span_id=2, parent_id=1, t_start=0.1, t_end=0.2,
+                 attrs={"x": 1})
+        )
+        text = root.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "{x=1}" in lines[1]
+
+
+class TestTracer:
+    def test_nesting_follows_dynamic_extent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner") as inner:
+                assert tr.current() is inner
+        assert tr.current() is None
+        assert len(tr.roots) == 1
+        root = tr.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].parent_id == root.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        assert [c.name for c in tr.roots[0].children] == ["a", "b"]
+
+    def test_span_closes_on_exception(self):
+        tr = Tracer()
+        try:
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tr.roots[0].t_end is not None
+        assert tr.current() is None
+
+    def test_span_ids_are_unique(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        ids = [s.span_id for s in tr.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_worker_threads_get_own_roots(self):
+        tr = Tracer()
+
+        def work():
+            with tr.span("worker"):
+                pass
+
+        with tr.span("main"):
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Worker spans never attach to the main thread's open span.
+        assert len(tr.roots) == 5
+        main_root = next(r for r in tr.roots if r.name == "main")
+        assert main_root.children == []
+        for r in tr.roots:
+            if r.name == "worker":
+                assert "thread" in r.attrs
+
+    def test_concurrent_spans_do_not_lose_records(self):
+        tr = Tracer()
+
+        def work(n):
+            for _ in range(50):
+                with tr.span(f"t{n}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.spans()) == 200
+
+    def test_clear(self):
+        tr = Tracer()
+        with tr.span("s"):
+            pass
+        tr.clear()
+        assert tr.spans() == []

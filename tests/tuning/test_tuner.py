@@ -78,3 +78,35 @@ class TestTune:
         # The exhaustive sweep includes the pruned winner's axes, so it
         # can only match or beat it.
         assert exhaustive.best.time_s <= pruned.best.time_s * 1.0001
+
+
+class TestResultProtocol:
+    """``summary()``/``to_dict()``/``describe_point()`` for exporters."""
+
+    def test_to_dict_is_jsonable(self, small):
+        import json
+
+        result = AutoTuner(GTX680, keep_history=True).tune(small)
+        d = json.loads(json.dumps(result.to_dict()))
+        assert d["kind"] == "tuning_result"
+        assert d["evaluated"] == result.evaluated
+        assert d["best_point"]["format"] == result.best_point.format_name
+        assert d["best"]["gflops"] == pytest.approx(result.best.gflops)
+
+    def test_summary_and_describe_point(self, small):
+        result = AutoTuner(GTX680).tune(small)
+        text = result.summary()
+        assert f"evaluated {result.evaluated} configurations" in text
+        assert "best:" in text
+        assert result.describe_point() in text
+        assert "GFLOPS" in text
+
+    def test_warm_start_summary(self, small):
+        from repro.tuning.tuner import TuningResult
+
+        point = AutoTuner(GTX680).tune(small).best_point
+        warm = TuningResult.from_store(point)
+        text = warm.summary()
+        assert "warm start" in text
+        assert "0 configurations evaluated" in text
+        assert warm.to_dict()["store_hit"] is True
