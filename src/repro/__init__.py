@@ -35,6 +35,9 @@ from .core import (
     yaspmv,
 )
 from .errors import (
+    AdjacentSyncTimeout,
+    CircuitOpenError,
+    DeadlineExceeded,
     DeviceError,
     FaultInjectedError,
     FormatError,
@@ -44,8 +47,9 @@ from .errors import (
     ReproError,
     TuningError,
     ValidationError,
+    WorkerCrashError,
 )
-from .fault import FaultPlan, FaultSpec
+from .fault import CircuitBreaker, Deadline, FaultPlan, FaultSpec, RetryPolicy
 from .obs import NullObserver, Observer, obs_scope
 
 __version__ = "1.0.0"
@@ -72,10 +76,17 @@ __all__ = [
     "run_cusp",
     "run_cusparse_best",
     "yaspmv",
+    "AdjacentSyncTimeout",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
     "DeviceError",
     "FaultInjectedError",
     "FaultPlan",
     "FaultSpec",
+    "RetryPolicy",
+    "WorkerCrashError",
     "FormatError",
     "FormatNotApplicableError",
     "KernelConfigError",

@@ -80,13 +80,37 @@ def _cmd_tune(args) -> int:
         from .obs import Observer
 
         observer = Observer()
+    retry = None
+    if args.max_retries is not None:
+        from .fault import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.max_retries + 1)
+    checkpoint = None
+    if args.checkpoint:
+        from .tuning import TuningCheckpoint
+
+        checkpoint = TuningCheckpoint(args.checkpoint, resume=args.resume)
+    plan_scope = None
+    if args.fault:
+        from .fault import FaultPlan
+        from .fault.injection import fault_scope
+
+        plan_scope = fault_scope(FaultPlan.parse(args.fault))
     tuner = AutoTuner(
         get_device(args.device),
         mode=args.mode,
         workers=args.workers,
+        executor=args.executor,
         observer=observer,
+        deadline=args.deadline if args.deadline > 0 else None,
+        checkpoint=checkpoint,
+        retry=retry,
     )
-    res = tuner.tune(A)
+    if plan_scope is not None:
+        with plan_scope:
+            res = tuner.tune(A)
+    else:
+        res = tuner.tune(A)
     bp = res.best_point
     if store is not None:
         store.put(A, args.device, bp)
@@ -125,13 +149,18 @@ def _cmd_profile(args) -> int:
     from .obs import Observer, console_report, write_jsonl
     from .tuning import TuningStore
 
+    from .fault import CircuitBreaker, RetryPolicy
+
     name, A = _load_matrix(args.matrix, args.cap)
     x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
     store = TuningStore(args.store) if args.store else None
     obs = Observer()
     # ``validate=True`` + permissive policy routes the multiply through
     # the resilience chain, so the fallback counters show up even on a
-    # healthy run (``fallback.stage_used{stage="tuned"}``).
+    # healthy run (``fallback.stage_used{stage="tuned"}``).  The explicit
+    # retry policy and breaker materialize the containment metrics
+    # (``retry.attempts``, ``watchdog.timeouts``, ``breaker.state``) in
+    # the profile output.
     eng = SpMVEngine(
         device=args.device,
         plan_store=store,
@@ -139,6 +168,8 @@ def _cmd_profile(args) -> int:
         validate=True,
         policy="permissive",
         fault_plan=args.fault or None,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+        breaker=CircuitBreaker(failure_threshold=3, cooldown_s=30.0),
     )
     prepared = eng.prepare(A)
     res = eng.multiply(prepared, x)
@@ -237,10 +268,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--workers", type=int, default=1,
                         help="parallel tuning workers (results are "
                              "identical to serial; only faster)")
+    p_tune.add_argument("--executor", default="process",
+                        choices=["process", "thread"],
+                        help="pool kind for --workers > 1")
     p_tune.add_argument("--emit-opencl", action="store_true",
                         help="print the generated OpenCL kernel source")
     p_tune.add_argument("--trace", default="",
                         help="write the tuning trace to this JSON-lines file")
+    p_tune.add_argument("--deadline", type=float, default=0.0,
+                        help="wall-clock budget in seconds (0 = unlimited); "
+                             "on expiry the best-so-far wins and the result "
+                             "is marked partial")
+    p_tune.add_argument("--max-retries", type=int, default=None,
+                        help="pool rebuilds after a worker crash before "
+                             "falling back to serial evaluation")
+    p_tune.add_argument("--checkpoint", default="",
+                        help="crash-safe journal: completed candidates are "
+                             "appended here as they finish")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="with --checkpoint: skip candidates already "
+                             "journaled by a previous matching run")
+    p_tune.add_argument("--fault", default="",
+                        help="fault-plan spec, e.g. "
+                             "tuner.worker_crash:p=1.0,count=1,seed=3")
 
     p_mul = sub.add_parser("multiply", help="run one simulated SpMV")
     matrix_args(p_mul)

@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import FaultInjectedError, ReproError, ValidationError
 from ..fault.injection import FaultPlan, fault_scope
 from ..fault.resilience import AttemptRecord, FailureReport
+from ..fault.retry import CircuitBreaker, RetryPolicy
 from ..fault.validation import ValidationReport, verify_output
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
@@ -194,6 +195,20 @@ class SpMVEngine:
     max_retries:
         Bounded same-stage retries for transient faults (a plan whose
         injection budget runs out recovers here).
+    retry_policy:
+        Optional :class:`repro.fault.RetryPolicy` governing the tuned
+        retries: its ``retries`` count replaces ``max_retries`` and its
+        (deterministic, seeded) backoff schedule is slept between
+        attempts.  ``None`` keeps the legacy immediate-retry behavior.
+    breaker:
+        Optional :class:`repro.fault.CircuitBreaker` keyed by kernel
+        family (the prepared point's format name).  Under the
+        ``"permissive"`` policy, a family whose tuned path keeps failing
+        trips its circuit: subsequent multiplies skip straight to the
+        repair/fallback stages (recorded as a ``CircuitOpenError``
+        attempt) until the cooldown's half-open probe succeeds.  The
+        per-family state is exported through the ``breaker.state``
+        gauge.  ``None`` (default) disables breaking.
     validation_samples:
         Rows sampled by the per-multiply reference check (``None`` =
         every row).
@@ -214,6 +229,8 @@ class SpMVEngine:
         fault_plan: FaultPlan | str | None = None,
         validate: bool | str = "auto",
         max_retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
         validation_samples: int | None = 64,
         validation_rtol: float = 1e-9,
         validation_atol: float = 1e-12,
@@ -241,20 +258,38 @@ class SpMVEngine:
         self.validate = validate
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.max_retries = max(int(max_retries), 0)
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ValidationError(
+                f"retry_policy must be a RetryPolicy or None, "
+                f"got {type(retry_policy).__name__}"
+            )
+        self.retry_policy = retry_policy
+        if breaker is not None and not isinstance(breaker, CircuitBreaker):
+            raise ValidationError(
+                f"breaker must be a CircuitBreaker or None, "
+                f"got {type(breaker).__name__}"
+            )
+        self.breaker = breaker
         self.validation_samples = validation_samples
         self.validation_rtol = validation_rtol
         self.validation_atol = validation_atol
         self._kernel = YaSpMVKernel()
         self._timing = TimingModel(self.device)
+        #: Backoff sleep between tuned retries; tests inject a recorder.
+        self._sleep = time.sleep
 
     @property
     def _resilient(self) -> bool:
         """Whether multiplies go through the validating fallback chain."""
         if self.validate is True:
             return True
+        # A permissive breaker must see every multiply: an open circuit
+        # has to short-circuit clean runs too, and the half-open probe
+        # only closes if its success is observed and recorded.
+        breaking = self.breaker is not None and self.policy == "permissive"
         if self.validate is False:
-            return self.fault_plan is not None  # injection still needs the scope
-        return self.fault_plan is not None
+            return self.fault_plan is not None or breaking
+        return self.fault_plan is not None or breaking
 
     # ------------------------------------------------------------------ #
 
@@ -264,6 +299,8 @@ class SpMVEngine:
         point: TuningPoint | None = None,
         keep_history: bool = False,
         store=None,
+        deadline=None,
+        checkpoint=None,
     ) -> PreparedMatrix:
         """Tune (unless ``point`` is given) and convert ``matrix``.
 
@@ -274,6 +311,13 @@ class SpMVEngine:
         entry for this matrix structure and device skips the search --
         observable as ``tuning.store_hit`` with ``evaluated == 0`` --
         and a fresh search result is written back.
+
+        ``deadline`` (seconds or a :class:`repro.fault.Deadline`) bounds
+        the search wall clock -- on expiry the best-so-far wins and
+        ``tuning.partial`` is set.  ``checkpoint`` (a path or
+        :class:`repro.tuning.TuningCheckpoint`) journals every completed
+        candidate so a crashed or expired search resumes where it
+        stopped, with a bit-identical final result.
         """
         obs = self.observer
         with obs_scope(obs), obs.span(
@@ -313,6 +357,9 @@ class SpMVEngine:
                     workers=self.tuning_workers,
                     executor=self.tuning_executor,
                     observer=obs,
+                    deadline=deadline,
+                    checkpoint=checkpoint,
+                    retry=self.retry_policy,
                     **self.tuning_kwargs,
                 )
                 tuning = tuner.tune(csr)
@@ -399,12 +446,48 @@ class SpMVEngine:
         report = FailureReport()
         x = np.asarray(x, dtype=np.float64)
         n_rhs = x.shape[1] if x.ndim == 2 else 1
+        obs = self.observer
 
-        stages: list[tuple[str, object, YaSpMVConfig | None, bool]] = [
-            ("tuned", prepared.fmt, prepared.config, True)
-        ]
-        for _ in range(self.max_retries):
-            stages.append(("tuned-retry", prepared.fmt, prepared.config, True))
+        # Materialize the containment counters so `repro profile` always
+        # shows them, even when nothing retried or timed out this run.
+        obs.counter(
+            "retry.attempts", "same-stage retries of the tuned kernel"
+        ).inc(0)
+        obs.counter(
+            "watchdog.timeouts", "adjacent-sync spin watchdog expiries"
+        ).inc(0)
+
+        family = prepared.point.format_name
+        breaker = self.breaker if self.policy == "permissive" else None
+        retry = self.retry_policy
+        n_retries = retry.retries if retry is not None else self.max_retries
+
+        stages: list[tuple[str, object, YaSpMVConfig | None, bool]] = []
+        tuned_allowed = True
+        if breaker is not None and not breaker.allow(family):
+            # Circuit open: don't re-probe a family that keeps failing --
+            # jump straight to the repair/fallback stages.  The skip is
+            # recorded so the degradation trail stays complete.
+            tuned_allowed = False
+            report.attempts.append(
+                AttemptRecord(
+                    stage="tuned",
+                    ok=False,
+                    error=(
+                        f"circuit for kernel family {family!r} is open; "
+                        "tuned stages skipped until the cooldown probe"
+                    ),
+                    error_type="CircuitOpenError",
+                )
+            )
+            obs.counter(
+                "breaker.short_circuits",
+                "multiplies that skipped tuned stages on an open circuit",
+            ).inc(family=family)
+        if tuned_allowed:
+            stages.append(("tuned", prepared.fmt, prepared.config, True))
+            for _ in range(n_retries):
+                stages.append(("tuned-retry", prepared.fmt, prepared.config, True))
         if (
             plan is not None
             and plan.targets("dispatch.")
@@ -423,8 +506,17 @@ class SpMVEngine:
         stages.append(("untuned", None, YaSpMVConfig(), True))
         stages.append(("csr-reference", None, None, False))
 
-        obs = self.observer
+        tuned_attempt = 0
         for depth, (stage, fmt, config, with_plan) in enumerate(stages):
+            if stage == "tuned-retry":
+                tuned_attempt += 1
+                obs.counter(
+                    "retry.attempts", "same-stage retries of the tuned kernel"
+                ).inc()
+                if retry is not None:
+                    delay = retry.delay_s(tuned_attempt)
+                    if delay > 0:
+                        self._sleep(delay)
             with obs.span("fallback.attempt", stage=stage, depth=depth) as stage_span:
                 result, record = self._attempt(
                     stage, fmt, config, with_plan, prepared, csr, x, plan
@@ -439,6 +531,20 @@ class SpMVEngine:
             report.attempts.append(record)
             if result is not None:
                 report.fallback_used = stage
+                if breaker is not None and tuned_allowed:
+                    # The tuned path either proved itself or was walked
+                    # past: feed the circuit so persistent failures trip
+                    # it and a half-open probe's success closes it.
+                    if stage in ("tuned", "tuned-retry"):
+                        breaker.record_success(family)
+                    else:
+                        breaker.record_failure(family)
+                if breaker is not None:
+                    obs.gauge(
+                        "breaker.state",
+                        "per-family circuit state "
+                        "(0=closed, 1=half-open, 2=open)",
+                    ).set(breaker.state_value(family), family=family)
                 obs.counter(
                     "fallback.stage_used", "winning fallback stage"
                 ).inc(stage=stage)

@@ -76,6 +76,62 @@ class ValidationError(ReproError):
         self.detail = detail
 
 
+class DeadlineExceeded(ReproError):
+    """A wall-clock budget (:class:`repro.fault.Deadline`) ran out.
+
+    ``label`` names the operation that hit the budget; ``budget_s`` is
+    the configured budget in seconds.  Both survive pickling (message is
+    the sole positional argument).
+    """
+
+    def __init__(self, message: str = "", *, label: str | None = None,
+                 budget_s: float | None = None):
+        super().__init__(message)
+        self.label = label
+        self.budget_s = budget_s
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker refused an attempt because its circuit is open.
+
+    ``family`` names the kernel family whose circuit tripped.
+    """
+
+    def __init__(self, message: str = "", *, family: str | None = None):
+        super().__init__(message)
+        self.family = family
+
+
+class WorkerCrashError(ReproError):
+    """A tuning pool worker died (or simulated dying) mid-chunk.
+
+    Raised in-process by the ``tuner.worker_crash`` fault site when the
+    executor cannot actually be killed (thread pools, serial fallback);
+    real process deaths surface as ``BrokenProcessPool`` instead and are
+    normalized to lost chunks by :func:`repro.tuning.parallel.run_parallel`.
+    """
+
+
+class CheckpointError(ReproError):
+    """A tuning checkpoint file could not be used (wrong run, bad schema)."""
+
+
+class AdjacentSyncTimeout(ReproError):
+    """The adjacent-synchronization spin watchdog expired.
+
+    A workgroup waited on an unpublished ``Grp_sum`` slot for more than
+    the configured spin cap -- the bounded-wait version of the deadlock
+    the paper warns about for out-of-order dispatch (section 3.2.4).
+    ``workgroup`` is the waiting workgroup; ``spins`` the exhausted cap.
+    """
+
+    def __init__(self, message: str = "", *, workgroup: int | None = None,
+                 spins: int | None = None):
+        super().__init__(message)
+        self.workgroup = workgroup
+        self.spins = spins
+
+
 class FaultInjectedError(ReproError):
     """An injected fault was detected and surfaced under strict policy.
 

@@ -18,6 +18,15 @@ from .injection import (
     resolve_site,
 )
 from .resilience import FALLBACK_STAGES, AttemptRecord, FailureReport
+from .retry import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_VALUES,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
 from .validation import (
     CheckResult,
     ValidationReport,
@@ -36,6 +45,13 @@ __all__ = [
     "FALLBACK_STAGES",
     "AttemptRecord",
     "FailureReport",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_VALUES",
     "CheckResult",
     "ValidationReport",
     "validate_format",

@@ -66,6 +66,12 @@ FAULT_SITES: tuple[str, ...] = (
     # Tile partial sums are corrupted with NaN / Inf.
     "kernel.nan_partial",
     "kernel.inf_partial",
+    # A parallel-tuning pool worker dies mid-chunk (SIGKILL'd container,
+    # OOM-killed process); the parent sees a broken pool / lost chunk.
+    "tuner.worker_crash",
+    # The persistent tuning store's JSON file is truncated/garbled on
+    # disk (torn write by another process, bit rot).
+    "store.corruption",
 )
 
 
@@ -350,6 +356,41 @@ class FaultPlan:
             order[[0, -1]] = order[[-1, 0]]
         self._record("dispatch.out_of_order", n_workgroups=n_workgroups)
         return order
+
+    def worker_crash(self, n_candidates: int) -> int | None:
+        """Candidate count after which a pool worker dies mid-chunk
+        (``tuner.worker_crash``), or ``None`` when quiet.
+
+        Decided in the *parent* process at chunk-dispatch time so the
+        draw is deterministic regardless of worker scheduling; the
+        returned position is ``fraction`` of the way through the chunk
+        (at least 1 candidate survives, so the crash is genuinely
+        mid-chunk and the lost work is observable).
+        """
+        spec = self._fire("tuner.worker_crash")
+        if spec is None or n_candidates < 1:
+            return None
+        after = int(round(n_candidates * spec.fraction))
+        after = min(max(after, 1), n_candidates)
+        self._record(
+            "tuner.worker_crash", after=after, n_candidates=n_candidates
+        )
+        return after
+
+    def corrupt_store_text(self, text: str) -> str | None:
+        """Garbled replacement for a tuning-store file
+        (``store.corruption``), or ``None`` when quiet.
+
+        Models a torn write: the tail ``fraction`` of the file is cut
+        and replaced by bytes that cannot parse as JSON, so the store's
+        corruption-quarantine path is exercised end to end.
+        """
+        spec = self._fire("store.corruption")
+        if spec is None:
+            return None
+        cut = max(int(len(text) * (1.0 - spec.fraction)), 0)
+        self._record("store.corruption", cut=cut, length=len(text))
+        return text[:cut] + '\x00{"torn":'
 
     def stale_mask(self, n_workgroups: int) -> np.ndarray | None:
         """Mask of workgroups whose Grp_sum read is stale, or ``None``."""

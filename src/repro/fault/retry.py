@@ -1,0 +1,364 @@
+"""Failure-containment policies: retry, deadlines, circuit breakers.
+
+Long-running tuning and serving must contain failures instead of
+amplifying them: a hung candidate should cost a bounded wait, a flaky
+worker a few retries with backoff, and a kernel family that keeps
+getting quarantined should be short-circuited instead of re-probed on
+every call.  This module holds the three policy objects the engine and
+tuner thread through their hot paths:
+
+* :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  *deterministic seeded jitter* (two runs with the same seed produce the
+  same delay schedule, so tests and distributed replicas stay
+  reproducible while still decorrelating against each other via seeds);
+* :class:`Deadline` -- a wall-clock budget created once and threaded
+  down through tuner -> chunk -> candidate; expiry is a typed
+  :class:`~repro.errors.DeadlineExceeded` (or a cooperative early stop
+  where partial progress is the better outcome);
+* :class:`CircuitBreaker` -- per-key (kernel-family) failure circuit:
+  ``closed`` until N consecutive failures, then ``open`` for a cooldown,
+  then ``half-open`` for a single probe that either closes it again or
+  re-opens it.
+
+Everything is clock-injectable (``clock=``) so tests never sleep, and
+state changes can be observed through the ambient :mod:`repro.obs`
+observer (``retry.attempts``, ``breaker.state``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CircuitOpenError, DeadlineExceeded, ReproError
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_VALUES",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first one (``1`` = never retry).
+    base_delay_s:
+        Backoff before the first retry; ``0`` disables sleeping
+        entirely (the common in-process/test configuration).
+    multiplier:
+        Exponential growth factor per retry.
+    max_delay_s:
+        Backoff ceiling.
+    jitter:
+        Relative jitter amplitude: the delay for retry ``k`` is scaled
+        by a factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Seeds the jitter draws -- ``delay_s(k)`` is a pure function of
+        ``(policy, k)``, so a replayed run backs off identically.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0
+    multiplier: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ReproError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @property
+    def retries(self) -> int:
+        """Retries after the first attempt."""
+        return self.max_attempts - 1
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter included.
+
+        Deterministic: the jitter factor for attempt ``k`` is drawn from
+        a generator seeded on ``(seed, k)``, independent of every other
+        attempt's draw.
+        """
+        if attempt < 1:
+            raise ReproError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if raw <= 0.0:
+            return 0.0
+        if self.jitter:
+            u = np.random.default_rng([self.seed, attempt]).random()
+            raw *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return float(raw)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (one entry per retry)."""
+        return [self.delay_s(k) for k in range(1, self.max_attempts)]
+
+    def call(
+        self,
+        fn,
+        *,
+        retry_on: tuple = (ReproError,),
+        sleep=time.sleep,
+        deadline: "Deadline | None" = None,
+        on_retry=None,
+    ):
+        """Run ``fn()`` under this policy.
+
+        Retries on ``retry_on`` exceptions, sleeping the (deterministic)
+        backoff between attempts and respecting ``deadline`` (expiry
+        re-raises as :class:`DeadlineExceeded` instead of sleeping past
+        the budget).  ``on_retry(attempt, exc)`` is invoked before each
+        retry -- the hook the engine uses to bump ``retry.attempts``.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if deadline is not None:
+                deadline.check(label=f"retry attempt {attempt}")
+            try:
+                return fn()
+            except retry_on as exc:  # type: ignore[misc]
+                last = exc
+                if attempt == self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_s(attempt)
+                if deadline is not None and delay >= deadline.remaining():
+                    raise DeadlineExceeded(
+                        f"backoff of {delay:.3f}s exceeds the remaining "
+                        f"budget after attempt {attempt}",
+                        label="retry backoff",
+                        budget_s=deadline.seconds,
+                    ) from exc
+                if delay > 0:
+                    sleep(delay)
+        raise last  # pragma: no cover - loop always returns or raises
+
+
+class Deadline:
+    """A wall-clock budget, started at construction.
+
+    ``Deadline(None)`` never expires (so call sites can thread one
+    unconditionally).  The clock is injectable for tests; workers in
+    other processes receive ``remaining()`` seconds and rebuild a local
+    deadline rather than pickling this object.
+    """
+
+    __slots__ = ("seconds", "_t0", "_clock")
+
+    def __init__(self, seconds: float | None, *, clock=time.monotonic):
+        if seconds is not None and seconds < 0:
+            raise ReproError(f"deadline seconds must be >= 0, got {seconds}")
+        self.seconds = None if seconds is None else float(seconds)
+        self._clock = clock
+        self._t0 = clock()
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | None") -> "Deadline | None":
+        """Pass deadlines through, wrap numbers, keep ``None``."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        if isinstance(value, (int, float)):
+            return cls(float(value))
+        raise ReproError(
+            f"deadline must be a Deadline, seconds or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        """Seconds left; ``math.inf`` for an unlimited deadline."""
+        if self.seconds is None:
+            return math.inf
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget ran out."""
+        if self.expired():
+            what = f" during {label}" if label else ""
+            raise DeadlineExceeded(
+                f"wall-clock budget of {self.seconds:.3f}s exhausted{what}",
+                label=label or None,
+                budget_s=self.seconds,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.seconds is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.seconds:.3f}s, remaining={self.remaining():.3f}s)"
+
+
+# ---------------------------------------------------------------------- #
+# Circuit breaker
+# ---------------------------------------------------------------------- #
+
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half-open"
+BREAKER_OPEN = "open"
+
+#: Numeric encoding used for the ``breaker.state`` gauge.
+BREAKER_STATE_VALUES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+
+class _Circuit:
+    """State of one breaker key."""
+
+    __slots__ = ("state", "consecutive_failures", "opened_at")
+
+    def __init__(self):
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+
+
+class CircuitBreaker:
+    """Per-key failure circuit (keys are kernel families in the engine).
+
+    Semantics (per key):
+
+    * ``closed``: attempts flow; ``failure_threshold`` *consecutive*
+      failures trip the circuit to ``open``.
+    * ``open``: :meth:`allow` returns ``False`` until ``cooldown_s`` has
+      elapsed, at which point the circuit moves to ``half-open``.
+    * ``half-open``: one probe attempt is allowed; success closes the
+      circuit, failure re-opens it (and restarts the cooldown).
+
+    Thread-safe.  State transitions are visible via :meth:`state` /
+    :meth:`state_value` (fed to the ``breaker.state`` metrics gauge by
+    the engine) and :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        *,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ReproError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._circuits: dict[str, _Circuit] = {}
+        self._lock = threading.Lock()
+        #: Lifetime transition counters (observability / tests).
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    def _circuit(self, key: str) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    def _refresh(self, circuit: _Circuit) -> None:
+        """Apply the time-driven ``open`` -> ``half-open`` transition."""
+        if (
+            circuit.state == BREAKER_OPEN
+            and self._clock() - circuit.opened_at >= self.cooldown_s
+        ):
+            circuit.state = BREAKER_HALF_OPEN
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            circuit = self._circuit(key)
+            self._refresh(circuit)
+            return circuit.state
+
+    def state_value(self, key: str) -> int:
+        """Numeric state for the ``breaker.state`` gauge."""
+        return BREAKER_STATE_VALUES[self.state(key)]
+
+    def allow(self, key: str) -> bool:
+        """Whether an attempt on ``key`` may proceed right now.
+
+        In ``half-open``, the first caller is granted the probe slot (and
+        the circuit stays half-open until :meth:`record_success` /
+        :meth:`record_failure` resolves it).
+        """
+        with self._lock:
+            circuit = self._circuit(key)
+            self._refresh(circuit)
+            if circuit.state == BREAKER_OPEN:
+                return False
+            if circuit.state == BREAKER_HALF_OPEN:
+                self.probes += 1
+            return True
+
+    def check(self, key: str) -> None:
+        """Raise :class:`CircuitOpenError` when ``allow`` would refuse."""
+        if not self.allow(key):
+            raise CircuitOpenError(
+                f"circuit for {key!r} is open "
+                f"(>= {self.failure_threshold} consecutive failures; "
+                f"probing again after {self.cooldown_s:.1f}s)",
+                family=key,
+            )
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            circuit = self._circuit(key)
+            if circuit.state != BREAKER_CLOSED:
+                self.recoveries += 1
+            circuit.state = BREAKER_CLOSED
+            circuit.consecutive_failures = 0
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            circuit = self._circuit(key)
+            self._refresh(circuit)
+            circuit.consecutive_failures += 1
+            if circuit.state == BREAKER_HALF_OPEN or (
+                circuit.state == BREAKER_CLOSED
+                and circuit.consecutive_failures >= self.failure_threshold
+            ):
+                circuit.state = BREAKER_OPEN
+                circuit.opened_at = self._clock()
+                self.trips += 1
+
+    def snapshot(self) -> dict[str, str]:
+        """Current state per key (cooldown transitions applied)."""
+        with self._lock:
+            for circuit in self._circuits.values():
+                self._refresh(circuit)
+            return {k: c.state for k, c in self._circuits.items()}

@@ -21,16 +21,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import AdjacentSyncTimeout
 from ..obs import active_observer
 from ..util import check_1d, run_lengths
 
 __all__ = [
+    "SPIN_WATCHDOG_CAP",
     "chain_carries",
     "chain_carries_hazard",
     "chain_segments",
     "logical_workgroup_ids",
     "propagation_delay",
 ]
+
+#: Default spin cap the kernels pass to :func:`chain_carries_hazard`.
+#: On real hardware the adjacent-sync wait is a spin on ``Grp_sum[X-1]``;
+#: the paper notes it deadlocks under out-of-order dispatch unless
+#: logical workgroup ids are used.  Rather than model an unbounded spin,
+#: the engine's execution path caps it and surfaces a typed
+#: :class:`~repro.errors.AdjacentSyncTimeout` the fallback chain can
+#: route to the logical-id repair stage.
+SPIN_WATCHDOG_CAP = 4096
 
 
 def chain_carries(
@@ -105,6 +116,7 @@ def chain_carries_hazard(
     has_stop: np.ndarray,
     arrival_order: np.ndarray | None = None,
     stale_reads: np.ndarray | None = None,
+    max_spin: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Grp_sum chain under dispatch/staleness hazards.
 
@@ -114,11 +126,23 @@ def chain_carries_hazard(
     * ``arrival_order`` -- workgroups execute in this (permuted) order.
       A workgroup arriving before its predecessor has published cannot
       spin forever (on real hardware this is the deadlock the paper
-      warns about); we model the bounded-wait outcome: it reads the
-      initialization value (0) -- a *stale* carry.
+      warns about); with ``max_spin=None`` we model the silent
+      bounded-wait outcome: it reads the initialization value (0) -- a
+      *stale* carry.
     * ``stale_reads[X]`` -- workgroup ``X``'s read of ``Grp_sum[X-1]``
       returns the initialization value even though the predecessor
-      published (a delayed-visibility fault).
+      published (a delayed-visibility fault that slips *past* the spin
+      loop -- the watchdog cannot see it).
+
+    ``max_spin`` arms the spin watchdog: a workgroup that would wait on
+    an unpublished predecessor slot spins at most ``max_spin``
+    iterations and then raises a typed
+    :class:`~repro.errors.AdjacentSyncTimeout` (counted as
+    ``watchdog.timeouts``) instead of silently reading a stale value.
+    In this serialized arrival-order model a predecessor that has not
+    published by the time its successor runs never will, so the timeout
+    fires deterministically -- exactly the recoverable signal the
+    engine's fallback chain routes to the logical-id repair stage.
 
     With ``arrival_order=None`` and ``stale_reads=None`` the result is
     identical to :func:`chain_carries`.  Callers needing immunity to
@@ -153,6 +177,23 @@ def chain_carries_hazard(
         elif published[x - 1] and not (stale_reads is not None and stale_reads[x]):
             c = grp_sum[x - 1]
         else:
+            if max_spin is not None and not published[x - 1]:
+                # Bounded-wait watchdog: the predecessor will never
+                # publish in this serialized schedule, so the spin cap
+                # expires -- surface the deadlock as a typed timeout
+                # instead of a silently wrong carry.
+                obs = active_observer()
+                obs.counter(
+                    "watchdog.timeouts",
+                    "adjacent-sync spin watchdog expiries",
+                ).inc()
+                raise AdjacentSyncTimeout(
+                    f"workgroup {x} spun {max_spin} iterations waiting for "
+                    f"Grp_sum[{x - 1}] (predecessor never published; "
+                    "out-of-order dispatch without logical workgroup ids)",
+                    workgroup=x,
+                    spins=max_spin,
+                )
             c = zero  # stale read: the initialization value
             stale_count += 1
         carry[x] = c

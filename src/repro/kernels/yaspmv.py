@@ -31,6 +31,7 @@ from ..fault.injection import FaultEvent, active_plan
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
 from ..gpu.adjacent_sync import (
+    SPIN_WATCHDOG_CAP,
     chain_carries_hazard,
     chain_segments,
     logical_workgroup_ids,
@@ -104,8 +105,16 @@ def _per_stop_via_chain(contribs, padded, cfg, plan):
         )
         arrival = None
 
+    # The spin watchdog turns an out-of-order wait on an unpublished
+    # Grp_sum slot into a typed AdjacentSyncTimeout instead of a stale
+    # carry -- the engine's fallback chain catches it and retries with
+    # logical workgroup ids.
     carry, _ = chain_carries_hazard(
-        last_partials, has_stop, arrival_order=arrival, stale_reads=stale
+        last_partials,
+        has_stop,
+        arrival_order=arrival,
+        stale_reads=stale,
+        max_spin=SPIN_WATCHDOG_CAP,
     )
 
     parts = []

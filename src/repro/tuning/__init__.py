@@ -1,8 +1,15 @@
 """Auto-tuning framework (paper section 4)."""
 
 from .cache import CompiledPlan, FormatCache, KernelPlanCache
+from .checkpoint import TuningCheckpoint
 from .model import CostModel, MatrixSummary, ModelDrivenTuner
-from .parallel import CandidateOutcome, ChunkResult, chunk_candidates, run_parallel
+from .parallel import (
+    CandidateOutcome,
+    ChunkResult,
+    ParallelReport,
+    chunk_candidates,
+    run_parallel,
+)
 from .persistence import TuningStore, matrix_fingerprint
 from .parameters import (
     BIT_WORDS,
@@ -34,9 +41,11 @@ __all__ = [
     "AutoTuner",
     "CandidateOutcome",
     "ChunkResult",
+    "ParallelReport",
     "chunk_candidates",
     "run_parallel",
     "Evaluation",
+    "TuningCheckpoint",
     "TuningResult",
     "TuningStore",
     "matrix_fingerprint",

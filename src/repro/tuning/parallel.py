@@ -30,15 +30,32 @@ Worker processes are forked when the platform supports it (cheap, no
 re-import); ``executor="thread"`` opts into a thread pool for callers
 that cannot fork (the GIL limits its speedup to the NumPy-released
 portions of the kernels).
+
+**Failure containment.**  A long tuning run must survive its pool:
+:func:`run_parallel` catches worker death (``BrokenProcessPool`` from a
+killed process, :class:`~repro.errors.WorkerCrashError` from the
+``tuner.worker_crash`` fault site on thread pools), requeues the lost
+chunks onto a freshly built pool under a
+:class:`~repro.fault.RetryPolicy` (exponential backoff, deterministic
+jitter), and past the retry budget falls back to evaluating the
+stragglers serially in-process -- the index-ordered merge is oblivious
+to all of it, so the result stays bit-identical.  A
+:class:`~repro.fault.Deadline` is threaded down into each chunk
+(workers rebuild a local deadline from the remaining seconds), and an
+``on_chunk`` callback lets the tuner journal completed chunks to a
+:class:`~repro.tuning.TuningCheckpoint` the moment they finish.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..errors import ReproError, TuningError
+from ..errors import ReproError, TuningError, WorkerCrashError
+from ..fault.injection import active_plan
+from ..fault.retry import Deadline, RetryPolicy
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingModel
 from .cache import FormatCache, KernelPlanCache
@@ -48,6 +65,7 @@ __all__ = [
     "CandidateOutcome",
     "ChunkResult",
     "EXECUTORS",
+    "ParallelReport",
     "chunk_candidates",
     "evaluate_candidates",
     "run_parallel",
@@ -55,6 +73,10 @@ __all__ = [
 
 #: Supported ``concurrent.futures`` pool kinds.
 EXECUTORS = ("process", "thread")
+
+#: Default pool-rebuild policy when the caller supplies none: two
+#: rebuilds (then serial fallback), no real sleeping.
+DEFAULT_POOL_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0)
 
 
 @dataclass(frozen=True)
@@ -86,6 +108,28 @@ class ChunkResult:
     plan_misses: int = 0
 
 
+@dataclass
+class ParallelReport:
+    """Containment bookkeeping for one :func:`run_parallel` call.
+
+    Filled in place when the caller passes one in -- the tuner reads it
+    to emit ``tuner.worker_crashes`` / ``retry.attempts`` metrics (the
+    fan-out itself runs under a muted observer to keep traces
+    executor-independent).
+    """
+
+    #: Chunks lost to a dead worker (a single crash can lose several:
+    #: a broken process pool fails every in-flight future).
+    lost_chunks: int = 0
+    #: Pools torn down and rebuilt after a crash.
+    pool_rebuilds: int = 0
+    #: Chunks that ended up evaluated serially in-process because the
+    #: rebuild budget ran out.
+    serial_fallback_chunks: int = 0
+    #: The deadline expired before every candidate was evaluated.
+    deadline_expired: bool = False
+
+
 def chunk_candidates(
     items: list[tuple[int, TuningPoint]],
 ) -> list[list[tuple[int, TuningPoint]]]:
@@ -104,6 +148,20 @@ def chunk_candidates(
     return list(groups.values())
 
 
+def _crash_worker(parent_pid: int) -> None:
+    """Die the way a real pool worker does (``tuner.worker_crash``).
+
+    In a forked/spawned pool process this is an uncatchable hard exit --
+    the parent observes ``BrokenProcessPool``.  In-process executions
+    (thread pools, the serial fallback) must not kill the interpreter,
+    so they raise :class:`WorkerCrashError` instead, which
+    :func:`run_parallel` treats as the same lost-chunk signal.
+    """
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    raise WorkerCrashError("tuning worker killed mid-chunk (injected)")
+
+
 def evaluate_candidates(
     items: list[tuple[int, TuningPoint]],
     csr,
@@ -111,11 +169,21 @@ def evaluate_candidates(
     device: DeviceSpec,
     fmt_cache: FormatCache,
     plan_cache: KernelPlanCache,
+    deadline: Deadline | None = None,
+    crash_after: int | None = None,
+    parent_pid: int | None = None,
+    on_outcome=None,
 ) -> list[CandidateOutcome]:
     """Evaluate candidates in order, mirroring the serial tuner loop.
 
     A failing candidate is quarantined and counted by reason instead of
     aborting; genuine bugs (non-:class:`ReproError`) still propagate.
+    An expired ``deadline`` stops the walk cooperatively -- completed
+    outcomes are returned, the rest are simply absent (the tuner marks
+    the result partial).  ``crash_after`` is the ``tuner.worker_crash``
+    injection point: the worker dies after that many candidates, losing
+    its chunk.  ``on_outcome`` fires per completed candidate (the
+    serial checkpoint-journaling hook).
     """
     # Imported here: repro.tuning.tuner imports this module at top
     # level; the deferred import breaks the cycle (and re-runs cheaply
@@ -127,12 +195,22 @@ def evaluate_candidates(
     timing = TimingModel(device)
     nnz = int(csr.nnz)
     outcomes: list[CandidateOutcome] = []
-    for index, point in items:
+
+    def emit(outcome: CandidateOutcome) -> None:
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    for pos, (index, point) in enumerate(items):
+        if deadline is not None and deadline.expired():
+            break
+        if crash_after is not None and pos >= crash_after:
+            _crash_worker(parent_pid if parent_pid is not None else -1)
         t0 = time.perf_counter()
         try:
             fmt = fmt_cache.get(point)
         except ReproError as exc:
-            outcomes.append(
+            emit(
                 CandidateOutcome(
                     index=index,
                     point=point,
@@ -147,7 +225,7 @@ def evaluate_candidates(
         try:
             result = kernel.run(fmt, x, device, config=point.kernel)
         except ReproError as exc:
-            outcomes.append(
+            emit(
                 CandidateOutcome(
                     index=index,
                     point=point,
@@ -158,7 +236,7 @@ def evaluate_candidates(
             )
             continue
         breakdown = timing.estimate(result.stats)
-        outcomes.append(
+        emit(
             CandidateOutcome(
                 index=index,
                 point=point,
@@ -175,11 +253,31 @@ def evaluate_candidates(
 
 
 def _evaluate_chunk(payload) -> ChunkResult:
-    """Worker entry point: evaluate one chunk with worker-local caches."""
-    csr, x, device, items, compile_cost = payload
+    """Worker entry point: evaluate one chunk with worker-local caches.
+
+    ``payload`` is ``(csr, x, device, items, compile_cost)`` optionally
+    followed by ``(deadline_s, crash_after, parent_pid)`` -- the parent
+    serializes the deadline as remaining seconds (a ticking clock does
+    not pickle) and the worker rebuilds it locally.
+    """
+    csr, x, device, items, compile_cost = payload[:5]
+    deadline_s, crash_after, parent_pid = (
+        payload[5:] if len(payload) > 5 else (None, None, None)
+    )
     fmt_cache = FormatCache(csr)
     plan_cache = KernelPlanCache(compile_cost_s=compile_cost)
-    outcomes = evaluate_candidates(items, csr, x, device, fmt_cache, plan_cache)
+    deadline = Deadline(max(deadline_s, 0.0)) if deadline_s is not None else None
+    outcomes = evaluate_candidates(
+        items,
+        csr,
+        x,
+        device,
+        fmt_cache,
+        plan_cache,
+        deadline=deadline,
+        crash_after=crash_after,
+        parent_pid=parent_pid,
+    )
     return ChunkResult(
         outcomes=outcomes,
         conversions=fmt_cache.conversions,
@@ -210,17 +308,103 @@ def run_parallel(
     workers: int,
     executor: str,
     compile_cost: float,
+    deadline: Deadline | None = None,
+    retry: RetryPolicy | None = None,
+    on_chunk=None,
+    report: ParallelReport | None = None,
 ) -> list[CandidateOutcome]:
-    """Fan chunks out over a pool; return outcomes in enumeration order."""
+    """Fan chunks out over a pool; return outcomes in enumeration order.
+
+    Worker death does not abort the run: chunks whose future fails with
+    a broken-pool error (or :class:`WorkerCrashError` on thread pools)
+    are requeued onto a rebuilt pool under ``retry``
+    (:data:`DEFAULT_POOL_RETRY` when ``None``), and once the rebuild
+    budget is spent the stragglers are evaluated serially in-process.
+    ``on_chunk(ChunkResult)`` fires as each chunk completes (the
+    checkpoint-journaling hook); ``report`` is filled in place with the
+    containment bookkeeping.
+    """
     if executor not in EXECUTORS:
         raise TuningError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     chunks = chunk_candidates(items)
     if not chunks:
         return []
-    payloads = [(csr, x, device, chunk, compile_cost) for chunk in chunks]
-    max_workers = max(1, min(workers, len(chunks)))
-    with _make_pool(executor, max_workers) as pool:
-        results = list(pool.map(_evaluate_chunk, payloads))
+    retry = retry if retry is not None else DEFAULT_POOL_RETRY
+    plan = active_plan()
+    parent_pid = os.getpid()
+
+    def payload_for(chunk, inject: bool):
+        # The crash point is drawn in the parent at dispatch time: the
+        # draw consumes the fault site's budget deterministically, so a
+        # ``count=1`` plan kills exactly one worker no matter how the
+        # pool schedules chunks -- and the requeued chunk succeeds.
+        crash_after = (
+            plan.worker_crash(len(chunk)) if (inject and plan is not None) else None
+        )
+        deadline_s = (
+            deadline.remaining()
+            if deadline is not None and deadline.seconds is not None
+            else None
+        )
+        return (
+            csr,
+            x,
+            device,
+            chunk,
+            compile_cost,
+            deadline_s,
+            crash_after,
+            parent_pid,
+        )
+
+    def emit(result: ChunkResult) -> None:
+        results.append(result)
+        if on_chunk is not None:
+            on_chunk(result)
+
+    results: list[ChunkResult] = []
+    pending = list(range(len(chunks)))
+    attempt = 1
+    while pending and attempt <= retry.max_attempts:
+        max_workers = max(1, min(workers, len(pending)))
+        pool = _make_pool(executor, max_workers)
+        lost: list[int] = []
+        try:
+            futures = [
+                (pool.submit(_evaluate_chunk, payload_for(chunks[ci], True)), ci)
+                for ci in pending
+            ]
+            for fut, ci in futures:
+                try:
+                    emit(fut.result())
+                except (BrokenExecutor, WorkerCrashError):
+                    # A broken process pool fails *every* in-flight
+                    # future, so one crash can lose several chunks --
+                    # all of them land back on the requeue list.
+                    lost.append(ci)
+                    if report is not None:
+                        report.lost_chunks += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        pending = lost
+        attempt += 1
+        if pending and attempt <= retry.max_attempts:
+            if report is not None:
+                report.pool_rebuilds += 1
+            delay = retry.delay_s(attempt - 1)
+            if delay > 0:
+                time.sleep(delay)
+
+    # Past the rebuild budget: finish the stragglers in-process.  No
+    # injection here (the parent must survive) -- a chunk that keeps
+    # killing workers still gets evaluated.
+    for ci in pending:
+        if report is not None:
+            report.serial_fallback_chunks += 1
+        emit(_evaluate_chunk(payload_for(chunks[ci], False)))
+
     outcomes = [o for result in results for o in result.outcomes]
     outcomes.sort(key=lambda o: o.index)
+    if report is not None and deadline is not None and len(outcomes) < len(items):
+        report.deadline_expired = deadline.expired()
     return outcomes

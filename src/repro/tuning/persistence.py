@@ -12,6 +12,14 @@ matrix fingerprint plus the device name:
 * entries are versioned; loading an entry written by an incompatible
   schema returns a miss instead of an error.
 
+The file itself is crash- and concurrency-safe: writes re-read the file
+under an advisory lock before merging (so two processes tuning
+different matrices never clobber each other's entries), the replace is
+atomic and fsync'd (a crash mid-``put`` leaves the previous complete
+file), the top-level payload carries a ``schema`` field, and an
+unparseable file is *quarantined* -- renamed to ``<name>.corrupt`` and
+treated as empty -- instead of wedging every later run.
+
 Typical use::
 
     store = TuningStore("~/.cache/repro-tuning.json")
@@ -20,22 +28,58 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
 from ..errors import TuningError
+from ..fault.injection import active_plan
 from ..gpu.device import DeviceSpec
 from ..kernels.config import YaSpMVConfig
+from ..obs import active_observer
 from ..util import as_csr
 from .parameters import TuningPoint
 
+try:  # pragma: no cover - platform-dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
 __all__ = ["matrix_fingerprint", "TuningStore"]
 
+#: Per-entry payload version (embedded in each entry as ``version``).
 _SCHEMA_VERSION = 1
+
+#: Top-level file layout version.  Version 2 wraps the entries as
+#: ``{"schema": 2, "entries": {...}}``; the version-1 layout (a bare
+#: entry dict) is still accepted on read.
+_STORE_SCHEMA = 2
+
+
+@contextlib.contextmanager
+def _locked(path: Path):
+    """Advisory exclusive lock for read-modify-write on ``path``.
+
+    Uses ``flock`` on a sibling ``.lock`` file so the data file itself
+    can still be atomically replaced while held.  On platforms without
+    ``fcntl`` the lock degrades to a no-op (single-process safety only).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
 
 
 def matrix_fingerprint(matrix) -> str:
@@ -96,6 +140,8 @@ class TuningStore:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Store files quarantined as corrupt (renamed ``.corrupt``).
+        self.corruptions = 0
 
     # ------------------------------------------------------------------ #
 
@@ -103,15 +149,84 @@ class TuningStore:
         dev = device if isinstance(device, str) else device.name
         return f"{dev}:{matrix_fingerprint(matrix)}"
 
+    def _quarantine(self) -> None:
+        """Sideline an unparseable store file and continue empty.
+
+        The file is renamed to ``<name>.corrupt`` (preserving the bytes
+        for post-mortem) so the next write starts a fresh, valid store
+        instead of failing on every run.
+        """
+        self.corruptions += 1
+        target = self.path.with_suffix(self.path.suffix + ".corrupt")
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            pass
+        obs = active_observer()
+        if obs.enabled:
+            obs.counter(
+                "store.corruptions", "tuning-store files quarantined as corrupt"
+            ).inc()
+
+    def _read_file(self) -> dict[str, dict]:
+        """Parse the on-disk file into an entry dict (never raises).
+
+        Accepts both the current ``{"schema": 2, "entries": {...}}``
+        layout and the legacy bare-dict layout.  Unparseable files are
+        quarantined (see :meth:`_quarantine`); files from an unknown
+        future schema are left in place and treated as empty.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        plan = active_plan()
+        if plan is not None:
+            garbled = plan.corrupt_store_text(text)
+            if garbled is not None:
+                # Fault injection garbles the *on-disk* file so the real
+                # quarantine path (rename + fresh store) is exercised.
+                self.path.write_text(garbled, encoding="utf-8")
+                text = garbled
+        try:
+            blob = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine()
+            return {}
+        if not isinstance(blob, dict):
+            self._quarantine()
+            return {}
+        if "schema" not in blob:
+            # Legacy (version-1) layout: the entries are the top level.
+            return blob
+        if blob.get("schema") == _STORE_SCHEMA and isinstance(
+            blob.get("entries"), dict
+        ):
+            return blob["entries"]
+        # A future schema this build cannot read: leave the file alone
+        # (a newer build owns it) and act as an empty store.
+        return {}
+
+    def _write_file(self, entries: dict[str, dict]) -> None:
+        """Atomically persist ``entries`` (tmp + fsync + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"schema": _STORE_SCHEMA, "entries": entries},
+            indent=1,
+            sort_keys=True,
+        )
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
     def _load(self) -> dict[str, dict]:
         if self._entries is None:
-            if self.path.exists():
-                try:
-                    self._entries = json.loads(self.path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    self._entries = {}
-            else:
-                self._entries = {}
+            self._entries = self._read_file()
         return self._entries
 
     # ------------------------------------------------------------------ #
@@ -131,13 +246,23 @@ class TuningStore:
         return point
 
     def put(self, matrix, device: DeviceSpec | str, point: TuningPoint) -> None:
-        """Persist a configuration (overwrites any previous entry)."""
-        entries = self._load()
-        entries[self._key(matrix, device)] = _encode(point)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(entries, indent=1, sort_keys=True))
-        tmp.replace(self.path)
+        """Persist a configuration (overwrites any previous entry).
+
+        The write is a locked read-modify-write: the file is *re-read*
+        under the lock and the new entry merged into what is actually on
+        disk -- not into this instance's possibly stale snapshot -- so
+        concurrent writers updating different keys both survive (the
+        classic lost-update race).  The replace itself is atomic and
+        fsync'd, so a crash mid-``put`` leaves the previous complete
+        file.
+        """
+        key = self._key(matrix, device)
+        blob = _encode(point)
+        with _locked(self.path):
+            entries = self._read_file()
+            entries[key] = blob
+            self._write_file(entries)
+            self._entries = entries
 
     def __len__(self) -> int:
         return len(self._load())

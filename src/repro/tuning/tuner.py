@@ -22,14 +22,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ReproError, TuningError
+from ..errors import DeadlineExceeded, ReproError, TuningError
+from ..fault.retry import Deadline, RetryPolicy
 from ..gpu.device import DeviceSpec
 from ..gpu.timing import TimingBreakdown
 from ..obs import NULL_OBSERVER, obs_scope
 from ..util import as_csr
 from .cache import FormatCache, KernelPlanCache
-from .parallel import EXECUTORS, CandidateOutcome, evaluate_candidates, run_parallel
+from .checkpoint import TuningCheckpoint
+from .parallel import (
+    EXECUTORS,
+    CandidateOutcome,
+    ParallelReport,
+    evaluate_candidates,
+    run_parallel,
+)
 from .parameters import TuningPoint
+from .persistence import matrix_fingerprint
 from .space import exhaustive_space, pruned_space
 
 __all__ = ["Evaluation", "TuningResult", "AutoTuner"]
@@ -82,6 +91,13 @@ class TuningResult:
     #: skipped for that reason (the skip-reason taxonomy; ``skipped``
     #: stays the total).
     skip_reasons: dict[str, int] = field(default_factory=dict)
+    #: The deadline expired before the full space was walked: ``best``
+    #: is the best-so-far over the completed prefix, and a later
+    #: checkpoint resume completes the search.
+    partial: bool = False
+    #: Candidates restored from a :class:`TuningCheckpoint` instead of
+    #: re-evaluated (0 for fresh runs).
+    resumed: int = 0
 
     @property
     def best_point(self) -> TuningPoint:
@@ -128,6 +144,8 @@ class TuningResult:
             "store_hit": self.store_hit,
             "store_invalidations": self.store_invalidations,
             "skip_reasons": dict(self.skip_reasons),
+            "partial": self.partial,
+            "resumed": self.resumed,
             "best_point": {
                 "format": bp.format_name,
                 "block_height": bp.block_height,
@@ -165,11 +183,17 @@ class TuningResult:
                 f"best: {self.describe_point()}"
             )
         workers = f", {self.workers} workers" if self.workers > 1 else ""
+        resumed = f", {self.resumed} resumed" if self.resumed else ""
         lines = [
             f"evaluated {self.evaluated} configurations in "
-            f"{self.wall_seconds:.1f}s ({self.skipped} skipped{workers})",
+            f"{self.wall_seconds:.1f}s ({self.skipped} skipped{workers}{resumed})",
             f"best: {self.describe_point()}",
         ]
+        if self.partial:
+            lines.append(
+                "PARTIAL: deadline expired mid-search; best is best-so-far "
+                "(resume from the checkpoint to finish)"
+            )
         if self.best is not None:
             lines.append(
                 f"estimated: {self.best.gflops:.2f} GFLOPS "
@@ -207,6 +231,22 @@ class AutoTuner:
         ``tuner.tune`` span with one ``tuner.candidate`` child per
         enumerated configuration (matching ``TuningResult.history``)
         plus evaluation/prune/plan-cache counters.
+    deadline:
+        Wall-clock budget for each :meth:`tune` call -- seconds, a
+        :class:`~repro.fault.Deadline`, or ``None`` (unlimited).  A
+        number starts ticking when :meth:`tune` starts, not at
+        construction.  Expiry stops the search cooperatively: the
+        result carries the completed prefix with ``partial=True``.
+    checkpoint:
+        Crash-safe journal -- a :class:`TuningCheckpoint`, a path, or
+        ``None``.  Completed candidates are journaled as they finish
+        and skipped on the next :meth:`tune` against the same (matrix,
+        device, mode, space); the resumed result is bit-identical to an
+        uninterrupted run.
+    retry:
+        :class:`~repro.fault.RetryPolicy` governing pool rebuilds after
+        worker crashes (parallel runs only); ``None`` uses the default
+        (two rebuilds, then serial fallback).
     """
 
     def __init__(
@@ -220,6 +260,9 @@ class AutoTuner:
         workers: int = 1,
         executor: str = "process",
         observer=None,
+        deadline: "Deadline | float | None" = None,
+        checkpoint: "TuningCheckpoint | str | None" = None,
+        retry: RetryPolicy | None = None,
     ):
         if mode not in ("pruned", "exhaustive"):
             raise TuningError(f"mode must be 'pruned' or 'exhaustive', got {mode!r}")
@@ -238,6 +281,15 @@ class AutoTuner:
         self.workers = workers
         self.executor = executor
         self.observer = observer if observer is not None else NULL_OBSERVER
+        #: Raw deadline spec; coerced per :meth:`tune` call so a numeric
+        #: budget restarts for every search.
+        self.deadline = deadline
+        self.checkpoint = TuningCheckpoint.coerce(checkpoint)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TuningError(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
+        self.retry = retry
 
     def tune(self, matrix, x: np.ndarray | None = None) -> TuningResult:
         """Search; returns the ranked result.
@@ -270,43 +322,116 @@ class AutoTuner:
             hits0 = self.plan_cache.hits
             misses0 = self.plan_cache.misses
 
+            deadline = Deadline.coerce(self.deadline)
+            checkpoint = self.checkpoint
+            restored: dict[int, CandidateOutcome] = {}
+            if checkpoint is not None:
+                restored = checkpoint.begin(
+                    fingerprint=matrix_fingerprint(csr),
+                    device=self.device.name,
+                    mode=self.mode,
+                    n_candidates=len(items),
+                )
+            todo = [it for it in items if it[0] not in restored]
+            report = ParallelReport()
+
             # Candidate evaluation runs under a muted observer: worker
             # processes cannot share this observer, so letting the serial
             # (or thread) path emit per-kernel spans would make the trace
             # depend on the executor.  The merge below records one
             # ``tuner.candidate`` span per outcome instead -- identical
             # for every executor.
-            if self.workers == 1:
-                # Serial walk straight through the shared plan cache -- no
-                # replay needed, the lookups *are* the canonical order.
-                with obs_scope(NULL_OBSERVER):
-                    outcomes = evaluate_candidates(
-                        items, csr, x, self.device, FormatCache(csr), self.plan_cache
+            try:
+                if self.workers == 1 and checkpoint is None:
+                    # Serial walk straight through the shared plan cache --
+                    # no replay needed, the lookups *are* the canonical
+                    # order.
+                    with obs_scope(NULL_OBSERVER):
+                        outcomes = evaluate_candidates(
+                            items,
+                            csr,
+                            x,
+                            self.device,
+                            FormatCache(csr),
+                            self.plan_cache,
+                            deadline=deadline,
+                        )
+                elif self.workers == 1:
+                    # Serial with a checkpoint: evaluate against a
+                    # throwaway plan cache (like a worker would), journal
+                    # each outcome, and replay the lookups below so the
+                    # shared cache sees the canonical order -- including
+                    # the restored candidates a crashed run already paid
+                    # for.
+                    local = KernelPlanCache(
+                        compile_cost_s=self.plan_cache.compile_cost_s
                     )
-            else:
-                with obs_scope(NULL_OBSERVER):
-                    outcomes = run_parallel(
-                        items,
-                        csr,
-                        x,
-                        self.device,
-                        workers=self.workers,
-                        executor=self.executor,
-                        compile_cost=self.plan_cache.compile_cost_s,
+                    with obs_scope(NULL_OBSERVER):
+                        new = evaluate_candidates(
+                            todo,
+                            csr,
+                            x,
+                            self.device,
+                            FormatCache(csr),
+                            local,
+                            deadline=deadline,
+                            on_outcome=checkpoint.append,
+                        )
+                    outcomes = sorted(
+                        list(restored.values()) + new, key=lambda o: o.index
                     )
-                # Workers compiled against throwaway caches; replay the plan
-                # lookups here, in enumeration order, so the shared cache
-                # ends up in the exact state a serial run leaves behind.
-                for outcome in outcomes:
-                    if not outcome.format_skipped:
-                        self.plan_cache.get(outcome.point)
+                    for outcome in outcomes:
+                        if not outcome.format_skipped:
+                            self.plan_cache.get(outcome.point)
+                else:
+                    on_chunk = (
+                        (lambda cr: checkpoint.append_many(cr.outcomes))
+                        if checkpoint is not None
+                        else None
+                    )
+                    with obs_scope(NULL_OBSERVER):
+                        new = run_parallel(
+                            todo,
+                            csr,
+                            x,
+                            self.device,
+                            workers=self.workers,
+                            executor=self.executor,
+                            compile_cost=self.plan_cache.compile_cost_s,
+                            deadline=deadline,
+                            retry=self.retry,
+                            on_chunk=on_chunk,
+                            report=report,
+                        )
+                    # Workers compiled against throwaway caches; replay the
+                    # plan lookups here, in enumeration order, so the shared
+                    # cache ends up in the exact state a serial run leaves
+                    # behind.
+                    outcomes = sorted(
+                        list(restored.values()) + new, key=lambda o: o.index
+                    )
+                    for outcome in outcomes:
+                        if not outcome.format_skipped:
+                            self.plan_cache.get(outcome.point)
+            finally:
+                if checkpoint is not None:
+                    checkpoint.close()
 
-            result = self._merge(outcomes, t0, hits0, misses0)
+            result = self._merge(
+                outcomes,
+                t0,
+                hits0,
+                misses0,
+                partial=len(outcomes) < len(items),
+                resumed=len(restored),
+            )
             tune_span.set(
                 evaluated=result.evaluated,
                 skipped=result.skipped,
                 best_time_s=result.best.time_s,
                 best_gflops=result.best.gflops,
+                partial=result.partial,
+                resumed=result.resumed,
             )
             obs.counter("tuner.evaluations", "candidates evaluated").inc(
                 result.evaluated
@@ -320,6 +445,23 @@ class AutoTuner:
             obs.counter("tuner.plan_cache.misses", "kernel-plan cache misses").inc(
                 result.cache_misses
             )
+            if checkpoint is not None:
+                obs.counter(
+                    "tuner.resumed_candidates",
+                    "candidates restored from a checkpoint instead of re-run",
+                ).inc(result.resumed)
+            if report.lost_chunks or report.pool_rebuilds:
+                obs.counter(
+                    "tuner.worker_crashes", "tuning chunks lost to dead workers"
+                ).inc(report.lost_chunks)
+                obs.counter(
+                    "retry.attempts", "retry attempts (pool rebuilds included)"
+                ).inc(report.pool_rebuilds)
+            if result.partial:
+                obs.counter(
+                    "tuner.deadline_expiries",
+                    "tuning runs stopped early by their deadline",
+                ).inc()
             return result
 
     def _merge(
@@ -328,6 +470,8 @@ class AutoTuner:
         t0: float,
         hits0: int,
         misses0: int,
+        partial: bool = False,
+        resumed: int = 0,
     ) -> TuningResult:
         """Fold index-ordered outcomes into a :class:`TuningResult`.
 
@@ -371,6 +515,12 @@ class AutoTuner:
                 csp.set(sim_time_s=ev.time_s, sim_gflops=ev.gflops)
 
         if best is None:
+            if partial:
+                raise DeadlineExceeded(
+                    "the tuning deadline expired before any candidate "
+                    "finished -- nothing to return, not even a partial best",
+                    label="tuner.tune",
+                )
             raise TuningError("no tuning candidate was evaluable for this matrix")
 
         return TuningResult(
@@ -386,4 +536,6 @@ class AutoTuner:
             workers=self.workers,
             history=history,
             skip_reasons=skip_reasons,
+            partial=partial,
+            resumed=resumed,
         )

@@ -1,0 +1,233 @@
+"""Tests for the failure-containment policies (retry/deadline/breaker)."""
+
+import math
+
+import pytest
+
+from repro.errors import CircuitOpenError, DeadlineExceeded, ReproError
+from repro.fault import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        p = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, multiplier=2.0, jitter=0.0
+        )
+        assert p.retries == 3
+        assert p.delays() == [1.0, 2.0, 4.0]
+
+    def test_max_delay_caps(self):
+        p = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=10.0,
+            max_delay_s=5.0, jitter=0.0,
+        )
+        assert p.delays() == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(max_attempts=5, base_delay_s=1.0, jitter=0.25, seed=3)
+        q = RetryPolicy(max_attempts=5, base_delay_s=1.0, jitter=0.25, seed=3)
+        assert p.delays() == q.delays()  # same seed -> same schedule
+        for k, delay in enumerate(p.delays(), start=1):
+            raw = min(1.0 * 2.0 ** (k - 1), 30.0)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter=0.25, seed=1)
+        b = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter=0.25, seed=2)
+        assert a.delays() != b.delays()
+
+    def test_zero_base_never_sleeps(self):
+        p = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        assert p.delays() == [0.0] * 4
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ReproError("transient")
+            return "ok"
+
+        slept = []
+        p = RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.0)
+        assert p.call(flaky, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert slept == [1.0, 2.0]
+
+    def test_call_exhausts_and_reraises(self):
+        p = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise ReproError("persistent")
+
+        with pytest.raises(ReproError, match="persistent"):
+            p.call(always)
+        assert len(calls) == 2
+
+    def test_call_on_retry_hook(self):
+        seen = []
+        p = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+
+        def flaky():
+            if len(seen) < 2:
+                raise ReproError("x")
+            return 1
+
+        p.call(flaky, on_retry=lambda k, exc: seen.append((k, type(exc))))
+        assert seen == [(1, ReproError), (2, ReproError)]
+
+    def test_call_does_not_catch_foreign_exceptions(self):
+        p = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        with pytest.raises(KeyError):
+            p.call(lambda: (_ for _ in ()).throw(KeyError("bug")))
+
+    def test_call_respects_deadline_instead_of_sleeping_past_it(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        p = RetryPolicy(max_attempts=3, base_delay_s=100.0, jitter=0.0)
+        with pytest.raises(DeadlineExceeded):
+            p.call(
+                lambda: (_ for _ in ()).throw(ReproError("x")),
+                deadline=deadline,
+                sleep=lambda s: None,
+            )
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() == math.inf
+        assert not d.expired()
+        d.check("anything")  # no raise
+
+    def test_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        d = Deadline(5.0, clock=clock)
+        assert d.remaining() == 5.0
+        clock.advance(4.0)
+        assert not d.expired()
+        clock.advance(1.5)
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded) as exc:
+            d.check("tuning")
+        assert exc.value.budget_s == 5.0
+        assert exc.value.label == "tuning"
+
+    def test_coerce(self):
+        d = Deadline(1.0)
+        assert Deadline.coerce(d) is d
+        assert Deadline.coerce(None) is None
+        assert Deadline.coerce(2.5).seconds == 2.5
+        with pytest.raises(ReproError):
+            Deadline.coerce("soon")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+    def test_closed_until_threshold(self):
+        br, _ = self.make(threshold=3)
+        for _ in range(2):
+            br.record_failure("bccoo")
+        assert br.state("bccoo") == BREAKER_CLOSED
+        assert br.allow("bccoo")
+        br.record_failure("bccoo")
+        assert br.state("bccoo") == BREAKER_OPEN
+        assert not br.allow("bccoo")
+        assert br.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        br, _ = self.make(threshold=2)
+        br.record_failure("k")
+        br.record_success("k")
+        br.record_failure("k")
+        assert br.state("k") == BREAKER_CLOSED  # never 2 in a row
+
+    def test_half_open_probe_success_closes(self):
+        br, clock = self.make(threshold=1, cooldown=10.0)
+        br.record_failure("k")
+        assert br.state("k") == BREAKER_OPEN
+        clock.advance(10.0)
+        assert br.state("k") == BREAKER_HALF_OPEN
+        assert br.allow("k")  # the probe slot
+        assert br.probes == 1
+        br.record_success("k")
+        assert br.state("k") == BREAKER_CLOSED
+        assert br.recoveries == 1
+
+    def test_half_open_probe_failure_reopens(self):
+        br, clock = self.make(threshold=1, cooldown=10.0)
+        br.record_failure("k")
+        clock.advance(10.0)
+        assert br.allow("k")
+        br.record_failure("k")
+        assert br.state("k") == BREAKER_OPEN
+        assert not br.allow("k")
+        assert br.trips == 2
+        clock.advance(9.9)  # cooldown restarted at the re-open
+        assert br.state("k") == BREAKER_OPEN
+
+    def test_keys_are_independent(self):
+        br, _ = self.make(threshold=1)
+        br.record_failure("a")
+        assert not br.allow("a")
+        assert br.allow("b")
+        assert br.snapshot() == {"a": BREAKER_OPEN, "b": BREAKER_CLOSED}
+
+    def test_check_raises_typed_error(self):
+        br, _ = self.make(threshold=1)
+        br.record_failure("bell")
+        with pytest.raises(CircuitOpenError) as exc:
+            br.check("bell")
+        assert exc.value.family == "bell"
+
+    def test_state_value_encoding(self):
+        br, clock = self.make(threshold=1, cooldown=5.0)
+        assert br.state_value("k") == 0
+        br.record_failure("k")
+        assert br.state_value("k") == 2
+        clock.advance(5.0)
+        assert br.state_value("k") == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(0)
+        with pytest.raises(ReproError):
+            CircuitBreaker(1, -1.0)

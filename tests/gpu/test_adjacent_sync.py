@@ -233,3 +233,76 @@ class TestChainCarriesHazard:
     def test_empty(self):
         carry, grp = chain_carries_hazard(np.zeros(0), np.zeros(0, dtype=bool))
         assert carry.size == 0 and grp.size == 0
+
+
+class TestSpinWatchdog:
+    def test_unpublished_predecessor_trips_timeout(self):
+        from repro.errors import AdjacentSyncTimeout
+
+        # wg2 arrives before wg1 has published; with the watchdog armed
+        # the bounded spin expires instead of reading a stale 0.
+        lp = np.array([1.0, 2.0, 4.0])
+        hs = np.zeros(3, dtype=bool)
+        with pytest.raises(AdjacentSyncTimeout) as exc:
+            chain_carries_hazard(
+                lp, hs, arrival_order=np.array([0, 2, 1]), max_spin=64
+            )
+        assert exc.value.workgroup == 2
+        assert exc.value.spins == 64
+
+    def test_default_keeps_silent_stale_semantics(self):
+        # max_spin=None (the legacy default) models the silent stale
+        # read -- no exception, carry is the initialization value.
+        lp = np.array([1.0, 2.0, 4.0])
+        hs = np.zeros(3, dtype=bool)
+        carry, _ = chain_carries_hazard(
+            lp, hs, arrival_order=np.array([0, 2, 1])
+        )
+        assert carry[2] == 0.0
+
+    def test_stale_read_does_not_trip_watchdog(self):
+        # Delayed visibility slips PAST the spin loop: the predecessor
+        # did publish, so the watchdog has nothing to wait on and the
+        # stale value is read silently even with the watchdog armed.
+        lp = np.array([1.0, 10.0, 100.0])
+        hs = np.array([False, False, True])
+        carry, _ = chain_carries_hazard(
+            lp, hs, stale_reads=np.array([False, True, False]), max_spin=64
+        )
+        assert carry[1] == 0.0
+
+    def test_in_order_arrival_never_trips(self, rng):
+        lp = rng.standard_normal(20)
+        hs = rng.random(20) < 0.4
+        c0, g0 = chain_carries(lp, hs)
+        c1, g1 = chain_carries_hazard(lp, hs, max_spin=1)
+        np.testing.assert_array_equal(c0, c1)
+        np.testing.assert_array_equal(g0, g1)
+
+    def test_timeout_counted(self):
+        from repro.errors import AdjacentSyncTimeout
+        from repro.obs import Observer, obs_scope
+
+        lp = np.array([1.0, 2.0, 4.0])
+        hs = np.zeros(3, dtype=bool)
+        obs = Observer()
+        with obs_scope(obs):
+            with pytest.raises(AdjacentSyncTimeout):
+                chain_carries_hazard(
+                    lp, hs, arrival_order=np.array([0, 2, 1]), max_spin=8
+                )
+        assert obs.metrics.get("watchdog.timeouts").value() == 1
+
+    def test_logical_id_remap_avoids_timeout(self, rng):
+        # The paper's repair: traverse in arrival order via logical ids;
+        # every predecessor is then published before it is read, so the
+        # armed watchdog never fires.
+        lp = rng.standard_normal(12)
+        hs = rng.random(12) < 0.5
+        order = rng.permutation(12)
+        logical = logical_workgroup_ids(order)
+        c, _ = chain_carries_hazard(
+            lp[order], hs[order], arrival_order=logical[order], max_spin=8
+        )
+        c_exact, _ = chain_carries(lp[order], hs[order])
+        np.testing.assert_array_equal(c, c_exact)

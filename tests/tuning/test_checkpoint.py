@@ -1,0 +1,166 @@
+"""Tests for crash-safe tuning checkpoints and deadline-bounded search."""
+
+import json
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.gpu import GTX680
+from repro.tuning import AutoTuner, TuningCheckpoint
+
+
+@pytest.fixture
+def A(random_matrix):
+    return random_matrix(nrows=60, ncols=60, density=0.08)
+
+
+@pytest.fixture
+def serial(A):
+    return AutoTuner(GTX680, mode="pruned").tune(A)
+
+
+def assert_identical(a, b):
+    """Bit-identical tuning results: winner, history, quarantines."""
+    assert a.best.point == b.best.point
+    assert a.best.time_s == b.best.time_s
+    assert a.best.gflops == b.best.gflops
+    assert a.history == b.history
+    assert a.evaluated == b.evaluated
+    assert a.skipped == b.skipped
+    assert a.skip_reasons == b.skip_reasons
+
+
+class TestJournal:
+    def test_checkpointed_serial_matches_plain_serial(self, tmp_path, A, serial):
+        ck = tmp_path / "ck.jsonl"
+        res = AutoTuner(GTX680, checkpoint=ck).tune(A)
+        assert_identical(res, serial)
+        assert res.resumed == 0
+        # The journal holds a header plus one line per outcome.
+        lines = ck.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert len(lines) - 1 == res.evaluated + res.skipped
+
+    def test_full_journal_resumes_everything(self, tmp_path, A, serial):
+        ck = tmp_path / "ck.jsonl"
+        AutoTuner(GTX680, checkpoint=ck).tune(A)
+        resumed = AutoTuner(GTX680, checkpoint=ck).tune(A)
+        assert_identical(resumed, serial)
+        assert resumed.resumed == serial.evaluated + serial.skipped
+        assert not resumed.partial
+
+    def test_truncated_journal_resumes_the_rest(self, tmp_path, A, serial):
+        ck = tmp_path / "ck.jsonl"
+        AutoTuner(GTX680, checkpoint=ck).tune(A)
+        lines = ck.read_text().splitlines(keepends=True)
+        keep = 1 + (len(lines) - 1) // 3  # header + a third of the outcomes
+        ck.write_text("".join(lines[:keep]))
+        resumed = AutoTuner(GTX680, checkpoint=ck).tune(A)
+        assert resumed.resumed == keep - 1
+        assert_identical(resumed, serial)
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path, A, serial):
+        ck = tmp_path / "ck.jsonl"
+        AutoTuner(GTX680, checkpoint=ck).tune(A)
+        text = ck.read_text()
+        # Simulate a crash mid-write: cut the last line in half.
+        torn = text[: len(text) - 40]
+        ck.write_text(torn)
+        checkpoint = TuningCheckpoint(ck)
+        resumed = AutoTuner(GTX680, checkpoint=checkpoint).tune(A)
+        assert checkpoint.torn_lines == 1
+        assert_identical(resumed, serial)
+
+    def test_header_mismatch_starts_fresh(self, tmp_path, A, random_matrix, serial):
+        ck = tmp_path / "ck.jsonl"
+        B = random_matrix(nrows=50, ncols=50, density=0.1, seed=9)
+        AutoTuner(GTX680, checkpoint=ck).tune(B)  # journal belongs to B
+        res = AutoTuner(GTX680, checkpoint=ck).tune(A)
+        assert res.resumed == 0  # nothing restorable for A
+        assert_identical(res, serial)
+
+    def test_resume_false_discards_journal(self, tmp_path, A):
+        ck = tmp_path / "ck.jsonl"
+        AutoTuner(GTX680, checkpoint=ck).tune(A)
+        res = AutoTuner(
+            GTX680, checkpoint=TuningCheckpoint(ck, resume=False)
+        ).tune(A)
+        assert res.resumed == 0
+
+    def test_coerce(self, tmp_path):
+        ck = TuningCheckpoint(tmp_path / "x.jsonl")
+        assert TuningCheckpoint.coerce(ck) is ck
+        assert TuningCheckpoint.coerce(None) is None
+        assert TuningCheckpoint.coerce(tmp_path / "y.jsonl").resume is True
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            TuningCheckpoint.coerce(42)
+
+
+class TestDeadline:
+    def test_zero_budget_raises_typed_error(self, A):
+        with pytest.raises(DeadlineExceeded):
+            AutoTuner(GTX680, deadline=0.0).tune(A)
+
+    def test_expiry_mid_tune_returns_partial_best_so_far(self, tmp_path, A, serial):
+        # A budget big enough for some candidates but (virtually) never
+        # the whole space on this matrix size.
+        ck = tmp_path / "ck.jsonl"
+        res = None
+        for budget in (0.25, 0.5, 1.0, 2.0):
+            try:
+                res = AutoTuner(GTX680, checkpoint=ck, deadline=budget).tune(A)
+                break
+            except DeadlineExceeded:
+                continue  # not even one candidate fit; widen and resume
+        assert res is not None, "no budget admitted a single candidate"
+        assert res.best is not None  # best-so-far even when partial
+        total = serial.evaluated + serial.skipped
+        done = res.evaluated + res.skipped + res.resumed
+        if res.partial:
+            assert done < total
+            # The best-so-far is the serial best over the same prefix:
+            # every evaluated time is in serial's history.
+            serial_times = {e.time_s for e in serial.history}
+            assert {e.time_s for e in res.history} <= serial_times
+        else:
+            assert done == total
+
+    def test_partial_then_resume_is_bit_identical(self, tmp_path, A, serial):
+        ck = tmp_path / "ck.jsonl"
+        first = None
+        for budget in (0.25, 0.5, 1.0, 2.0):
+            try:
+                first = AutoTuner(GTX680, checkpoint=ck, deadline=budget).tune(A)
+                break
+            except DeadlineExceeded:
+                continue
+        assert first is not None
+        total = serial.evaluated + serial.skipped
+        if first.partial:
+            # Best-so-far over the completed prefix, persisted in the
+            # journal; an unlimited resume completes the search.
+            done = first.evaluated + first.skipped + first.resumed
+            assert done < total
+            resumed = AutoTuner(GTX680, checkpoint=ck).tune(A)
+            assert resumed.resumed == done
+            assert not resumed.partial
+            assert_identical(resumed, serial)
+        else:
+            # The machine was fast enough to finish inside the budget --
+            # then the run must simply equal serial.
+            assert_identical(first, serial)
+
+    def test_summary_mentions_partial(self, A):
+        res = None
+        for budget in (0.25, 0.5, 1.0):
+            try:
+                res = AutoTuner(GTX680, deadline=budget).tune(A)
+                break
+            except DeadlineExceeded:
+                continue
+        if res is not None and res.partial:
+            assert "PARTIAL" in res.summary()
+            assert res.to_dict()["partial"] is True

@@ -71,7 +71,7 @@ class TestStore:
     def test_incompatible_version_is_miss(self, store, A):
         store.put(A, GTX680, TuningPoint())
         blobs = json.loads(store.path.read_text())
-        for v in blobs.values():
+        for v in blobs["entries"].values():
             v["version"] = 999
         store.path.write_text(json.dumps(blobs))
         assert TuningStore(store.path).get(A, GTX680) is None
@@ -88,7 +88,7 @@ class TestCounters:
     def test_version_mismatch_counts_invalidation(self, store, A):
         store.put(A, GTX680, TuningPoint())
         blobs = json.loads(store.path.read_text())
-        for v in blobs.values():
+        for v in blobs["entries"].values():
             v["version"] = 999
         store.path.write_text(json.dumps(blobs))
         fresh = TuningStore(store.path)
@@ -151,7 +151,7 @@ class TestEngineIntegration:
 
         store.put(A, GTX680, TuningPoint())
         blobs = json.loads(store.path.read_text())
-        for v in blobs.values():
+        for v in blobs["entries"].values():
             v["version"] = 999
         store.path.write_text(json.dumps(blobs))
 
@@ -171,3 +171,93 @@ class TestEngineIntegration:
         eng.prepare(A, store=override)
         assert len(override) == 1
         assert len(store) == 0
+
+
+class TestHardening:
+    """Concurrency and corruption behaviour of the store file."""
+
+    def test_interleaved_writers_keep_both_entries(self, store, A, random_matrix):
+        """Lost-update regression: two writers with stale snapshots.
+
+        Both stores read the (empty) file before either writes.  A naive
+        write-my-snapshot implementation would make the second ``put``
+        clobber the first; the locked read-modify-write must keep both.
+        """
+        B = random_matrix(nrows=40, ncols=40, density=0.1, seed=5)
+        writer_a = TuningStore(store.path)
+        writer_b = TuningStore(store.path)
+        # Force both to snapshot the file *before* either writes.
+        assert writer_a.get(A, GTX680) is None
+        assert writer_b.get(B, GTX680) is None
+
+        writer_a.put(A, GTX680, TuningPoint(block_height=2))
+        writer_b.put(B, GTX680, TuningPoint(block_height=3))
+
+        fresh = TuningStore(store.path)
+        assert fresh.get(A, GTX680).block_height == 2
+        assert fresh.get(B, GTX680).block_height == 3
+        assert len(fresh) == 2
+
+    def test_on_disk_layout_is_schema_wrapped(self, store, A):
+        store.put(A, GTX680, TuningPoint())
+        blob = json.loads(store.path.read_text())
+        assert blob["schema"] == 2
+        assert isinstance(blob["entries"], dict)
+        assert len(blob["entries"]) == 1
+
+    def test_legacy_flat_layout_still_loads(self, store, A):
+        store.put(A, GTX680, TuningPoint(block_height=2))
+        blob = json.loads(store.path.read_text())
+        # Rewrite in the version-1 layout: bare entry dict, no wrapper.
+        store.path.write_text(json.dumps(blob["entries"]))
+        fresh = TuningStore(store.path)
+        assert fresh.get(A, GTX680).block_height == 2
+        assert fresh.corruptions == 0
+        # A write-back upgrades the file to the wrapped layout.
+        fresh.put(A, GTX680, TuningPoint(block_height=3))
+        assert json.loads(store.path.read_text())["schema"] == 2
+
+    def test_unknown_future_schema_is_empty_but_untouched(self, store, A):
+        payload = json.dumps({"schema": 99, "entries": {"x": {}}})
+        store.path.write_text(payload)
+        fresh = TuningStore(store.path)
+        assert fresh.get(A, GTX680) is None
+        assert fresh.corruptions == 0
+        # The newer build's file was left exactly as it was.
+        assert store.path.read_text() == payload
+
+    def test_corrupt_file_is_quarantined(self, store, A):
+        store.path.write_text("{definitely not json")
+        fresh = TuningStore(store.path)
+        assert fresh.get(A, GTX680) is None
+        assert fresh.corruptions == 1
+        corrupt = store.path.with_suffix(store.path.suffix + ".corrupt")
+        assert corrupt.exists()
+        assert corrupt.read_text() == "{definitely not json"
+        assert not store.path.exists()
+        # The store stays usable: the next put starts a fresh file.
+        fresh.put(A, GTX680, TuningPoint(block_height=2))
+        assert TuningStore(store.path).get(A, GTX680).block_height == 2
+
+    def test_corruption_fault_site_end_to_end(self, store, A):
+        from repro.fault import FaultPlan
+        from repro.fault.injection import fault_scope
+
+        store.put(A, GTX680, TuningPoint(block_height=2))
+        plan = FaultPlan.parse("store.corruption:p=1.0,count=1,seed=5")
+        with fault_scope(plan):
+            fresh = TuningStore(store.path)
+            assert fresh.get(A, GTX680) is None  # garbled on read
+        assert fresh.corruptions == 1
+        assert store.path.with_suffix(store.path.suffix + ".corrupt").exists()
+        events = plan.drain_events()
+        assert any(e.site == "store.corruption" for e in events)
+
+    def test_quarantine_emits_metric(self, store, A):
+        from repro.obs import Observer, obs_scope
+
+        store.path.write_text("garbage[[[")
+        obs = Observer()
+        with obs_scope(obs):
+            TuningStore(store.path).get(A, GTX680)
+        assert obs.metrics.get("store.corruptions").value() == 1
