@@ -1,0 +1,137 @@
+"""Serving-layer benchmark: micro-batched SpMM vs a per-vector loop.
+
+The serving layer's performance claim has two halves:
+
+1. **Batching wins.**  A coalesced ``run_multi`` dispatch reads the
+   matrix stream once for the whole batch, so its simulated time is far
+   below the sum of ``k`` sequential single-vector multiplies.  The
+   table reports the speedup per matrix for a >= 8-vector batch.
+2. **Caching wins.**  A cache hit serves straight from the prepared
+   entry: zero ``engine.prepare`` spans (no tuning search, no format
+   conversion) on the hot path.
+
+Both halves are asserted, not just printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Observer, ServeConfig, SpMVEngine, SpMVServer
+from repro.bench.report import render_table
+from repro.matrices import load_suite
+
+from conftest import bench_cap, bench_names, record_table
+
+BATCH_K = 8
+
+
+@pytest.fixture(scope="module")
+def suite():
+    mats = load_suite(cap_nnz=min(bench_cap(), 150_000))
+    names = bench_names()
+    if names:
+        mats = {k: v for k, v in mats.items() if k in names}
+    # A representative spread is enough for the serving comparison.
+    keep = list(mats)[:6]
+    return {k: mats[k] for k in keep}
+
+
+@pytest.fixture(scope="module")
+def comparison(suite):
+    """Per matrix: simulated time of k sequential multiplies vs one batch."""
+    rows = []
+    for name, A in suite.items():
+        obs = Observer()
+        engine = SpMVEngine(observer=obs)
+        srv = SpMVServer(
+            engine,
+            ServeConfig(max_batch=BATCH_K, batch_window_s=0.0),
+            observer=obs,
+            start=False,
+        )
+        prepared = engine.prepare(A)
+        k = min(BATCH_K, srv._max_batch_k(prepared))
+        rng = np.random.default_rng(7)
+        xs = [rng.standard_normal(A.shape[1]) for _ in range(k)]
+
+        t_seq = sum(engine.multiply(prepared, x).breakdown.t_total for x in xs)
+
+        futs = [srv.submit(prepared, x) for x in xs]
+        srv.drain()
+        responses = [f.result() for f in futs]
+        for x, r in zip(xs, responses):
+            np.testing.assert_allclose(r.y, A @ x, rtol=1e-9, atol=1e-9)
+        assert all(r.batched and r.batch_size == k for r in responses)
+        # One shared batch result: its simulated time is the batch cost.
+        t_batch = responses[0].result.breakdown.t_total
+
+        rows.append(
+            dict(
+                name=name,
+                nnz=int(A.nnz),
+                k=k,
+                t_seq=t_seq,
+                t_batch=t_batch,
+                speedup=t_seq / t_batch,
+            )
+        )
+        srv.close()
+    return rows
+
+
+def test_batched_spmm_beats_per_vector_loop(comparison):
+    table_rows = [
+        [
+            r["name"],
+            str(r["nnz"]),
+            str(r["k"]),
+            f"{r['t_seq'] * 1e6:.1f}",
+            f"{r['t_batch'] * 1e6:.1f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in comparison
+    ]
+    record_table(
+        "serving_batching",
+        render_table(
+            ["matrix", "nnz", "k", "t_seq (us)", "t_batch (us)", "speedup"],
+            table_rows,
+            title=f"Micro-batched SpMM vs {BATCH_K} sequential SpMV dispatches "
+            "(simulated time)",
+        ),
+    )
+    for r in comparison:
+        if r["k"] >= 8:
+            assert r["speedup"] > 1.0, (
+                f"{r['name']}: batched dispatch ({r['t_batch']:.3e}s) did not "
+                f"beat {r['k']} sequential multiplies ({r['t_seq']:.3e}s)"
+            )
+
+
+def test_cache_hit_skips_prepare_entirely(suite):
+    name, A = next(iter(suite.items()))
+    obs = Observer()
+    engine = SpMVEngine(observer=obs)
+    srv = SpMVServer(
+        engine, ServeConfig(batch_window_s=0.0), observer=obs, start=False
+    )
+    rng = np.random.default_rng(11)
+    srv.multiply(A, rng.standard_normal(A.shape[1]))  # cold: tunes + converts
+    prepares_cold = len(obs.tracer.find_all("engine.prepare"))
+    assert prepares_cold >= 1
+
+    hot = srv.multiply(A, rng.standard_normal(A.shape[1]))
+    assert hot.cache_hit
+    assert len(obs.tracer.find_all("engine.prepare")) == prepares_cold
+    assert obs.metrics.get("serve.cache.hits").value() == 1
+    record_table(
+        "serving_cache",
+        render_table(
+            ["matrix", "cold prepares", "hot prepares", "cache"],
+            [[name, str(prepares_cold), "0", "1 hit / 1 miss"]],
+            title="Prepared-matrix cache: the hot path never re-tunes",
+        ),
+    )
+    srv.close()

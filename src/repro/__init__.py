@@ -22,7 +22,7 @@ Entry points
     The subsystems, individually usable.
 """
 
-from . import fault, formats, gpu, kernels, matrices, obs, scan, solvers, tuning
+from . import fault, formats, gpu, kernels, matrices, obs, scan, serve, solvers, tuning
 from .core import (
     BaselineResult,
     PreparedMatrix,
@@ -45,12 +45,15 @@ from .errors import (
     KernelConfigError,
     MatrixGenerationError,
     ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
     TuningError,
     ValidationError,
     WorkerCrashError,
 )
 from .fault import CircuitBreaker, Deadline, FaultPlan, FaultSpec, RetryPolicy
 from .obs import NullObserver, Observer, obs_scope
+from .serve import ServeConfig, SpMVServer
 
 __version__ = "1.0.0"
 
@@ -63,6 +66,7 @@ __all__ = [
     "matrices",
     "obs",
     "scan",
+    "serve",
     "tuning",
     "NullObserver",
     "Observer",
@@ -92,6 +96,10 @@ __all__ = [
     "KernelConfigError",
     "MatrixGenerationError",
     "ReproError",
+    "ServeConfig",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "SpMVServer",
     "TuningError",
     "ValidationError",
     "__version__",

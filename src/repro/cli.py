@@ -10,6 +10,9 @@ Gives the library's main workflows a shell entry point:
 * ``profile``   -- run the full prepare/tune/convert/execute pipeline
   under an :class:`~repro.obs.Observer` and print the span tree plus
   the metrics table (``--json out.jsonl`` dumps the raw trace);
+* ``serve``     -- replay a JSON-lines request workload through the
+  concurrent serving layer (micro-batching + prepared-matrix cache) and
+  print the serving report;
 * ``footprint`` -- print the Table 3 row for a matrix;
 * ``compare``   -- run the full comparator panel on a matrix;
 * ``verify``    -- validate format invariants and check the kernel
@@ -180,6 +183,40 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core import SpMVEngine
+    from .obs import Observer, console_report
+    from .errors import ValidationError
+    from .serve import ServeConfig, SpMVServer, load_requests, run_replay
+
+    obs = Observer()
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        batch_window_s=args.window,
+        queue_depth=args.queue_depth,
+        cache_budget_bytes=(
+            None if args.budget_mb <= 0 else int(args.budget_mb * 2**20)
+        ),
+    )
+    engine = SpMVEngine(device=args.device, fault_plan=args.fault or None,
+                        policy="permissive" if args.fault else "strict")
+    try:
+        specs = load_requests(args.requests)
+    except (OSError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = SpMVServer(engine, config, observer=obs, start=not args.sync)
+    try:
+        report = run_replay(specs, server)
+    finally:
+        server.close()
+    print(report.summary())
+    if args.verbose:
+        print()
+        print(console_report(obs, title="serving profile"))
+    return 0 if report.failed == 0 and report.max_abs_err < 1e-6 else 1
+
+
 def _cmd_footprint(args) -> int:
     from .formats import footprint_report
 
@@ -308,6 +345,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", default="",
                         help="also write the trace to this JSON-lines file")
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="replay a JSON-lines request workload through the serving "
+             "layer (micro-batching + prepared-matrix cache)",
+    )
+    p_srv.add_argument("--requests", required=True,
+                       help="JSON-lines workload; each line e.g. "
+                            '{"matrix": "QCD", "count": 16, "seed": 0}')
+    p_srv.add_argument("--device", default="gtx680",
+                       choices=["gtx680", "gtx480"])
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="largest SpMM coalescing batch")
+    p_srv.add_argument("--window", type=float, default=0.002,
+                       help="batch window in seconds (0 = only coalesce "
+                            "what is already queued)")
+    p_srv.add_argument("--queue-depth", type=int, default=256,
+                       help="admission-control queue bound")
+    p_srv.add_argument("--budget-mb", type=float, default=256.0,
+                       help="prepared-matrix cache byte budget in MiB "
+                            "(<= 0 = unbounded)")
+    p_srv.add_argument("--sync", action="store_true",
+                       help="threadless replay (deterministic batching)")
+    p_srv.add_argument("--fault", default="",
+                       help="fault-plan spec injected under the engine, "
+                            "e.g. stale_grp_sum:p=0.5,seed=7")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="also print the serve.* span tree and metrics")
+
     p_fp = sub.add_parser("footprint", help="Table 3 row for a matrix")
     matrix_args(p_fp)
 
@@ -330,6 +395,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "multiply": _cmd_multiply,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
     "verify": _cmd_verify,

@@ -684,6 +684,36 @@ class SpMVEngine:
             f"stage {record.stage!r} failed: {record.error_type}: {record.error}"
         )
 
+    @staticmethod
+    def _coerce_rhs(X) -> np.ndarray:
+        """Normalize a multi-RHS operand to a 2-D ``(ncols, k)`` array.
+
+        Accepts either the 2-D column block directly or a *sequence of
+        1-D vectors* (the serving layer's batch shape).  A conforming
+        sequence -- every member 1-D, same length, numeric -- is column-
+        stacked so the whole batch rides one ``run_multi`` dispatch;
+        each stacked column is a bit-exact copy of its source vector,
+        so batching never perturbs the numerics.
+        """
+        if isinstance(X, (list, tuple)):
+            if not X:
+                raise ValidationError("multiply_many needs at least one vector")
+            vecs = [np.asarray(v, dtype=np.float64) for v in X]
+            bad = [v.shape for v in vecs if v.ndim != 1]
+            if bad:
+                raise ValidationError(
+                    f"a vector sequence must contain 1-D vectors only, "
+                    f"got shapes {bad[:3]}"
+                )
+            lengths = {v.shape[0] for v in vecs}
+            if len(lengths) != 1:
+                raise ValidationError(
+                    f"all vectors in a batch must share a length, "
+                    f"got {sorted(lengths)}"
+                )
+            return np.column_stack(vecs)
+        return np.asarray(X)
+
     def multiply_many(
         self, prepared: PreparedMatrix | object, X: np.ndarray
     ) -> SpMVResult:
@@ -694,6 +724,12 @@ class SpMVEngine:
         multiplies -- the block-Krylov use case.  ``result.nnz`` counts
         ``nnz * k`` so ``gflops`` stays the throughput of useful work.
 
+        ``X`` may also be a *sequence of 1-D vectors* sharing a length
+        (the serving layer's request-batch shape): the batch is column-
+        stacked and executed as **one** ``run_multi`` SpMM dispatch, and
+        every output column is bit-identical to a sequential
+        :meth:`multiply` of the corresponding vector.
+
         Accepts a raw matrix as a one-shot overload (like
         :meth:`multiply`) and runs under the same resilience/validation
         policy: with a fault plan or validation enabled, SpMM goes
@@ -702,6 +738,7 @@ class SpMVEngine:
         """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
+        X = self._coerce_rhs(X)
         obs = self.observer
         with obs_scope(obs), obs.span(
             "engine.multiply_many",

@@ -147,3 +147,25 @@ class FaultInjectedError(ReproError):
         self.site = site
         self.seed = seed
         self.workgroup = workgroup
+
+
+class ServerOverloadedError(ReproError):
+    """The serving layer shed a request under admission control.
+
+    Raised by :meth:`repro.serve.SpMVServer.submit` when the bounded
+    request queue is full (backpressure) -- callers should retry with
+    backoff or route the request elsewhere.  ``queue_depth`` is the
+    configured bound; ``pending`` the queue occupancy observed at
+    admission time.  Both survive pickling (the message is the sole
+    positional argument).
+    """
+
+    def __init__(self, message: str = "", *, queue_depth: int | None = None,
+                 pending: int | None = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.pending = pending
+
+
+class ServerClosedError(ReproError):
+    """A request was submitted to a server that is shut (or shutting) down."""

@@ -1,0 +1,34 @@
+"""repro.serve -- the concurrent serving layer.
+
+A thread-safe front-end that turns the single-caller
+:class:`~repro.SpMVEngine` into a traffic-ready service:
+:class:`SpMVServer` micro-batches concurrent single-vector requests for
+the same matrix into one SpMM dispatch, keeps prepared (tuned +
+converted) matrices in a footprint-budgeted LRU
+:class:`~repro.serve.cache.PreparedCache`, and applies admission
+control (bounded queue, per-request deadlines, retry/circuit-breaker
+containment, typed :class:`~repro.errors.ServerOverloadedError`
+shedding).  See ``docs/serving.md``.
+
+Batched serving is bit-identical to sequential ``engine.multiply`` per
+vector -- the differential test harness pins this across formats,
+scan strategies and injected faults.
+"""
+
+from .cache import CacheEntry, PreparedCache, prepared_footprint_bytes
+from .replay import ReplayReport, ReplaySpec, load_requests, run_replay
+from .server import ServeConfig, ServeFuture, ServeResponse, SpMVServer
+
+__all__ = [
+    "CacheEntry",
+    "PreparedCache",
+    "prepared_footprint_bytes",
+    "ReplayReport",
+    "ReplaySpec",
+    "load_requests",
+    "run_replay",
+    "ServeConfig",
+    "ServeFuture",
+    "ServeResponse",
+    "SpMVServer",
+]

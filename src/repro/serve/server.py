@@ -1,0 +1,712 @@
+"""Thread-safe concurrent serving layer over :class:`repro.SpMVEngine`.
+
+The engine's entry points are single-caller: every caller pays its own
+prepare (tuning + conversion) and its own kernel dispatch.  At serving
+scale both costs amortize -- the paper's perfect-load-balance argument
+only pays off when the framework is fed batches, and CB-SpMV/CMRS show
+that blocking overheads and conversion cost must be amortized across
+requests, not repaid per call.  :class:`SpMVServer` adds the three
+pieces a production front-end needs:
+
+* **micro-batching** -- concurrent single-vector requests against the
+  same matrix are coalesced (time window + max batch) into one
+  :meth:`YaSpMMKernel.run_multi` SpMM dispatch, which reads the matrix
+  stream once for the whole batch; requests whose shapes cannot batch
+  fall back to per-vector :meth:`~repro.SpMVEngine.multiply`;
+* **prepared-matrix caching** -- an LRU :class:`~repro.serve.cache.
+  PreparedCache` bounded by a byte budget (footprints from the format
+  layer's own accounting), so a hot matrix is tuned and converted once;
+* **admission control** -- a bounded queue that sheds with a typed
+  :class:`~repro.errors.ServerOverloadedError`, a per-request
+  :class:`~repro.fault.Deadline`, and optional
+  :class:`~repro.fault.RetryPolicy` / :class:`~repro.fault.
+  CircuitBreaker` containment around every dispatch.
+
+Batched and sequential execution are **bit-identical**: the SpMM path
+performs, per column, exactly the floating-point operations of the
+single-vector kernel (the differential test harness pins this under
+every format/strategy/fault combination).
+
+Everything is observable through ``serve.*`` spans and metrics on the
+ambient observer (``repro serve``/``repro profile`` surface them).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import PreparedMatrix, SpMVEngine, SpMVResult
+from ..errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ValidationError,
+)
+from ..fault.retry import CircuitBreaker, Deadline, RetryPolicy
+from ..obs import obs_scope
+from ..tuning.persistence import matrix_fingerprint
+from .cache import PreparedCache
+
+__all__ = ["ServeConfig", "ServeResponse", "ServeFuture", "SpMVServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Backpressure and batching knobs of one :class:`SpMVServer`.
+
+    Attributes
+    ----------
+    max_batch:
+        Largest number of single-vector requests coalesced into one SpMM
+        dispatch.
+    batch_window_s:
+        After the first request of a batch is picked up, how long the
+        dispatcher keeps the batch open for same-matrix arrivals.  ``0``
+        coalesces only what is already queued (deterministic; what the
+        tests use).
+    queue_depth:
+        Bounded-queue admission limit; a submit beyond it raises
+        :class:`~repro.errors.ServerOverloadedError` (load shedding).
+    cache_budget_bytes:
+        Byte budget of the prepared-matrix LRU cache (``None`` =
+        unbounded).
+    default_timeout_s:
+        Deadline applied to requests that don't carry their own
+        (``None`` = no deadline).
+    """
+
+    max_batch: int = 32
+    batch_window_s: float = 0.002
+    queue_depth: int = 256
+    cache_budget_bytes: int | None = 256 << 20
+    default_timeout_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window_s < 0:
+            raise ValidationError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.queue_depth < 1:
+            raise ValidationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+
+
+@dataclass
+class ServeResponse:
+    """One request's answer: the product vector plus serving context."""
+
+    y: np.ndarray
+    #: The (possibly shared) execution profile.  For a coalesced batch
+    #: every member references the same batch-level :class:`SpMVResult`.
+    result: SpMVResult
+    batched: bool
+    batch_size: int
+    cache_hit: bool
+    queue_wait_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "serve_response",
+            "batched": bool(self.batched),
+            "batch_size": int(self.batch_size),
+            "cache_hit": bool(self.cache_hit),
+            "queue_wait_s": float(self.queue_wait_s),
+            "result": self.result.to_dict(),
+        }
+
+
+class ServeFuture:
+    """Completion handle for one submitted request."""
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._response: ServeResponse | None = None
+        self._error: BaseException | None = None
+
+    def _complete(self, response: ServeResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResponse:
+        """Block until the response is ready; re-raises server-side errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within the wait timeout")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within the wait timeout")
+        return self._error
+
+
+@dataclass
+class _Request:
+    key: str
+    matrix: object
+    prepared: PreparedMatrix | None
+    x: np.ndarray
+    deadline: Deadline | None
+    future: ServeFuture
+    enqueued_at: float
+    #: 1-D requests coalesce; 2-D (multi-RHS) requests dispatch solo.
+    batchable: bool = field(default=True)
+
+
+class SpMVServer:
+    """Concurrent SpMV front-end: micro-batching + caching + backpressure.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.SpMVEngine` executing requests (a default
+        strict engine is built when omitted).  All resilience knobs
+        (fault plans, validation, permissive fallback) live on the
+        engine and apply unchanged to served requests.
+    config:
+        A :class:`ServeConfig`; defaults are production-ish.
+    retry_policy:
+        Optional server-level :class:`~repro.fault.RetryPolicy` wrapped
+        around every dispatch (in addition to whatever the engine does
+        internally).
+    breaker:
+        Optional :class:`~repro.fault.CircuitBreaker` keyed by the
+        prepared matrix's format family; an open circuit sheds the whole
+        batch with :class:`~repro.errors.CircuitOpenError`.
+    observer:
+        Observer receiving the ``serve.*`` spans and metrics.  Defaults
+        to the engine's observer; when given explicitly it is also
+        installed on the engine so serve- and engine-level telemetry
+        land in one tracer.
+    start:
+        ``True`` (default) starts the background dispatcher thread.
+        ``False`` runs threadless: callers submit and then invoke
+        :meth:`drain` to process synchronously -- the deterministic mode
+        the differential tests use.
+    clock:
+        Injectable monotonic clock for deadlines and the batch window.
+    """
+
+    def __init__(
+        self,
+        engine: SpMVEngine | None = None,
+        config: ServeConfig | None = None,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        observer=None,
+        start: bool = True,
+        clock=time.monotonic,
+    ):
+        self.engine = engine if engine is not None else SpMVEngine()
+        self.config = config if config is not None else ServeConfig()
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ValidationError(
+                f"retry_policy must be a RetryPolicy or None, "
+                f"got {type(retry_policy).__name__}"
+            )
+        if breaker is not None and not isinstance(breaker, CircuitBreaker):
+            raise ValidationError(
+                f"breaker must be a CircuitBreaker or None, "
+                f"got {type(breaker).__name__}"
+            )
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        if observer is not None:
+            # One tracer for both layers: serve.batch spans contain the
+            # engine.prepare/multiply spans they trigger.
+            self.engine.observer = observer
+        self.obs = observer if observer is not None else self.engine.observer
+        self.cache = PreparedCache(self.config.cache_budget_bytes)
+        self._clock = clock
+        self._sleep = time.sleep
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._in_flight = 0
+        # Plain-int mirrors of the serve.* counters so a server without
+        # an observer still reports; guarded by _cond's lock.
+        self.n_requests = 0
+        self.n_responses = 0
+        self.n_shed = 0
+        self.n_batches = 0
+        self.n_batched_requests = 0
+        self.n_batch_fallbacks = 0
+        self.n_deadline_expired = 0
+        self.n_breaker_rejections = 0
+        self._thread: threading.Thread | None = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._run, name="spmv-serve-dispatch", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission side
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        timeout_s: float | None = None,
+    ) -> ServeFuture:
+        """Enqueue one request ``y = A @ x``; returns a future.
+
+        ``matrix`` is a scipy sparse matrix (prepared through the cache,
+        tuning once per structure) or an explicit
+        :class:`~repro.core.engine.PreparedMatrix` (admitted into the
+        cache as-is).  ``x`` is a single vector (coalescible) or a 2-D
+        ``(ncols, k)`` block (dispatched solo through ``multiply_many``).
+
+        Raises :class:`~repro.errors.ServerOverloadedError` when the
+        bounded queue is full and :class:`~repro.errors.ServerClosedError`
+        after :meth:`close`.
+        """
+        prepared: PreparedMatrix | None = None
+        if isinstance(matrix, PreparedMatrix):
+            prepared = matrix
+            ncols = prepared.fmt.ncols
+            source = prepared.reference_csr()
+        else:
+            ncols = matrix.shape[1]
+            source = matrix
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim not in (1, 2):
+            raise ValidationError(
+                f"x must be a vector or a (ncols, k) block, got shape {x.shape}"
+            )
+        if x.shape[0] != ncols:
+            raise ValidationError(
+                f"x has {x.shape[0]} rows, matrix has {ncols} columns"
+            )
+        key = (
+            f"{self.engine.device.name}:{self.engine.tuning_mode}:"
+            f"{matrix_fingerprint(source)}"
+        )
+        timeout = timeout_s if timeout_s is not None else self.config.default_timeout_s
+        deadline = None if timeout is None else Deadline(timeout, clock=self._clock)
+        future = ServeFuture()
+        request = _Request(
+            key=key,
+            matrix=source,
+            prepared=prepared,
+            x=x,
+            deadline=deadline,
+            future=future,
+            enqueued_at=self._clock(),
+            batchable=x.ndim == 1,
+        )
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("server is closed; request refused")
+            if len(self._queue) >= self.config.queue_depth:
+                self.n_shed += 1
+                self.obs.counter(
+                    "serve.shed", "requests refused by admission control"
+                ).inc()
+                raise ServerOverloadedError(
+                    f"queue depth {self.config.queue_depth} reached; "
+                    f"request shed (retry with backoff)",
+                    queue_depth=self.config.queue_depth,
+                    pending=len(self._queue),
+                )
+            self._queue.append(request)
+            self.n_requests += 1
+            self.obs.counter("serve.requests", "requests admitted").inc()
+            self.obs.gauge("serve.queue.depth", "queued requests").set(
+                len(self._queue)
+            )
+            self._cond.notify_all()
+        return future
+
+    def multiply(
+        self, matrix, x: np.ndarray, *, timeout_s: float | None = None
+    ) -> ServeResponse:
+        """Blocking convenience: :meth:`submit` + wait for the result."""
+        future = self.submit(matrix, x, timeout_s=timeout_s)
+        if self._thread is None:
+            self.drain()
+        return future.result()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch side
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        """Dispatcher-thread main loop."""
+        while True:
+            batch = self._next_batch(wait=True)
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def drain(self) -> int:
+        """Process queued requests on the calling thread; returns count.
+
+        The threadless (``start=False``) processing mode: batches are
+        formed from whatever is queued (the window never waits, since no
+        concurrent arrivals are possible) and dispatched synchronously.
+        With a dispatcher thread running, ``drain`` instead blocks until
+        the queue is empty and no batch is in flight.
+        """
+        if self._thread is not None:
+            with self._cond:
+                while self._queue or self._in_flight:
+                    self._cond.wait(0.01)
+            return 0
+        done = 0
+        while True:
+            batch = self._next_batch(wait=False)
+            if batch is None:
+                return done
+            done += len(batch)
+            self._dispatch(batch)
+
+    def _next_batch(self, wait: bool) -> list[_Request] | None:
+        """Pop the next micro-batch: same-key 1-D requests coalesced.
+
+        Returns ``None`` when the server is closed and the queue empty
+        (or, with ``wait=False``, when the queue is simply empty).
+        """
+        cfg = self.config
+        with self._cond:
+            while not self._queue:
+                if self._closed or not wait:
+                    return None
+                self._cond.wait()
+            first = self._queue.popleft()
+            batch = [first]
+            if first.batchable:
+                window_end = self._clock() + cfg.batch_window_s
+                while len(batch) < cfg.max_batch:
+                    for r in list(self._queue):
+                        if r.batchable and r.key == first.key:
+                            self._queue.remove(r)
+                            batch.append(r)
+                            if len(batch) >= cfg.max_batch:
+                                break
+                    if len(batch) >= cfg.max_batch:
+                        break
+                    remaining = window_end - self._clock()
+                    if remaining <= 0 or self._closed or not wait:
+                        break
+                    self._cond.wait(remaining)
+            self._in_flight += 1
+            self.obs.gauge("serve.queue.depth", "queued requests").set(
+                len(self._queue)
+            )
+        return batch
+
+    def _finish(self, request: _Request, error: BaseException | None,
+                response: ServeResponse | None) -> None:
+        """Complete one future and count the response."""
+        if error is not None:
+            request.future._fail(error)
+        else:
+            request.future._complete(response)
+        with self._cond:
+            self.n_responses += 1
+        self.obs.counter(
+            "serve.responses", "requests completed (success or typed error)"
+        ).inc()
+
+    def _dispatch(self, batch: list[_Request]) -> None:
+        obs = self.obs
+        try:
+            with obs_scope(obs), obs.span(
+                "serve.batch", key=batch[0].key[-12:], size=len(batch)
+            ) as sp:
+                self._dispatch_inner(batch, sp)
+        finally:
+            with self._cond:
+                self._in_flight -= 1
+                self._cond.notify_all()
+
+    def _dispatch_inner(self, batch: list[_Request], sp) -> None:
+        obs = self.obs
+        now = self._clock()
+
+        live: list[_Request] = []
+        for r in batch:
+            if r.deadline is not None and r.deadline.expired():
+                with self._cond:
+                    self.n_deadline_expired += 1
+                obs.counter(
+                    "serve.deadline_expiries",
+                    "requests expired before dispatch",
+                ).inc()
+                self._finish(r, DeadlineExceeded(
+                    f"request deadline of {r.deadline.seconds:.3f}s expired "
+                    f"while queued",
+                    label="serve queue",
+                    budget_s=r.deadline.seconds,
+                ), None)
+            else:
+                live.append(r)
+        sp.set(live=len(live))
+        if not live:
+            return
+
+        # -- prepared-matrix cache: one logical lookup per request, so
+        # hits + misses always reconciles with the admitted request
+        # count; the first miss pays the prepare, the rest of the batch
+        # hits the entry it just created.
+        key = live[0].key
+        prepared: PreparedMatrix | None = None
+        hit_flags: list[bool] = []
+        hits0, misses0, evict0 = (
+            self.cache.hits, self.cache.misses, self.cache.evictions,
+        )
+        try:
+            for r in live:
+                found = self.cache.get(key)
+                if found is None:
+                    if prepared is not None:
+                        found = prepared
+                    elif r.prepared is not None:
+                        found = r.prepared
+                    else:
+                        found = self.engine.prepare(r.matrix)
+                    self.cache.put(key, found)
+                    hit_flags.append(False)
+                else:
+                    hit_flags.append(True)
+                prepared = found
+        except ReproError as exc:
+            for r in live:
+                self._finish(r, exc, None)
+            return
+        finally:
+            obs.counter("serve.cache.hits", "prepared-cache hits").inc(
+                self.cache.hits - hits0
+            )
+            obs.counter("serve.cache.misses", "prepared-cache misses").inc(
+                self.cache.misses - misses0
+            )
+            obs.counter(
+                "serve.cache.evictions", "prepared-cache evictions"
+            ).inc(self.cache.evictions - evict0)
+            obs.gauge(
+                "serve.cache.bytes", "prepared-cache resident footprint"
+            ).set(self.cache.total_bytes)
+        sp.set(cache_hit=hit_flags[0], format=prepared.point.format_name)
+
+        # -- circuit breaker keyed by format family.
+        family = prepared.point.format_name
+        if self.breaker is not None:
+            try:
+                self.breaker.check(family)
+            except ReproError as exc:
+                with self._cond:
+                    self.n_breaker_rejections += len(live)
+                obs.counter(
+                    "serve.breaker_rejections",
+                    "requests shed on an open circuit",
+                ).inc(len(live))
+                for r in live:
+                    self._finish(r, exc, None)
+                return
+
+        # -- execute: one SpMM dispatch per device-sized chunk.  The
+        # SpMM kernel's k-wide partial sums scale the per-workgroup
+        # shared memory, so a coalesced batch wider than the device
+        # allows would be rejected; chunking to the limit keeps every
+        # dispatch on the amortized path.
+        max_k = self._max_batch_k(prepared)
+        if len(live) > max_k:
+            obs.counter(
+                "serve.batch_splits",
+                "batches split to the device's shared-memory width limit",
+            ).inc()
+            sp.set(split_k=max_k)
+        for start in range(0, len(live), max_k):
+            self._execute_chunk(
+                live[start : start + max_k],
+                hit_flags[start : start + max_k],
+                prepared,
+                family,
+                now,
+            )
+
+    def _max_batch_k(self, prepared: PreparedMatrix) -> int:
+        """Widest SpMM batch the device's shared memory allows."""
+        from ..formats.bccoo_plus import BCCOOPlusMatrix
+        from ..kernels.yaspmv import YaSpMVKernel
+
+        fmt = prepared.fmt
+        if isinstance(fmt, BCCOOPlusMatrix):
+            fmt = fmt.stacked
+        shm_one = YaSpMVKernel()._shared_mem(fmt, prepared.config)
+        limit = self.engine.device.max_shared_mem_per_workgroup
+        return max(1, limit // max(shm_one, 1))
+
+    def _execute_chunk(
+        self,
+        live: list[_Request],
+        hit_flags: list[bool],
+        prepared: PreparedMatrix,
+        family: str,
+        now: float,
+    ) -> None:
+        """Run one device-sized chunk and complete its futures."""
+        obs = self.obs
+
+        def run_batch() -> SpMVResult:
+            if len(live) == 1:
+                r = live[0]
+                if r.x.ndim == 2:
+                    return self.engine.multiply_many(prepared, r.x)
+                return self.engine.multiply(prepared, r.x)
+            return self.engine.multiply_many(prepared, [r.x for r in live])
+
+        try:
+            if self.retry_policy is not None:
+                result = self.retry_policy.call(
+                    run_batch,
+                    retry_on=(ReproError,),
+                    sleep=self._sleep,
+                    on_retry=lambda attempt, exc: obs.counter(
+                        "serve.retry.attempts", "server-level dispatch retries"
+                    ).inc(),
+                )
+            else:
+                result = run_batch()
+        except ReproError as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure(family)
+            if len(live) == 1:
+                self._finish(live[0], exc, None)
+                return
+            # Containment: one poisoned batch member must not fail the
+            # rest -- retry each request alone through the engine.
+            with self._cond:
+                self.n_batch_fallbacks += 1
+            obs.counter(
+                "serve.batch_fallbacks",
+                "coalesced batches re-run per-vector after a failure",
+            ).inc()
+            for r, was_hit in zip(live, hit_flags):
+                try:
+                    res = self.engine.multiply(prepared, r.x)
+                except ReproError as single_exc:
+                    self._finish(r, single_exc, None)
+                else:
+                    self._finish(r, None, ServeResponse(
+                        y=res.y,
+                        result=res,
+                        batched=False,
+                        batch_size=1,
+                        cache_hit=was_hit,
+                        queue_wait_s=now - r.enqueued_at,
+                    ))
+            return
+        if self.breaker is not None:
+            self.breaker.record_success(family)
+            obs.gauge(
+                "breaker.state",
+                "per-family circuit state (0=closed, 1=half-open, 2=open)",
+            ).set(self.breaker.state_value(family), family=family)
+
+        # -- split and complete.
+        k = len(live)
+        with self._cond:
+            self.n_batches += 1
+            if k > 1:
+                self.n_batched_requests += k
+        obs.counter("serve.batches", "dispatches (batched or solo)").inc()
+        obs.histogram(
+            "serve.batch_size", "requests per dispatch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).observe(k)
+        if k > 1:
+            obs.counter(
+                "serve.batched_requests", "requests served via coalesced SpMM"
+            ).inc(k)
+        for j, (r, was_hit) in enumerate(zip(live, hit_flags)):
+            if k == 1:
+                y = result.y
+            else:
+                y = np.ascontiguousarray(result.y[:, j])
+            self._finish(r, None, ServeResponse(
+                y=y,
+                result=result,
+                batched=k > 1,
+                batch_size=k,
+                cache_hit=was_hit,
+                queue_wait_s=now - r.enqueued_at,
+            ))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; optionally finish the queued ones.
+
+        With ``drain=True`` (default) everything already queued is
+        processed before shutdown; with ``drain=False`` queued futures
+        fail with :class:`~repro.errors.ServerClosedError`.  Idempotent.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            else:
+                abandoned = []
+            self._cond.notify_all()
+        for r in abandoned:
+            self._finish(r, ServerClosedError(
+                "server closed before the request was dispatched"
+            ), None)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        elif drain:
+            self.drain()
+
+    def __enter__(self) -> "SpMVServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """JSON-able snapshot of the serving counters + cache state."""
+        with self._cond:
+            snap = {
+                "requests": self.n_requests,
+                "responses": self.n_responses,
+                "shed": self.n_shed,
+                "batches": self.n_batches,
+                "batched_requests": self.n_batched_requests,
+                "batch_fallbacks": self.n_batch_fallbacks,
+                "deadline_expiries": self.n_deadline_expired,
+                "breaker_rejections": self.n_breaker_rejections,
+                "queued": len(self._queue),
+            }
+        snap["cache"] = self.cache.stats()
+        return snap

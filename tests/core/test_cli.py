@@ -139,3 +139,31 @@ class TestCommands:
         assert main(
             ["multiply", "Economics", "--cap", "8000", "--store", str(store)]
         ) == 0
+
+
+class TestServeCommand:
+    def test_serve_replays_and_verifies(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            '{"matrix": "QCD", "count": 6, "cap": 20000}\n'
+            '{"matrix": "QCD", "count": 2, "cap": 20000, "seed": 3}\n'
+        )
+        assert main(["serve", "--requests", str(reqs), "--sync"]) == 0
+        out = capsys.readouterr().out
+        assert "requests : 8 (8 ok, 0 failed)" in out
+        assert "cache" in out
+
+    def test_serve_verbose_prints_span_tree(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text('{"matrix": "QCD", "count": 3, "cap": 20000}\n')
+        assert main(["serve", "--requests", str(reqs), "--sync", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.batch" in out
+        assert "engine.prepare" in out
+
+    def test_serve_bad_request_file(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text('{"count": 1}\n')
+        assert main(["serve", "--requests", str(reqs), "--sync"]) == 2
+        err = capsys.readouterr().err
+        assert "matrix" in err

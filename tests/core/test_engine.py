@@ -180,3 +180,75 @@ class TestReferenceCsrThreadSafety:
         # Double-checked locking: every caller sees the same decoded object.
         assert all(r is results[0] for r in results)
         np.testing.assert_allclose(results[0].toarray(), A.toarray(), atol=1e-12)
+
+
+class TestMultiplyManyVectorSequences:
+    """Regression: a sequence of 1-D vectors must coalesce into ONE SpMM
+    dispatch (the serving layer's batch shape), not a per-vector loop,
+    and each output column must be bit-identical to a sequential
+    multiply of the corresponding vector."""
+
+    def test_list_of_vectors_single_dispatch(self, random_matrix, rng):
+        from repro import Observer
+
+        obs = Observer()
+        eng = SpMVEngine("gtx680", observer=obs)
+        A = random_matrix(nrows=100, ncols=100)
+        prep = eng.prepare(A, point=TuningPoint())
+        xs = [rng.standard_normal(100) for _ in range(5)]
+        result = eng.multiply_many(prep, xs)
+        # Exactly one SpMM kernel dispatch; zero single-vector dispatches.
+        assert len(obs.tracer.find_all("kernel.yaspmm")) == 1
+        assert len(obs.tracer.find_all("kernel.yaspmv")) == 0
+        assert result.y.shape == (100, 5)
+        for j, x in enumerate(xs):
+            assert np.array_equal(result.y[:, j], eng.multiply(prep, x).y)
+
+    def test_tuple_of_vectors_accepted(self, random_matrix, rng):
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=60, ncols=60)
+        prep = eng.prepare(A, point=TuningPoint())
+        xs = tuple(rng.standard_normal(60) for _ in range(3))
+        result = eng.multiply_many(prep, xs)
+        expected = np.column_stack([A @ x for x in xs])
+        np.testing.assert_allclose(result.y, expected, atol=1e-9)
+        # nnz accounting scales with the batch width.
+        assert result.nnz == prep.nnz * 3
+
+    def test_empty_sequence_rejected(self, random_matrix):
+        from repro.errors import ValidationError
+
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=40, ncols=40)
+        prep = eng.prepare(A, point=TuningPoint())
+        with pytest.raises(ValidationError):
+            eng.multiply_many(prep, [])
+
+    def test_mismatched_lengths_rejected(self, random_matrix, rng):
+        from repro.errors import ValidationError
+
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=40, ncols=40)
+        prep = eng.prepare(A, point=TuningPoint())
+        with pytest.raises(ValidationError):
+            eng.multiply_many(prep, [rng.standard_normal(40), rng.standard_normal(39)])
+
+    def test_non_1d_members_rejected(self, random_matrix, rng):
+        from repro.errors import ValidationError
+
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=40, ncols=40)
+        prep = eng.prepare(A, point=TuningPoint())
+        with pytest.raises(ValidationError):
+            eng.multiply_many(prep, [rng.standard_normal((40, 2))])
+
+    def test_resilient_path_also_coalesces(self, random_matrix, rng):
+        """Under validation/permissive policy the sequence shape still
+        goes through the fallback chain as one multi-RHS execution."""
+        eng = SpMVEngine("gtx680", validate=True, policy="permissive")
+        A = random_matrix(nrows=80, ncols=80)
+        prep = eng.prepare(A, point=TuningPoint())
+        xs = [rng.standard_normal(80) for _ in range(4)]
+        result = eng.multiply_many(prep, xs)
+        expected = np.column_stack([A @ x for x in xs])
+        np.testing.assert_allclose(result.y, expected, atol=1e-9)

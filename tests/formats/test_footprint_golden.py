@@ -1,0 +1,176 @@
+"""Golden-file pin of the byte accounting in :mod:`repro.formats.footprint`.
+
+The serving cache's budget, the tuner's block-dimension pruning, and
+Table 3 all trust ``footprint_bytes()``; a silent accounting change
+would shift every one of them.  This suite rebuilds four hand-crafted
+matrices -- each the natural habitat of one format family -- and checks
+every family's footprint, plus the full ``footprint_report`` row,
+against ``tests/formats/golden/footprints.json``.
+
+The matrices are constructed entry-by-entry (no random generators) so
+the goldens cannot drift with scipy versions.  To regenerate after an
+*intentional* accounting change, run this file as a script:
+``PYTHONPATH=src python tests/formats/test_footprint_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.formats import (
+    BCCOOMatrix,
+    BCSRMatrix,
+    BELLMatrix,
+    COOMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    HYBMatrix,
+    SELLMatrix,
+)
+from repro.formats.footprint import footprint_report
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "footprints.json"
+
+
+def banded(n=64, offsets=(-2, -1, 0, 1, 2)):
+    """Pure band structure: DIA's natural habitat."""
+    diags = [np.arange(1, n + 1 - abs(k), dtype=np.float64) for k in offsets]
+    return sparse.diags(diags, offsets, shape=(n, n), format="csr")
+
+
+def uniform_rows(n=48, per_row=6):
+    """Constant row length: ELL's natural habitat."""
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        for j in range(per_row):
+            rows.append(i)
+            cols.append((i * 7 + j * 5) % n)
+            vals.append(float(i + j + 1))
+    A = sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    A.sum_duplicates()
+    return A
+
+
+def blocky(n=64, bs=4):
+    """Dense 4x4 tiles: the blocked formats' natural habitat."""
+    dense = np.zeros((n, n))
+    for b in range(0, n, bs * 2):
+        dense[b : b + bs, b : b + bs] = np.arange(1, bs * bs + 1).reshape(bs, bs)
+        j = (b + bs * 3) % n
+        dense[b : b + bs, j : j + bs] = (
+            np.arange(1, bs * bs + 1).reshape(bs, bs) * 0.5
+        )
+    return sparse.csr_matrix(dense)
+
+
+def skewed(n=60):
+    """Diagonal plus one hub row: HYB/COCKTAIL's natural habitat."""
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append(i)
+        vals.append(float(i + 1))
+    for j in range(0, n, 2):
+        rows.append(7)
+        cols.append(j)
+        vals.append(1.0 + j)
+    A = sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    A.sum_duplicates()
+    return A
+
+
+MATRICES = {
+    "banded": banded,
+    "uniform": uniform_rows,
+    "blocky": blocky,
+    "skewed": skewed,
+}
+
+#: One representative constructor per format family.
+FAMILIES = {
+    "coo": lambda A: COOMatrix.from_scipy(A),
+    "csr": lambda A: CSRMatrix.from_scipy(A),
+    "ell": lambda A: ELLMatrix.from_scipy(A),
+    "dia": lambda A: DIAMatrix.from_scipy(A),
+    "hyb": lambda A: HYBMatrix.from_scipy(A),
+    "sell32": lambda A: SELLMatrix.from_scipy(A, slice_height=32),
+    "bcsr2x2": lambda A: BCSRMatrix.from_scipy(A, block_height=2, block_width=2),
+    "bell2x2": lambda A: BELLMatrix.from_scipy(A, block_height=2, block_width=2),
+    "bccoo2x2": lambda A: BCCOOMatrix.from_scipy(A, block_height=2, block_width=2),
+}
+
+
+def compute_entry(A) -> dict:
+    families = {}
+    for fname, build in FAMILIES.items():
+        try:
+            families[fname] = int(build(A).footprint_bytes())
+        except Exception:
+            families[fname] = None  # format N/A on this structure
+    rep = footprint_report(A)
+    return {
+        "nnz": int(A.nnz),
+        "shape": list(A.shape),
+        "families": families,
+        "report": {
+            "coo": rep.coo,
+            "ell": rep.ell,
+            "best_single": rep.best_single,
+            "best_single_format": rep.best_single_format,
+            "cocktail": rep.cocktail,
+            "cocktail_recipe": rep.cocktail_recipe,
+            "bccoo": rep.bccoo,
+            "bccoo_block": list(rep.bccoo_block),
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("name", sorted(MATRICES))
+def test_footprints_match_golden(name, golden):
+    entry = compute_entry(MATRICES[name]())
+    assert entry == golden[name], (
+        f"byte accounting for {name!r} diverged from the golden file; "
+        f"if the change is intentional, regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name}` from the repo root"
+    )
+
+
+def test_golden_covers_every_family():
+    """Each format family has at least one matrix where it is applicable
+    (non-None), so the accounting of every family is actually pinned."""
+    with GOLDEN_PATH.open() as f:
+        golden = json.load(f)
+    for fname in FAMILIES:
+        assert any(
+            golden[m]["families"][fname] is not None for m in golden
+        ), f"no golden matrix exercises family {fname!r}"
+
+
+def test_each_habitat_is_won_by_its_format():
+    """Sanity on the fixtures: the intended family wins its habitat."""
+    with GOLDEN_PATH.open() as f:
+        golden = json.load(f)
+    assert golden["banded"]["report"]["best_single_format"] == "dia"
+    assert golden["blocky"]["report"]["best_single_format"].startswith("bcsr")
+    assert golden["skewed"]["report"]["best_single_format"] == "hyb"
+
+
+if __name__ == "__main__":  # golden regeneration entry point
+    data = {name: compute_entry(make()) for name, make in MATRICES.items()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,164 @@
+"""Unit tests for the footprint-budgeted prepared-matrix LRU cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import ReproError, SpMVEngine
+from repro.serve import PreparedCache, prepared_footprint_bytes
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SpMVEngine()
+
+
+@pytest.fixture(scope="module")
+def prepared_pool(engine):
+    """A few prepared matrices of different sizes (tuned once per module)."""
+    out = {}
+    for name, n, density, seed in [
+        ("small", 40, 0.1, 1),
+        ("medium", 120, 0.06, 2),
+        ("large", 300, 0.04, 3),
+    ]:
+        A = sparse.random(n, n, density=density, random_state=seed, format="csr")
+        out[name] = engine.prepare(A)
+    return out
+
+
+class TestFootprintAccounting:
+    def test_charges_format_plus_csr_arrays(self, prepared_pool):
+        p = prepared_pool["small"]
+        expected = int(p.fmt.footprint_bytes()) + int(
+            p.csr.data.nbytes + p.csr.indices.nbytes + p.csr.indptr.nbytes
+        )
+        assert prepared_footprint_bytes(p) == expected
+
+    def test_larger_matrix_costs_more(self, prepared_pool):
+        assert prepared_footprint_bytes(prepared_pool["large"]) > (
+            prepared_footprint_bytes(prepared_pool["small"])
+        )
+
+
+class TestPreparedCache:
+    def test_hit_miss_counters(self, prepared_pool):
+        cache = PreparedCache()
+        assert cache.get("a") is None
+        cache.put("a", prepared_pool["small"])
+        assert cache.get("a") is prepared_pool["small"]
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_peek_does_not_count_or_touch(self, prepared_pool):
+        cache = PreparedCache()
+        cache.put("a", prepared_pool["small"])
+        cache.put("b", prepared_pool["medium"])
+        assert cache.peek("a") is prepared_pool["small"]
+        assert (cache.hits, cache.misses) == (0, 0)
+        # Recency unchanged: "a" is still the LRU head.
+        assert cache.keys()[0] == "a"
+
+    def test_lru_eviction_under_budget(self, prepared_pool):
+        small = prepared_footprint_bytes(prepared_pool["small"])
+        medium = prepared_footprint_bytes(prepared_pool["medium"])
+        cache = PreparedCache(budget_bytes=small + medium)
+        cache.put("s", prepared_pool["small"])
+        cache.put("m", prepared_pool["medium"])
+        assert cache.evictions == 0
+        evicted = cache.put("l", prepared_pool["large"])  # blows the budget
+        assert [e.key for e in evicted] == ["s", "m"]
+        assert cache.evictions == 2
+        assert cache.keys() == ["l"]
+
+    def test_get_refreshes_recency(self, prepared_pool):
+        small = prepared_footprint_bytes(prepared_pool["small"])
+        cache = PreparedCache(budget_bytes=2 * small)
+        cache.put("a", prepared_pool["small"])
+        cache.put("b", prepared_pool["small"])
+        cache.get("a")  # now "b" is least recently used
+        cache.put("c", prepared_pool["small"])
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_oversized_entry_still_admitted(self, prepared_pool):
+        cache = PreparedCache(budget_bytes=1)
+        evicted = cache.put("big", prepared_pool["large"])
+        assert evicted == []
+        assert cache.peek("big") is prepared_pool["large"]
+        assert cache.total_bytes > cache.budget_bytes  # documented exception
+
+    def test_oversized_insert_evicts_everything_else(self, prepared_pool):
+        small = prepared_footprint_bytes(prepared_pool["small"])
+        cache = PreparedCache(budget_bytes=2 * small)
+        cache.put("a", prepared_pool["small"])
+        evicted = cache.put("big", prepared_pool["large"])
+        assert [e.key for e in evicted] == ["a"]
+        assert cache.keys() == ["big"]
+
+    def test_replace_updates_total_bytes(self, prepared_pool):
+        cache = PreparedCache()
+        cache.put("k", prepared_pool["large"])
+        cache.put("k", prepared_pool["small"])
+        assert len(cache) == 1
+        assert cache.total_bytes == prepared_footprint_bytes(prepared_pool["small"])
+
+    def test_total_bytes_is_sum_of_entries(self, prepared_pool):
+        cache = PreparedCache()
+        for i, p in enumerate(prepared_pool.values()):
+            cache.put(str(i), p)
+        assert cache.total_bytes == sum(
+            prepared_footprint_bytes(p) for p in prepared_pool.values()
+        )
+
+    def test_clear_resets_residency_not_counters(self, prepared_pool):
+        cache = PreparedCache()
+        cache.put("a", prepared_pool["small"])
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+        assert cache.hits == 1  # lifetime counters survive
+
+    def test_stats_snapshot(self, prepared_pool):
+        cache = PreparedCache(budget_bytes=10 << 20)
+        cache.put("a", prepared_pool["small"])
+        cache.get("a")
+        cache.get("nope")
+        snap = cache.stats()
+        assert snap == {
+            "entries": 1,
+            "total_bytes": prepared_footprint_bytes(prepared_pool["small"]),
+            "budget_bytes": 10 << 20,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            PreparedCache(budget_bytes=-1)
+
+    def test_zero_budget_keeps_one_entry(self, prepared_pool):
+        cache = PreparedCache(budget_bytes=0)
+        cache.put("a", prepared_pool["small"])
+        cache.put("b", prepared_pool["medium"])
+        assert cache.keys() == ["b"]  # newest survives, older evicted
+        assert cache.evictions == 1
+
+
+class TestCacheMatchesTable3Accounting:
+    def test_bccoo_entry_consistent_with_footprint_module(self, engine):
+        """The cache charges the same bytes Table 3's accounting computes."""
+        A = sparse.random(200, 200, density=0.05, random_state=7, format="csr")
+        p = engine.prepare(A)
+        fmt_bytes = int(p.fmt.footprint_bytes())
+        csr_bytes = int(
+            p.csr.data.nbytes + p.csr.indices.nbytes + p.csr.indptr.nbytes
+        )
+        cache = PreparedCache()
+        cache.put("k", p)
+        assert cache.total_bytes == fmt_bytes + csr_bytes
+        y = engine.multiply(p, np.ones(200)).y
+        assert np.allclose(y, A @ np.ones(200))
