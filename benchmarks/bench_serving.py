@@ -52,7 +52,7 @@ def comparison(suite):
             start=False,
         )
         prepared = engine.prepare(A)
-        k = min(BATCH_K, srv._max_batch_k(prepared))
+        k = min(BATCH_K, engine.max_batch_width(prepared))
         rng = np.random.default_rng(7)
         xs = [rng.standard_normal(A.shape[1]) for _ in range(k)]
 

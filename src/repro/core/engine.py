@@ -274,6 +274,7 @@ class SpMVEngine:
         self.validation_rtol = validation_rtol
         self.validation_atol = validation_atol
         self._kernel = YaSpMVKernel()
+        self._kernel_multi = YaSpMMKernel()
         self._timing = TimingModel(self.device)
         #: Backoff sleep between tuned retries; tests inject a recorder.
         self._sleep = time.sleep
@@ -596,7 +597,7 @@ class SpMVEngine:
                     # Untuned default point, rebuilt from the CSR source.
                     rebuilt = BCCOOMatrix.from_scipy(csr)
                     if multi:
-                        kernel_result = YaSpMMKernel().run_multi(
+                        kernel_result = self._kernel_multi.run_multi(
                             rebuilt, x, self.device, config=config
                         )
                     else:
@@ -604,7 +605,7 @@ class SpMVEngine:
                             rebuilt, x, self.device, config=config
                         )
                 elif multi:
-                    kernel_result = YaSpMMKernel().run_multi(
+                    kernel_result = self._kernel_multi.run_multi(
                         fmt, x, self.device, config=config
                     )
                 else:
@@ -747,7 +748,7 @@ class SpMVEngine:
             resilient=self._resilient,
         ) as sp:
             if not self._resilient:
-                result = YaSpMMKernel().run_multi(
+                result = self._kernel_multi.run_multi(
                     prepared.fmt, X, self.device, config=prepared.config
                 )
                 breakdown = self._timing.estimate(result.stats)
@@ -761,6 +762,22 @@ class SpMVEngine:
                 out = self._multiply_resilient(prepared, X)
             self._observe_result(sp, out)
             return out
+
+    def max_batch_width(self, prepared: PreparedMatrix) -> int:
+        """Widest multi-RHS block :meth:`multiply_many` runs as one SpMM.
+
+        Delegates to the engine's own SpMM kernel instance (the one
+        every :meth:`multiply_many` dispatch uses) so the bound always
+        matches real execution on this engine's device.
+        """
+        if not isinstance(prepared, PreparedMatrix):
+            raise ValidationError(
+                f"max_batch_width needs a PreparedMatrix from prepare(), "
+                f"got {type(prepared).__name__}"
+            )
+        return self._kernel_multi.max_batch_width(
+            prepared.fmt, self.device, prepared.config
+        )
 
     def _observe_result(self, sp, result: SpMVResult) -> None:
         """Feed one multiply's profile to the observer (span + metrics)."""

@@ -428,6 +428,25 @@ class YaSpMMKernel(YaSpMVKernel):
     # Not registered: reached through run_multi / SpMVEngine.multiply_many.
     name = ""
 
+    def max_batch_width(
+        self,
+        fmt,
+        device: DeviceSpec,
+        config: YaSpMVConfig | None = None,
+    ) -> int:
+        """Widest ``k`` that :meth:`run_multi` can dispatch on ``device``.
+
+        The SpMM dataflow widens the per-workgroup partial sums by ``k``,
+        so shared memory scales linearly with the batch width; a wider
+        batch would be rejected with :class:`KernelConfigError`.  Callers
+        coalescing requests (the serving layer) chunk to this bound.
+        """
+        cfg = config if config is not None else YaSpMVConfig()
+        if isinstance(fmt, BCCOOPlusMatrix):
+            fmt = fmt.stacked
+        shm_one = self._shared_mem(fmt, cfg)
+        return max(1, device.max_shared_mem_per_workgroup // max(shm_one, 1))
+
     def run_multi(
         self,
         fmt,

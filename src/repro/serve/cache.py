@@ -5,8 +5,10 @@ search plus the BCCOO/BCCOO+ conversion dwarf a single multiply by
 orders of magnitude (the CMRS observation: format-conversion cost must
 be cached, not repaid per call).  :class:`PreparedCache` keeps
 :class:`~repro.core.engine.PreparedMatrix` instances keyed by the
-matrix's structural fingerprint and evicts least-recently-used entries
-when the total *byte footprint* exceeds a budget.
+matrix's structural fingerprint *plus a hash of its values* (a prepared
+entry embeds the values, so same-structure/different-values matrices
+must not share one) and evicts least-recently-used entries when the
+total *byte footprint* exceeds a budget.
 
 The byte accounting reuses the format layer's own model: each entry is
 charged ``fmt.footprint_bytes()`` (the :mod:`repro.formats.footprint`

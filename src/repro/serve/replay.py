@@ -44,8 +44,32 @@ class ReplaySpec:
     timeout_s: float | None = None
 
     def __post_init__(self):
+        # Field values come straight from untrusted JSON: check types
+        # before the range comparisons so a malformed request file
+        # surfaces as a clean ValidationError, never a TypeError.
+        if not isinstance(self.matrix, str) or not self.matrix:
+            raise ValidationError(
+                f"matrix must be a non-empty string, got {self.matrix!r}"
+            )
+        for name in ("count", "seed", "cap", "k"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValidationError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+        if self.timeout_s is not None and (
+            isinstance(self.timeout_s, bool)
+            or not isinstance(self.timeout_s, (int, float))
+        ):
+            raise ValidationError(
+                f"timeout_s must be a number or null, got {self.timeout_s!r}"
+            )
         if self.count < 1:
             raise ValidationError(f"count must be >= 1, got {self.count}")
+        if self.seed < 0:
+            raise ValidationError(f"seed must be >= 0, got {self.seed}")
+        if self.cap < 1:
+            raise ValidationError(f"cap must be >= 1, got {self.cap}")
         if self.k < 1:
             raise ValidationError(f"k must be >= 1, got {self.k}")
 
@@ -118,7 +142,16 @@ def load_requests(path) -> list[ReplaySpec]:
                 raise ValidationError(
                     f"{path}:{lineno}: unknown fields {sorted(unknown)}"
                 )
-            specs.append(ReplaySpec(**blob))
+            try:
+                specs.append(ReplaySpec(**blob))
+            except ValidationError as exc:
+                raise ValidationError(f"{path}:{lineno}: {exc}") from exc
+            except TypeError as exc:
+                # Belt and braces: any type mismatch the spec's own
+                # checks don't catch still gets the file:line context.
+                raise ValidationError(
+                    f"{path}:{lineno}: bad field value: {exc}"
+                ) from exc
     if not specs:
         raise ValidationError(f"{path}: no requests found")
     return specs

@@ -33,6 +33,7 @@ ambient observer (``repro serve``/``repro profile`` surface them).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import deque
@@ -51,9 +52,23 @@ from ..errors import (
 from ..fault.retry import CircuitBreaker, Deadline, RetryPolicy
 from ..obs import obs_scope
 from ..tuning.persistence import matrix_fingerprint
+from ..util import as_csr
 from .cache import PreparedCache
 
 __all__ = ["ServeConfig", "ServeResponse", "ServeFuture", "SpMVServer"]
+
+
+def _values_digest(csr) -> str:
+    """Hash of the nonzero values -- the part ``matrix_fingerprint`` omits.
+
+    Tuning depends only on structure, so the tuning store's fingerprint
+    deliberately excludes values; a *served* answer depends on them.  The
+    serve key therefore combines both, so two matrices with identical
+    sparsity but different values (the iterative-solver refresh pattern)
+    never share a cache entry or a coalesced batch.
+    """
+    data = np.ascontiguousarray(csr.data, dtype=np.float64)
+    return hashlib.sha256(data.tobytes()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -274,7 +289,8 @@ class SpMVServer:
         """Enqueue one request ``y = A @ x``; returns a future.
 
         ``matrix`` is a scipy sparse matrix (prepared through the cache,
-        tuning once per structure) or an explicit
+        once per distinct structure *and* value set -- cached entries
+        embed values, so a value refresh re-prepares) or an explicit
         :class:`~repro.core.engine.PreparedMatrix` (admitted into the
         cache as-is).  ``x`` is a single vector (coalescible) or a 2-D
         ``(ncols, k)`` block (dispatched solo through ``multiply_many``).
@@ -300,16 +316,17 @@ class SpMVServer:
             raise ValidationError(
                 f"x has {x.shape[0]} rows, matrix has {ncols} columns"
             )
+        csr = as_csr(source)
         key = (
             f"{self.engine.device.name}:{self.engine.tuning_mode}:"
-            f"{matrix_fingerprint(source)}"
+            f"{matrix_fingerprint(csr)}:{_values_digest(csr)}"
         )
         timeout = timeout_s if timeout_s is not None else self.config.default_timeout_s
         deadline = None if timeout is None else Deadline(timeout, clock=self._clock)
         future = ServeFuture()
         request = _Request(
             key=key,
-            matrix=source,
+            matrix=csr,
             prepared=prepared,
             x=x,
             deadline=deadline,
@@ -396,6 +413,10 @@ class SpMVServer:
                     return None
                 self._cond.wait()
             first = self._queue.popleft()
+            # Claim the in-flight slot before any window wait below
+            # releases the lock: a concurrent drain() must never observe
+            # an empty queue with popped-but-undispatched requests.
+            self._in_flight += 1
             batch = [first]
             if first.batchable:
                 window_end = self._clock() + cfg.batch_window_s
@@ -412,7 +433,6 @@ class SpMVServer:
                     if remaining <= 0 or self._closed or not wait:
                         break
                     self._cond.wait(remaining)
-            self._in_flight += 1
             self.obs.gauge("serve.queue.depth", "queued requests").set(
                 len(self._queue)
             )
@@ -533,7 +553,7 @@ class SpMVServer:
         # shared memory, so a coalesced batch wider than the device
         # allows would be rejected; chunking to the limit keeps every
         # dispatch on the amortized path.
-        max_k = self._max_batch_k(prepared)
+        max_k = self.engine.max_batch_width(prepared)
         if len(live) > max_k:
             obs.counter(
                 "serve.batch_splits",
@@ -548,18 +568,6 @@ class SpMVServer:
                 family,
                 now,
             )
-
-    def _max_batch_k(self, prepared: PreparedMatrix) -> int:
-        """Widest SpMM batch the device's shared memory allows."""
-        from ..formats.bccoo_plus import BCCOOPlusMatrix
-        from ..kernels.yaspmv import YaSpMVKernel
-
-        fmt = prepared.fmt
-        if isinstance(fmt, BCCOOPlusMatrix):
-            fmt = fmt.stacked
-        shm_one = YaSpMVKernel()._shared_mem(fmt, prepared.config)
-        limit = self.engine.device.max_shared_mem_per_workgroup
-        return max(1, limit // max(shm_one, 1))
 
     def _execute_chunk(
         self,

@@ -115,6 +115,24 @@ class TestUnifiedExecutionAPI:
         assert res.failure.attempts[0].validation.ok
         assert res.nnz == A.nnz * 4
 
+    def test_max_batch_width_matches_kernel_limit(self, random_matrix, rng):
+        # The public bound must agree with what run_multi actually
+        # accepts: the widest batch runs, one column more is rejected
+        # for shared memory.
+        from repro.errors import KernelConfigError, ValidationError
+
+        A = random_matrix(nrows=80, ncols=80)
+        eng = SpMVEngine("gtx680")
+        prep = eng.prepare(A, point=TuningPoint())
+        k = eng.max_batch_width(prep)
+        assert k >= 1
+        X = rng.standard_normal((80, k))
+        np.testing.assert_allclose(eng.multiply_many(prep, X).y, A @ X, atol=1e-9)
+        with pytest.raises(KernelConfigError):
+            eng.multiply_many(prep, rng.standard_normal((80, k + 1)))
+        with pytest.raises(ValidationError):
+            eng.max_batch_width(A)  # raw matrices are not accepted
+
     def test_multiply_many_fallback_chain(self, random_matrix, rng):
         from repro.fault import FaultPlan
 

@@ -23,6 +23,18 @@ class TestReplaySpec:
         with pytest.raises(ValidationError):
             ReplaySpec(matrix="QCD", k=0)
 
+    def test_wrong_typed_fields_rejected(self):
+        with pytest.raises(ValidationError, match="count"):
+            ReplaySpec(matrix="QCD", count="four")
+        with pytest.raises(ValidationError, match="k"):
+            ReplaySpec(matrix="QCD", k=None)
+        with pytest.raises(ValidationError, match="matrix"):
+            ReplaySpec(matrix=7)
+        with pytest.raises(ValidationError, match="timeout_s"):
+            ReplaySpec(matrix="QCD", timeout_s="fast")
+        with pytest.raises(ValidationError, match="seed"):
+            ReplaySpec(matrix="QCD", seed=-1)
+
 
 class TestLoadRequests:
     def test_parses_lines_comments_and_blanks(self, tmp_path):
@@ -54,6 +66,18 @@ class TestLoadRequests:
         p = tmp_path / "bad.jsonl"
         p.write_text('{"matrix": "QCD", "burst": 9}\n')
         with pytest.raises(ValidationError, match="burst"):
+            load_requests(p)
+
+    def test_wrong_typed_fields_rejected_with_line_number(self, tmp_path):
+        # Malformed values (not just malformed JSON) must surface as the
+        # documented clean ValidationError with file:line context, never
+        # as a raw TypeError traceback.
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"matrix": "QCD"}\n{"matrix": "QCD", "count": "four"}\n')
+        with pytest.raises(ValidationError, match=":2:.*count"):
+            load_requests(p)
+        p.write_text('{"matrix": "QCD", "k": null}\n')
+        with pytest.raises(ValidationError, match=":1:.*k must"):
             load_requests(p)
 
     def test_empty_file_rejected(self, tmp_path):

@@ -134,9 +134,7 @@ class TestBatching:
         obs = Observer()
         eng = SpMVEngine(observer=obs)
         prepared = eng.prepare(matrix)
-        probe = SpMVServer(eng, start=False)
-        max_k = probe._max_batch_k(prepared)
-        probe.close()
+        max_k = eng.max_batch_width(prepared)
         n = max_k + 3
         srv = SpMVServer(
             eng,
@@ -194,6 +192,40 @@ class TestCaching:
         assert np.allclose(r.y, matrix @ np.ones(120))
         assert len(obs.tracer.find_all("engine.prepare")) == prepares_before
         srv.close()
+
+    def test_same_structure_different_values_not_conflated(self, server):
+        # The iterative-solver pattern: identical sparsity, refreshed
+        # values.  The serve key hashes values, so the second matrix
+        # must get its own prepare/cache entry and its own product --
+        # and the two must never coalesce into one batch.
+        A = make_matrix(1)
+        B = A.copy()
+        B.data = B.data * 2.0 + 1.0
+        x = np.random.default_rng(7).standard_normal(120)
+        fa = server.submit(A, x)
+        fb = server.submit(B, x)
+        server.drain()
+        assert np.allclose(fa.result().y, A @ x)
+        assert np.allclose(fb.result().y, B @ x)
+        assert not np.allclose(fa.result().y, fb.result().y)
+        assert not fa.result().batched and not fb.result().batched
+        assert server.n_batches == 2
+        assert server.cache.misses == 2
+
+    def test_value_refresh_after_cache_hit_recomputes(self, server):
+        # Sequential flavour of the same pattern: serve A, update the
+        # values in place of a structural copy, serve again -- the
+        # second answer must come from the new values, not the entry
+        # cached for the old ones.
+        A = make_matrix(2)
+        x = np.ones(120)
+        assert np.allclose(server.multiply(A, x).y, A @ x)
+        A2 = A.copy()
+        A2.data = A2.data + 0.5
+        r = server.multiply(A2, x)
+        assert np.allclose(r.y, A2 @ x)
+        assert not r.cache_hit
+        assert server.cache.misses == 2
 
     def test_eviction_under_tiny_budget(self):
         srv = SpMVServer(
@@ -392,6 +424,17 @@ class TestLifecycle:
             futs = [srv.submit(matrix, x) for x in xs]
             for x, f in zip(xs, futs):
                 assert np.allclose(f.result(timeout=60).y, matrix @ x)
+
+    def test_drain_waits_out_the_batch_window(self, matrix):
+        # Regression: the dispatcher pops requests before waiting out
+        # the batch window; drain() must not observe that gap (empty
+        # queue, nothing in flight) and return early.
+        srv = SpMVServer(config=ServeConfig(batch_window_s=0.2))
+        fut = srv.submit(matrix, np.ones(120))
+        srv.drain()
+        assert fut.done()
+        assert np.allclose(fut.result().y, matrix @ np.ones(120))
+        srv.close()
 
     def test_future_timeout(self, matrix):
         srv = SpMVServer(start=False, config=ServeConfig(batch_window_s=0.0))

@@ -78,9 +78,7 @@ class TestStress:
         # Keep batches within every matrix's device shared-memory width so
         # dispatches are never chunked -- then one serve.batch span maps
         # to exactly one counted dispatch and the equality below is exact.
-        probe = SpMVServer(engine, start=False)
-        max_batch = min([16] + [probe._max_batch_k(p) for p in prepared])
-        probe.close()
+        max_batch = min([16] + [engine.max_batch_width(p) for p in prepared])
         server = SpMVServer(
             engine,
             ServeConfig(
