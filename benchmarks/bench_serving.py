@@ -11,20 +11,33 @@ The serving layer's performance claim has two halves:
    conversion) on the hot path.
 
 Both halves are asserted, not just printed.
+
+A third table sweeps the sharded fabric over {1, 2, 4} shards -- with a
+seeded shard kill whenever more than one shard is live -- and snapshots
+throughput / latency percentiles / failover counts to
+``benchmarks/results/BENCH_serving.json``.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import Observer, ServeConfig, SpMVEngine, SpMVServer
 from repro.bench.report import render_table
+from repro.fault import fault_scope
 from repro.matrices import load_suite
+from repro.serve import ServeFabric, chaos_plan
 
 from conftest import bench_cap, bench_names, record_table
 
 BATCH_K = 8
+SHARD_COUNTS = (1, 2, 4)
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="module")
@@ -135,3 +148,111 @@ def test_cache_hit_skips_prepare_entirely(suite):
         ),
     )
     srv.close()
+
+
+def _sweep_workload(suite, requests_per_matrix: int = 4):
+    """(matrix, x) pairs; value refreshes spread keys across shards."""
+    rng = np.random.default_rng(23)
+    pairs = []
+    for A in suite.values():
+        for i in range(requests_per_matrix):
+            B = A
+            if i % 2 == 1:  # refreshed values -> a distinct serve key
+                B = A.copy()
+                B.data = B.data * 1.25
+            pairs.append((B, rng.standard_normal(A.shape[1])))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def shard_sweep(suite):
+    """Closed-loop latency/throughput per shard count, kill included.
+
+    For every shard count > 1 a seeded :func:`chaos_plan` kills one
+    shard mid-workload, so the failover column measures the fabric
+    actually re-routing -- not a clean-weather run.
+    """
+    workload = _sweep_workload(suite)
+    rows = []
+    for shards in SHARD_COUNTS:
+        fabric = ServeFabric(
+            shards,
+            serve_config=ServeConfig(batch_window_s=0.0),
+            start=False,
+        )
+        plan = chaos_plan(seed=13, kills=1) if shards > 1 else None
+        latencies = []
+        t_run = time.perf_counter()
+        with fault_scope(plan) if plan is not None else _null():
+            for A, x in workload:
+                t0 = time.perf_counter()
+                fut = fabric.submit(A, x)
+                fabric.drain()
+                resp = fut.result()
+                latencies.append(time.perf_counter() - t0)
+                np.testing.assert_allclose(resp.y, A @ x, rtol=1e-9, atol=1e-9)
+        elapsed = time.perf_counter() - t_run
+        stats = fabric.stats()
+        fabric.close(drain=False)
+
+        lat = np.asarray(latencies)
+        rows.append(
+            dict(
+                shards=shards,
+                requests=len(workload),
+                elapsed_s=elapsed,
+                throughput_rps=len(workload) / elapsed,
+                p50_ms=float(np.percentile(lat, 50) * 1e3),
+                p99_ms=float(np.percentile(lat, 99) * 1e3),
+                failovers=stats["failovers"],
+                shard_crashes=stats["shard_crashes"],
+                live_shards=stats["live_shards"],
+                cache_hits=stats["cache"]["hits"],
+            )
+        )
+    return rows
+
+
+def _null():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+def test_shard_sweep_survives_kills_and_snapshots(shard_sweep, suite):
+    for r in shard_sweep:
+        if r["shards"] > 1:
+            # The seeded kill fired and the fabric re-routed; every
+            # answer above already allclose-checked against scipy.
+            assert r["shard_crashes"] == 1, r
+            assert r["failovers"] >= 1, r
+            assert r["live_shards"] == r["shards"] - 1, r
+        else:
+            assert r["shard_crashes"] == 0, r
+
+    record_table(
+        "serving_shards",
+        render_table(
+            ["shards", "requests", "throughput (req/s)", "p50 (ms)",
+             "p99 (ms)", "failovers"],
+            [
+                [str(r["shards"]), str(r["requests"]),
+                 f"{r['throughput_rps']:.1f}", f"{r['p50_ms']:.2f}",
+                 f"{r['p99_ms']:.2f}", str(r["failovers"])]
+                for r in shard_sweep
+            ],
+            title="Fabric shard sweep (closed loop, one seeded shard kill "
+            "for every multi-shard run)",
+        ),
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    snapshot = dict(
+        kind="bench_serving",
+        cap_nnz=min(bench_cap(), 150_000),
+        matrices=sorted(suite),
+        shard_sweep=shard_sweep,
+    )
+    path = RESULTS_DIR / "BENCH_serving.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    assert json.loads(path.read_text())["shard_sweep"]

@@ -44,16 +44,19 @@ from .errors import (
     FormatNotApplicableError,
     KernelConfigError,
     MatrixGenerationError,
+    QuotaExceededError,
     ReproError,
+    ServeTimeout,
     ServerClosedError,
     ServerOverloadedError,
+    ShardCrashError,
     TuningError,
     ValidationError,
     WorkerCrashError,
 )
 from .fault import CircuitBreaker, Deadline, FaultPlan, FaultSpec, RetryPolicy
 from .obs import NullObserver, Observer, obs_scope
-from .serve import ServeConfig, SpMVServer
+from .serve import ServeConfig, ServeFabric, SpMVServer, run_chaos_drill
 
 __version__ = "1.0.0"
 
@@ -95,10 +98,15 @@ __all__ = [
     "FormatNotApplicableError",
     "KernelConfigError",
     "MatrixGenerationError",
+    "QuotaExceededError",
     "ReproError",
+    "run_chaos_drill",
     "ServeConfig",
+    "ServeFabric",
+    "ServeTimeout",
     "ServerClosedError",
     "ServerOverloadedError",
+    "ShardCrashError",
     "SpMVServer",
     "TuningError",
     "ValidationError",

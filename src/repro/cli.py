@@ -12,7 +12,13 @@ Gives the library's main workflows a shell entry point:
   the metrics table (``--json out.jsonl`` dumps the raw trace);
 * ``serve``     -- replay a JSON-lines request workload through the
   concurrent serving layer (micro-batching + prepared-matrix cache) and
-  print the serving report;
+  print the serving report; ``--shards N`` serves through the sharded
+  fabric (consistent hashing + health-aware failover) instead of a
+  single server;
+* ``chaos``     -- differential chaos drill: replay a workload through
+  the sharded fabric while a seeded fault plan kills/slows/corrupts
+  shards, and diff every response against a single pristine server
+  (non-zero exit on any bit difference or a vacuous run);
 * ``footprint`` -- print the Table 3 row for a matrix;
 * ``compare``   -- run the full comparator panel on a matrix;
 * ``verify``    -- validate format invariants and check the kernel
@@ -187,7 +193,13 @@ def _cmd_serve(args) -> int:
     from .core import SpMVEngine
     from .obs import Observer, console_report
     from .errors import ValidationError
-    from .serve import ServeConfig, SpMVServer, load_requests, run_replay
+    from .serve import (
+        ServeConfig,
+        ServeFabric,
+        SpMVServer,
+        load_requests,
+        run_replay,
+    )
 
     obs = Observer()
     config = ServeConfig(
@@ -198,23 +210,66 @@ def _cmd_serve(args) -> int:
             None if args.budget_mb <= 0 else int(args.budget_mb * 2**20)
         ),
     )
-    engine = SpMVEngine(device=args.device, fault_plan=args.fault or None,
-                        policy="permissive" if args.fault else "strict")
     try:
         specs = load_requests(args.requests)
     except (OSError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    server = SpMVServer(engine, config, observer=obs, start=not args.sync)
+
+    def make_engine(_index=0):
+        return SpMVEngine(device=args.device, fault_plan=args.fault or None,
+                          policy="permissive" if args.fault else "strict")
+
+    if args.shards > 1:
+        server = ServeFabric(
+            args.shards,
+            device=args.device,
+            engine_factory=make_engine,
+            serve_config=config,
+            observer=obs,
+            start=not args.sync,
+        )
+    else:
+        server = SpMVServer(
+            make_engine(), config, observer=obs, start=not args.sync
+        )
     try:
         report = run_replay(specs, server)
     finally:
         server.close()
     print(report.summary())
+    if args.shards > 1:
+        stats = report.stats
+        print(f"shards   : {stats.get('live_shards', args.shards)}/"
+              f"{args.shards} live, {stats.get('failovers', 0)} failovers, "
+              f"{stats.get('quota_rejections', 0)} quota rejections")
     if args.verbose:
         print()
         print(console_report(obs, title="serving profile"))
     return 0 if report.failed == 0 and report.max_abs_err < 1e-6 else 1
+
+
+def _cmd_chaos(args) -> int:
+    from .serve import run_chaos_drill
+
+    report = run_chaos_drill(
+        shards=args.shards,
+        seed=args.seed,
+        cap_nnz=args.cap,
+        requests_per_matrix=args.requests_per_matrix,
+        kills=args.kills,
+        slows=args.slows,
+        corrupt_shards=args.corrupt,
+        device=args.device,
+    )
+    print(report.summary())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote report to {args.json}")
+    return 0 if report.passed else 1
 
 
 def _cmd_footprint(args) -> int:
@@ -372,6 +427,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. stale_grp_sum:p=0.5,seed=7")
     p_srv.add_argument("--verbose", action="store_true",
                        help="also print the serve.* span tree and metrics")
+    p_srv.add_argument("--shards", type=int, default=1,
+                       help="> 1 serves through the sharded fabric "
+                            "(consistent hashing + health-aware failover)")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="differential chaos drill: faulted fabric vs one pristine "
+             "server, bit-identical or non-zero exit",
+    )
+    p_chaos.add_argument("--shards", type=int, default=3,
+                         help="fabric shard count")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="seeds the fault plan and the workload")
+    p_chaos.add_argument("--device", default="gtx680",
+                         choices=["gtx680", "gtx480"])
+    p_chaos.add_argument("--cap", type=int, default=4_000,
+                         help="nnz cap for the drill's suite matrices")
+    p_chaos.add_argument("--requests-per-matrix", type=int, default=3,
+                         help="requests per (matrix, value refresh)")
+    p_chaos.add_argument("--kills", type=int, default=1,
+                         help="serve.shard_crash budget (shards killed "
+                              "mid-flight)")
+    p_chaos.add_argument("--slows", type=int, default=0,
+                         help="serve.shard_slow budget (shards slowed)")
+    p_chaos.add_argument("--corrupt", type=int, default=0,
+                         help="shards whose dispatches are detected-corrupt")
+    p_chaos.add_argument("--json", default="",
+                         help="also write the report to this JSON file")
 
     p_fp = sub.add_parser("footprint", help="Table 3 row for a matrix")
     matrix_args(p_fp)
@@ -396,6 +479,7 @@ _COMMANDS = {
     "multiply": _cmd_multiply,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
     "verify": _cmd_verify,

@@ -169,3 +169,54 @@ class ServerOverloadedError(ReproError):
 
 class ServerClosedError(ReproError):
     """A request was submitted to a server that is shut (or shutting) down."""
+
+
+class ServeTimeout(ReproError, TimeoutError):
+    """A :meth:`repro.serve.ServeFuture.result` wait ran out of patience.
+
+    Distinct from :class:`DeadlineExceeded` (the *request's* budget
+    expired server-side) and from a shard failure: the request may still
+    complete later -- only this caller stopped waiting.  Subclasses
+    :class:`TimeoutError` for drop-in compatibility with stdlib-style
+    callers.  ``waited_s`` is the wait that elapsed.  Survives pickling
+    (the message is the sole positional argument).
+    """
+
+    def __init__(self, message: str = "", *, waited_s: float | None = None):
+        super().__init__(message)
+        self.waited_s = waited_s
+
+
+class ShardCrashError(ReproError):
+    """A serving-fabric shard died with requests in flight.
+
+    Raised into the futures of every request queued on the crashed
+    shard (the ``serve.shard_crash`` fault site, the serving analogue of
+    ``tuner.worker_crash``); the fabric catches it and replays the
+    request on the successor shard under the retry/deadline budget.
+    ``shard`` names the dead shard.  Survives pickling (the message is
+    the sole positional argument).
+    """
+
+    def __init__(self, message: str = "", *, shard: str | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exceeded its admission quota on the serving fabric.
+
+    Per-tenant backpressure: unlike :class:`ServerOverloadedError` (the
+    whole queue is full) this rejection is scoped to one tenant, so a
+    noisy neighbour cannot starve the rest.  ``tenant`` is the rejected
+    tenant, ``limit`` its configured quota and ``pending`` its queued +
+    in-flight occupancy at admission time.  Survives pickling (the
+    message is the sole positional argument).
+    """
+
+    def __init__(self, message: str = "", *, tenant: str | None = None,
+                 limit: int | None = None, pending: int | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.limit = limit
+        self.pending = pending

@@ -72,6 +72,13 @@ FAULT_SITES: tuple[str, ...] = (
     # The persistent tuning store's JSON file is truncated/garbled on
     # disk (torn write by another process, bit rot).
     "store.corruption",
+    # A serving-fabric shard dies with requests in flight (the serving
+    # analogue of tuner.worker_crash: decided parent-side, budgeted).
+    "serve.shard_crash",
+    # A serving-fabric shard turns slow: every dispatch on it carries
+    # `fraction` seconds of extra simulated latency until the health
+    # tracker ejects it.
+    "serve.shard_slow",
 )
 
 
@@ -376,6 +383,39 @@ class FaultPlan:
             "tuner.worker_crash", after=after, n_candidates=n_candidates
         )
         return after
+
+    def shard_crash(self, n_live: int) -> bool:
+        """Whether a serving shard dies this scheduling round
+        (``serve.shard_crash``).
+
+        Like :meth:`worker_crash`, the draw happens in the *parent* (the
+        fabric's pump loop) so it is deterministic regardless of shard
+        scheduling.  The fabric picks the victim itself -- the busiest
+        live shard -- so a seeded drill reliably kills a shard with
+        requests in flight; this hook only decides *when*.  Never fires
+        with a single live shard left (killing the last replica would
+        make every outcome an error instead of a failover).
+        """
+        spec = self._fire("serve.shard_crash")
+        if spec is None or n_live < 2:
+            return False
+        self._record("serve.shard_crash", n_live=n_live)
+        return True
+
+    def shard_slow(self, n_live: int) -> float | None:
+        """Extra per-dispatch latency for a shard turning slow
+        (``serve.shard_slow``), or ``None`` when quiet.
+
+        The returned delay is ``fraction`` seconds of *simulated*
+        latency -- the fabric feeds it to the victim shard's health
+        window rather than sleeping, so drills stay fast and
+        deterministic.
+        """
+        spec = self._fire("serve.shard_slow")
+        if spec is None or n_live < 2:
+            return None
+        self._record("serve.shard_slow", n_live=n_live, delay_s=spec.fraction)
+        return float(spec.fraction)
 
     def corrupt_store_text(self, text: str) -> str | None:
         """Garbled replacement for a tuning-store file

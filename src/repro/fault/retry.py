@@ -237,12 +237,20 @@ BREAKER_STATE_VALUES = {
 class _Circuit:
     """State of one breaker key."""
 
-    __slots__ = ("state", "consecutive_failures", "opened_at")
+    __slots__ = (
+        "state",
+        "consecutive_failures",
+        "opened_at",
+        "probe_in_flight",
+        "probe_claimed_at",
+    )
 
     def __init__(self):
         self.state = BREAKER_CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
+        self.probe_in_flight = False
+        self.probe_claimed_at = 0.0
 
 
 class CircuitBreaker:
@@ -298,6 +306,17 @@ class CircuitBreaker:
             and self._clock() - circuit.opened_at >= self.cooldown_s
         ):
             circuit.state = BREAKER_HALF_OPEN
+            circuit.probe_in_flight = False
+        if (
+            circuit.state == BREAKER_HALF_OPEN
+            and circuit.probe_in_flight
+            and self._clock() - circuit.probe_claimed_at >= self.cooldown_s
+        ):
+            # A probe that never reported back (its caller died or an
+            # unexpected exception skipped record_*) must not wedge the
+            # circuit in half-open forever: release the slot after one
+            # cooldown so the next caller can probe again.
+            circuit.probe_in_flight = False
 
     def state(self, key: str) -> str:
         with self._lock:
@@ -312,9 +331,10 @@ class CircuitBreaker:
     def allow(self, key: str) -> bool:
         """Whether an attempt on ``key`` may proceed right now.
 
-        In ``half-open``, the first caller is granted the probe slot (and
-        the circuit stays half-open until :meth:`record_success` /
-        :meth:`record_failure` resolves it).
+        In ``half-open``, exactly one caller is granted the probe slot
+        -- concurrent racers are refused until :meth:`record_success` /
+        :meth:`record_failure` resolves the probe (or a full cooldown
+        elapses without a report, which releases the slot).
         """
         with self._lock:
             circuit = self._circuit(key)
@@ -322,6 +342,10 @@ class CircuitBreaker:
             if circuit.state == BREAKER_OPEN:
                 return False
             if circuit.state == BREAKER_HALF_OPEN:
+                if circuit.probe_in_flight:
+                    return False
+                circuit.probe_in_flight = True
+                circuit.probe_claimed_at = self._clock()
                 self.probes += 1
             return True
 
@@ -342,12 +366,14 @@ class CircuitBreaker:
                 self.recoveries += 1
             circuit.state = BREAKER_CLOSED
             circuit.consecutive_failures = 0
+            circuit.probe_in_flight = False
 
     def record_failure(self, key: str) -> None:
         with self._lock:
             circuit = self._circuit(key)
             self._refresh(circuit)
             circuit.consecutive_failures += 1
+            circuit.probe_in_flight = False
             if circuit.state == BREAKER_HALF_OPEN or (
                 circuit.state == BREAKER_CLOSED
                 and circuit.consecutive_failures >= self.failure_threshold
@@ -355,6 +381,27 @@ class CircuitBreaker:
                 circuit.state = BREAKER_OPEN
                 circuit.opened_at = self._clock()
                 self.trips += 1
+
+    def trip(self, key: str) -> None:
+        """Force the circuit for ``key`` open right now.
+
+        The wiring the serving fabric's health tracker uses: a shard
+        whose rolling error/latency window turns sick is *ejected* by
+        tripping its circuit, regardless of the consecutive-failure
+        count.  The normal cooldown -> half-open -> probe lifecycle then
+        governs readmission.  Idempotent while already open (the
+        cooldown is NOT restarted, so a flapping health signal cannot
+        postpone the probe forever).
+        """
+        with self._lock:
+            circuit = self._circuit(key)
+            self._refresh(circuit)
+            if circuit.state == BREAKER_OPEN:
+                return
+            circuit.state = BREAKER_OPEN
+            circuit.opened_at = self._clock()
+            circuit.probe_in_flight = False
+            self.trips += 1
 
     def snapshot(self) -> dict[str, str]:
         """Current state per key (cooldown transitions applied)."""

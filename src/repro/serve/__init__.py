@@ -10,25 +10,53 @@ control (bounded queue, per-request deadlines, retry/circuit-breaker
 containment, typed :class:`~repro.errors.ServerOverloadedError`
 shedding).  See ``docs/serving.md``.
 
+:class:`ServeFabric` scales the layer out: it consistent-hashes the
+value-aware serve key across N shard servers with per-shard health
+tracking (:mod:`repro.serve.health`), circuit-breaker ejection and
+readmission, deterministic failover under the retry/deadline budget,
+and per-tenant quotas with weighted-fair dequeue.  The differential
+chaos drill (:mod:`repro.serve.chaos`, ``repro chaos``) pins the
+fabric's outputs bit-identical to a single pristine server while a
+seeded fault plan kills shards mid-flight.
+
 Batched serving is bit-identical to sequential ``engine.multiply`` per
 vector -- the differential test harness pins this across formats,
 scan strategies and injected faults.
 """
 
 from .cache import CacheEntry, PreparedCache, prepared_footprint_bytes
+from .chaos import ChaosReport, chaos_plan, run_chaos_drill
+from .fabric import FabricConfig, ServeFabric, ShardRouter, TenantPolicy
+from .health import HealthPolicy, ShardHealth
 from .replay import ReplayReport, ReplaySpec, load_requests, run_replay
-from .server import ServeConfig, ServeFuture, ServeResponse, SpMVServer
+from .server import (
+    ServeConfig,
+    ServeFuture,
+    ServeResponse,
+    SpMVServer,
+    serve_key,
+)
 
 __all__ = [
     "CacheEntry",
+    "ChaosReport",
+    "chaos_plan",
+    "run_chaos_drill",
+    "FabricConfig",
+    "HealthPolicy",
     "PreparedCache",
     "prepared_footprint_bytes",
     "ReplayReport",
     "ReplaySpec",
+    "ServeFabric",
+    "ShardHealth",
+    "ShardRouter",
+    "TenantPolicy",
     "load_requests",
     "run_replay",
     "ServeConfig",
     "ServeFuture",
     "ServeResponse",
+    "serve_key",
     "SpMVServer",
 ]

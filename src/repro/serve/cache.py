@@ -139,6 +139,20 @@ class PreparedCache:
                     evicted.append(victim)
         return evicted
 
+    def remove(self, key: str) -> bool:
+        """Drop ``key`` if resident; returns whether anything was removed.
+
+        Not counted as an eviction -- evictions are budget pressure;
+        this is an explicit invalidation (the fabric drops a crashed
+        shard's entries, a solver drops a matrix it finished with).
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self.total_bytes -= entry.nbytes
+            return True
+
     def keys(self) -> list[str]:
         """Resident keys, least recently used first."""
         with self._lock:

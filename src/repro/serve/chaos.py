@@ -1,0 +1,308 @@
+"""Differential chaos drills for the sharded serving fabric.
+
+The fabric's contract is stronger than "stays up": a request that
+survives shard death, slowness or corruption must return the exact
+product a single pristine server would have computed -- SpMV is
+deterministic, so resilience machinery has no license to change bits.
+:func:`run_chaos_drill` enforces that the way the repo's differential
+tests enforce kernel correctness:
+
+1. run a replay workload (suite matrices, value refreshes, multiple
+   tenants) through **one pristine** :class:`~repro.serve.SpMVServer`
+   and record every ``y`` -- the golden outputs;
+2. run the *same* workload through a :class:`~repro.serve.ServeFabric`
+   while a seeded :class:`~repro.fault.FaultPlan` kills the busiest
+   shard mid-flight (``serve.shard_crash``), injects latency
+   (``serve.shard_slow``) and/or a shard whose dispatches are
+   detected-corrupt;
+3. diff: every fabric response must be **bit-identical**
+   (``np.array_equal``) to its golden output, no request may be lost,
+   and -- when a kill was planned -- ``fabric.failovers`` must be
+   positive, proving the drill actually exercised failover rather than
+   passing vacuously.
+
+Everything is seeded (the plan, the workload vectors, the matrix
+generators), so a failing drill replays identically under
+``repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import SpMVEngine
+from ..errors import ValidationError
+from ..fault.injection import FaultPlan, FaultSpec, fault_scope
+from ..fault.retry import RetryPolicy
+from ..matrices.suite import get_spec
+from .fabric import ServeFabric
+from .health import HealthPolicy
+from .server import ServeConfig, SpMVServer
+
+__all__ = ["ChaosReport", "chaos_plan", "run_chaos_drill"]
+
+#: Default drill workload: small, structurally diverse corner of Table 2
+#: (a stencil, a banded FEM, a power-law) so the serve keys spread over
+#: the hash ring instead of all landing on one shard.
+DEFAULT_MATRICES = ("QCD", "FEM/Harbor", "Circuit", "Epidemiology")
+
+
+class _CorruptEngine(SpMVEngine):
+    """Engine of a corrupt shard: every dispatch is detected-corrupt.
+
+    Models the interesting corruption case -- the one validation
+    *catches*: the dispatch raises :class:`~repro.errors.
+    ValidationError` exactly as the strict engine does when a kernel's
+    output fails the reference check.  The fabric must eject the shard
+    through its health window and replay elsewhere; silent wrong bits
+    would instead show up as a drill mismatch.  ``prepare`` is left
+    intact so the corruption surfaces mid-serve, not at cache-fill time.
+    """
+
+    def multiply(self, *args, **kwargs):
+        raise ValidationError(
+            "corrupt shard: kernel output failed the validation check"
+        )
+
+    def multiply_many(self, *args, **kwargs):
+        raise ValidationError(
+            "corrupt shard: kernel output failed the validation check"
+        )
+
+
+def chaos_plan(seed: int, *, kills: int = 1, slows: int = 0,
+               slow_extra_s: float = 0.3) -> FaultPlan:
+    """The drill's seeded fault plan (``kills``/``slows`` are budgets)."""
+    specs = []
+    if kills:
+        specs.append(FaultSpec(
+            site="serve.shard_crash", probability=1.0, count=kills,
+        ))
+    if slows:
+        specs.append(FaultSpec(
+            site="serve.shard_slow", probability=1.0, count=slows,
+            fraction=slow_extra_s,
+        ))
+    return FaultPlan(specs, seed=seed)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one differential chaos drill (JSON-able)."""
+
+    seed: int
+    shards: int
+    requests: int
+    matched: int
+    mismatched: list[int]
+    golden_errors: list[tuple[int, str]]
+    fabric_errors: list[tuple[int, str]]
+    failovers: int
+    shard_crashes: int
+    ejections: int
+    readmissions: int
+    quota_rejections: int
+    live_shards: int
+    fault_events: list[str]
+    require_failover: bool
+    elapsed_s: float
+    fabric_stats: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def passed(self) -> bool:
+        """Bit-identical outputs, nothing lost, failover actually hit."""
+        if self.mismatched or self.fabric_errors or self.golden_errors:
+            return False
+        if self.require_failover and self.failovers < 1:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "chaos_report",
+            "passed": self.passed,
+            "seed": self.seed,
+            "shards": self.shards,
+            "requests": self.requests,
+            "matched": self.matched,
+            "mismatched": list(self.mismatched),
+            "golden_errors": [list(e) for e in self.golden_errors],
+            "fabric_errors": [list(e) for e in self.fabric_errors],
+            "failovers": self.failovers,
+            "shard_crashes": self.shard_crashes,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "quota_rejections": self.quota_rejections,
+            "live_shards": self.live_shards,
+            "fault_events": list(self.fault_events),
+            "require_failover": self.require_failover,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos drill: seed={self.seed} shards={self.shards} "
+            f"requests={self.requests}",
+            f"  matched       : {self.matched}/{self.requests} bit-identical",
+            f"  failovers     : {self.failovers}"
+            f" (crashes={self.shard_crashes}, ejections={self.ejections},"
+            f" readmissions={self.readmissions})",
+            f"  live shards   : {self.live_shards}/{self.shards} at exit",
+            f"  fault events  : "
+            + (", ".join(self.fault_events) if self.fault_events else "none"),
+        ]
+        if self.mismatched:
+            lines.append(f"  MISMATCHED    : requests {self.mismatched}")
+        if self.fabric_errors:
+            lines.append(f"  FABRIC ERRORS : {self.fabric_errors}")
+        if self.golden_errors:
+            lines.append(f"  GOLDEN ERRORS : {self.golden_errors}")
+        lines.append(f"  verdict       : {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _build_workload(
+    matrices: tuple[str, ...],
+    cap_nnz: int,
+    requests_per_matrix: int,
+    value_refreshes: int,
+    tenants: tuple[str, ...],
+    seed: int,
+) -> list[tuple[object, np.ndarray, str]]:
+    """Deterministic (matrix, x, tenant) triples; one serve key per
+    (matrix, value refresh), so keys spread across the hash ring."""
+    rng = np.random.default_rng(seed)
+    work: list[tuple[object, np.ndarray, str]] = []
+    i = 0
+    for name in matrices:
+        spec = get_spec(name)
+        base = spec.load(scale=spec.scale_for_nnz(cap_nnz), seed=seed)
+        for refresh in range(value_refreshes):
+            if refresh == 0:
+                A = base
+            else:
+                # The iterative-solver pattern: same structure, new
+                # values -- a distinct value-aware serve key.
+                A = base.copy()
+                A.data = A.data * (1.0 + 0.25 * refresh)
+            for _ in range(requests_per_matrix):
+                x = rng.standard_normal(A.shape[1])
+                work.append((A, x, tenants[i % len(tenants)]))
+                i += 1
+    return work
+
+
+def run_chaos_drill(
+    shards: int = 3,
+    seed: int = 7,
+    *,
+    matrices: tuple[str, ...] = DEFAULT_MATRICES,
+    cap_nnz: int = 4_000,
+    requests_per_matrix: int = 3,
+    value_refreshes: int = 2,
+    tenants: tuple[str, ...] = ("alice", "bob"),
+    kills: int = 1,
+    slows: int = 0,
+    corrupt_shards: int = 0,
+    device: str = "gtx680",
+    require_failover: bool | None = None,
+    observer=None,
+) -> ChaosReport:
+    """Run the differential drill; see the module docstring for the plot.
+
+    ``kills``/``slows`` are fault budgets for the seeded plan;
+    ``corrupt_shards`` makes that many shards (highest indices)
+    detected-corrupt from the start.  ``require_failover`` defaults to
+    "a kill or corruption was planned and more than one shard exists"
+    -- the configurations in which a vacuous pass must be rejected.
+    """
+    t0 = time.perf_counter()
+    if require_failover is None:
+        require_failover = shards > 1 and (kills > 0 or corrupt_shards > 0)
+    work = _build_workload(
+        matrices, cap_nnz, requests_per_matrix, value_refreshes, tenants, seed
+    )
+    serve_config = ServeConfig(batch_window_s=0.0)
+
+    # -- golden: one pristine server, threadless, no faults.
+    golden: list[np.ndarray | None] = []
+    golden_errors: list[tuple[int, str]] = []
+    with SpMVServer(
+        SpMVEngine(device=device), serve_config, start=False
+    ) as pristine:
+        futures = [pristine.submit(A, x) for A, x, _ in work]
+        pristine.drain()
+        for i, f in enumerate(futures):
+            err = f.exception(timeout=0)
+            if err is not None:
+                golden_errors.append((i, type(err).__name__))
+                golden.append(None)
+            else:
+                golden.append(f.result(timeout=0).y)
+
+    # -- fabric: same workload under the seeded fault plan.
+    corrupt = {shards - 1 - c for c in range(min(corrupt_shards, shards))}
+
+    def factory(index: int) -> SpMVEngine:
+        if index in corrupt:
+            return _CorruptEngine(device=device)
+        return SpMVEngine(device=device)
+
+    plan = chaos_plan(seed, kills=kills, slows=slows)
+    fabric = ServeFabric(
+        shards,
+        device=device,
+        engine_factory=factory,
+        serve_config=serve_config,
+        health_policy=HealthPolicy(window=8, min_samples=2, max_error_rate=0.5),
+        retry_policy=RetryPolicy(
+            max_attempts=max(2, min(shards, 4)), base_delay_s=0.0
+        ),
+        observer=observer,
+        start=False,
+    )
+    mismatched: list[int] = []
+    fabric_errors: list[tuple[int, str]] = []
+    matched = 0
+    try:
+        futures = [
+            fabric.submit(A, x, tenant=tenant) for A, x, tenant in work
+        ]
+        with fault_scope(plan):
+            fabric.drain()
+        for i, f in enumerate(futures):
+            err = f.exception(timeout=0)
+            if err is not None:
+                fabric_errors.append((i, type(err).__name__))
+            elif golden[i] is None:
+                mismatched.append(i)  # fabric "succeeded" where golden failed
+            elif np.array_equal(f.result(timeout=0).y, golden[i]):
+                matched += 1
+            else:
+                mismatched.append(i)
+        stats = fabric.stats()
+    finally:
+        fabric.close(drain=False)
+
+    return ChaosReport(
+        seed=seed,
+        shards=shards,
+        requests=len(work),
+        matched=matched,
+        mismatched=mismatched,
+        golden_errors=golden_errors,
+        fabric_errors=fabric_errors,
+        failovers=stats["failovers"],
+        shard_crashes=stats["shard_crashes"],
+        ejections=stats["ejections"],
+        readmissions=stats["readmissions"],
+        quota_rejections=stats["quota_rejections"],
+        live_shards=stats["live_shards"],
+        fault_events=[e.site for e in plan.events],
+        require_failover=require_failover,
+        elapsed_s=time.perf_counter() - t0,
+        fabric_stats=stats,
+    )

@@ -1,0 +1,927 @@
+"""Sharded serving fabric: consistent hashing, failover, tenant fairness.
+
+One :class:`~repro.serve.SpMVServer` saturates one simulated device.
+:class:`ServeFabric` scales the serving layer out the way yaSpMV scales
+a kernel across execution units: partition the key space, keep every
+shard busy, and *repair* irregularity (here: shard death, slowness,
+corruption) instead of letting it stall the pipeline -- the
+optimistically-dispatch-then-repair philosophy of Liu & Vinter's
+speculative segmented sum, applied to servers.
+
+Architecture::
+
+    submit(A, x, tenant=..) ──► per-tenant queues  (quota: QuotaExceededError)
+                                      │
+                        weighted-fair stride scheduler
+                                      │
+                 ShardRouter: consistent hash of the value-aware
+                 serve key over N shards (virtual nodes)
+                                      │
+          ┌──────────────┬────────────┴─┬──────────────┐
+       shard-0         shard-1        shard-2        ...
+      SpMVServer      SpMVServer     SpMVServer
+      own engine      own engine     own engine
+      own device      own device     own device
+          │               │              │
+      ShardHealth     ShardHealth    ShardHealth   (rolling windows)
+          └── sick? ──► CircuitBreaker.trip ──► ejected, keys re-routed
+                        cooldown ──► half-open ──► ONE probe ──► readmit
+
+Failure containment:
+
+* a shard that dies mid-flight (the ``serve.shard_crash`` fault site, or
+  :meth:`ServeFabric.kill_shard`) fails its queued futures with
+  :class:`~repro.errors.ShardCrashError`; the fabric **replays** each on
+  the key's next preferred live shard under the request's remaining
+  :class:`~repro.fault.Deadline` and the fabric's
+  :class:`~repro.fault.RetryPolicy` attempt budget
+  (``fabric.failovers`` counts the replays);
+* a shard whose rolling window turns sick (errors or injected slowness)
+  is ejected via :meth:`CircuitBreaker.trip` and readmitted through the
+  breaker's half-open single-probe lifecycle;
+* per-tenant quotas and weighted-fair dequeue keep one noisy tenant
+  from starving the rest (:class:`~repro.errors.QuotaExceededError`).
+
+Because every shard runs the same device model and tuning mode, a
+failed-over request recomputes the **bit-identical** product the dead
+shard would have produced -- the chaos drill (:mod:`repro.serve.chaos`)
+diffs a faulted fabric against a pristine single server and requires
+equality, not closeness.
+
+Shard servers run threadless under the fabric's single pump (either the
+caller's thread via :meth:`drain`, or the fabric's own pump thread with
+``start=True``), so scheduling is deterministic given the submission
+order -- which is what makes seeded chaos drills replayable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.engine import SpMVEngine
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    QuotaExceededError,
+    ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ShardCrashError,
+    ValidationError,
+)
+from ..fault.injection import active_plan
+from ..fault.retry import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+from ..obs import obs_scope
+from ..util import as_csr
+from .health import HealthPolicy, ShardHealth
+from .server import ServeConfig, ServeFuture, SpMVServer, serve_key
+
+__all__ = ["TenantPolicy", "FabricConfig", "ShardRouter", "ServeFabric"]
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit ring position (sha256 prefix; never ``hash()``)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission quota and fair-share weight.
+
+    Attributes
+    ----------
+    weight:
+        Weighted-fair share: a tenant with weight 2 is dequeued twice as
+        often as a weight-1 tenant when both have work queued.
+    max_pending:
+        Quota: the tenant's queued + in-flight requests may not exceed
+        this; a submit beyond it raises
+        :class:`~repro.errors.QuotaExceededError`.  ``None`` = no quota
+        (still bounded by each shard's own queue depth).
+    """
+
+    weight: float = 1.0
+    max_pending: int | None = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValidationError(f"weight must be > 0, got {self.weight}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValidationError(
+                f"max_pending must be >= 1 or None, got {self.max_pending}"
+            )
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Fabric-level knobs (each shard also has its own ``ServeConfig``).
+
+    Attributes
+    ----------
+    shards:
+        Number of shard servers.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring; more
+        vnodes, smoother key distribution.
+    failure_threshold:
+        Consecutive dispatch failures on one shard that trip its
+        circuit even before the rolling window judges it sick.
+    breaker_cooldown_s:
+        Seconds an ejected shard stays open before the half-open
+        readmission probe.
+    default_timeout_s:
+        Deadline applied to requests that don't carry their own.
+    """
+
+    shards: int = 2
+    vnodes: int = 32
+    failure_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    default_timeout_s: float | None = None
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {self.shards}")
+        if self.vnodes < 1:
+            raise ValidationError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ValidationError(
+                f"breaker_cooldown_s must be >= 0, "
+                f"got {self.breaker_cooldown_s}"
+            )
+
+
+class ShardRouter:
+    """Consistent-hash ring over shard names (virtual nodes).
+
+    :meth:`preference` returns *every* shard in ring order from the
+    key's position: element 0 is the owner, element 1 the first
+    successor (the failover target when the owner is dead or ejected),
+    and so on.  Adding vnodes smooths the key distribution; the ring is
+    immutable -- liveness filtering is the fabric's job, so ejecting a
+    shard re-routes exactly its key range and nothing else.
+    """
+
+    def __init__(self, names: list[str], vnodes: int = 32):
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate shard names: {names}")
+        if not names:
+            raise ValidationError("router needs at least one shard")
+        if vnodes < 1:
+            raise ValidationError(f"vnodes must be >= 1, got {vnodes}")
+        self.names = list(names)
+        self.vnodes = vnodes
+        self._ring: list[tuple[int, str]] = sorted(
+            (_hash64(f"{name}#{v}"), name)
+            for name in names
+            for v in range(vnodes)
+        )
+
+    def preference(self, key: str) -> list[str]:
+        """All shards, ring order from ``key``'s position (owner first)."""
+        start = bisect.bisect_right(self._ring, (_hash64(key), "￿"))
+        order: list[str] = []
+        n = len(self._ring)
+        for i in range(n):
+            name = self._ring[(start + i) % n][1]
+            if name not in order:
+                order.append(name)
+                if len(order) == len(self.names):
+                    break
+        return order
+
+    def owner(self, key: str) -> str:
+        return self.preference(key)[0]
+
+    def share(self, keys: list[str]) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (diagnostics/tests)."""
+        counts = {name: 0 for name in self.names}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+class _Shard:
+    """One shard: its engine, server, health window and liveness."""
+
+    __slots__ = ("name", "index", "engine", "server", "health", "dead",
+                 "ejected", "slow_extra_s")
+
+    def __init__(self, name, index, engine, server, health):
+        self.name = name
+        self.index = index
+        self.engine = engine
+        self.server = server
+        self.health = health
+        self.dead = False        # crashed; never readmitted
+        self.ejected = False     # circuit tripped; readmission possible
+        self.slow_extra_s = 0.0  # injected latency (serve.shard_slow)
+
+
+@dataclass
+class _FabricRequest:
+    tenant: str
+    csr: object
+    x: np.ndarray
+    key: str
+    deadline: Deadline | None
+    future: ServeFuture
+    enqueued_at: float
+    attempts: int = 0
+    tried: list[str] = field(default_factory=list)
+    shard: str | None = None
+    shard_future: ServeFuture | None = None
+    forwarded_at: float = 0.0
+    probe: bool = False
+
+
+class ServeFabric:
+    """Sharded, health-aware, tenant-fair front-end over N shard servers.
+
+    Parameters
+    ----------
+    shards:
+        Shard count (or pass a full :class:`FabricConfig` via
+        ``config``).
+    device:
+        Simulated device model every shard runs (bit-identity across
+        shards requires one device model; heterogeneous fabrics would
+        need per-device golden outputs).
+    engine_factory:
+        ``f(shard_index) -> SpMVEngine`` -- override to give individual
+        shards special engines (the chaos drill builds one *corrupted*
+        shard this way).  Default builds ``SpMVEngine(device=device)``
+        per shard.
+    serve_config:
+        Per-shard :class:`ServeConfig` (shards always run threadless
+        under the fabric's pump; ``batch_window_s`` is forced to 0).
+    config:
+        :class:`FabricConfig`; ``shards=`` argument wins over
+        ``config.shards`` when both are given explicitly.
+    health_policy:
+        Rolling-window judgment thresholds (:class:`HealthPolicy`).
+    tenants:
+        ``{tenant: TenantPolicy}``; unknown tenants get
+        ``default_tenant``.
+    retry_policy:
+        Failover budget: a request is attempted on at most
+        ``max_attempts`` shards (the backoff schedule applies between
+        replays when ``base_delay_s > 0``).
+    observer:
+        Receives ``fabric.*`` and all shard-level ``serve.*`` telemetry.
+    start:
+        ``True`` starts the pump thread; ``False`` runs threadless --
+        callers drive with :meth:`drain` (the deterministic drill mode).
+    clock:
+        Injectable monotonic clock, shared with every shard server and
+        the breaker.
+    """
+
+    def __init__(
+        self,
+        shards: int | None = None,
+        *,
+        device: str = "gtx680",
+        engine_factory=None,
+        serve_config: ServeConfig | None = None,
+        config: FabricConfig | None = None,
+        health_policy: HealthPolicy | None = None,
+        tenants: dict[str, TenantPolicy] | None = None,
+        default_tenant: TenantPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+        observer=None,
+        start: bool = True,
+        clock=time.monotonic,
+    ):
+        if config is None:
+            config = FabricConfig(shards=shards if shards is not None else 2)
+        elif shards is not None and shards != config.shards:
+            config = replace(config, shards=shards)
+        self.config = config
+        base = serve_config if serve_config is not None else ServeConfig()
+        if base.batch_window_s != 0.0:
+            base = replace(base, batch_window_s=0.0)
+        self.serve_config = base
+        self.health_policy = (
+            health_policy if health_policy is not None else HealthPolicy()
+        )
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        self.tenant_policies = dict(tenants) if tenants else {}
+        self.default_tenant = (
+            default_tenant if default_tenant is not None else TenantPolicy()
+        )
+        self._clock = clock
+        self._sleep = time.sleep
+
+        if engine_factory is None:
+            engine_factory = lambda i: SpMVEngine(device=device)  # noqa: E731
+        self.shards: list[_Shard] = []
+        for i in range(self.config.shards):
+            engine = engine_factory(i)
+            server = SpMVServer(
+                engine,
+                self.serve_config,
+                observer=observer,
+                start=False,
+                clock=clock,
+            )
+            self.shards.append(_Shard(
+                name=f"shard-{i}",
+                index=i,
+                engine=engine,
+                server=server,
+                health=ShardHealth(self.health_policy),
+            ))
+        self._by_name = {s.name: s for s in self.shards}
+        self.router = ShardRouter(
+            [s.name for s in self.shards], vnodes=self.config.vnodes
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            clock=clock,
+        )
+        self.obs = observer if observer is not None else self.shards[0].server.obs
+
+        self._cond = threading.Condition()
+        self._closed = False
+        self._pumping = False
+        self._queues: dict[str, deque[_FabricRequest]] = {}
+        self._passes: dict[str, float] = {}
+        self._vtime = 0.0
+        self._tenant_pending: dict[str, int] = {}
+        self._pending: list[_FabricRequest] = []
+        # Plain-int mirrors of the fabric.* metrics (guarded by _cond).
+        self.n_requests = 0
+        self.n_responses = 0
+        self.n_failovers = 0
+        self.n_quota_rejections = 0
+        self.n_ejections = 0
+        self.n_readmissions = 0
+        self.n_shard_crashes = 0
+        self._gauge_live()
+
+        self._thread: threading.Thread | None = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._run, name="spmv-fabric-pump", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def live_shards(self) -> list[str]:
+        """Shards currently routable (not dead, circuit not open)."""
+        out = []
+        for s in self.shards:
+            if s.dead:
+                continue
+            if self.breaker.state(s.name) == BREAKER_OPEN:
+                continue
+            out.append(s.name)
+        return out
+
+    def _gauge_live(self) -> None:
+        self.obs.gauge(
+            "fabric.live_shards", "shards currently routable"
+        ).set(len(self.live_shards()))
+
+    def _tenant_policy(self, tenant: str) -> TenantPolicy:
+        return self.tenant_policies.get(tenant, self.default_tenant)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        tenant: str = "default",
+        timeout_s: float | None = None,
+    ) -> ServeFuture:
+        """Enqueue ``y = A @ x`` for ``tenant``; returns a future.
+
+        Raises :class:`~repro.errors.QuotaExceededError` when the
+        tenant's quota is full and :class:`~repro.errors.
+        ServerClosedError` after :meth:`close`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim not in (1, 2):
+            raise ValidationError(
+                f"x must be a vector or a (ncols, k) block, got shape {x.shape}"
+            )
+        csr = as_csr(matrix)
+        if x.shape[0] != csr.shape[1]:
+            raise ValidationError(
+                f"x has {x.shape[0]} rows, matrix has {csr.shape[1]} columns"
+            )
+        key = serve_key(self.shards[0].engine, csr)
+        timeout = (
+            timeout_s if timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        deadline = None if timeout is None else Deadline(timeout, clock=self._clock)
+        future = ServeFuture()
+        request = _FabricRequest(
+            tenant=tenant,
+            csr=csr,
+            x=x,
+            key=key,
+            deadline=deadline,
+            future=future,
+            enqueued_at=self._clock(),
+        )
+        policy = self._tenant_policy(tenant)
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("fabric is closed; request refused")
+            pending = self._tenant_pending.get(tenant, 0)
+            if policy.max_pending is not None and pending >= policy.max_pending:
+                self.n_quota_rejections += 1
+                self.obs.counter(
+                    "fabric.quota_rejections",
+                    "requests refused by a per-tenant quota",
+                ).inc(tenant=tenant)
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {pending} requests pending, "
+                    f"quota is {policy.max_pending}",
+                    tenant=tenant,
+                    limit=policy.max_pending,
+                    pending=pending,
+                )
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+                # A newly-active tenant starts at the current virtual
+                # time: its idle past earns no burst against the others.
+                self._passes[tenant] = max(
+                    self._passes.get(tenant, 0.0), self._vtime
+                )
+            queue.append(request)
+            self._tenant_pending[tenant] = pending + 1
+            self.n_requests += 1
+            self.obs.counter("fabric.requests", "requests admitted").inc()
+            self._cond.notify_all()
+        return future
+
+    def multiply(self, matrix, x, *, tenant: str = "default",
+                 timeout_s: float | None = None):
+        """Blocking convenience: :meth:`submit` + :meth:`drain` + result."""
+        future = self.submit(matrix, x, tenant=tenant, timeout_s=timeout_s)
+        if self._thread is None:
+            self.drain()
+        return future.result()
+
+    # ------------------------------------------------------------------ #
+    # Pump
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        """Pump-thread main loop (threaded mode)."""
+        while True:
+            with self._cond:
+                while not self._has_work():
+                    if self._closed:
+                        return
+                    self._cond.wait()
+                if self._closed and not self._has_work():
+                    return
+            self.pump_once()
+            with self._cond:
+                self._cond.notify_all()
+
+    def _has_work(self) -> bool:
+        # _pumping covers the transient gap while a pump pass holds
+        # requests in neither a queue nor _pending (mid-forward/collect)
+        # -- without it a concurrent drain() could observe "idle" and
+        # let close() fail requests that are actually in flight.
+        return (
+            self._pumping
+            or bool(self._pending)
+            or any(self._queues.values())
+        )
+
+    def drain(self) -> int:
+        """Pump until nothing is queued or in flight; returns responses.
+
+        Threadless mode processes on the calling thread; with a pump
+        thread running, blocks until the fabric is idle.
+        """
+        if self._thread is not None:
+            with self._cond:
+                while self._has_work():
+                    self._cond.wait(0.01)
+            return 0
+        done0 = self.n_responses
+        while True:
+            with self._cond:
+                if not self._has_work():
+                    break
+            self.pump_once()
+        return self.n_responses - done0
+
+    def pump_once(self) -> None:
+        """One deterministic scheduling round.
+
+        Order matters for the chaos story: (1) forward queued requests
+        to their shards, (2) apply seeded chaos draws -- so an injected
+        crash genuinely kills requests *mid-flight*, (3) drain the
+        threadless shard servers, (4) collect completions and fail over.
+        """
+        with self._cond:
+            self._pumping = True
+        try:
+            with obs_scope(self.obs):
+                self._schedule()
+                self._apply_chaos()
+                for shard in self.shards:
+                    if not shard.dead:
+                        shard.server.drain()
+                self._collect()
+        finally:
+            with self._cond:
+                self._pumping = False
+                self._cond.notify_all()
+
+    # -- step 1: weighted-fair scheduling ------------------------------ #
+
+    def _schedule(self) -> None:
+        while True:
+            with self._cond:
+                tenant = self._next_tenant_locked()
+                if tenant is None:
+                    return
+                request = self._queues[tenant].popleft()
+            self._forward(request)
+
+    def _next_tenant_locked(self) -> str | None:
+        """Stride scheduling: smallest pass among non-empty queues wins."""
+        best: str | None = None
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            if best is None or (
+                (self._passes[tenant], tenant) < (self._passes[best], best)
+            ):
+                best = tenant
+        if best is None:
+            return None
+        self._vtime = self._passes[best]
+        self._passes[best] += 1.0 / self._tenant_policy(best).weight
+        return best
+
+    # -- step 2: seeded chaos ------------------------------------------ #
+
+    def _busiest(self, candidates: list[_Shard]) -> _Shard | None:
+        """Most-loaded shard (forwarded + queued), ties by name."""
+        if not candidates:
+            return None
+        load: dict[str, int] = {s.name: 0 for s in candidates}
+        for req in self._pending:
+            if req.shard in load:
+                load[req.shard] += 1
+        for s in candidates:
+            with s.server._cond:
+                load[s.name] += len(s.server._queue)
+        return min(candidates, key=lambda s: (-load[s.name], s.name))
+
+    def _apply_chaos(self) -> None:
+        plan = active_plan()
+        if plan is None:
+            return
+        live = [s for s in self.shards if s.name in set(self.live_shards())]
+        if plan.shard_crash(len(live)):
+            victim = self._busiest(live)
+            if victim is not None:
+                self.kill_shard(victim.name)
+                live = [s for s in live if s.name != victim.name]
+        delay = plan.shard_slow(len(live))
+        if delay is not None:
+            calm = [s for s in live if s.slow_extra_s == 0.0]
+            victim = self._busiest(calm or live)
+            if victim is not None:
+                victim.slow_extra_s += delay
+                self.obs.counter(
+                    "fabric.slowed_shards", "shard-slow injections"
+                ).inc(shard=victim.name)
+
+    def kill_shard(self, name: str) -> int:
+        """Crash ``name`` mid-flight: its queued futures fail with
+        :class:`~repro.errors.ShardCrashError` and the fabric replays
+        them on ring successors.  Dead shards are never readmitted.
+        Returns the number of in-flight requests the crash orphaned.
+        """
+        shard = self._by_name[name]
+        if shard.dead:
+            return 0
+        shard.dead = True
+        with self._cond:
+            self.n_shard_crashes += 1
+        self.obs.counter(
+            "fabric.shard_crashes", "shards killed mid-flight"
+        ).inc(shard=name)
+        doomed = shard.server.kill(ShardCrashError(
+            f"shard {name} crashed with requests in flight", shard=name
+        ))
+        self._gauge_live()
+        return doomed
+
+    # -- step 3 happens inline in pump_once ---------------------------- #
+
+    # -- step 4: completion, health, failover -------------------------- #
+
+    def _forward(self, request: _FabricRequest) -> None:
+        """Route one request to the best live shard and submit it."""
+        if request.deadline is not None and request.deadline.expired():
+            self._complete(request, DeadlineExceeded(
+                f"request deadline of {request.deadline.seconds:.3f}s "
+                f"expired before dispatch",
+                label="fabric queue",
+                budget_s=request.deadline.seconds,
+            ), None)
+            return
+        preference = self.router.preference(request.key)
+        # Prefer shards this request has not failed on yet; fall back to
+        # re-trying a previously-tried (still live) shard only when the
+        # ring offers nothing fresh.
+        ordered = (
+            [n for n in preference if n not in request.tried]
+            + [n for n in preference if n in request.tried]
+        )
+        last_refusal: ReproError | None = None
+        for name in ordered:
+            shard = self._by_name[name]
+            if shard.dead:
+                continue
+            state = self.breaker.state(name)
+            if state == BREAKER_OPEN:
+                continue
+            probe = False
+            if state == BREAKER_HALF_OPEN:
+                if not self.breaker.allow(name):
+                    continue  # another request holds the probe slot
+                probe = True
+            timeout = (
+                None if request.deadline is None
+                else max(request.deadline.remaining(), 0.0)
+            )
+            try:
+                shard_future = shard.server.submit(
+                    request.csr, request.x, timeout_s=timeout
+                )
+            except (ServerOverloadedError, ServerClosedError) as exc:
+                if probe:
+                    # The probe could not even be enqueued: count it as
+                    # a failed probe (the circuit re-opens and the shard
+                    # gets another chance after the next cooldown).
+                    self.breaker.record_failure(name)
+                last_refusal = exc
+                continue
+            request.attempts += 1
+            request.tried.append(name)
+            request.shard = name
+            request.shard_future = shard_future
+            request.forwarded_at = self._clock()
+            request.probe = probe
+            with self._cond:
+                self._pending.append(request)
+            return
+        self._complete(request, last_refusal or CircuitOpenError(
+            "no live shard available for this key "
+            f"({len(self.live_shards())} of {len(self.shards)} routable)",
+            family="fabric",
+        ), None)
+
+    def _collect(self) -> None:
+        with self._cond:
+            pending, self._pending = self._pending, []
+        for request in pending:
+            if not request.shard_future.done():
+                with self._cond:
+                    self._pending.append(request)
+                continue
+            shard = self._by_name[request.shard]
+            error = request.shard_future.exception(timeout=0)
+            latency = (
+                self._clock() - request.forwarded_at + shard.slow_extra_s
+            )
+            if error is None:
+                self._on_success(request, shard, latency)
+            else:
+                self._on_failure(request, shard, error, latency)
+
+    def _on_success(self, request: _FabricRequest, shard: _Shard,
+                    latency: float) -> None:
+        if request.probe:
+            # Readmit first (resets the window), then record: the fresh
+            # window starts with the successful probe, not empty.
+            self._readmit(shard)
+        else:
+            self.breaker.record_success(shard.name)
+        shard.health.record_success(latency)
+        if not shard.dead and not shard.ejected and not shard.health.healthy():
+            self._eject(shard)  # e.g. healthy results, pathological latency
+        response = replace(
+            request.shard_future._response,
+            shard=shard.name,
+            failovers=request.attempts - 1,
+            queue_wait_s=self._clock() - request.enqueued_at,
+        )
+        self._complete(request, None, response)
+
+    def _on_failure(self, request: _FabricRequest, shard: _Shard,
+                    error: BaseException, latency: float) -> None:
+        crash = isinstance(error, (ShardCrashError, ServerClosedError))
+        if not shard.dead:
+            shard.health.record_failure(latency)
+            if request.probe:
+                self.breaker.record_failure(shard.name)  # re-opens
+                shard.ejected = True
+                self._gauge_live()
+            else:
+                self.breaker.record_failure(shard.name)
+                if not shard.ejected and (
+                    not shard.health.healthy()
+                    or self.breaker.state(shard.name) == BREAKER_OPEN
+                ):
+                    self._eject(shard)
+        if isinstance(error, DeadlineExceeded):
+            self._complete(request, error, None)  # budget gone: no replay
+            return
+        if request.attempts >= self.retry_policy.max_attempts:
+            self._complete(request, error, None)
+            return
+        if request.deadline is not None and request.deadline.expired():
+            self._complete(request, DeadlineExceeded(
+                f"deadline expired after {request.attempts} attempt(s); "
+                f"last error: {type(error).__name__}: {error}",
+                label="fabric failover",
+                budget_s=request.deadline.seconds,
+            ), None)
+            return
+        with self._cond:
+            self.n_failovers += 1
+        self.obs.counter(
+            "fabric.failovers",
+            "requests replayed on a successor shard",
+        ).inc(shard=shard.name, crash=str(crash).lower())
+        delay = self.retry_policy.delay_s(request.attempts)
+        if delay > 0:
+            self._sleep(delay)
+        self._forward(request)
+
+    def _eject(self, shard: _Shard) -> None:
+        self.breaker.trip(shard.name)
+        shard.ejected = True
+        with self._cond:
+            self.n_ejections += 1
+        self.obs.counter(
+            "fabric.ejections", "shards ejected by the health tracker"
+        ).inc(shard=shard.name)
+        self._gauge_live()
+
+    def _readmit(self, shard: _Shard) -> None:
+        self.breaker.record_success(shard.name)  # half-open -> closed
+        shard.ejected = False
+        shard.health.reset()
+        with self._cond:
+            self.n_readmissions += 1
+        self.obs.counter(
+            "fabric.readmissions", "ejected shards readmitted after a probe"
+        ).inc(shard=shard.name)
+        self._gauge_live()
+
+    def _complete(self, request: _FabricRequest,
+                  error: BaseException | None, response) -> None:
+        if error is not None:
+            request.future._fail(error)
+        else:
+            request.future._complete(response)
+        with self._cond:
+            self.n_responses += 1
+            self._tenant_pending[request.tenant] = max(
+                self._tenant_pending.get(request.tenant, 1) - 1, 0
+            )
+        self.obs.counter(
+            "fabric.responses", "requests completed (success or typed error)"
+        ).inc()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the fabric down; ``drain=False`` fails queued futures."""
+        if drain and not self._closed:
+            if self._thread is not None:
+                self.drain()
+            else:
+                with self._cond:
+                    closed_now = self._closed
+                if not closed_now:
+                    self.drain()
+        with self._cond:
+            self._closed = True
+            abandoned: list[_FabricRequest] = []
+            for queue in self._queues.values():
+                abandoned.extend(queue)
+                queue.clear()
+            abandoned.extend(self._pending)
+            self._pending = []
+            self._cond.notify_all()
+        for request in abandoned:
+            self._complete(request, ServerClosedError(
+                "fabric closed before the request was dispatched"
+            ), None)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        for shard in self.shards:
+            if not shard.dead:
+                shard.server.close(drain=False)
+
+    def __enter__(self) -> "ServeFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """JSON-able snapshot: fabric counters + per-shard detail.
+
+        The aggregate ``cache``/``batches``/``shed`` keys sum over the
+        shard servers so :class:`~repro.serve.ReplayReport` summaries
+        work unchanged against a fabric.
+        """
+        with self._cond:
+            snap = {
+                "requests": self.n_requests,
+                "responses": self.n_responses,
+                "failovers": self.n_failovers,
+                "quota_rejections": self.n_quota_rejections,
+                "ejections": self.n_ejections,
+                "readmissions": self.n_readmissions,
+                "shard_crashes": self.n_shard_crashes,
+                "queued": sum(len(q) for q in self._queues.values()),
+                "in_flight": len(self._pending),
+                "tenants": {
+                    t: {
+                        "pending": self._tenant_pending.get(t, 0),
+                        "weight": self._tenant_policy(t).weight,
+                        "quota": self._tenant_policy(t).max_pending,
+                    }
+                    for t in sorted(self._queues)
+                },
+            }
+        snap["live_shards"] = len(self.live_shards())
+        shard_stats = {}
+        agg_cache = {"hits": 0, "misses": 0, "evictions": 0, "total_bytes": 0}
+        batches = batched = shed = 0
+        for s in self.shards:
+            server_snap = s.server.stats()
+            for k in agg_cache:
+                agg_cache[k] += server_snap["cache"].get(k, 0)
+            batches += server_snap["batches"]
+            batched += server_snap["batched_requests"]
+            shed += server_snap["shed"]
+            shard_stats[s.name] = {
+                "dead": s.dead,
+                "ejected": s.ejected,
+                "breaker": self.breaker.state(s.name),
+                "slow_extra_s": s.slow_extra_s,
+                "health": s.health.stats(),
+                "server": server_snap,
+            }
+        snap["shards"] = shard_stats
+        snap["cache"] = agg_cache
+        snap["batches"] = batches
+        snap["batched_requests"] = batched
+        snap["shed"] = shed
+        return snap

@@ -1,0 +1,156 @@
+"""Per-shard health tracking for the serving fabric.
+
+The paper's thesis is that SpMV throughput is won by keeping every
+execution unit busy despite irregular *work*; a serving fabric's analogue
+is keeping every shard busy despite irregular *failures*.  That needs a
+signal: this module maintains, per shard, a rolling window of dispatch
+outcomes (ok/error) and latencies, and judges the shard sick when the
+window's error rate or mean latency crosses a policy threshold.
+
+The judgment feeds the shard-level
+:class:`~repro.fault.retry.CircuitBreaker` in the fabric: a sick shard is
+*ejected* (circuit tripped open, key range re-routed to its ring
+successors) and later *readmitted* through the breaker's normal
+cooldown -> half-open -> single-probe lifecycle.  The split of concerns
+mirrors the engine: health decides *when* to trip, the breaker owns the
+state machine of coming back.
+
+Everything is deterministic and clock-free (latencies are fed in by the
+caller), so seeded chaos drills replay identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["HealthPolicy", "ShardHealth"]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds for judging one shard's rolling window.
+
+    Attributes
+    ----------
+    window:
+        Number of most-recent dispatch outcomes the judgment sees.
+    min_samples:
+        Outcomes required before the window may judge at all -- a fresh
+        (or freshly readmitted) shard is healthy by default instead of
+        being ejected on its first hiccup.
+    max_error_rate:
+        Window error fraction at or above which the shard is sick.
+    max_latency_s:
+        Mean window latency above which the shard is sick; ``None``
+        disables the latency criterion.
+    """
+
+    window: int = 16
+    min_samples: int = 4
+    max_error_rate: float = 0.5
+    max_latency_s: float | None = None
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ReproError(f"window must be >= 1, got {self.window}")
+        if not 1 <= self.min_samples <= self.window:
+            raise ReproError(
+                f"min_samples must be in [1, window], got {self.min_samples}"
+            )
+        if not 0.0 < self.max_error_rate <= 1.0:
+            raise ReproError(
+                f"max_error_rate must be in (0, 1], got {self.max_error_rate}"
+            )
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ReproError(
+                f"max_latency_s must be > 0 or None, got {self.max_latency_s}"
+            )
+
+
+class ShardHealth:
+    """Rolling error/latency window of one shard.  Thread-safe.
+
+    ``record_success`` / ``record_failure`` push outcomes;
+    :meth:`healthy` judges the current window against the policy.
+    :meth:`reset` clears the window -- called on readmission, so a
+    recovered shard is not immediately re-ejected by its pre-ejection
+    history.
+    """
+
+    def __init__(self, policy: HealthPolicy | None = None):
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._lock = threading.Lock()
+        self._window: deque[tuple[bool, float]] = deque(
+            maxlen=self.policy.window
+        )
+        #: Lifetime counters (survive resets).
+        self.n_ok = 0
+        self.n_err = 0
+
+    def record_success(self, latency_s: float = 0.0) -> None:
+        with self._lock:
+            self._window.append((True, float(latency_s)))
+            self.n_ok += 1
+
+    def record_failure(self, latency_s: float = 0.0) -> None:
+        with self._lock:
+            self._window.append((False, float(latency_s)))
+            self.n_err += 1
+
+    def samples(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def error_rate(self) -> float:
+        """Error fraction of the current window (0.0 when empty)."""
+        with self._lock:
+            if not self._window:
+                return 0.0
+            errs = sum(1 for ok, _ in self._window if not ok)
+            return errs / len(self._window)
+
+    def mean_latency_s(self) -> float:
+        """Mean latency of the current window (0.0 when empty)."""
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return sum(lat for _, lat in self._window) / len(self._window)
+
+    def healthy(self) -> bool:
+        """Judge the window: ``False`` means the shard should be ejected.
+
+        Under :attr:`HealthPolicy.min_samples` outcomes the shard is
+        healthy by default (insufficient evidence).
+        """
+        with self._lock:
+            n = len(self._window)
+            if n < self.policy.min_samples:
+                return True
+            errs = sum(1 for ok, _ in self._window if not ok)
+            if errs / n >= self.policy.max_error_rate:
+                return False
+            if self.policy.max_latency_s is not None:
+                mean = sum(lat for _, lat in self._window) / n
+                if mean > self.policy.max_latency_s:
+                    return False
+            return True
+
+    def reset(self) -> None:
+        """Forget the window (lifetime counters survive)."""
+        with self._lock:
+            self._window.clear()
+
+    def stats(self) -> dict:
+        """JSON-able snapshot."""
+        return {
+            "ok": int(self.n_ok),
+            "errors": int(self.n_err),
+            "samples": self.samples(),
+            "error_rate": round(self.error_rate(), 4),
+            "mean_latency_s": round(self.mean_latency_s(), 6),
+            "healthy": self.healthy(),
+        }

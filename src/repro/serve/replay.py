@@ -181,6 +181,10 @@ def run_replay(
     drained between lines only when threadless, so a threaded server
     sees realistic concurrent pressure.  With ``verify`` every response
     is checked against ``A @ x`` (tolerance 1e-9 relative).
+
+    ``server`` may also be a :class:`~repro.serve.ServeFabric` -- it
+    exposes the same ``submit``/``drain``/``stats`` surface, so replays
+    drive the sharded path unchanged (``repro serve --shards N``).
     """
     if isinstance(specs, (str, bytes)) or hasattr(specs, "__fspath__"):
         specs = load_requests(specs)

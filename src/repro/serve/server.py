@@ -45,6 +45,7 @@ from ..core.engine import PreparedMatrix, SpMVEngine, SpMVResult
 from ..errors import (
     DeadlineExceeded,
     ReproError,
+    ServeTimeout,
     ServerClosedError,
     ServerOverloadedError,
     ValidationError,
@@ -55,7 +56,13 @@ from ..tuning.persistence import matrix_fingerprint
 from ..util import as_csr
 from .cache import PreparedCache
 
-__all__ = ["ServeConfig", "ServeResponse", "ServeFuture", "SpMVServer"]
+__all__ = [
+    "ServeConfig",
+    "ServeResponse",
+    "ServeFuture",
+    "SpMVServer",
+    "serve_key",
+]
 
 
 def _values_digest(csr) -> str:
@@ -69,6 +76,21 @@ def _values_digest(csr) -> str:
     """
     data = np.ascontiguousarray(csr.data, dtype=np.float64)
     return hashlib.sha256(data.tobytes()).hexdigest()[:16]
+
+
+def serve_key(engine: SpMVEngine, csr) -> str:
+    """The value-aware serve key of ``csr`` on ``engine``.
+
+    ``device:tuning_mode:structural-fingerprint:value-hash`` -- the key
+    the server's cache and batch coalescing use, and the key the fabric
+    consistent-hashes to pick a shard.  Every shard of a fabric runs the
+    same device model and tuning mode, so the fabric-level key matches
+    the one each shard computes for itself.
+    """
+    return (
+        f"{engine.device.name}:{engine.tuning_mode}:"
+        f"{matrix_fingerprint(csr)}:{_values_digest(csr)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -127,6 +149,11 @@ class ServeResponse:
     batch_size: int
     cache_hit: bool
     queue_wait_s: float
+    #: Set by the sharded fabric: which shard served the request, and
+    #: how many failovers (replays on a successor shard) it survived.
+    #: ``None``/``0`` for a plain single-server response.
+    shard: str | None = None
+    failovers: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -135,6 +162,8 @@ class ServeResponse:
             "batch_size": int(self.batch_size),
             "cache_hit": bool(self.cache_hit),
             "queue_wait_s": float(self.queue_wait_s),
+            "shard": self.shard,
+            "failovers": int(self.failovers),
             "result": self.result.to_dict(),
         }
 
@@ -161,16 +190,31 @@ class ServeFuture:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> ServeResponse:
-        """Block until the response is ready; re-raises server-side errors."""
+        """Block until the response is ready; re-raises server-side errors.
+
+        An exhausted ``timeout`` raises :class:`~repro.errors.
+        ServeTimeout` (a ``TimeoutError`` subclass): the *wait* expired,
+        not the request -- distinguishable from a shard failure or a
+        server-side :class:`~repro.errors.DeadlineExceeded`, which the
+        fabric's failover logic must treat differently.
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError("request not completed within the wait timeout")
+            raise ServeTimeout(
+                f"request not completed within the {timeout}s wait "
+                f"(it may still complete; the server-side deadline is "
+                f"separate)",
+                waited_s=timeout,
+            )
         if self._error is not None:
             raise self._error
         return self._response
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         if not self._event.wait(timeout):
-            raise TimeoutError("request not completed within the wait timeout")
+            raise ServeTimeout(
+                f"request not completed within the {timeout}s wait",
+                waited_s=timeout,
+            )
         return self._error
 
 
@@ -268,6 +312,7 @@ class SpMVServer:
         self.n_batch_fallbacks = 0
         self.n_deadline_expired = 0
         self.n_breaker_rejections = 0
+        self.n_internal_errors = 0
         self._thread: threading.Thread | None = None
         if start:
             self._thread = threading.Thread(
@@ -317,10 +362,7 @@ class SpMVServer:
                 f"x has {x.shape[0]} rows, matrix has {ncols} columns"
             )
         csr = as_csr(source)
-        key = (
-            f"{self.engine.device.name}:{self.engine.tuning_mode}:"
-            f"{matrix_fingerprint(csr)}:{_values_digest(csr)}"
-        )
+        key = serve_key(self.engine, csr)
         timeout = timeout_s if timeout_s is not None else self.config.default_timeout_s
         deadline = None if timeout is None else Deadline(timeout, clock=self._clock)
         future = ServeFuture()
@@ -458,6 +500,21 @@ class SpMVServer:
                 "serve.batch", key=batch[0].key[-12:], size=len(batch)
             ) as sp:
                 self._dispatch_inner(batch, sp)
+        except BaseException as exc:
+            # The dispatcher must never die with futures pending: an
+            # unexpected (non-ReproError) exception would otherwise kill
+            # the dispatch thread and leave every queued result() caller
+            # blocked forever.  Resolve the batch with the error -- it
+            # reaches callers through their futures -- and keep serving.
+            with self._cond:
+                self.n_internal_errors += 1
+            obs.counter(
+                "serve.internal_errors",
+                "dispatches that failed with an unexpected exception",
+            ).inc()
+            for r in batch:
+                if not r.future.done():
+                    self._finish(r, exc, None)
         finally:
             with self._cond:
                 self._in_flight -= 1
@@ -674,27 +731,51 @@ class SpMVServer:
 
         With ``drain=True`` (default) everything already queued is
         processed before shutdown; with ``drain=False`` queued futures
-        fail with :class:`~repro.errors.ServerClosedError`.  Idempotent.
+        fail with :class:`~repro.errors.ServerClosedError` -- no
+        ``result()`` caller is ever left blocked.  Idempotent.
         """
+        if not drain:
+            self.kill()
+            return
         with self._cond:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
-            if not drain:
-                abandoned = list(self._queue)
-                self._queue.clear()
-            else:
-                abandoned = []
             self._cond.notify_all()
-        for r in abandoned:
-            self._finish(r, ServerClosedError(
-                "server closed before the request was dispatched"
-            ), None)
         if self._thread is not None:
             self._thread.join()
             self._thread = None
-        elif drain:
+        elif not already:
             self.drain()
+
+    def kill(self, error: BaseException | None = None) -> int:
+        """Abrupt shutdown: refuse new work, fail everything queued.
+
+        Every still-queued future is failed with ``error`` (default a
+        :class:`~repro.errors.ServerClosedError`); a batch already
+        popped by the dispatcher still completes (its requests are
+        mid-flight, exactly like a real process would finish the work
+        already on the device).  The prepared cache is dropped -- a
+        killed shard loses its device memory, so a later restart
+        re-prepares.  Returns the number of futures failed.  This is
+        what the fabric's ``serve.shard_crash`` fault site calls, with a
+        :class:`~repro.errors.ShardCrashError` to fail with.
+        """
+        if error is None:
+            error = ServerClosedError(
+                "server closed before the request was dispatched"
+            )
+        with self._cond:
+            self._closed = True
+            doomed = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for r in doomed:
+            self._finish(r, error, None)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.cache.clear()
+        return len(doomed)
 
     def __enter__(self) -> "SpMVServer":
         return self
@@ -714,6 +795,7 @@ class SpMVServer:
                 "batch_fallbacks": self.n_batch_fallbacks,
                 "deadline_expiries": self.n_deadline_expired,
                 "breaker_rejections": self.n_breaker_rejections,
+                "internal_errors": self.n_internal_errors,
                 "queued": len(self._queue),
             }
         snap["cache"] = self.cache.stats()

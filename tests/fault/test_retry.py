@@ -231,3 +231,93 @@ class TestCircuitBreaker:
             CircuitBreaker(0)
         with pytest.raises(ReproError):
             CircuitBreaker(1, -1.0)
+
+
+class TestHalfOpenProbeSlot:
+    """Half-open must admit exactly ONE probe, also under concurrency."""
+
+    def make_half_open(self, cooldown=10.0):
+        clock = FakeClock()
+        br = CircuitBreaker(1, cooldown, clock=clock)
+        br.record_failure("k")
+        clock.advance(cooldown)
+        assert br.state("k") == BREAKER_HALF_OPEN
+        return br, clock
+
+    def test_second_caller_refused_while_probe_in_flight(self):
+        br, _ = self.make_half_open()
+        assert br.allow("k") is True  # probe slot claimed
+        assert br.allow("k") is False  # racer refused
+        assert br.allow("k") is False
+        assert br.probes == 1
+        br.record_success("k")
+        assert br.state("k") == BREAKER_CLOSED
+        assert br.allow("k") is True  # closed again: attempts flow
+
+    def test_concurrent_probes_admit_exactly_one(self):
+        import threading
+
+        br, _ = self.make_half_open()
+        n = 8
+        barrier = threading.Barrier(n)
+        admitted = []
+
+        def racer():
+            barrier.wait()
+            if br.allow("k"):
+                admitted.append(True)
+
+        threads = [threading.Thread(target=racer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert br.probes == 1
+
+    def test_failed_probe_releases_slot_via_reopen(self):
+        br, clock = self.make_half_open(cooldown=10.0)
+        assert br.allow("k")
+        br.record_failure("k")
+        assert br.state("k") == BREAKER_OPEN
+        clock.advance(10.0)
+        # A fresh half-open period grants a fresh probe slot.
+        assert br.allow("k") is True
+        assert br.probes == 2
+
+    def test_stale_probe_slot_released_after_cooldown(self):
+        # A probe whose caller never reports back (e.g. it died on a
+        # non-ReproError) must not wedge the circuit in half-open.
+        br, clock = self.make_half_open(cooldown=10.0)
+        assert br.allow("k") is True
+        assert br.allow("k") is False  # slot held, no report yet
+        clock.advance(10.0)
+        assert br.allow("k") is True  # slot reclaimed after one cooldown
+        assert br.probes == 2
+
+    def test_trip_forces_open(self):
+        clock = FakeClock()
+        br = CircuitBreaker(5, 10.0, clock=clock)
+        assert br.state("k") == BREAKER_CLOSED
+        br.trip("k")  # no failures recorded; health-driven ejection
+        assert br.state("k") == BREAKER_OPEN
+        assert not br.allow("k")
+        assert br.trips == 1
+        clock.advance(10.0)
+        assert br.state("k") == BREAKER_HALF_OPEN
+        assert br.allow("k")
+        br.record_success("k")
+        assert br.state("k") == BREAKER_CLOSED
+        assert br.recoveries == 1
+
+    def test_trip_is_idempotent_and_does_not_restart_cooldown(self):
+        clock = FakeClock()
+        br = CircuitBreaker(5, 10.0, clock=clock)
+        br.trip("k")
+        clock.advance(6.0)
+        br.trip("k")  # flapping health signal re-trips mid-cooldown
+        assert br.trips == 1
+        clock.advance(4.0)  # 10s since the FIRST trip
+        # If the second trip had restarted the cooldown this would
+        # still be open -- the probe must not be postponable forever.
+        assert br.state("k") == BREAKER_HALF_OPEN

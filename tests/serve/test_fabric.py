@@ -1,0 +1,488 @@
+"""Tests for the sharded serving fabric (:mod:`repro.serve.fabric`).
+
+Deterministic (threadless) mode throughout unless a test is explicitly
+about the pump thread: fabrics are built with ``start=False`` and
+driven by :meth:`drain`, so routing, failover and scheduling depend
+only on the submission order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import SpMVEngine
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    QuotaExceededError,
+    ServerClosedError,
+    ShardCrashError,
+    ValidationError,
+)
+from repro.fault import BREAKER_CLOSED, BREAKER_OPEN, RetryPolicy
+from repro.serve import (
+    FabricConfig,
+    HealthPolicy,
+    ServeConfig,
+    ServeFabric,
+    ShardRouter,
+    TenantPolicy,
+    serve_key,
+)
+from repro.util import as_csr
+
+
+def make_matrix(seed: int, n: int = 120, density: float = 0.05):
+    return sparse.random(n, n, density=density, random_state=seed, format="csr")
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class FlakyEngine(SpMVEngine):
+    """Engine whose dispatches fail until ``ok`` is flipped to True."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ok = False
+
+    def multiply(self, *args, **kwargs):
+        if not self.ok:
+            raise ValidationError("flaky shard: dispatch failed")
+        return super().multiply(*args, **kwargs)
+
+    def multiply_many(self, *args, **kwargs):
+        if not self.ok:
+            raise ValidationError("flaky shard: dispatch failed")
+        return super().multiply_many(*args, **kwargs)
+
+
+def make_fabric(shards=2, **kwargs):
+    kwargs.setdefault("serve_config", ServeConfig(batch_window_s=0.0))
+    kwargs.setdefault("start", False)
+    return ServeFabric(shards, **kwargs)
+
+
+def matrix_owned_by(fabric, shard_name, n=120):
+    """A matrix whose serve key the router assigns to ``shard_name``."""
+    engine = fabric.shards[0].engine
+    for seed in range(200):
+        A = make_matrix(seed, n=n)
+        if fabric.router.owner(serve_key(engine, as_csr(A))) == shard_name:
+            return A
+    raise AssertionError(f"no seed < 200 routed to {shard_name}")
+
+
+class TestShardRouter:
+    def test_deterministic_and_stable(self):
+        a = ShardRouter(["shard-0", "shard-1", "shard-2"])
+        b = ShardRouter(["shard-0", "shard-1", "shard-2"])
+        for key in ("alpha", "beta", "gamma"):
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_is_full_permutation(self):
+        names = [f"shard-{i}" for i in range(4)]
+        router = ShardRouter(names)
+        for key in ("k1", "k2", "k3", "k4", "k5"):
+            pref = router.preference(key)
+            assert sorted(pref) == sorted(names)
+            assert pref[0] == router.owner(key)
+
+    def test_keys_spread_over_shards(self):
+        router = ShardRouter([f"shard-{i}" for i in range(3)], vnodes=64)
+        share = router.share([f"key-{i}" for i in range(300)])
+        # Consistent hashing with vnodes: no shard starved, none hogging.
+        assert all(count > 0 for count in share.values())
+        assert max(share.values()) < 300
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(["only"])
+        assert router.preference("whatever") == ["only"]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardRouter([])
+        with pytest.raises(ValidationError):
+            ShardRouter(["a", "a"])
+        with pytest.raises(ValidationError):
+            ShardRouter(["a"], vnodes=0)
+
+
+class TestFabricConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"vnodes": 0},
+            {"failure_threshold": 0},
+            {"breaker_cooldown_s": -1.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            FabricConfig(**kwargs)
+
+    def test_tenant_policy_validation(self):
+        with pytest.raises(ValidationError):
+            TenantPolicy(weight=0.0)
+        with pytest.raises(ValidationError):
+            TenantPolicy(max_pending=0)
+
+
+class TestFabricServing:
+    def test_responses_bit_identical_to_engine(self):
+        fabric = make_fabric(3)
+        engine = SpMVEngine()
+        rng = np.random.default_rng(0)
+        try:
+            work = []
+            for seed in range(4):
+                A = make_matrix(seed)
+                for _ in range(3):
+                    x = rng.standard_normal(120)
+                    work.append((A, x, fabric.submit(A, x)))
+            fabric.drain()
+            for A, x, fut in work:
+                resp = fut.result(timeout=0)
+                ref = engine.multiply(engine.prepare(A), x).y
+                np.testing.assert_array_equal(resp.y, ref)
+                assert resp.shard in {s.name for s in fabric.shards}
+                assert resp.failovers == 0
+        finally:
+            fabric.close()
+
+    def test_same_key_routes_to_one_shard(self):
+        fabric = make_fabric(3)
+        try:
+            A = make_matrix(5)
+            rng = np.random.default_rng(1)
+            futs = [
+                fabric.submit(A, rng.standard_normal(120)) for _ in range(6)
+            ]
+            fabric.drain()
+            shards = {f.result(timeout=0).shard for f in futs}
+            assert len(shards) == 1
+        finally:
+            fabric.close()
+
+    def test_expired_deadline_fails_typed(self):
+        fabric = make_fabric(2)
+        try:
+            fut = fabric.submit(make_matrix(2), np.ones(120), timeout_s=0.0)
+            fabric.drain()
+            with pytest.raises(DeadlineExceeded):
+                fut.result(timeout=0)
+        finally:
+            fabric.close()
+
+    def test_threaded_mode_serves(self):
+        fabric = ServeFabric(
+            2, serve_config=ServeConfig(batch_window_s=0.0), start=True
+        )
+        try:
+            A = make_matrix(3)
+            rng = np.random.default_rng(2)
+            xs = [rng.standard_normal(120) for _ in range(8)]
+            futs = [fabric.submit(A, x) for x in xs]
+            for x, fut in zip(xs, futs):
+                resp = fut.result(timeout=60.0)
+                np.testing.assert_array_equal(resp.y, resp.y)  # completed
+        finally:
+            fabric.close()
+        assert fabric.n_responses == 8
+
+
+class TestQuotas:
+    def test_quota_rejects_over_limit(self):
+        fabric = make_fabric(
+            2, tenants={"t": TenantPolicy(max_pending=2)}
+        )
+        try:
+            A = make_matrix(1)
+            fabric.submit(A, np.ones(120), tenant="t")
+            fabric.submit(A, np.ones(120), tenant="t")
+            with pytest.raises(QuotaExceededError) as exc_info:
+                fabric.submit(A, np.ones(120), tenant="t")
+            assert exc_info.value.tenant == "t"
+            assert exc_info.value.limit == 2
+            assert fabric.n_quota_rejections == 1
+            # Other tenants are unaffected by t's quota.
+            fabric.submit(A, np.ones(120), tenant="other")
+        finally:
+            fabric.close()
+
+    def test_quota_frees_after_completion(self):
+        fabric = make_fabric(2, tenants={"t": TenantPolicy(max_pending=1)})
+        try:
+            A = make_matrix(1)
+            fut = fabric.submit(A, np.ones(120), tenant="t")
+            fabric.drain()
+            fut.result(timeout=0)
+            # The slot is free again once the request completed.
+            fabric.submit(A, np.ones(120), tenant="t")
+            fabric.drain()
+        finally:
+            fabric.close()
+
+    def test_weighted_fair_dequeue_order(self):
+        fabric = make_fabric(
+            2,
+            tenants={
+                "a": TenantPolicy(weight=2.0),
+                "b": TenantPolicy(weight=1.0),
+            },
+        )
+        try:
+            A = make_matrix(1)
+            for _ in range(3):
+                fabric.submit(A, np.ones(120), tenant="a")
+                fabric.submit(A, np.ones(120), tenant="b")
+            # Stride scheduling: weight-2 "a" is picked twice as often;
+            # ties break lexicographically, so the order is exact.
+            order = []
+            with fabric._cond:
+                for _ in range(6):
+                    order.append(fabric._next_tenant_locked())
+            assert order == ["a", "b", "a", "a", "b", "a"]
+        finally:
+            fabric.close(drain=False)
+
+    def test_idle_tenant_earns_no_burst(self):
+        fabric = make_fabric(2)
+        try:
+            A = make_matrix(1)
+            # "busy" accumulates virtual time; "late" arrives afterwards
+            # and must start at the current virtual time, not at zero.
+            for _ in range(4):
+                fabric.submit(A, np.ones(120), tenant="busy")
+            fabric.drain()
+            fabric.submit(A, np.ones(120), tenant="late")
+            with fabric._cond:
+                assert fabric._passes["late"] >= fabric._vtime
+        finally:
+            fabric.close()
+
+
+class TestFailover:
+    def test_kill_shard_mid_flight_fails_over(self):
+        fabric = make_fabric(2, retry_policy=RetryPolicy(max_attempts=3))
+        try:
+            victim = "shard-0"
+            A = matrix_owned_by(fabric, victim)
+            rng = np.random.default_rng(3)
+            xs = [rng.standard_normal(120) for _ in range(4)]
+            futs = [fabric.submit(A, x) for x in xs]
+            # Forward to the shard queues, then crash the owner with the
+            # requests genuinely in flight.
+            fabric._schedule()
+            assert fabric.kill_shard(victim) == 4
+            fabric.drain()
+            engine = SpMVEngine()
+            ref_prepared = engine.prepare(A)
+            for x, fut in zip(xs, futs):
+                resp = fut.result(timeout=0)
+                assert resp.shard == "shard-1"
+                assert resp.failovers == 1
+                np.testing.assert_array_equal(
+                    resp.y, engine.multiply(ref_prepared, x).y
+                )
+            assert fabric.n_failovers == 4
+            assert fabric.n_shard_crashes == 1
+            assert fabric.live_shards() == ["shard-1"]
+        finally:
+            fabric.close()
+
+    def test_kill_is_idempotent(self):
+        fabric = make_fabric(2)
+        try:
+            assert fabric.kill_shard("shard-0") == 0
+            assert fabric.kill_shard("shard-0") == 0
+            assert fabric.n_shard_crashes == 1
+        finally:
+            fabric.close()
+
+    def test_no_live_shards_fails_typed(self):
+        fabric = make_fabric(2)
+        try:
+            fabric.kill_shard("shard-0")
+            fabric.kill_shard("shard-1")
+            fut = fabric.submit(make_matrix(1), np.ones(120))
+            fabric.drain()
+            with pytest.raises((CircuitOpenError, ShardCrashError,
+                                ServerClosedError)):
+                fut.result(timeout=0)
+        finally:
+            fabric.close(drain=False)
+
+    def test_dead_shard_not_routed_after_crash(self):
+        fabric = make_fabric(2)
+        try:
+            fabric.kill_shard("shard-0")
+            A = matrix_owned_by(fabric, "shard-0")
+            fut = fabric.submit(A, np.ones(120))
+            fabric.drain()
+            resp = fut.result(timeout=0)
+            # The dead owner is skipped; the ring successor serves, and
+            # since the request was never forwarded to the dead shard
+            # this is routing, not failover.
+            assert resp.shard == "shard-1"
+            assert resp.failovers == 0
+        finally:
+            fabric.close()
+
+
+class TestEjectionReadmission:
+    def _flaky_fabric(self, clock):
+        flaky = {}
+
+        def factory(index):
+            if index == 1:
+                engine = FlakyEngine()
+                flaky["engine"] = engine
+                return engine
+            return SpMVEngine()
+
+        fabric = make_fabric(
+            2,
+            engine_factory=factory,
+            config=FabricConfig(shards=2, breaker_cooldown_s=10.0),
+            health_policy=HealthPolicy(
+                window=8, min_samples=2, max_error_rate=0.5
+            ),
+            retry_policy=RetryPolicy(max_attempts=3),
+            clock=clock,
+        )
+        return fabric, flaky
+
+    def test_sick_shard_ejected_then_readmitted(self):
+        clock = FakeClock()
+        fabric, flaky = self._flaky_fabric(clock)
+        try:
+            A = matrix_owned_by(fabric, "shard-1")
+            rng = np.random.default_rng(4)
+            futs = [
+                fabric.submit(A, rng.standard_normal(120)) for _ in range(4)
+            ]
+            fabric.drain()
+            for fut in futs:
+                fut.result(timeout=0)  # failed over to shard-0
+            assert fabric.n_ejections >= 1
+            assert fabric.breaker.state("shard-1") == BREAKER_OPEN
+            assert fabric.live_shards() == ["shard-0"]
+
+            # While ejected, the sick shard's key range routes elsewhere
+            # without burning failovers.
+            failovers_before = fabric.n_failovers
+            fut = fabric.submit(A, rng.standard_normal(120))
+            fabric.drain()
+            assert fut.result(timeout=0).shard == "shard-0"
+            assert fabric.n_failovers == failovers_before
+
+            # Shard recovers; after the cooldown the next owner-keyed
+            # request is the half-open probe and readmits it.
+            flaky["engine"].ok = True
+            clock.advance(11.0)
+            fut = fabric.submit(A, rng.standard_normal(120))
+            fabric.drain()
+            assert fut.result(timeout=0).shard == "shard-1"
+            assert fabric.n_readmissions == 1
+            assert fabric.breaker.state("shard-1") == BREAKER_CLOSED
+            assert sorted(fabric.live_shards()) == ["shard-0", "shard-1"]
+            # Readmission reset the health window: old failures gone.
+            assert fabric.shards[1].health.samples() == 1
+        finally:
+            fabric.close()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        fabric, flaky = self._flaky_fabric(clock)
+        try:
+            A = matrix_owned_by(fabric, "shard-1")
+            rng = np.random.default_rng(5)
+            futs = [
+                fabric.submit(A, rng.standard_normal(120)) for _ in range(3)
+            ]
+            fabric.drain()
+            assert fabric.breaker.state("shard-1") == BREAKER_OPEN
+            # Still sick after the cooldown: the probe fails, the
+            # circuit re-opens, and the request still succeeds elsewhere.
+            clock.advance(11.0)
+            fut = fabric.submit(A, rng.standard_normal(120))
+            fabric.drain()
+            assert fut.result(timeout=0).shard == "shard-0"
+            assert fabric.breaker.state("shard-1") == BREAKER_OPEN
+            assert fabric.n_readmissions == 0
+        finally:
+            fabric.close()
+
+
+class TestLifecycle:
+    def test_close_fails_queued_futures(self):
+        fabric = make_fabric(2)
+        A = make_matrix(1)
+        futs = [fabric.submit(A, np.ones(120)) for _ in range(3)]
+        fabric.close(drain=False)
+        for fut in futs:
+            with pytest.raises(ServerClosedError):
+                fut.result(timeout=0)
+        with pytest.raises(ServerClosedError):
+            fabric.submit(A, np.ones(120))
+
+    def test_close_drain_completes_queued(self):
+        fabric = make_fabric(2)
+        A = make_matrix(1)
+        futs = [fabric.submit(A, np.ones(120)) for _ in range(3)]
+        fabric.close()  # drain=True
+        for fut in futs:
+            assert fut.result(timeout=0).y is not None
+
+    def test_context_manager(self):
+        with make_fabric(2) as fabric:
+            fut = fabric.submit(make_matrix(1), np.ones(120))
+            fabric.drain()
+            fut.result(timeout=0)
+
+    def test_stats_shape(self):
+        fabric = make_fabric(2)
+        try:
+            A = make_matrix(1)
+            fabric.submit(A, np.ones(120), tenant="t")
+            fabric.drain()
+            snap = fabric.stats()
+            for key in (
+                "requests", "responses", "failovers", "quota_rejections",
+                "ejections", "readmissions", "shard_crashes", "live_shards",
+                "shards", "tenants", "cache", "batches", "shed",
+            ):
+                assert key in snap
+            assert snap["live_shards"] == 2
+            assert set(snap["shards"]) == {"shard-0", "shard-1"}
+            for shard_snap in snap["shards"].values():
+                assert shard_snap["breaker"] == BREAKER_CLOSED
+                assert "health" in shard_snap and "server" in shard_snap
+            assert snap["tenants"]["t"]["pending"] == 0
+        finally:
+            fabric.close()
+
+    def test_live_shards_gauge(self):
+        from repro.obs import Observer
+
+        obs = Observer()
+        fabric = make_fabric(2, observer=obs)
+        try:
+            gauge = obs.metrics.get("fabric.live_shards")
+            assert gauge is not None and gauge.value() == 2
+            fabric.kill_shard("shard-0")
+            assert gauge.value() == 1
+        finally:
+            fabric.close()

@@ -443,6 +443,105 @@ class TestLifecycle:
             fut.result(timeout=0.01)  # never drained
         srv.close()
 
+    def test_future_timeout_is_typed_and_picklable(self, matrix):
+        import pickle
+
+        from repro.errors import ServeTimeout
+
+        srv = SpMVServer(start=False, config=ServeConfig(batch_window_s=0.0))
+        fut = srv.submit(matrix, np.ones(120))
+        with pytest.raises(ServeTimeout) as exc_info:
+            fut.result(timeout=0.01)
+        assert exc_info.value.waited_s == pytest.approx(0.01)
+        assert isinstance(exc_info.value, TimeoutError)  # stdlib-compatible
+        with pytest.raises(ServeTimeout):
+            fut.exception(timeout=0.01)
+        clone = pickle.loads(pickle.dumps(exc_info.value))
+        assert isinstance(clone, ServeTimeout)
+        assert str(clone) == str(exc_info.value)
+        srv.close(drain=False)
+
+    def test_threaded_close_without_drain_fails_queued_futures(self, matrix):
+        # Regression: close(drain=False) on a *threaded* server must
+        # fail still-queued futures promptly -- even while the
+        # dispatcher is stuck mid-batch -- instead of leaving result()
+        # callers blocked forever.
+        import threading
+
+        release = threading.Event()
+        started = threading.Event()
+
+        class BlockingEngine(SpMVEngine):
+            def multiply(self, *args, **kwargs):
+                started.set()
+                release.wait(10.0)
+                return super().multiply(*args, **kwargs)
+
+            def multiply_many(self, *args, **kwargs):
+                started.set()
+                release.wait(10.0)
+                return super().multiply_many(*args, **kwargs)
+
+        srv = SpMVServer(
+            BlockingEngine(), ServeConfig(batch_window_s=0.0, max_batch=1)
+        )
+        in_flight = srv.submit(matrix, np.ones(120))
+        assert started.wait(10.0)  # dispatcher is mid-batch on in_flight
+        queued = srv.submit(matrix, np.ones(120))
+        closer = threading.Thread(target=lambda: srv.close(drain=False))
+        closer.start()
+        # The queued future fails promptly, while the dispatcher is
+        # still blocked on the in-flight batch.
+        assert isinstance(queued.exception(timeout=5.0), ServerClosedError)
+        assert not in_flight.done()
+        # The in-flight batch still completes -- the work was already
+        # "on the device" when the server was killed.
+        release.set()
+        closer.join(10.0)
+        assert not closer.is_alive()
+        assert np.allclose(
+            in_flight.result(timeout=5.0).y, matrix @ np.ones(120)
+        )
+
+    def test_kill_fails_queued_with_custom_error(self, matrix):
+        from repro.errors import ShardCrashError
+
+        srv = SpMVServer(start=False, config=ServeConfig(batch_window_s=0.0))
+        srv.multiply(matrix, np.ones(120))  # populate the cache
+        fut = srv.submit(matrix, np.ones(120))
+        doomed = srv.kill(ShardCrashError("shard died", shard="shard-0"))
+        assert doomed == 1
+        with pytest.raises(ShardCrashError) as exc_info:
+            fut.result(timeout=0)
+        assert exc_info.value.shard == "shard-0"
+        # A killed shard loses its device memory: the cache is dropped.
+        assert len(srv.cache) == 0
+        with pytest.raises(ServerClosedError):
+            srv.submit(matrix, np.ones(120))
+
+    def test_unexpected_exception_contained(self, matrix, monkeypatch):
+        # A non-ReproError escaping the dispatch path must resolve the
+        # batch's futures (and count an internal error), not kill the
+        # dispatcher with callers blocked.
+        srv = SpMVServer(start=False, config=ServeConfig(batch_window_s=0.0))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("unexpected bug in prepare")
+
+        monkeypatch.setattr(srv.engine, "prepare", boom)
+        fut = srv.submit(matrix, np.ones(120))
+        srv.drain()
+        with pytest.raises(RuntimeError):
+            fut.result(timeout=0)
+        assert srv.n_internal_errors == 1
+        assert srv.stats()["internal_errors"] == 1
+        monkeypatch.undo()
+        # The server keeps serving afterwards.
+        fut2 = srv.submit(matrix, np.ones(120))
+        srv.drain()
+        assert np.allclose(fut2.result(timeout=0).y, matrix @ np.ones(120))
+        srv.close()
+
 
 class TestObservability:
     def test_serve_metrics_reconcile_with_plain_counters(self, matrix):
