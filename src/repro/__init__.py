@@ -22,7 +22,8 @@ Entry points
     The subsystems, individually usable.
 """
 
-from . import fault, formats, gpu, kernels, matrices, obs, scan, serve, solvers, tuning
+from . import backends, fault, formats, gpu, kernels, matrices, obs, scan, serve, solvers, tuning
+from .backends import ExecutionBackend, available_backends, get_backend
 from .core import (
     BaselineResult,
     PreparedMatrix,
@@ -61,6 +62,7 @@ from .serve import ServeConfig, ServeFabric, SpMVServer, run_chaos_drill
 __version__ = "1.0.0"
 
 __all__ = [
+    "backends",
     "fault",
     "formats",
     "solvers",
@@ -74,6 +76,9 @@ __all__ = [
     "NullObserver",
     "Observer",
     "obs_scope",
+    "ExecutionBackend",
+    "available_backends",
+    "get_backend",
     "BaselineResult",
     "PreparedMatrix",
     "SpMVEngine",

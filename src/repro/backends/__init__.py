@@ -1,0 +1,34 @@
+"""Execution backends: how a prepared format runs, never what it computes.
+
+``faithful`` interprets workgroup-by-workgroup (the paper's dataflow and
+every fault site), ``fast`` vectorizes across all workgroups at once,
+``auto`` speculates on ``fast`` with differential fallback.  All three
+produce bit-identical output; selection is an API surface
+(``SpMVEngine(backend=...)``, ``multiply(..., backend=...)``, the serve
+layer, the tuner, and ``--backend`` on the CLI).
+"""
+
+from .auto import AutoBackend
+from .base import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .faithful import FaithfulBackend
+from .fast import FastBackend, FastPlan
+
+__all__ = [
+    "AutoBackend",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "FaithfulBackend",
+    "FastBackend",
+    "FastPlan",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,98 @@
+"""The auto backend: speculative fast path with exact-checked fallback.
+
+Runs ``fast``; when the caller supplies a CSR reference, the output is
+validated (sampled rows + finiteness, the engine's standard check) and
+any mismatch -- or any typed error out of the fast path -- reruns the
+call on ``faithful`` and reports the fallback through the observer.
+This is the Liu & Vinter speculative-segmented-sum discipline applied at
+the backend boundary: speculate on the vectorized path, keep the exact
+interpreter as the arbiter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..fault.injection import active_plan
+from ..fault.validation import verify_output
+from ..gpu.device import DeviceSpec
+from ..kernels.base import KernelResult
+from ..obs import active_observer
+from .base import ExecutionBackend, register_backend
+from .faithful import FaithfulBackend
+from .fast import FastBackend
+
+__all__ = ["AutoBackend"]
+
+
+@register_backend
+class AutoBackend(ExecutionBackend):
+    """``fast`` with automatic differential fallback to ``faithful``."""
+
+    name = "auto"
+
+    #: Sampled rows per validation (matches the engine's default).
+    validation_samples = 64
+
+    def __init__(self):
+        self._fast = FastBackend()
+        self._faithful = FaithfulBackend()
+
+    def execute(
+        self,
+        fmt,
+        x: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        return self._run(fmt, x, device, config, reference, multi=False)
+
+    def execute_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        return self._run(fmt, X, device, config, reference, multi=True)
+
+    def _run(self, fmt, x, device, config, reference, *, multi) -> KernelResult:
+        fast_call = self._fast.execute_multi if multi else self._fast.execute
+        slow_call = self._faithful.execute_multi if multi else self._faithful.execute
+        if active_plan() is not None:
+            # Fault plans belong to the faithful interpreter wholesale.
+            return slow_call(fmt, x, device, config, reference=reference)
+        try:
+            result = fast_call(fmt, x, device, config)
+        except ReproError as exc:
+            self._note_fallback(f"{type(exc).__name__}")
+            return slow_call(fmt, x, device, config, reference=reference)
+        if reference is not None:
+            csr = reference() if callable(reference) else reference
+            report = verify_output(
+                csr, x, result.y, n_samples=self.validation_samples
+            )
+            if not report.ok:
+                self._note_fallback("validator_mismatch")
+                return slow_call(fmt, x, device, config, reference=reference)
+        return result
+
+    @staticmethod
+    def _note_fallback(reason: str) -> None:
+        obs = active_observer()
+        if obs.enabled:
+            obs.counter(
+                "backend.auto_fallbacks",
+                "auto-backend reruns on the faithful path",
+            ).inc(reason=reason)
+
+    def capabilities(self) -> dict:
+        caps = super().capabilities()
+        caps["vectorized"] = True
+        caps["self_checking"] = True
+        return caps

@@ -1,0 +1,145 @@
+"""Execution-backend protocol and registry.
+
+A *backend* decides **how** a prepared format is executed; the format,
+the launch configuration and the cost model stay identical across
+backends, and so -- bit for bit -- does the output vector:
+
+* ``faithful`` runs the workgroup-interpreting kernels exactly as the
+  paper describes them (the correctness anchor);
+* ``fast`` vectorizes across all workgroups at once (batched segmented
+  sums over the bit-flag arrays, no per-workgroup Python) and is pinned
+  bit-identical to ``faithful``;
+* ``auto`` runs ``fast`` and falls back to ``faithful`` on any validator
+  mismatch -- the speculative-with-exact-check discipline of Liu &
+  Vinter's segmented sum.
+
+Backends register by name, mirroring the kernel registry:
+``resolve_backend`` is the single coercion point every API surface
+(:class:`~repro.core.engine.SpMVEngine`, the serve layer, the tuner, the
+CLI ``--backend`` flag) funnels through.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar
+
+import numpy as np
+
+from ..errors import BackendError
+from ..gpu.device import DeviceSpec
+from ..kernels.base import KernelResult
+
+__all__ = [
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_backend",
+    "DEFAULT_BACKEND",
+]
+
+#: The backend an engine uses when none is requested.
+DEFAULT_BACKEND = "faithful"
+
+
+class ExecutionBackend(abc.ABC):
+    """How SpMV launches execute; output is backend-invariant.
+
+    ``execute``/``execute_multi`` take the same ``(fmt, x/X, device,
+    config)`` quadruple as the kernel run protocol.  ``reference`` is an
+    optional CSR matrix (or zero-argument callable producing one) a
+    self-checking backend (``auto``) may verify against; the others
+    ignore it.
+    """
+
+    #: Registry key, e.g. ``"fast"``.
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        fmt,
+        x: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        """Run ``y = A @ x`` on ``fmt``; exact result + cost profile."""
+
+    @abc.abstractmethod
+    def execute_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        """Run ``Y = A @ X`` for ``X`` of shape ``(ncols, k)``."""
+
+    def capabilities(self) -> dict:
+        """Introspection record for :meth:`SpMVEngine.capabilities`."""
+        return {
+            "name": self.name,
+            "bit_identical": True,
+            "self_checking": False,
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, ExecutionBackend] = {}
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in backend modules so their ``@register_backend``
+    decorators have run -- callers that reach the registry through
+    ``get_backend`` alone (tuner workers, bare ``repro.tuning`` imports)
+    must not depend on package-``__init__`` import order."""
+    if "faithful" not in _REGISTRY:
+        from . import auto, faithful, fast  # noqa: F401
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator: instantiate and register the backend."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate backend name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a registered backend instance by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> dict[str, ExecutionBackend]:
+    """Read-only view of the backend registry."""
+    _ensure_builtins()
+    return dict(_REGISTRY)
+
+
+def resolve_backend(spec: Any | None) -> ExecutionBackend:
+    """Coerce a ``backend=`` spec -- ``None`` (default), a name, or an
+    :class:`ExecutionBackend` instance -- to a backend instance."""
+    if spec is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        return get_backend(spec)
+    raise BackendError(
+        f"backend must be a name or ExecutionBackend, got {type(spec).__name__}"
+    )

@@ -1,0 +1,58 @@
+"""The faithful backend: the workgroup-interpreting kernels, unchanged.
+
+This is the correctness anchor every other backend is pinned against.
+It delegates straight to :class:`repro.kernels.yaspmv.YaSpMVKernel` /
+``YaSpMMKernel`` -- per-workgroup dataflow, fault-injection hooks, the
+Grp_sum chain under sync-targeting fault plans -- so ``backend="faithful"``
+is exactly the engine's historical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..kernels.base import KernelResult
+from ..kernels.yaspmv import YaSpMMKernel, YaSpMVKernel
+from .base import ExecutionBackend, register_backend
+
+__all__ = ["FaithfulBackend"]
+
+
+@register_backend
+class FaithfulBackend(ExecutionBackend):
+    """Workgroup-by-workgroup interpretation (the paper's dataflow)."""
+
+    name = "faithful"
+
+    def __init__(self):
+        self._kernel = YaSpMVKernel()
+        self._kernel_multi = YaSpMMKernel()
+
+    def execute(
+        self,
+        fmt,
+        x: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        return self._kernel.run(fmt, x, device, config=config)
+
+    def execute_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        config=None,
+        *,
+        reference=None,
+    ) -> KernelResult:
+        return self._kernel_multi.run_multi(fmt, X, device, config)
+
+    def capabilities(self) -> dict:
+        caps = super().capabilities()
+        caps["vectorized"] = False
+        caps["fault_sites"] = True
+        return caps

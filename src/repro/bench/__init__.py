@@ -1,5 +1,6 @@
 """Benchmark harness and report rendering."""
 
+from .backends import run_backend_sweep, sweep_passed, write_sweep
 from .harness import (
     SYSTEMS,
     MatrixComparison,
@@ -11,6 +12,9 @@ from .harness import (
 from .report import render_bars, render_comparison, render_speedups, render_table
 
 __all__ = [
+    "run_backend_sweep",
+    "sweep_passed",
+    "write_sweep",
     "SYSTEMS",
     "MatrixComparison",
     "SystemScore",

@@ -1,0 +1,137 @@
+"""Backend sweep: wall-clock ``fast`` vs ``faithful``, identity-gated.
+
+The vectorized backend's contract is twofold -- *bit-identical* to the
+workgroup interpreter and *much faster* (it exists to amortize the
+interpreter's per-workgroup Python overhead).  This sweep measures both
+on real wall clock: every suite matrix is prepared once, multiplied on
+each backend, the outputs compared with ``np.array_equal`` (exact, not
+approximate), and the per-matrix speedup recorded.
+
+:func:`run_backend_sweep` returns a JSON-able report;
+:func:`sweep_passed` applies the CI gate (any identity loss, or ``fast``
+slower than ``faithful`` anywhere, fails).  ``repro bench`` and the
+``benchmarks/bench_backends.py`` smoke job both funnel through here and
+write ``benchmarks/results/BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from ..backends import get_backend
+from ..core.engine import SpMVEngine
+from ..gpu.device import get_device
+from ..tuning.parameters import TuningPoint
+
+__all__ = ["run_backend_sweep", "sweep_passed", "write_sweep"]
+
+#: Matrices small enough that interpreter overhead dominates are not
+#: meaningful speedup witnesses; the gate weighs matrices with at least
+#: this many nonzeros ("medium" in the bench suite's terms).
+MEDIUM_NNZ = 20_000
+
+
+def _time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall clock for one zero-argument call."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_backend_sweep(
+    device: str = "gtx680",
+    matrices: dict | None = None,
+    cap_nnz: int = 150_000,
+    repeats: int = 3,
+    point: TuningPoint | None = None,
+) -> dict:
+    """Time every backend on every matrix; exact-compare the outputs.
+
+    ``matrices`` maps name -> CSR (defaults to the Table 2 suite capped
+    at ``cap_nnz``).  ``point`` pins the format configuration (defaults
+    to the 1x1 BCCOO baseline) so the sweep measures execution, not
+    tuning.  Returns a JSON-able report; apply :func:`sweep_passed` for
+    the pass/fail verdict.
+    """
+    if matrices is None:
+        from ..matrices import load_suite
+
+        matrices = load_suite(cap_nnz=cap_nnz)
+    point = point if point is not None else TuningPoint()
+    dev = get_device(device)
+    engine = SpMVEngine(device=dev)
+    faithful = get_backend("faithful")
+    fast = get_backend("fast")
+
+    rows = []
+    for name, csr in matrices.items():
+        prepared = engine.prepare(csr, point=point)
+        x = np.random.default_rng(0).standard_normal(csr.shape[1])
+        fmt, cfg = prepared.fmt, prepared.config
+        # Warm-up builds the fast backend's cached plan and keeps the
+        # one-time padding/gather construction out of the timings.
+        y_faithful = faithful.execute(fmt, x, dev, cfg).y
+        y_fast = fast.execute(fmt, x, dev, cfg).y
+        t_faithful = _time_call(lambda: faithful.execute(fmt, x, dev, cfg), repeats)
+        t_fast = _time_call(lambda: fast.execute(fmt, x, dev, cfg), repeats)
+        rows.append(
+            {
+                "matrix": name,
+                "shape": list(csr.shape),
+                "nnz": int(csr.nnz),
+                "medium": bool(csr.nnz >= MEDIUM_NNZ),
+                "faithful_s": t_faithful,
+                "fast_s": t_fast,
+                "speedup": t_faithful / t_fast if t_fast > 0 else float("inf"),
+                "bit_identical": bool(np.array_equal(y_fast, y_faithful)),
+            }
+        )
+
+    speedups = [r["speedup"] for r in rows]
+    medium = [r["speedup"] for r in rows if r["medium"]]
+    return {
+        "kind": "bench_kernels",
+        "device": device,
+        "repeats": repeats,
+        "point": f"{point.format_name} {point.block_height}x{point.block_width}",
+        "matrices": rows,
+        "all_bit_identical": all(r["bit_identical"] for r in rows),
+        "min_speedup": min(speedups) if speedups else None,
+        "min_medium_speedup": min(medium) if medium else None,
+        "geomean_speedup": (
+            float(np.exp(np.mean(np.log(speedups)))) if speedups else None
+        ),
+    }
+
+
+def sweep_passed(report: dict) -> tuple[bool, list[str]]:
+    """The CI gate: bit-identity everywhere, ``fast`` never slower.
+
+    Returns ``(passed, reasons)`` -- reasons name the offending matrices
+    so the job log says *what* regressed, not just that something did.
+    """
+    reasons = []
+    for row in report["matrices"]:
+        if not row["bit_identical"]:
+            reasons.append(f"{row['matrix']}: fast output is not bit-identical")
+        if row["speedup"] < 1.0:
+            reasons.append(
+                f"{row['matrix']}: fast is slower than faithful "
+                f"({row['fast_s']:.4f}s vs {row['faithful_s']:.4f}s)"
+            )
+    return (not reasons, reasons)
+
+
+def write_sweep(report: dict, path) -> None:
+    """Persist the report as pretty-printed JSON."""
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")

@@ -22,10 +22,20 @@ Gives the library's main workflows a shell entry point:
 * ``footprint`` -- print the Table 3 row for a matrix;
 * ``compare``   -- run the full comparator panel on a matrix;
 * ``verify``    -- validate format invariants and check the kernel
-  output against the full CSR reference (non-zero exit on mismatch).
+  output against the full CSR reference (non-zero exit on mismatch);
+* ``bench``     -- time the ``fast`` backend against ``faithful`` on
+  the suite, exact-compare every output, and write
+  ``benchmarks/results/BENCH_kernels.json`` (non-zero exit if ``fast``
+  loses bit-identity or is slower anywhere).
 
 ``profile`` and ``verify`` accept ``--fault SPEC`` (e.g.
 ``stale_grp_sum:p=0.5,seed=7``) to run under an injected fault plan.
+
+Every command that constructs an engine accepts ``--backend
+{faithful,fast,auto}`` (see :mod:`repro.backends`): ``faithful``
+interprets workgroups exactly like the paper's kernels, ``fast`` is the
+bit-identical vectorized path, ``auto`` runs fast with a differential
+fallback.
 """
 
 from __future__ import annotations
@@ -114,6 +124,8 @@ def _cmd_tune(args) -> int:
         deadline=args.deadline if args.deadline > 0 else None,
         checkpoint=checkpoint,
         retry=retry,
+        backend=args.backend,
+        share_operand=args.share_operand,
     )
     if plan_scope is not None:
         with plan_scope:
@@ -144,7 +156,7 @@ def _cmd_multiply(args) -> int:
     name, A = _load_matrix(args.matrix, args.cap)
     x = np.random.default_rng(args.seed).standard_normal(A.shape[1])
     store = TuningStore(args.store) if args.store else None
-    eng = SpMVEngine(device=args.device, plan_store=store)
+    eng = SpMVEngine(device=args.device, plan_store=store, backend=args.backend)
     res = eng.multiply(eng.prepare(A), x)
     err = np.abs(res.y - A @ x).max()
     print(f"{name}:")
@@ -179,6 +191,7 @@ def _cmd_profile(args) -> int:
         fault_plan=args.fault or None,
         retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.0),
         breaker=CircuitBreaker(failure_threshold=3, cooldown_s=30.0),
+        backend=args.backend,
     )
     prepared = eng.prepare(A)
     res = eng.multiply(prepared, x)
@@ -218,7 +231,8 @@ def _cmd_serve(args) -> int:
 
     def make_engine(_index=0):
         return SpMVEngine(device=args.device, fault_plan=args.fault or None,
-                          policy="permissive" if args.fault else "strict")
+                          policy="permissive" if args.fault else "strict",
+                          backend=args.backend)
 
     if args.shards > 1:
         server = ServeFabric(
@@ -261,6 +275,7 @@ def _cmd_chaos(args) -> int:
         slows=args.slows,
         corrupt_shards=args.corrupt,
         device=args.device,
+        backend=args.backend,
     )
     print(report.summary())
     if args.json:
@@ -319,6 +334,7 @@ def _cmd_verify(args) -> int:
         fault_plan=args.fault or None,
         policy="permissive" if args.fault else "strict",
         validate="auto" if not args.fault else True,
+        backend=args.backend,
     )
     prepared = eng.prepare(A)
 
@@ -338,11 +354,51 @@ def _cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from .bench.backends import run_backend_sweep, sweep_passed, write_sweep
+
+    report = run_backend_sweep(
+        device=args.device, cap_nnz=args.cap, repeats=args.repeats
+    )
+    for row in report["matrices"]:
+        print(
+            f"  {row['matrix']:16s} nnz={row['nnz']:8d} "
+            f"faithful={row['faithful_s'] * 1e3:8.2f}ms "
+            f"fast={row['fast_s'] * 1e3:7.3f}ms "
+            f"x{row['speedup']:6.1f} "
+            f"{'identical' if row['bit_identical'] else 'MISMATCH'}"
+        )
+    print(
+        f"geomean speedup {report['geomean_speedup']:.1f}x, "
+        f"min {report['min_speedup']:.1f}x, "
+        f"bit-identical: {report['all_bit_identical']}"
+    )
+    if args.out:
+        write_sweep(report, args.out)
+        print(f"wrote report to {args.out}")
+    passed, reasons = sweep_passed(report)
+    for reason in reasons:
+        print(f"FAIL: {reason}", file=sys.stderr)
+    return 0 if passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="yaSpMV reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared by every subcommand that constructs an engine/tuner --
+    # ``parents=[backend_parent]`` keeps the flag's name, choices and
+    # help text identical everywhere.
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend", default="faithful",
+        choices=["faithful", "fast", "auto"],
+        help="execution backend: 'faithful' interprets workgroups like "
+             "the paper's kernels, 'fast' is the bit-identical "
+             "vectorized path, 'auto' is fast with differential "
+             "fallback (see docs/backends.md)")
 
     sub.add_parser("info", help="list devices, formats, kernels, suite")
 
@@ -354,7 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--store", default="",
                        help="JSON tuning store: reuse/persist tuned configs")
 
-    p_tune = sub.add_parser("tune", help="auto-tune a matrix")
+    p_tune = sub.add_parser(
+        "tune", help="auto-tune a matrix", parents=[backend_parent]
+    )
     matrix_args(p_tune)
     p_tune.add_argument("--mode", default="pruned", choices=["pruned", "exhaustive"])
     p_tune.add_argument("--workers", type=int, default=1,
@@ -383,8 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--fault", default="",
                         help="fault-plan spec, e.g. "
                              "tuner.worker_crash:p=1.0,count=1,seed=3")
+    p_tune.add_argument("--share-operand", action="store_true",
+                        help="with --workers > 1: publish the operand "
+                             "matrix once in POSIX shared memory; workers "
+                             "map it zero-copy instead of unpickling a "
+                             "copy each")
 
-    p_mul = sub.add_parser("multiply", help="run one simulated SpMV")
+    p_mul = sub.add_parser(
+        "multiply", help="run one simulated SpMV", parents=[backend_parent]
+    )
     matrix_args(p_mul)
     p_mul.add_argument("--seed", type=int, default=0)
 
@@ -392,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="prepare/tune/convert/execute under an observer; print the "
              "span tree and metrics table",
+        parents=[backend_parent],
     )
     matrix_args(p_prof)
     p_prof.add_argument("--seed", type=int, default=0)
@@ -404,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="replay a JSON-lines request workload through the serving "
              "layer (micro-batching + prepared-matrix cache)",
+        parents=[backend_parent],
     )
     p_srv.add_argument("--requests", required=True,
                        help="JSON-lines workload; each line e.g. "
@@ -435,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="differential chaos drill: faulted fabric vs one pristine "
              "server, bit-identical or non-zero exit",
+        parents=[backend_parent],
     )
     p_chaos.add_argument("--shards", type=int, default=3,
                          help="fabric shard count")
@@ -463,12 +531,28 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_args(p_cmp)
 
     p_ver = sub.add_parser(
-        "verify", help="validate format invariants + full reference check"
+        "verify", help="validate format invariants + full reference check",
+        parents=[backend_parent],
     )
     matrix_args(p_ver)
     p_ver.add_argument("--seed", type=int, default=0)
     p_ver.add_argument("--fault", default="",
                        help="fault-plan spec, e.g. stale_grp_sum:p=0.5,seed=7")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time fast vs faithful on the suite; exact-compare outputs; "
+             "non-zero exit if fast loses bit-identity or is slower",
+    )
+    p_bench.add_argument("--device", default="gtx680",
+                         choices=["gtx680", "gtx480"])
+    p_bench.add_argument("--cap", type=int, default=150_000,
+                         help="nnz cap for suite matrices (scale)")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N timing repeats per backend")
+    p_bench.add_argument("--out",
+                         default="benchmarks/results/BENCH_kernels.json",
+                         help="write the JSON report here ('' to skip)")
 
     return parser
 
@@ -483,6 +567,7 @@ _COMMANDS = {
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
 }
 
 

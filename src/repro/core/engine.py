@@ -23,6 +23,11 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..backends.base import (
+    ExecutionBackend,
+    available_backends,
+    resolve_backend,
+)
 from ..errors import FaultInjectedError, ReproError, ValidationError
 from ..fault.injection import FaultPlan, fault_scope
 from ..fault.resilience import AttemptRecord, FailureReport
@@ -59,6 +64,9 @@ class PreparedMatrix:
     #: and the fallback chain); ``None`` for hand-built instances, in
     #: which case it is lazily reconstructed from ``fmt``.
     csr: object | None = None
+    #: Shared-memory arena backing the buffers after :meth:`share`;
+    #: ``None`` for plain in-process (owned) storage.
+    arena: object | None = field(default=None, repr=False, compare=False)
     #: Guards the lazy decode -- ``multiply_many``/``multiply`` may hit
     #: one PreparedMatrix from several threads concurrently.
     _csr_lock: threading.Lock = field(
@@ -68,6 +76,11 @@ class PreparedMatrix:
     @property
     def config(self) -> YaSpMVConfig:
         return self.point.kernel
+
+    @property
+    def shared(self) -> bool:
+        """Whether the buffers live in ``multiprocessing.shared_memory``."""
+        return self.arena is not None
 
     def reference_csr(self):
         """The trusted CSR operand (lazily decoded from ``fmt`` if needed).
@@ -81,6 +94,188 @@ class PreparedMatrix:
                 if self.csr is None:
                     self.csr = self.fmt.to_scipy()
         return self.csr
+
+    # -- zero-copy shared storage ------------------------------------- #
+
+    def share(self) -> "PreparedMatrix":
+        """Move the buffers into one shared-memory segment (idempotent).
+
+        After this, pickling ships a small descriptor instead of the
+        arrays: worker processes attach the same physical pages
+        (:class:`repro.core.shm.SharedArena`) and rebuild zero-copy
+        views.  Call :meth:`release_shared` when done; the owning
+        process's release unlinks the segment.
+        """
+        if self.arena is not None:
+            return self
+        from .shm import SharedArena
+
+        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
+        csr = self.reference_csr()
+        arrays = {
+            "flags.words": inner.flags.words,
+            "col_block": inner.col_block,
+            "values": inner.values,
+            "row_map": inner.nonempty_block_rows,
+            "csr.data": csr.data,
+            "csr.indices": csr.indices,
+            "csr.indptr": csr.indptr,
+        }
+        if inner.delta is not None:
+            arrays["delta.deltas"] = inner.delta.deltas
+            arrays["delta.start_cols"] = inner.delta.start_cols
+            arrays["delta.fallback"] = inner.delta.fallback
+        arena = SharedArena.create(arrays)
+        self._adopt_views(arena, csr.shape)
+        return self
+
+    def _adopt_views(self, arena, csr_shape) -> None:
+        """Point fmt/csr at the arena's zero-copy views."""
+        from scipy import sparse as _sp
+
+        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
+        inner.flags.words = arena.view("flags.words")
+        inner.col_block = arena.view("col_block")
+        inner.values = arena.view("values")
+        inner.nonempty_block_rows = arena.view("row_map")
+        if inner.delta is not None:
+            inner.delta.deltas = arena.view("delta.deltas")
+            inner.delta.start_cols = arena.view("delta.start_cols")
+            inner.delta.fallback = arena.view("delta.fallback")
+        self.csr = _sp.csr_matrix(
+            (
+                arena.view("csr.data"),
+                arena.view("csr.indices"),
+                arena.view("csr.indptr"),
+            ),
+            shape=csr_shape,
+            copy=False,
+        )
+        self.arena = arena
+
+    def release_shared(self) -> None:
+        """Drop this process's reference to the shared segment.
+
+        Refcounted: the owner's final release unlinks the segment;
+        attached workers only unmap.  No-op for owned storage.
+        """
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+
+    # -- pickling (shared: ship the descriptor, not the arrays) -------- #
+
+    def __getstate__(self):
+        state = {
+            "point": self.point,
+            "tuning": self.tuning,
+            "nnz": self.nnz,
+        }
+        if self.arena is None:
+            state["fmt"] = self.fmt
+            state["csr"] = self.csr
+            return state
+        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
+        state["arena_descriptor"] = self.arena.descriptor()
+        state["csr_shape"] = tuple(self.csr.shape)
+        meta = {
+            "shape": tuple(inner.shape),
+            "block_height": inner.block_height,
+            "block_width": inner.block_width,
+            "col_storage": inner.col_storage,
+            "nnz": inner.nnz,
+            "flags_nbits": inner.flags.nbits,
+            "flags_n_valid": inner.flags.n_valid,
+            "delta_tile_size": (
+                inner.delta.tile_size if inner.delta is not None else None
+            ),
+        }
+        if isinstance(self.fmt, BCCOOPlusMatrix):
+            meta["plus"] = {
+                "shape": tuple(self.fmt.shape),
+                "slice_count": self.fmt.slice_count,
+                "slice_width": self.fmt.slice_width,
+            }
+        state["fmt_meta"] = meta
+        return state
+
+    def __setstate__(self, state):
+        self.point = state["point"]
+        self.tuning = state["tuning"]
+        self.nnz = state["nnz"]
+        self.arena = None
+        self._csr_lock = threading.Lock()
+        if "arena_descriptor" not in state:
+            self.fmt = state["fmt"]
+            self.csr = state["csr"]
+            return
+        from ..formats.bitflags import BitFlagArray
+        from ..formats.delta import DeltaColumns
+        from .shm import SharedArena
+
+        arena = SharedArena.attach(state["arena_descriptor"])
+        meta = state["fmt_meta"]
+        flags = BitFlagArray(
+            words=arena.view("flags.words"),
+            nbits=meta["flags_nbits"],
+            n_valid=meta["flags_n_valid"],
+        )
+        delta = None
+        if meta["delta_tile_size"] is not None:
+            delta = DeltaColumns(
+                deltas=arena.view("delta.deltas"),
+                start_cols=arena.view("delta.start_cols"),
+                fallback=arena.view("delta.fallback"),
+                tile_size=meta["delta_tile_size"],
+            )
+        inner = BCCOOMatrix(
+            meta["shape"],
+            meta["block_height"],
+            meta["block_width"],
+            flags,
+            arena.view("col_block"),
+            arena.view("values"),
+            arena.view("row_map"),
+            meta["col_storage"],
+            delta,
+            meta["nnz"],
+        )
+        plus = meta.get("plus")
+        if plus is not None:
+            self.fmt = BCCOOPlusMatrix(
+                plus["shape"], inner, plus["slice_count"], plus["slice_width"]
+            )
+        else:
+            self.fmt = inner
+        self._adopt_views(arena, state["csr_shape"])
+
+    # -- the shared result protocol (see SpMVResult / TuningResult) ---- #
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot matching the result-protocol shape."""
+        point = self.point
+        return {
+            "kind": "prepared_matrix",
+            "nnz": int(self.nnz),
+            "shape": [int(s) for s in self.fmt.shape],
+            "format": point.format_name,
+            "block": f"{point.block_height}x{point.block_width}",
+            "slices": int(point.slice_count),
+            "shared": self.shared,
+            "shared_bytes": int(self.arena.nbytes) if self.arena is not None else 0,
+            "tuning": None if self.tuning is None else self.tuning.to_dict(),
+        }
+
+    def summary(self) -> str:
+        """One-line human description of the prepared instance."""
+        point = self.point
+        line = (
+            f"{point.format_name} {point.block_height}x{point.block_width}"
+            f" (slices={point.slice_count}, nnz={self.nnz})"
+        )
+        if self.shared:
+            line += f" [shared: {self.arena.nbytes} B]"
+        return line
 
 
 @dataclass
@@ -212,6 +407,12 @@ class SpMVEngine:
     validation_samples:
         Rows sampled by the per-multiply reference check (``None`` =
         every row).
+    backend:
+        Execution backend name (``"faithful"``, ``"fast"``, ``"auto"``)
+        or :class:`repro.backends.ExecutionBackend` instance; the
+        default is ``"faithful"``.  Every ``multiply``/``multiply_many``
+        runs on it unless overridden per call; all backends are
+        bit-identical, so the choice only moves the wall clock.
     """
 
     _POLICIES = ("strict", "permissive")
@@ -235,6 +436,7 @@ class SpMVEngine:
         validation_rtol: float = 1e-9,
         validation_atol: float = 1e-12,
         observer=None,
+        backend: str | ExecutionBackend | None = None,
     ):
         if policy not in self._POLICIES:
             raise ValidationError(
@@ -273,11 +475,23 @@ class SpMVEngine:
         self.validation_samples = validation_samples
         self.validation_rtol = validation_rtol
         self.validation_atol = validation_atol
+        self.backend = resolve_backend(backend)
         self._kernel = YaSpMVKernel()
         self._kernel_multi = YaSpMMKernel()
         self._timing = TimingModel(self.device)
         #: Backoff sleep between tuned retries; tests inject a recorder.
         self._sleep = time.sleep
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The engine-default execution backend (see ``backend=``)."""
+        return self._backend
+
+    @backend.setter
+    def backend(self, spec) -> None:
+        # Accepts a name, an instance, or None (the registry default) so
+        # callers can install a backend the way they install observers.
+        self._backend = resolve_backend(spec)
 
     @property
     def _resilient(self) -> bool:
@@ -302,6 +516,7 @@ class SpMVEngine:
         store=None,
         deadline=None,
         checkpoint=None,
+        share: bool = False,
     ) -> PreparedMatrix:
         """Tune (unless ``point`` is given) and convert ``matrix``.
 
@@ -319,6 +534,11 @@ class SpMVEngine:
         :class:`repro.tuning.TuningCheckpoint`) journals every completed
         candidate so a crashed or expired search resumes where it
         stopped, with a bit-identical final result.
+
+        ``share=True`` moves the resulting buffers (and, when the search
+        fans out, the tuner workers' CSR operand) into
+        ``multiprocessing.shared_memory`` -- see
+        :meth:`PreparedMatrix.share`.
         """
         obs = self.observer
         with obs_scope(obs), obs.span(
@@ -361,6 +581,8 @@ class SpMVEngine:
                     deadline=deadline,
                     checkpoint=checkpoint,
                     retry=self.retry_policy,
+                    backend=self.backend.name,
+                    share_operand=share,
                     **self.tuning_kwargs,
                 )
                 tuning = tuner.tune(csr)
@@ -389,12 +611,22 @@ class SpMVEngine:
                 format=point.format_name,
                 store_hit=bool(tuning is not None and tuning.store_hit),
             )
-            return PreparedMatrix(
+            prepared = PreparedMatrix(
                 fmt=fmt, point=point, tuning=tuning, nnz=int(csr.nnz), csr=csr
             )
+            if share:
+                prepared.share()
+                obs.counter(
+                    "engine.shared_prepares", "prepare(share=True) calls"
+                ).inc()
+            return prepared
 
     def multiply(
-        self, prepared: PreparedMatrix | object, x: np.ndarray
+        self,
+        prepared: PreparedMatrix | object,
+        x: np.ndarray,
+        *,
+        backend: str | ExecutionBackend | None = None,
     ) -> SpMVResult:
         """Execute one SpMV: ``y = A @ x``.
 
@@ -404,6 +636,9 @@ class SpMVEngine:
         -- it is prepared (auto-tuned, warm-started from ``plan_store``
         when set) and multiplied in one call.
 
+        ``backend`` overrides the engine's backend for this call only
+        (same bit-identical output, different execution strategy).
+
         With no fault plan and validation off (the default), this is the
         plain tuned execution.  Otherwise the multiply runs through the
         resilience layer: injection scope, output validation, and --
@@ -412,13 +647,21 @@ class SpMVEngine:
         """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
+        bk = self._backend if backend is None else resolve_backend(backend)
         obs = self.observer
         with obs_scope(obs), obs.span(
-            "engine.multiply", nnz=prepared.nnz, resilient=self._resilient
+            "engine.multiply",
+            nnz=prepared.nnz,
+            resilient=self._resilient,
+            backend=bk.name,
         ) as sp:
             if not self._resilient:
-                result = self._kernel.run(
-                    prepared.fmt, x, self.device, config=prepared.config
+                result = bk.execute(
+                    prepared.fmt,
+                    x,
+                    self.device,
+                    prepared.config,
+                    reference=prepared.reference_csr,
                 )
                 breakdown = self._timing.estimate(result.stats)
                 out = SpMVResult(
@@ -428,19 +671,24 @@ class SpMVEngine:
                     nnz=prepared.nnz,
                 )
             else:
-                out = self._multiply_resilient(prepared, x)
-            self._observe_result(sp, out)
+                out = self._multiply_resilient(prepared, x, bk)
+            self._observe_result(sp, out, bk)
             return out
 
     # ------------------------------------------------------------------ #
     # Resilience layer
     # ------------------------------------------------------------------ #
 
-    def _multiply_resilient(self, prepared: PreparedMatrix, x: np.ndarray) -> SpMVResult:
+    def _multiply_resilient(
+        self, prepared: PreparedMatrix, x: np.ndarray, backend: ExecutionBackend
+    ) -> SpMVResult:
         """Validating multiply with bounded retry and fallback chain.
 
         Handles both the vector (1-D ``x``) and the multi-RHS (2-D ``x``)
-        cases; the fallback stages and validation are shared.
+        cases; the fallback stages and validation are shared.  The tuned
+        stages run on ``backend``; the deep fallbacks (untuned rebuild,
+        CSR reference) always run on the faithful interpreter -- the
+        degraded path optimizes for trust, not speed.
         """
         plan = self.fault_plan
         csr = prepared.reference_csr()
@@ -520,7 +768,7 @@ class SpMVEngine:
                         self._sleep(delay)
             with obs.span("fallback.attempt", stage=stage, depth=depth) as stage_span:
                 result, record = self._attempt(
-                    stage, fmt, config, with_plan, prepared, csr, x, plan
+                    stage, fmt, config, with_plan, prepared, csr, x, plan, backend
                 )
                 stage_span.set(ok=record.ok, injected=len(record.injected))
                 if record.error:
@@ -583,6 +831,7 @@ class SpMVEngine:
         csr,
         x: np.ndarray,
         plan: FaultPlan | None,
+        backend: ExecutionBackend,
     ):
         """Run one fallback stage; returns ``(KernelResult | None, record)``."""
         active = plan if with_plan else None
@@ -594,7 +843,9 @@ class SpMVEngine:
                     # injection explicitly disabled.
                     kernel_result = self._csr_reference(csr, x)
                 elif fmt is None:
-                    # Untuned default point, rebuilt from the CSR source.
+                    # Untuned default point, rebuilt from the CSR source;
+                    # always faithful -- the degraded path stays on the
+                    # interpreter the fault model instruments.
                     rebuilt = BCCOOMatrix.from_scipy(csr)
                     if multi:
                         kernel_result = self._kernel_multi.run_multi(
@@ -605,12 +856,15 @@ class SpMVEngine:
                             rebuilt, x, self.device, config=config
                         )
                 elif multi:
-                    kernel_result = self._kernel_multi.run_multi(
-                        fmt, x, self.device, config=config
+                    # The engine's own verify_output below is the arbiter,
+                    # so no reference is passed down (an auto backend
+                    # would only validate twice).
+                    kernel_result = backend.execute_multi(
+                        fmt, x, self.device, config
                     )
                 else:
-                    kernel_result = self._kernel.run(
-                        fmt, x, self.device, config=config
+                    kernel_result = backend.execute(
+                        fmt, x, self.device, config
                     )
         except ReproError as exc:
             injected = active.drain_events() if active is not None else []
@@ -716,7 +970,11 @@ class SpMVEngine:
         return np.asarray(X)
 
     def multiply_many(
-        self, prepared: PreparedMatrix | object, X: np.ndarray
+        self,
+        prepared: PreparedMatrix | object,
+        X: np.ndarray,
+        *,
+        backend: str | ExecutionBackend | None = None,
     ) -> SpMVResult:
         """SpMM extension: ``Y = A @ X`` for ``X`` of shape ``(ncols, k)``.
 
@@ -740,16 +998,22 @@ class SpMVEngine:
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
         X = self._coerce_rhs(X)
+        bk = self._backend if backend is None else resolve_backend(backend)
         obs = self.observer
         with obs_scope(obs), obs.span(
             "engine.multiply_many",
             nnz=prepared.nnz,
             n_rhs=int(np.asarray(X).shape[1]) if np.asarray(X).ndim == 2 else 1,
             resilient=self._resilient,
+            backend=bk.name,
         ) as sp:
             if not self._resilient:
-                result = self._kernel_multi.run_multi(
-                    prepared.fmt, X, self.device, config=prepared.config
+                result = bk.execute_multi(
+                    prepared.fmt,
+                    X,
+                    self.device,
+                    prepared.config,
+                    reference=prepared.reference_csr,
                 )
                 breakdown = self._timing.estimate(result.stats)
                 out = SpMVResult(
@@ -759,9 +1023,68 @@ class SpMVEngine:
                     nnz=prepared.nnz * int(np.asarray(X).shape[1]),
                 )
             else:
-                out = self._multiply_resilient(prepared, X)
-            self._observe_result(sp, out)
+                out = self._multiply_resilient(prepared, X, bk)
+            self._observe_result(sp, out, bk)
             return out
+
+    def capabilities(self, prepared: PreparedMatrix | None = None) -> dict:
+        """One JSON-able dict describing what this engine can do.
+
+        Covers the available/selected backends, the SpMM batch bound
+        (for ``prepared`` when given, else the default-config estimate),
+        and the active resilience configuration (policy, validation,
+        retry, breaker, fault plan) -- the introspection protocol's
+        engine-level entry, next to ``PreparedMatrix.to_dict()`` and
+        ``SpMVResult.to_dict()``.
+        """
+        if prepared is not None:
+            batch_width = self.max_batch_width(prepared)
+        else:
+            # Default-config estimate: the SpMM shared-memory formula
+            # needs only the block height (1 for the default point).
+            import types
+
+            shim = types.SimpleNamespace(block_height=1)
+            shm_one = self._kernel._shared_mem(shim, YaSpMVConfig())
+            batch_width = max(
+                1, self.device.max_shared_mem_per_workgroup // max(shm_one, 1)
+            )
+        retry = self.retry_policy
+        breaker = self.breaker
+        return {
+            "kind": "engine_capabilities",
+            "device": self.device.name,
+            "backend": self._backend.name,
+            "backends": {
+                name: bk.capabilities()
+                for name, bk in sorted(available_backends().items())
+            },
+            "max_batch_width": int(batch_width),
+            "policy": self.policy,
+            "validate": self.validate,
+            "resilient": self._resilient,
+            "fault_plan": (
+                None if self.fault_plan is None else sorted(self.fault_plan.specs)
+            ),
+            "retry": {
+                "max_retries": self.max_retries,
+                "policy": None if retry is None else {
+                    "retries": retry.retries,
+                    "backoff": type(retry).__name__,
+                },
+            },
+            "breaker": None if breaker is None else {"kind": type(breaker).__name__},
+            "validation": {
+                "samples": self.validation_samples,
+                "rtol": self.validation_rtol,
+                "atol": self.validation_atol,
+            },
+            "tuning": {
+                "mode": self.tuning_mode,
+                "workers": self.tuning_workers,
+                "executor": self.tuning_executor,
+            },
+        }
 
     def max_batch_width(self, prepared: PreparedMatrix) -> int:
         """Widest multi-RHS block :meth:`multiply_many` runs as one SpMM.
@@ -779,7 +1102,9 @@ class SpMVEngine:
             prepared.fmt, self.device, prepared.config
         )
 
-    def _observe_result(self, sp, result: SpMVResult) -> None:
+    def _observe_result(
+        self, sp, result: SpMVResult, backend: ExecutionBackend
+    ) -> None:
         """Feed one multiply's profile to the observer (span + metrics)."""
         obs = self.observer
         br = result.breakdown
@@ -793,7 +1118,9 @@ class SpMVEngine:
             imbalance=br.imbalance_factor,
             degraded=result.degraded,
         )
-        obs.counter("engine.multiplies", "multiply()/multiply_many() calls").inc()
+        obs.counter(
+            "engine.multiplies", "multiply()/multiply_many() calls"
+        ).inc(backend=backend.name)
         obs.histogram(
             "engine.sim_time_s", "simulated execution time per multiply"
         ).observe(br.t_total)
@@ -816,6 +1143,8 @@ class SpMVEngine:
         return BCCOOMatrix.from_scipy(csr, **kwargs)
 
 
-def yaspmv(matrix, x, device: str | DeviceSpec = "gtx680") -> np.ndarray:
+def yaspmv(
+    matrix, x, device: str | DeviceSpec = "gtx680", backend=None
+) -> np.ndarray:
     """One-shot convenience: auto-tuned SpMV, returns ``y = A @ x``."""
-    return SpMVEngine(device=device).multiply(matrix, x).y
+    return SpMVEngine(device=device, backend=backend).multiply(matrix, x).y

@@ -40,6 +40,15 @@ class KernelConfigError(ReproError):
     """
 
 
+class BackendError(ReproError):
+    """An execution backend was requested that does not exist.
+
+    Raised by :func:`repro.backends.resolve_backend` when a ``backend=``
+    spec names no registered backend; the message lists the available
+    names so callers can self-correct.
+    """
+
+
 class DeviceError(ReproError):
     """A simulated-device constraint was violated.
 

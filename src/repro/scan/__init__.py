@@ -6,6 +6,7 @@ matrix-based approach the yaSpMV kernels customize.  ``flags`` converts
 between BCCOO bit flags (row stops) and classic start flags.
 """
 
+from .batched import SegmentPlan, batched_segment_sums, make_segment_plan
 from .blelloch import BlellochStats, blelloch_segmented_scan
 from .flags import segment_ids, starts_from_stops, stops_from_starts
 from .matrix_scan import MatrixScanStats, matrix_segmented_scan
@@ -19,7 +20,10 @@ from .tree import TreeScanStats, tree_segmented_scan
 
 __all__ = [
     "BlellochStats",
+    "SegmentPlan",
+    "batched_segment_sums",
     "blelloch_segmented_scan",
+    "make_segment_plan",
     "segment_ids",
     "starts_from_stops",
     "stops_from_starts",

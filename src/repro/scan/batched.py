@@ -1,0 +1,127 @@
+"""Batched segmented sums for the fast execution backend.
+
+:func:`repro.scan.reference.segmented_sum` accumulates with
+``np.add.at`` -- an in-order element loop, the ground truth every kernel
+is pinned against, but paying Python-level ufunc dispatch per inner
+buffer makes it the hot path's dominant cost.  ``np.bincount`` with a
+``weights`` array performs the *same in-order accumulation* (one C loop
+over the elements, adding each weight into its bin in element order), so
+its output is **bit-identical** to ``np.add.at`` -- same additions, same
+order, same rounding -- at a fraction of the cost.
+
+Lanes (the ``h`` intra-block rows, or ``h * k`` for SpMM) ride along two
+ways, both preserving the per-``(bin, lane)`` accumulation order that
+``np.add.at`` over 2-D values produces:
+
+* **combined ids** (:func:`batched_segment_sums` with a 2-D ``flat_ids``
+  plan): element ``i`` lane ``l`` maps to flat bin ``ids[i] * lanes + l``,
+  one ``bincount`` over ``values.ravel()``;
+* **per-lane sweep** (wide SpMM): one ``bincount`` per lane over the
+  lane's column.  ``np.add.at`` interleaves lanes per element, but every
+  ``(bin, lane)`` cell still sees its contributions in element order, so
+  the per-lane sweep lands on identical bits.
+
+The dividing line is allocation: combined ids need an ``n * lanes``
+int64 index array, fine for ``h <= 4`` but wasteful for a 32-wide SpMM
+batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .flags import segment_ids, starts_from_stops
+
+__all__ = ["SegmentPlan", "make_segment_plan", "batched_segment_sums"]
+
+#: Widest lane count the combined-id form allocates flat indices for;
+#: past it the per-lane sweep wins on memory without losing bit-identity.
+_FLAT_LANE_CAP = 8
+
+
+class SegmentPlan:
+    """Precomputed segment structure for repeated batched sums.
+
+    Holds everything :func:`batched_segment_sums` needs that depends only
+    on the stop flags -- the per-element segment ids, the segment count,
+    and how many of those segments are *closed* (end with a stop; the
+    trailing open run is bit-flag padding and is discarded, exactly like
+    :func:`~repro.scan.reference.segment_sums_by_stops`).
+    """
+
+    __slots__ = ("ids", "n_segments", "n_closed", "_flat_ids")
+
+    def __init__(self, stops: np.ndarray):
+        stops = np.asarray(stops, dtype=bool)
+        if stops.ndim != 1:
+            raise ReproError(f"stops must be 1-D, got shape {stops.shape}")
+        if stops.shape[0] == 0:
+            self.ids = np.empty(0, dtype=np.int64)
+            self.n_segments = 0
+        else:
+            self.ids = segment_ids(starts_from_stops(stops))
+            self.n_segments = int(self.ids[-1]) + 1
+        self.n_closed = int(np.count_nonzero(stops))
+        #: lane count -> combined flat ids, built lazily per batch width.
+        self._flat_ids: dict[int, np.ndarray] = {}
+
+    def flat_ids(self, lanes: int) -> np.ndarray:
+        """Combined ``(n * lanes,)`` bin ids mapping lane ``l`` of element
+        ``i`` to bin ``ids[i] * lanes + l``."""
+        cached = self._flat_ids.get(lanes)
+        if cached is None:
+            cached = (
+                self.ids[:, None] * lanes + np.arange(lanes, dtype=np.int64)
+            ).ravel()
+            self._flat_ids[lanes] = cached
+        return cached
+
+
+def make_segment_plan(stops: np.ndarray) -> SegmentPlan:
+    """Build (and cacheably reuse) the segment structure for ``stops``."""
+    return SegmentPlan(stops)
+
+
+def batched_segment_sums(values: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+    """Per-*closed*-segment totals, bit-identical to
+    :func:`~repro.scan.reference.segment_sums_by_stops` on the stop flags
+    the ``plan`` was built from.
+
+    ``values`` is ``(n,)`` or ``(n, lanes)`` float64.  Returns ``(n_closed,)``
+    or ``(n_closed, lanes)`` -- every element the exact bits the
+    ``np.add.at`` reference produces, because ``np.bincount`` adds the
+    same weights into the same bins in the same element order.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    if n != plan.ids.shape[0]:
+        raise ReproError(
+            f"values length {n} != plan length {plan.ids.shape[0]}"
+        )
+    nseg = plan.n_segments
+    if values.ndim == 1:
+        if n == 0:
+            return values.copy()
+        sums = np.bincount(plan.ids, weights=values, minlength=nseg)
+        return sums[: plan.n_closed]
+    lanes = int(np.prod(values.shape[1:]))
+    flat_vals = values.reshape(n, lanes)
+    if n == 0 or lanes == 0:
+        return np.zeros((plan.n_closed,) + values.shape[1:], dtype=np.float64)
+    if lanes <= _FLAT_LANE_CAP:
+        sums = np.bincount(
+            plan.flat_ids(lanes),
+            weights=flat_vals.ravel(),
+            minlength=nseg * lanes,
+        ).reshape(nseg, lanes)
+    else:
+        sums = np.empty((nseg, lanes), dtype=np.float64)
+        for lane in range(lanes):
+            sums[:, lane] = np.bincount(
+                plan.ids,
+                weights=np.ascontiguousarray(flat_vals[:, lane]),
+                minlength=nseg,
+            )
+    out = sums[: plan.n_closed]
+    return out.reshape((out.shape[0],) + values.shape[1:])

@@ -14,7 +14,10 @@ The byte accounting reuses the format layer's own model: each entry is
 charged ``fmt.footprint_bytes()`` (the :mod:`repro.formats.footprint`
 accounting the auto-tuner prunes with) plus the retained CSR operand's
 actual array bytes, so the budget maps directly onto device/host memory
-a production deployment would spend.
+a production deployment would spend.  Buffers living in a shared-memory
+arena (:meth:`PreparedMatrix.share`) are resident once system-wide and
+are therefore *reported* (``stats()["shared_bytes"]``) but not charged
+against the budget -- see :func:`prepared_footprint_split`.
 
 Thread-safe; hit/miss/eviction counters are kept both on the instance
 (for tests and reports) and mirrored to the ambient observer as
@@ -29,23 +32,45 @@ from dataclasses import dataclass
 
 from ..core.engine import PreparedMatrix
 
-__all__ = ["PreparedCache", "prepared_footprint_bytes", "CacheEntry"]
+__all__ = [
+    "PreparedCache",
+    "prepared_footprint_bytes",
+    "prepared_footprint_split",
+    "CacheEntry",
+]
 
 
-def prepared_footprint_bytes(prepared: PreparedMatrix) -> int:
-    """Bytes one cached entry is charged for.
+def prepared_footprint_split(prepared: PreparedMatrix) -> dict:
+    """Owned/shared/total byte accounting for one prepared matrix.
 
-    The converted format pays its :meth:`footprint_bytes` (the same
-    accounting :mod:`repro.formats.footprint` uses for Table 3 and the
-    tuner's block pruning); the retained CSR source pays its actual
-    array sizes (``data``/``indices``/``indptr``).  A lazily-decoded
-    entry (``csr is None``) is charged the format alone.
+    ``total`` is the classic footprint: the converted format pays its
+    :meth:`footprint_bytes` (the same accounting
+    :mod:`repro.formats.footprint` uses for Table 3 and the tuner's
+    block pruning) and the retained CSR source pays its actual array
+    sizes (``data``/``indices``/``indptr``); a lazily-decoded entry
+    (``csr is None``) counts the format alone.
+
+    ``shared`` is the portion living in a
+    :class:`~repro.core.shm.SharedArena` segment
+    (:meth:`PreparedMatrix.share`): those pages exist **once**
+    system-wide no matter how many caches or processes map them, so a
+    budget that charged them per entry would double-count.  ``owned``
+    (= ``total - shared``, floored at zero) is what an LRU budget
+    should charge.
     """
     total = int(prepared.fmt.footprint_bytes())
     csr = prepared.csr
     if csr is not None:
         total += int(csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes)
-    return total
+    shared = int(prepared.arena.nbytes) if prepared.shared else 0
+    return {"owned": max(total - shared, 0), "shared": shared, "total": total}
+
+
+def prepared_footprint_bytes(prepared: PreparedMatrix) -> int:
+    """Bytes one cached entry is charged for: the *owned* portion of
+    :func:`prepared_footprint_split` -- shared-memory buffers are
+    resident once system-wide and must not be charged per entry."""
+    return prepared_footprint_split(prepared)["owned"]
 
 
 @dataclass
@@ -54,7 +79,10 @@ class CacheEntry:
 
     key: str
     prepared: PreparedMatrix
+    #: Owned bytes -- what the LRU budget charges.
     nbytes: int
+    #: Bytes resident in a shared-memory arena (reported, not charged).
+    shared_nbytes: int = 0
 
 
 class PreparedCache:
@@ -117,15 +145,20 @@ class PreparedCache:
         budget again, never evicting the entry just inserted (see class
         docstring for the single-oversized-entry policy).
         """
-        nbytes = prepared_footprint_bytes(prepared)
+        split = prepared_footprint_split(prepared)
         evicted: list[CacheEntry] = []
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
                 self.total_bytes -= old.nbytes
-            entry = CacheEntry(key=key, prepared=prepared, nbytes=nbytes)
+            entry = CacheEntry(
+                key=key,
+                prepared=prepared,
+                nbytes=split["owned"],
+                shared_nbytes=split["shared"],
+            )
             self._entries[key] = entry
-            self.total_bytes += nbytes
+            self.total_bytes += entry.nbytes
             if self.budget_bytes is not None:
                 while self.total_bytes > self.budget_bytes and len(self._entries) > 1:
                     victim_key = next(iter(self._entries))
@@ -169,6 +202,9 @@ class PreparedCache:
             return {
                 "entries": len(self._entries),
                 "total_bytes": int(self.total_bytes),
+                "shared_bytes": int(
+                    sum(e.shared_nbytes for e in self._entries.values())
+                ),
                 "budget_bytes": self.budget_bytes,
                 "hits": int(self.hits),
                 "misses": int(self.misses),

@@ -210,6 +210,7 @@ def run_chaos_drill(
     device: str = "gtx680",
     require_failover: bool | None = None,
     observer=None,
+    backend: str | None = None,
 ) -> ChaosReport:
     """Run the differential drill; see the module docstring for the plot.
 
@@ -218,6 +219,10 @@ def run_chaos_drill(
     detected-corrupt from the start.  ``require_failover`` defaults to
     "a kill or corruption was planned and more than one shard exists"
     -- the configurations in which a vacuous pass must be rejected.
+    ``backend`` selects the fabric shards' execution backend; the
+    pristine golden server always runs ``faithful``, so a drill under
+    ``backend="fast"`` doubles as a bit-identity check on the
+    vectorized path.
     """
     t0 = time.perf_counter()
     if require_failover is None:
@@ -248,8 +253,12 @@ def run_chaos_drill(
 
     def factory(index: int) -> SpMVEngine:
         if index in corrupt:
-            return _CorruptEngine(device=device)
-        return SpMVEngine(device=device)
+            engine = _CorruptEngine(device=device)
+        else:
+            engine = SpMVEngine(device=device)
+        if backend is not None:
+            engine.backend = backend
+        return engine
 
     plan = chaos_plan(seed, kills=kills, slows=slows)
     fabric = ServeFabric(

@@ -288,6 +288,11 @@ class ServeFabric:
         replays when ``base_delay_s > 0``).
     observer:
         Receives ``fabric.*`` and all shard-level ``serve.*`` telemetry.
+    backend:
+        Optional :mod:`repro.backends` selection (name or instance)
+        installed on every shard engine -- including engines a custom
+        ``engine_factory`` built, so one flag switches the whole
+        fabric's execution path.  ``None`` leaves the engines untouched.
     start:
         ``True`` starts the pump thread; ``False`` runs threadless --
         callers drive with :meth:`drain` (the deterministic drill mode).
@@ -309,6 +314,7 @@ class ServeFabric:
         default_tenant: TenantPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
         observer=None,
+        backend=None,
         start: bool = True,
         clock=time.monotonic,
     ):
@@ -341,6 +347,8 @@ class ServeFabric:
         self.shards: list[_Shard] = []
         for i in range(self.config.shards):
             engine = engine_factory(i)
+            if backend is not None:
+                engine.backend = backend
             server = SpMVServer(
                 engine,
                 self.serve_config,

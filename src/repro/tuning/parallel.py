@@ -106,6 +106,9 @@ class ChunkResult:
     conversions: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    #: The worker mapped the shared operand arena (instead of unpickling
+    #: its own CSR copy) to evaluate this chunk.
+    shm_attaches: int = 0
 
 
 @dataclass
@@ -128,6 +131,11 @@ class ParallelReport:
     serial_fallback_chunks: int = 0
     #: The deadline expired before every candidate was evaluated.
     deadline_expired: bool = False
+    #: Worker attaches to the shared operand arena (``share_operand``):
+    #: each one is a zero-copy mapping that replaced a pickled CSR.
+    shm_attaches: int = 0
+    #: Bytes in the shared operand arena (0 when not sharing).
+    shm_bytes: int = 0
 
 
 def chunk_candidates(
@@ -173,6 +181,7 @@ def evaluate_candidates(
     crash_after: int | None = None,
     parent_pid: int | None = None,
     on_outcome=None,
+    backend: str = "faithful",
 ) -> list[CandidateOutcome]:
     """Evaluate candidates in order, mirroring the serial tuner loop.
 
@@ -183,15 +192,18 @@ def evaluate_candidates(
     the result partial).  ``crash_after`` is the ``tuner.worker_crash``
     injection point: the worker dies after that many candidates, losing
     its chunk.  ``on_outcome`` fires per completed candidate (the
-    serial checkpoint-journaling hook).
+    serial checkpoint-journaling hook).  ``backend`` names the
+    :mod:`repro.backends` execution backend candidates are timed on --
+    the one they will serve on, so the speed ranking and the production
+    path agree.
     """
     # Imported here: repro.tuning.tuner imports this module at top
     # level; the deferred import breaks the cycle (and re-runs cheaply
     # in spawned workers).
-    from ..kernels.yaspmv import YaSpMVKernel
+    from ..backends.base import get_backend
     from .tuner import Evaluation
 
-    kernel = YaSpMVKernel()
+    exec_backend = get_backend(backend)
     timing = TimingModel(device)
     nnz = int(csr.nnz)
     outcomes: list[CandidateOutcome] = []
@@ -223,7 +235,7 @@ def evaluate_candidates(
             continue
         plan_cache.get(point)  # compile (or reuse) the plan
         try:
-            result = kernel.run(fmt, x, device, config=point.kernel)
+            result = exec_backend.execute(fmt, x, device, config=point.kernel)
         except ReproError as exc:
             emit(
                 CandidateOutcome(
@@ -256,34 +268,66 @@ def _evaluate_chunk(payload) -> ChunkResult:
     """Worker entry point: evaluate one chunk with worker-local caches.
 
     ``payload`` is ``(csr, x, device, items, compile_cost)`` optionally
-    followed by ``(deadline_s, crash_after, parent_pid)`` -- the parent
-    serializes the deadline as remaining seconds (a ticking clock does
-    not pickle) and the worker rebuilds it locally.
+    followed by ``(deadline_s, crash_after, parent_pid, backend,
+    shared)`` -- the parent serializes the deadline as remaining seconds
+    (a ticking clock does not pickle) and the worker rebuilds it
+    locally.  When ``shared`` is set, ``csr`` is ``None`` and the worker
+    maps the operand out of the parent's :class:`SharedArena` instead of
+    unpickling a private copy (zero-copy; the rebuilt CSR's buffers
+    point straight at the shared pages).
     """
     csr, x, device, items, compile_cost = payload[:5]
-    deadline_s, crash_after, parent_pid = (
-        payload[5:] if len(payload) > 5 else (None, None, None)
-    )
-    fmt_cache = FormatCache(csr)
-    plan_cache = KernelPlanCache(compile_cost_s=compile_cost)
-    deadline = Deadline(max(deadline_s, 0.0)) if deadline_s is not None else None
-    outcomes = evaluate_candidates(
-        items,
-        csr,
-        x,
-        device,
-        fmt_cache,
-        plan_cache,
-        deadline=deadline,
-        crash_after=crash_after,
-        parent_pid=parent_pid,
-    )
-    return ChunkResult(
-        outcomes=outcomes,
-        conversions=fmt_cache.conversions,
-        plan_hits=plan_cache.hits,
-        plan_misses=plan_cache.misses,
-    )
+    extras = payload[5:]
+    deadline_s = extras[0] if len(extras) > 0 else None
+    crash_after = extras[1] if len(extras) > 1 else None
+    parent_pid = extras[2] if len(extras) > 2 else None
+    backend = extras[3] if len(extras) > 3 else "faithful"
+    shared = extras[4] if len(extras) > 4 else None
+
+    arena = None
+    attaches = 0
+    if csr is None and shared is not None:
+        import scipy.sparse as sp
+
+        from ..core.shm import SharedArena
+
+        arena = SharedArena.attach(shared["descriptor"])
+        attaches = 1
+        csr = sp.csr_matrix(
+            (arena.view("data"), arena.view("indices"), arena.view("indptr")),
+            shape=tuple(shared["shape"]),
+            copy=False,
+        )
+    fmt_cache = None
+    try:
+        fmt_cache = FormatCache(csr)
+        plan_cache = KernelPlanCache(compile_cost_s=compile_cost)
+        deadline = Deadline(max(deadline_s, 0.0)) if deadline_s is not None else None
+        outcomes = evaluate_candidates(
+            items,
+            csr,
+            x,
+            device,
+            fmt_cache,
+            plan_cache,
+            deadline=deadline,
+            crash_after=crash_after,
+            parent_pid=parent_pid,
+            backend=backend,
+        )
+        return ChunkResult(
+            outcomes=outcomes,
+            conversions=fmt_cache.conversions,
+            plan_hits=plan_cache.hits,
+            plan_misses=plan_cache.misses,
+            shm_attaches=attaches,
+        )
+    finally:
+        if arena is not None:
+            # Drop the chunk's references to the views before unmapping;
+            # a still-live view keeps the mapping alive regardless.
+            csr = fmt_cache = None
+            arena.close()
 
 
 def _make_pool(executor: str, max_workers: int):
@@ -312,6 +356,8 @@ def run_parallel(
     retry: RetryPolicy | None = None,
     on_chunk=None,
     report: ParallelReport | None = None,
+    backend: str = "faithful",
+    share_operand: bool = False,
 ) -> list[CandidateOutcome]:
     """Fan chunks out over a pool; return outcomes in enumeration order.
 
@@ -322,7 +368,11 @@ def run_parallel(
     budget is spent the stragglers are evaluated serially in-process.
     ``on_chunk(ChunkResult)`` fires as each chunk completes (the
     checkpoint-journaling hook); ``report`` is filled in place with the
-    containment bookkeeping.
+    containment bookkeeping.  ``backend`` picks the execution backend
+    candidates are timed on; ``share_operand=True`` publishes the CSR's
+    buffers once in a :class:`~repro.core.shm.SharedArena` so every
+    chunk payload carries a tiny descriptor instead of a pickled matrix
+    copy -- workers map the same physical pages.
     """
     if executor not in EXECUTORS:
         raise TuningError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -332,6 +382,18 @@ def run_parallel(
     retry = retry if retry is not None else DEFAULT_POOL_RETRY
     plan = active_plan()
     parent_pid = os.getpid()
+
+    arena = None
+    shared = None
+    if share_operand:
+        from ..core.shm import SharedArena
+
+        arena = SharedArena.create(
+            {"data": csr.data, "indices": csr.indices, "indptr": csr.indptr}
+        )
+        shared = {"descriptor": arena.descriptor(), "shape": list(csr.shape)}
+        if report is not None:
+            report.shm_bytes = arena.nbytes
 
     def payload_for(chunk, inject: bool):
         # The crash point is drawn in the parent at dispatch time: the
@@ -347,7 +409,7 @@ def run_parallel(
             else None
         )
         return (
-            csr,
+            None if shared is not None else csr,
             x,
             device,
             chunk,
@@ -355,6 +417,8 @@ def run_parallel(
             deadline_s,
             crash_after,
             parent_pid,
+            backend,
+            shared,
         )
 
     def emit(result: ChunkResult) -> None:
@@ -363,46 +427,54 @@ def run_parallel(
             on_chunk(result)
 
     results: list[ChunkResult] = []
-    pending = list(range(len(chunks)))
-    attempt = 1
-    while pending and attempt <= retry.max_attempts:
-        max_workers = max(1, min(workers, len(pending)))
-        pool = _make_pool(executor, max_workers)
-        lost: list[int] = []
-        try:
-            futures = [
-                (pool.submit(_evaluate_chunk, payload_for(chunks[ci], True)), ci)
-                for ci in pending
-            ]
-            for fut, ci in futures:
-                try:
-                    emit(fut.result())
-                except (BrokenExecutor, WorkerCrashError):
-                    # A broken process pool fails *every* in-flight
-                    # future, so one crash can lose several chunks --
-                    # all of them land back on the requeue list.
-                    lost.append(ci)
-                    if report is not None:
-                        report.lost_chunks += 1
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        pending = lost
-        attempt += 1
-        if pending and attempt <= retry.max_attempts:
+    try:
+        pending = list(range(len(chunks)))
+        attempt = 1
+        while pending and attempt <= retry.max_attempts:
+            max_workers = max(1, min(workers, len(pending)))
+            pool = _make_pool(executor, max_workers)
+            lost: list[int] = []
+            try:
+                futures = [
+                    (pool.submit(_evaluate_chunk, payload_for(chunks[ci], True)), ci)
+                    for ci in pending
+                ]
+                for fut, ci in futures:
+                    try:
+                        emit(fut.result())
+                    except (BrokenExecutor, WorkerCrashError):
+                        # A broken process pool fails *every* in-flight
+                        # future, so one crash can lose several chunks --
+                        # all of them land back on the requeue list.
+                        lost.append(ci)
+                        if report is not None:
+                            report.lost_chunks += 1
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            pending = lost
+            attempt += 1
+            if pending and attempt <= retry.max_attempts:
+                if report is not None:
+                    report.pool_rebuilds += 1
+                delay = retry.delay_s(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+
+        # Past the rebuild budget: finish the stragglers in-process.  No
+        # injection here (the parent must survive) -- a chunk that keeps
+        # killing workers still gets evaluated.
+        for ci in pending:
             if report is not None:
-                report.pool_rebuilds += 1
-            delay = retry.delay_s(attempt - 1)
-            if delay > 0:
-                time.sleep(delay)
+                report.serial_fallback_chunks += 1
+            emit(_evaluate_chunk(payload_for(chunks[ci], False)))
+    finally:
+        if arena is not None:
+            # Owner close: unmap and unlink.  Workers that already
+            # mapped the segment keep valid pages until they exit.
+            arena.close()
 
-    # Past the rebuild budget: finish the stragglers in-process.  No
-    # injection here (the parent must survive) -- a chunk that keeps
-    # killing workers still gets evaluated.
-    for ci in pending:
-        if report is not None:
-            report.serial_fallback_chunks += 1
-        emit(_evaluate_chunk(payload_for(chunks[ci], False)))
-
+    if report is not None:
+        report.shm_attaches = sum(r.shm_attaches for r in results)
     outcomes = [o for result in results for o in result.outcomes]
     outcomes.sort(key=lambda o: o.index)
     if report is not None and deadline is not None and len(outcomes) < len(items):

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backends.base import get_backend
 from ..errors import DeadlineExceeded, ReproError, TuningError
 from ..fault.retry import Deadline, RetryPolicy
 from ..gpu.device import DeviceSpec
@@ -247,6 +248,18 @@ class AutoTuner:
         :class:`~repro.fault.RetryPolicy` governing pool rebuilds after
         worker crashes (parallel runs only); ``None`` uses the default
         (two rebuilds, then serial fallback).
+    backend:
+        Name of the :mod:`repro.backends` execution backend candidates
+        are timed on (default ``"faithful"``).  Tune on the backend the
+        prepared matrix will serve on, so the ranking and production
+        agree; the name (not the instance) crosses into worker
+        processes, which resolve it from their own registry.
+    share_operand:
+        Publish the CSR operand's buffers once in a
+        :class:`~repro.core.shm.SharedArena` when fanning out
+        (``workers > 1``); worker payloads then carry a descriptor
+        instead of a pickled matrix copy, and every worker maps the
+        same physical pages.  Serial runs ignore it.
     """
 
     def __init__(
@@ -263,6 +276,8 @@ class AutoTuner:
         deadline: "Deadline | float | None" = None,
         checkpoint: "TuningCheckpoint | str | None" = None,
         retry: RetryPolicy | None = None,
+        backend: str = "faithful",
+        share_operand: bool = False,
     ):
         if mode not in ("pruned", "exhaustive"):
             raise TuningError(f"mode must be 'pruned' or 'exhaustive', got {mode!r}")
@@ -290,6 +305,14 @@ class AutoTuner:
                 f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
             )
         self.retry = retry
+        if not isinstance(backend, str):
+            raise TuningError(
+                "backend must be a backend *name* (it crosses process "
+                f"boundaries), got {type(backend).__name__}"
+            )
+        get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
+        self.share_operand = bool(share_operand)
 
     def tune(self, matrix, x: np.ndarray | None = None) -> TuningResult:
         """Search; returns the ranked result.
@@ -303,6 +326,7 @@ class AutoTuner:
             mode=self.mode,
             workers=self.workers,
             device=self.device.name,
+            backend=self.backend,
         ) as tune_span:
             csr = as_csr(matrix)
             if x is None:
@@ -355,6 +379,7 @@ class AutoTuner:
                             FormatCache(csr),
                             self.plan_cache,
                             deadline=deadline,
+                            backend=self.backend,
                         )
                 elif self.workers == 1:
                     # Serial with a checkpoint: evaluate against a
@@ -376,6 +401,7 @@ class AutoTuner:
                             local,
                             deadline=deadline,
                             on_outcome=checkpoint.append,
+                            backend=self.backend,
                         )
                     outcomes = sorted(
                         list(restored.values()) + new, key=lambda o: o.index
@@ -402,6 +428,8 @@ class AutoTuner:
                             retry=self.retry,
                             on_chunk=on_chunk,
                             report=report,
+                            backend=self.backend,
+                            share_operand=self.share_operand,
                         )
                     # Workers compiled against throwaway caches; replay the
                     # plan lookups here, in enumeration order, so the shared
@@ -450,6 +478,11 @@ class AutoTuner:
                     "tuner.resumed_candidates",
                     "candidates restored from a checkpoint instead of re-run",
                 ).inc(result.resumed)
+            if report.shm_attaches:
+                obs.counter(
+                    "tuner.shm.attaches",
+                    "worker attaches to the shared operand arena",
+                ).inc(report.shm_attaches)
             if report.lost_chunks or report.pool_rebuilds:
                 obs.counter(
                     "tuner.worker_crashes", "tuning chunks lost to dead workers"

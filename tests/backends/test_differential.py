@@ -1,0 +1,254 @@
+"""Differential tests: ``fast`` must be *bit-identical* to ``faithful``.
+
+The fast backend's contract is exact equality (``np.array_equal``), not
+numerical closeness -- it must produce the same addition sequence as the
+workgroup interpreter, so the sweep below covers formats x configs x
+matrix shapes x fault sites and compares with zero tolerance.  The cost
+model is part of the contract too: :class:`~repro.gpu.counters.
+KernelStats` is compared field by field.
+
+The ``auto`` backend's fallback discipline is tested by sabotaging the
+fast path and watching the ``backend.auto_fallbacks`` counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import Observer, SpMVEngine, obs_scope
+from repro.backends import available_backends, get_backend
+from repro.backends.auto import AutoBackend
+from repro.errors import ReproError, TuningError
+from repro.fault import FaultPlan
+from repro.fault.injection import fault_scope
+from repro.gpu import get_device
+from repro.kernels.base import KernelResult
+from repro.tuning import TuningPoint
+
+DEVICE = get_device("gtx680")
+
+#: Config spread: the fused 1x1 path, tall/wide/square blocks, BCCOO+
+#: slicing, raw (uncompressed) column indices, non-default bit words.
+CONFIGS = [
+    TuningPoint(),
+    TuningPoint(block_height=2, block_width=2),
+    TuningPoint(block_height=1, block_width=4),
+    TuningPoint(block_height=4, block_width=1),
+    TuningPoint(block_height=2, block_width=1, col_compress=False),
+    TuningPoint(bit_word="uint8"),
+    TuningPoint(slice_count=4),
+    TuningPoint(block_height=2, block_width=2, slice_count=2),
+]
+
+#: Fault sites that perturb kernel execution.  Under an active plan the
+#: fast backend delegates wholesale to the interpreter, so injected
+#: faults corrupt both backends identically -- that delegation is the
+#: property under test.
+KERNEL_FAULT_SITES = [
+    "sync.stale_grp_sum",
+    "dispatch.out_of_order",
+    "format.bitflag_flip",
+    "format.column_truncate",
+    "kernel.nan_partial",
+    "kernel.inf_partial",
+]
+
+
+def _matrices(rng):
+    """Structurally diverse corpus: banded, hub row, empty rows, tiny."""
+    out = {}
+    out["random"] = sparse.random(120, 140, density=0.06, random_state=1,
+                                  format="csr")
+    out["square_dense"] = sparse.csr_matrix(
+        rng.standard_normal((40, 40)) * (rng.random((40, 40)) < 0.4)
+    )
+    hub = sparse.random(90, 90, density=0.02, random_state=2, format="lil")
+    hub[7, :70] = rng.standard_normal(70)
+    out["hub_row"] = hub.tocsr()
+    empty = sparse.random(60, 50, density=0.05, random_state=3, format="csr")
+    empty = empty.tolil()
+    empty[10, :] = 0
+    empty[11, :] = 0
+    out["empty_rows"] = empty.tocsr()
+    out["single_col"] = sparse.csr_matrix(rng.standard_normal((30, 1)))
+    return out
+
+
+def _assert_stats_equal(a, b):
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            assert np.array_equal(np.asarray(va), np.asarray(vb)), f.name
+        else:
+            assert va == vb, f"{f.name}: {va!r} != {vb!r}"
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return _matrices(np.random.default_rng(99))
+
+    @pytest.mark.parametrize("point", CONFIGS, ids=lambda p: (
+        f"{p.block_height}x{p.block_width}-{p.bit_word}"
+        f"{'-nocc' if not p.col_compress else ''}"
+        f"{'-s' + str(p.slice_count) if p.slice_count > 1 else ''}"
+    ))
+    def test_spmv_exact(self, corpus, point):
+        engine = SpMVEngine(device=DEVICE)
+        faithful, fast = get_backend("faithful"), get_backend("fast")
+        rng = np.random.default_rng(5)
+        for name, A in corpus.items():
+            prepared = engine.prepare(A, point=point)
+            fmt, cfg = prepared.fmt, prepared.config
+            x = rng.standard_normal(A.shape[1])
+            rf = faithful.execute(fmt, x, DEVICE, cfg)
+            rv = fast.execute(fmt, x, DEVICE, cfg)
+            assert np.array_equal(rf.y, rv.y), name
+            _assert_stats_equal(rf.stats, rv.stats)
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_spmm_exact(self, corpus, k):
+        engine = SpMVEngine(device=DEVICE)
+        faithful, fast = get_backend("faithful"), get_backend("fast")
+        rng = np.random.default_rng(6)
+        for name, A in corpus.items():
+            prepared = engine.prepare(A, point=TuningPoint())
+            fmt, cfg = prepared.fmt, prepared.config
+            X = rng.standard_normal((A.shape[1], k))
+            rf = faithful.execute_multi(fmt, X, DEVICE, cfg)
+            rv = fast.execute_multi(fmt, X, DEVICE, cfg)
+            assert np.array_equal(rf.y, rv.y), name
+            _assert_stats_equal(rf.stats, rv.stats)
+
+    def test_extreme_values_exact(self):
+        # Denormals, huge magnitudes, negative zero: any reassociation
+        # in the fast path would change these sums.
+        rng = np.random.default_rng(11)
+        A = sparse.random(80, 80, density=0.1, random_state=4, format="csr")
+        A.data = np.concatenate([
+            rng.standard_normal(A.nnz // 3) * 1e120,
+            rng.standard_normal(A.nnz // 3) * 1e-120,
+            rng.standard_normal(A.nnz - 2 * (A.nnz // 3)),
+        ])[np.argsort(rng.random(A.nnz))]
+        engine = SpMVEngine(device=DEVICE)
+        prepared = engine.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(80) * np.exp(rng.uniform(-80, 80, 80))
+        rf = get_backend("faithful").execute(prepared.fmt, x, DEVICE, prepared.config)
+        rv = get_backend("fast").execute(prepared.fmt, x, DEVICE, prepared.config)
+        assert np.array_equal(rf.y, rv.y)
+
+
+class TestFaultDelegation:
+    """Under an active fault plan, fast == faithful fault for fault."""
+
+    @pytest.mark.parametrize("site", KERNEL_FAULT_SITES)
+    def test_injected_fault_identical(self, site, random_matrix, rng):
+        A = random_matrix(nrows=100, ncols=100, density=0.06, seed=13)
+        engine = SpMVEngine(device=DEVICE)
+        prepared = engine.prepare(A, point=TuningPoint())
+        fmt, cfg = prepared.fmt, prepared.config
+        x = rng.standard_normal(100)
+
+        def run(backend_name):
+            # Fresh plan per run: counts are consumed, seeds replay.
+            plan = FaultPlan.single(site, seed=21, count=1)
+            backend = get_backend(backend_name)
+            with fault_scope(plan):
+                try:
+                    return backend.execute(fmt, x, DEVICE, cfg).y
+                except ReproError as exc:
+                    return type(exc).__name__
+
+        ref, fast = run("faithful"), run("fast")
+        if isinstance(ref, str):
+            assert fast == ref
+        else:
+            # NaN-injecting sites need equal_nan; array_equal treats
+            # -0.0 == 0.0 either way, which matches the contract.
+            assert np.array_equal(ref, fast, equal_nan=True), site
+
+
+class TestAutoBackend:
+    def test_clean_run_uses_fast(self, random_matrix, rng):
+        A = random_matrix(nrows=90, ncols=90, seed=17)
+        engine = SpMVEngine(device=DEVICE, backend="auto")
+        prepared = engine.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(90)
+        obs = Observer()
+        with obs_scope(obs):
+            res = engine.multiply(prepared, x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+        # A clean run never touches the fallback counter.
+        assert obs.metrics.get("backend.auto_fallbacks") is None
+
+    def test_fallback_on_fast_error(self, random_matrix, rng, monkeypatch):
+        A = random_matrix(nrows=90, ncols=90, seed=18)
+        engine = SpMVEngine(device=DEVICE)
+        prepared = engine.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(90)
+        auto = AutoBackend()
+        golden = get_backend("faithful").execute(
+            prepared.fmt, x, DEVICE, prepared.config
+        ).y
+
+        def boom(*args, **kwargs):
+            raise TuningError("sabotaged fast path")
+
+        monkeypatch.setattr(auto._fast, "execute", boom)
+        obs = Observer()
+        with obs_scope(obs):
+            res = auto.execute(prepared.fmt, x, DEVICE, prepared.config)
+        assert np.array_equal(res.y, golden)
+        counter = obs.metrics.get("backend.auto_fallbacks")
+        assert counter is not None
+        assert counter.value(reason="TuningError") == 1
+
+    def test_fallback_on_validator_mismatch(self, random_matrix, rng, monkeypatch):
+        A = random_matrix(nrows=90, ncols=90, seed=19)
+        engine = SpMVEngine(device=DEVICE)
+        prepared = engine.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(90)
+        auto = AutoBackend()
+        faithful = get_backend("faithful")
+        golden = faithful.execute(prepared.fmt, x, DEVICE, prepared.config)
+
+        def corrupt(*args, **kwargs):
+            bad = golden.y.copy()
+            bad[0] += 1.0
+            return KernelResult(y=bad, stats=golden.stats)
+
+        monkeypatch.setattr(auto._fast, "execute", corrupt)
+        obs = Observer()
+        with obs_scope(obs):
+            res = auto.execute(
+                prepared.fmt, x, DEVICE, prepared.config,
+                reference=prepared.reference_csr(),
+            )
+        assert np.array_equal(res.y, golden.y)
+        assert obs.metrics.get("backend.auto_fallbacks").value(
+            reason="validator_mismatch"
+        ) == 1
+
+
+class TestRegistry:
+    def test_three_builtins(self):
+        names = set(available_backends())
+        assert {"faithful", "fast", "auto"} <= names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            get_backend("warp_speed")
+
+    def test_engine_per_call_override(self, random_matrix, rng):
+        A = random_matrix(nrows=70, ncols=70, seed=23)
+        engine = SpMVEngine(device=DEVICE, backend="faithful")
+        prepared = engine.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(70)
+        base = engine.multiply(prepared, x)
+        fast = engine.multiply(prepared, x, backend="fast")
+        assert np.array_equal(base.y, fast.y)
+        assert engine.backend.name == "faithful"

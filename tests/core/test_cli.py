@@ -167,3 +167,50 @@ class TestServeCommand:
         assert main(["serve", "--requests", str(reqs), "--sync"]) == 2
         err = capsys.readouterr().err
         assert "matrix" in err
+
+
+class TestBackendFlag:
+    """--backend: shared across every engine-constructing subcommand."""
+
+    @pytest.mark.parametrize(
+        "cmd", ["tune", "multiply", "profile", "verify", "serve", "chaos"]
+    )
+    def test_flag_exists_with_faithful_default(self, cmd):
+        argv = {
+            "serve": ["serve", "--requests", "x.jsonl"],
+            "chaos": ["chaos"],
+        }.get(cmd, [cmd, "QCD"])
+        args = build_parser().parse_args(argv)
+        assert args.backend == "faithful"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multiply", "QCD", "--backend", "warp"])
+
+    def test_multiply_fast_backend(self, capsys):
+        assert main(
+            ["multiply", "QCD", "--cap", "20000", "--backend", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max |y - A@x|" in out
+
+    def test_verify_fast_backend(self, capsys):
+        assert main(
+            ["verify", "Circuit", "--cap", "8000", "--backend", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+
+    def test_bench_gate(self, tmp_path, capsys):
+        out_path = tmp_path / "kernels.json"
+        assert main(
+            ["bench", "--cap", "4000", "--repeats", "1",
+             "--out", str(out_path)]
+        ) == 0
+        import json
+
+        blob = json.loads(out_path.read_text())
+        assert blob["kind"] == "bench_kernels"
+        assert blob["all_bit_identical"] is True
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out

@@ -270,3 +270,69 @@ class TestMultiplyManyVectorSequences:
         result = eng.multiply_many(prep, xs)
         expected = np.column_stack([A @ x for x in xs])
         np.testing.assert_allclose(result.y, expected, atol=1e-9)
+
+
+class TestBackendAPI:
+    """``backend=`` selection: ctor, setter, per-call, capabilities."""
+
+    def test_ctor_and_setter(self, random_matrix, rng):
+        from repro.backends import ExecutionBackend
+
+        eng = SpMVEngine("gtx680", backend="fast")
+        assert eng.backend.name == "fast"
+        assert isinstance(eng.backend, ExecutionBackend)
+        eng.backend = "auto"
+        assert eng.backend.name == "auto"
+        A = random_matrix(nrows=60, ncols=60)
+        x = rng.standard_normal(60)
+        res = eng.multiply(eng.prepare(A, point=TuningPoint()), x)
+        np.testing.assert_allclose(res.y, A @ x, atol=1e-9)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            SpMVEngine("gtx680", backend="sparta")
+
+    def test_per_call_override_does_not_stick(self, random_matrix, rng):
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=50, ncols=50)
+        prep = eng.prepare(A, point=TuningPoint())
+        x = rng.standard_normal(50)
+        fast = eng.multiply(prep, x, backend="fast")
+        faithful = eng.multiply(prep, x)
+        assert np.array_equal(fast.y, faithful.y)
+        assert eng.backend.name == "faithful"
+
+    def test_capabilities_lists_all_backends(self):
+        caps = SpMVEngine("gtx680", backend="fast").capabilities()
+        assert caps["backend"] == "fast"
+        assert set(caps["backends"]) >= {"faithful", "fast", "auto"}
+        assert caps["backends"]["fast"]["vectorized"]
+        assert not caps["backends"]["faithful"]["vectorized"]
+        import json
+
+        json.dumps(caps)  # must stay JSON-able end to end
+
+    def test_prepared_to_dict_and_summary(self, random_matrix):
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=70, ncols=70)
+        prep = eng.prepare(A, point=TuningPoint(slice_count=2))
+        d = prep.to_dict()
+        assert d["kind"] == "prepared_matrix"
+        assert d["format"] == "bccoo+"
+        assert d["slices"] == 2
+        assert d["shared"] is False and d["shared_bytes"] == 0
+        assert "bccoo+" in prep.summary()
+
+    def test_prepared_shared_summary(self, random_matrix):
+        eng = SpMVEngine("gtx680")
+        A = random_matrix(nrows=70, ncols=70)
+        prep = eng.prepare(A, point=TuningPoint(), share=True)
+        try:
+            d = prep.to_dict()
+            assert d["shared"] is True
+            assert d["shared_bytes"] == prep.arena.nbytes > 0
+            assert "shared" in prep.summary()
+        finally:
+            prep.release_shared()

@@ -130,6 +130,7 @@ class TestPreparedCache:
         assert snap == {
             "entries": 1,
             "total_bytes": prepared_footprint_bytes(prepared_pool["small"]),
+            "shared_bytes": 0,
             "budget_bytes": 10 << 20,
             "hits": 1,
             "misses": 1,
