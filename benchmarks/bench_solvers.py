@@ -1,0 +1,103 @@
+"""Solver benchmark: iterations through the serve layer, identity-gated,
+plus the incremental value-refresh speedup.
+
+Three contracts, asserted rather than just printed:
+
+1. **Served == direct, bit for bit.**  A CG/GMRES solve whose every
+   iteration streams through an :class:`~repro.serve.SpMVServer` must
+   match the in-process solve on every iterate, every residual and the
+   final solution exactly (``np.array_equal``, not allclose).
+2. **Both paths converge**, and their iterations/s plus the SpMV share
+   of wall clock are recorded (the serve layer's overhead is visible,
+   never semantic).
+3. **Value refresh clears its floor.**  Swapping values into a prepared
+   matrix (:meth:`~repro.SpMVEngine.update_values`) must beat a full
+   re-prepare by ``REFRESH_SPEEDUP_FLOOR`` (5x) on the medium bench
+   matrix, reusing the structural plan and migrating the fast path's
+   cached plan instead of rebuilding it.
+
+The report is snapshot to ``benchmarks/results/BENCH_solvers.json`` --
+the same artifact the ``solver-smoke`` CI job checks -- so a regression
+shows up as a reviewable JSON diff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.bench.solvers import (
+    REFRESH_SPEEDUP_FLOOR,
+    run_solver_bench,
+    solver_bench_passed,
+    write_solver_bench,
+)
+
+from conftest import bench_cap, record_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    cap = min(bench_cap(), 60_000)
+    return run_solver_bench(cap_nnz=cap)
+
+
+def test_solver_bench(bench):
+    headers = [
+        "method", "nnz", "iters", "direct it/s", "served it/s",
+        "SpMV share", "identical",
+    ]
+    rows = [
+        [
+            r["method"],
+            str(r["nnz"]),
+            str(r["direct"]["iterations"]),
+            f"{r['direct']['iterations_per_s']:.0f}",
+            f"{r['served']['iterations_per_s']:.0f}",
+            f"{r['direct']['spmv_share'] * 100:.0f}%",
+            "yes" if r["bit_identical"] else "NO",
+        ]
+        for r in bench["solves"]
+    ]
+    refresh = bench["value_refresh"]
+    rows.append([
+        "value swap",
+        str(refresh["matrix_nnz"]),
+        "-",
+        f"{refresh['swap_s'] * 1e3:.2f} ms",
+        f"vs {refresh['full_prepare_s'] * 1e3:.0f} ms",
+        f"{refresh['speedup']:.0f}x",
+        "yes" if refresh["bit_identical"] else "NO",
+    ])
+    record_table(
+        "bench_solvers",
+        render_table(headers, rows, title="solvers: served vs direct"),
+    )
+    write_solver_bench(bench, RESULTS_DIR / "BENCH_solvers.json")
+
+    passed, reasons = solver_bench_passed(bench)
+    assert passed, "; ".join(reasons)
+
+
+def test_served_solves_bit_identical(bench):
+    broken = [r["method"] for r in bench["solves"] if not r["bit_identical"]]
+    assert not broken, f"served solve drifted from direct on: {broken}"
+
+
+def test_value_refresh_clears_floor(bench):
+    refresh = bench["value_refresh"]
+    assert refresh["structural_plan_reused"], (
+        "update_values rebuilt the tuning point instead of reusing it"
+    )
+    assert refresh["plan_hits"] >= 1, (
+        "the fast backend rebuilt its plan instead of migrating it"
+    )
+    assert refresh["speedup"] >= REFRESH_SPEEDUP_FLOOR, (
+        f"value swap is only {refresh['speedup']:.1f}x faster than a full "
+        f"re-prepare (floor {REFRESH_SPEEDUP_FLOOR:.0f}x, "
+        f"nnz {refresh['matrix_nnz']})"
+    )

@@ -1,10 +1,16 @@
-"""Conjugate-gradient solver with yaSpMV as the SpMV engine.
+"""Iterative solvers with yaSpMV as the SpMV engine.
 
 The workload the paper's introduction motivates: iterative linear
 solvers spend nearly all their time in SpMV, so format conversion and
 tuning amortize over hundreds of multiplies.  We assemble a 2-D Poisson
 problem (5-point finite-difference stencil -- the FEM/stencil structural
-class of Table 2), prepare it once, and drive CG to convergence.
+class of Table 2) and drive it through the solver API three ways:
+
+1. ``solve(A, b, method="cg")`` -- the one-call surface;
+2. a :class:`~repro.SolverSession` streaming every iteration through an
+   :class:`~repro.serve.SpMVServer`, bit-identical to the direct solve;
+3. a time-varying loop: swap new values into the prepared matrix
+   (structure unchanged) and re-solve without re-tuning.
 
 Run:  python examples/cg_solver.py
 """
@@ -12,7 +18,8 @@ Run:  python examples/cg_solver.py
 import numpy as np
 from scipy import sparse
 
-from repro import SpMVEngine
+from repro import SpMVServer, solve
+from repro.solvers import SolverSession
 
 
 def poisson_2d(n: int) -> sparse.csr_matrix:
@@ -26,49 +33,45 @@ def poisson_2d(n: int) -> sparse.csr_matrix:
     ).tocsr()
 
 
-def conjugate_gradient(engine, prepared, b, tol=1e-10, max_iter=2000):
-    """Standard CG; every A@p goes through the simulated yaSpMV kernel."""
-    x = np.zeros_like(b)
-    r = b - engine.multiply(prepared, x).y
-    p = r.copy()
-    rs = r @ r
-    sim_time = 0.0
-    for it in range(1, max_iter + 1):
-        res = engine.multiply(prepared, p)
-        sim_time += res.time_s
-        Ap = res.y
-        alpha = rs / (p @ Ap)
-        x += alpha * p
-        r -= alpha * Ap
-        rs_new = r @ r
-        if np.sqrt(rs_new) < tol:
-            return x, it, sim_time
-        p = r + (rs_new / rs) * p
-        rs = rs_new
-    return x, max_iter, sim_time
-
-
 def main() -> None:
     n = 64
     A = poisson_2d(n)
     rng = np.random.default_rng(0)
     b = rng.standard_normal(n * n)
-
-    engine = SpMVEngine(device="gtx680")
-    prepared = engine.prepare(A)
-    point = prepared.point
     print(f"Poisson {n}x{n}: {A.shape[0]} unknowns, {A.nnz} non-zeros")
-    print(f"tuned to {point.format_name} "
-          f"{point.block_height}x{point.block_width}, "
-          f"strategy {point.kernel.strategy}, "
-          f"wg {point.kernel.workgroup_size}")
 
-    x, iters, sim_time = conjugate_gradient(engine, prepared, b)
-    residual = np.linalg.norm(A @ x - b)
-    print(f"CG converged in {iters} iterations, ||Ax-b|| = {residual:.2e}")
-    print(f"simulated GPU time across all SpMVs: {sim_time * 1e3:.2f} ms "
-          f"({2 * A.nnz * iters / sim_time / 1e9:.2f} sustained GFLOPS)")
-    assert residual < 1e-7
+    # 1. One call: prepare (auto-tune) + CG, every A@p a simulated kernel.
+    direct = solve(A, b, method="cg", tol=1e-10)
+    residual = np.linalg.norm(A @ direct.x - b)
+    print(f"direct : {direct.summary()}  ||Ax-b|| = {residual:.2e}")
+    gflops = 2 * A.nnz * direct.spmv_count / direct.spmv_time_s / 1e9
+    print(f"         sustained {gflops:.2f} GFLOPS over "
+          f"{direct.spmv_count} SpMVs")
+    assert direct.converged and residual < 1e-7
+
+    # 2. Served: iterations stream through a server (admission control,
+    # value-aware cache) and stay bit-identical to the direct solve.
+    server = SpMVServer(start=False)  # threadless: deterministic pump
+    try:
+        served = solve(A, b, method="cg", server=server, tol=1e-10)
+    finally:
+        server.close()
+    print(f"served : {served.summary()}")
+    assert np.array_equal(direct.x, served.x)
+    assert served.cache_hits == served.spmv_count  # primed before iter 1
+
+    # 3. Time-varying system: same stencil structure, drifting
+    # coefficients.  update_values swaps the value buffers and keeps the
+    # tuning point, bit flags and fast-path plan -- no re-tune.
+    session = SolverSession(A)
+    session.solve(b, method="cg", tol=1e-10)
+    A_t = (A * 1.25).tocsr()
+    session.update_values(A_t)
+    refreshed = session.solve(b, method="cg", tol=1e-10)
+    residual = np.linalg.norm(A_t @ refreshed.x - b)
+    print(f"refresh: {refreshed.summary()}  ||A'x-b|| = {residual:.2e} "
+          f"(value swap, no re-tune)")
+    assert refreshed.converged and residual < 1e-7
 
 
 if __name__ == "__main__":

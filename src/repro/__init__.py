@@ -17,6 +17,9 @@ Entry points
     One-shot auto-tuned SpMV.
 :class:`repro.SpMVEngine`
     Prepare-once / multiply-many engine.
+:func:`repro.solve` / :class:`repro.SolverSession`
+    Iterative solvers (CG/BiCGSTAB/GMRES/Jacobi) whose iterations can
+    stream through the serve layer.
 :mod:`repro.formats`, :mod:`repro.kernels`, :mod:`repro.tuning`,
 :mod:`repro.gpu`, :mod:`repro.matrices`, :mod:`repro.scan`
     The subsystems, individually usable.
@@ -58,6 +61,7 @@ from .errors import (
 from .fault import CircuitBreaker, Deadline, FaultPlan, FaultSpec, RetryPolicy
 from .obs import NullObserver, Observer, obs_scope
 from .serve import ServeConfig, ServeFabric, SpMVServer, run_chaos_drill
+from .solvers import SolveResult, SolverSession, solve
 
 __version__ = "1.0.0"
 
@@ -112,6 +116,9 @@ __all__ = [
     "ServerClosedError",
     "ServerOverloadedError",
     "ShardCrashError",
+    "SolveResult",
+    "SolverSession",
+    "solve",
     "SpMVServer",
     "TuningError",
     "ValidationError",

@@ -82,6 +82,10 @@ class AutoBackend(ExecutionBackend):
                 return slow_call(fmt, x, device, config, reference=reference)
         return result
 
+    def refresh_values(self, old_fmt, new_fmt) -> int:
+        """Migrate the fast path's cached plans (see ``FastBackend``)."""
+        return self._fast.refresh_values(old_fmt, new_fmt)
+
     @staticmethod
     def _note_fallback(reason: str) -> None:
         obs = active_observer()

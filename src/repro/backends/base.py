@@ -80,6 +80,18 @@ class ExecutionBackend(abc.ABC):
     ) -> KernelResult:
         """Run ``Y = A @ X`` for ``X`` of shape ``(ncols, k)``."""
 
+    def refresh_values(self, old_fmt, new_fmt) -> int:
+        """Migrate cached execution state after a value-only rebuild.
+
+        ``new_fmt`` shares ``old_fmt``'s structural arrays (see
+        ``BCCOOMatrix.with_values``); a backend holding derived plans
+        keyed on ``old_fmt`` may re-point the structural parts and swap
+        only the value payload instead of re-deriving from scratch.
+        Returns the number of plans migrated; the default (stateless
+        backends) is a no-op.
+        """
+        return 0
+
     def capabilities(self) -> dict:
         """Introspection record for :meth:`SpMVEngine.capabilities`."""
         return {

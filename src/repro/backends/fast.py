@@ -168,6 +168,43 @@ class FastPlan:
         self._multi_stats: dict[int, object] = {}
         self._lock = threading.Lock()
 
+    def derive(self, new_fmt: BCCOOMatrix) -> "FastPlan":
+        """Plan for a value-only rebuild of this plan's format.
+
+        ``new_fmt`` shares the structural arrays (flags, columns, row
+        map) with the original, so the gather map, segment plan, scatter
+        rows and the x-independent cost profile all carry over by
+        identity; only the padded value payload (and the fused CSR's
+        data vector) is rebuilt -- the whole point of the incremental
+        re-prepare path.
+        """
+        clone = object.__new__(FastPlan)
+        values = np.zeros_like(self.padded.values)
+        values[: new_fmt.nblocks_padded] = new_fmt.values
+        clone.padded = replace(self.padded, values=values, fmt=new_fmt)
+        clone.safe = self.safe
+        clone.invalid = self.invalid
+        clone.gather_flat = self.gather_flat
+        clone.segplan = self.segplan
+        clone.rows = self.rows
+        clone.row_stop_mismatch = self.row_stop_mismatch
+        clone.fused = None
+        if self.fused is not None:
+            import scipy.sparse as sp
+
+            data = np.ascontiguousarray(values[:, 0, 0])
+            if self.invalid is not None:
+                data = np.where(self.invalid.ravel(), 0.0, data)
+            clone.fused = sp.csr_matrix(
+                (data, self.fused.indices, self.fused.indptr),
+                shape=self.fused.shape,
+            )
+        # Cost profiles depend only on structure -- share them.
+        clone._stats = self._stats
+        clone._multi_stats = dict(self._multi_stats)
+        clone._lock = threading.Lock()
+        return clone
+
     def stats(self, kernel: YaSpMVKernel, device: DeviceSpec):
         """The (x-independent) cost profile, computed once, copied out."""
         if self._stats is None:
@@ -234,6 +271,9 @@ class FastBackend(ExecutionBackend):
         # so plans die with their format.
         self._plans = weakref.WeakKeyDictionary()
         self._plans_lock = threading.Lock()
+        #: Plans migrated through :meth:`refresh_values` (value swaps
+        #: that reused a gather/segment plan instead of re-deriving it).
+        self.n_value_refreshes = 0
 
     # ------------------------------------------------------------------ #
     # Plan cache
@@ -261,6 +301,35 @@ class FastBackend(ExecutionBackend):
         """Live cached plans (introspection/tests)."""
         with self._plans_lock:
             return sum(len(d) for d in self._plans.values())
+
+    def refresh_values(self, old_fmt, new_fmt) -> int:
+        """Migrate cached plans from ``old_fmt`` to its value-swapped twin.
+
+        Every plan cached for ``old_fmt`` is :meth:`FastPlan.derive`-d
+        onto ``new_fmt`` -- the gather map, segment plan and cost
+        profile carry over by identity, only the value payload is
+        re-padded.  The next multiply on ``new_fmt`` then hits the plan
+        cache instead of re-deriving the launch state.
+        """
+        if isinstance(old_fmt, BCCOOPlusMatrix) and isinstance(
+            new_fmt, BCCOOPlusMatrix
+        ):
+            return self.refresh_values(old_fmt.stacked, new_fmt.stacked)
+        try:
+            per_fmt = self._plans.get(old_fmt)
+        except TypeError:  # non-weakrefable format: nothing cached
+            return 0
+        if not per_fmt:
+            return 0
+        migrated = 0
+        with self._plans_lock:
+            dest = self._plans.setdefault(new_fmt, {})
+            for key, plan in per_fmt.items():
+                if key not in dest:
+                    dest[key] = plan.derive(new_fmt)
+                    migrated += 1
+            self.n_value_refreshes += migrated
+        return migrated
 
     # ------------------------------------------------------------------ #
     # SpMV

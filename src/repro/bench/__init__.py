@@ -1,6 +1,7 @@
 """Benchmark harness and report rendering."""
 
 from .backends import run_backend_sweep, sweep_passed, write_sweep
+from .solvers import run_solver_bench, solver_bench_passed, write_solver_bench
 from .harness import (
     SYSTEMS,
     MatrixComparison,
@@ -15,6 +16,9 @@ __all__ = [
     "run_backend_sweep",
     "sweep_passed",
     "write_sweep",
+    "run_solver_bench",
+    "solver_bench_passed",
+    "write_solver_bench",
     "SYSTEMS",
     "MatrixComparison",
     "SystemScore",

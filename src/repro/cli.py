@@ -19,6 +19,11 @@ Gives the library's main workflows a shell entry point:
   the sharded fabric while a seeded fault plan kills/slows/corrupts
   shards, and diff every response against a single pristine server
   (non-zero exit on any bit difference or a vacuous run);
+* ``solve``     -- run an iterative solver (CG/BiCGSTAB/GMRES/Jacobi)
+  on a matrix; ``--shards N`` streams every iteration's SpMV through
+  the sharded fabric and ``--compare-direct`` requires the served solve
+  to be bit-identical, iterate for iterate, to the in-process one
+  (non-zero exit on any difference or non-convergence);
 * ``footprint`` -- print the Table 3 row for a matrix;
 * ``compare``   -- run the full comparator panel on a matrix;
 * ``verify``    -- validate format invariants and check the kernel
@@ -287,6 +292,78 @@ def _cmd_chaos(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_solve(args) -> int:
+    from scipy import sparse
+
+    from .serve import ServeFabric
+    from .solvers import solve
+    from .util import as_csr
+
+    name, A = _load_matrix(args.matrix, args.cap)
+    A = as_csr(A)
+    if A.shape[0] != A.shape[1]:
+        print(f"error: {name} is {A.shape[0]}x{A.shape[1]}; "
+              f"solvers need a square system", file=sys.stderr)
+        return 2
+    if args.shift:
+        # Diagonal boost: makes suite matrices solvable by Jacobi/CG
+        # without changing their sparsity structure.
+        A = as_csr(A + sparse.eye(A.shape[0]) * args.shift)
+    n = A.shape[0]
+    if args.rhs == "ones":
+        b = np.ones(n)
+    else:
+        b = np.random.default_rng(args.seed).standard_normal(n)
+
+    common = dict(
+        method=args.method, tol=args.tol, max_iter=args.max_iter,
+        restart=args.restart, keep_iterates=args.shards > 0,
+    )
+    direct = None
+    if args.shards == 0 or args.compare_direct:
+        direct = solve(A, b, backend=args.backend, **common)
+        print(f"{name} direct : {direct.summary()}")
+
+    served = None
+    if args.shards > 0:
+        plan_scope = None
+        if args.fault:
+            from .fault import FaultPlan
+            from .fault.injection import fault_scope
+
+            plan_scope = fault_scope(FaultPlan.parse(args.fault))
+        # Threadless fabric: deterministic scheduling, so a seeded fault
+        # plan injects the same failovers on every run.
+        fabric = ServeFabric(
+            args.shards, device=args.device, backend=args.backend,
+            start=False,
+        )
+        try:
+            if plan_scope is not None:
+                with plan_scope:
+                    served = solve(A, b, server=fabric, **common)
+            else:
+                served = solve(A, b, server=fabric, **common)
+        finally:
+            fabric.close()
+        print(f"{name} served : {served.summary()}")
+
+    ok = all(r.converged for r in (direct, served) if r is not None)
+    if direct is not None and served is not None:
+        identical = (
+            np.array_equal(direct.x, served.x)
+            and direct.history == served.history
+            and len(direct.iterates) == len(served.iterates)
+            and all(
+                np.array_equal(d, s)
+                for d, s in zip(direct.iterates, served.iterates)
+            )
+        )
+        print(f"bit-identical: {identical}")
+        ok = ok and identical
+    return 0 if ok else 1
+
+
 def _cmd_footprint(args) -> int:
     from .formats import footprint_report
 
@@ -524,6 +601,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", default="",
                          help="also write the report to this JSON file")
 
+    p_solve = sub.add_parser(
+        "solve",
+        help="iterative solve (cg/bicgstab/gmres/jacobi); --shards N "
+             "streams every iteration through the sharded fabric and "
+             "--compare-direct diffs it against the in-process solve",
+        parents=[backend_parent],
+    )
+    matrix_args(p_solve)
+    p_solve.add_argument("--method", default="bicgstab",
+                         choices=["cg", "bicgstab", "gmres", "jacobi"])
+    p_solve.add_argument("--tol", type=float, default=1e-10,
+                         help="residual-norm convergence threshold")
+    p_solve.add_argument("--max-iter", type=int, default=10_000)
+    p_solve.add_argument("--restart", type=int, default=30,
+                         help="GMRES restart length (ignored elsewhere)")
+    p_solve.add_argument("--rhs", default="ones", choices=["ones", "random"],
+                         help="right-hand side: all-ones or seeded gaussian")
+    p_solve.add_argument("--seed", type=int, default=0,
+                         help="seed for --rhs random")
+    p_solve.add_argument("--shift", type=float, default=0.0,
+                         help="add shift*I before solving (diagonal boost "
+                              "for suite matrices)")
+    p_solve.add_argument("--shards", type=int, default=0,
+                         help="> 0 solves through a threadless sharded "
+                              "fabric (every iteration a served request)")
+    p_solve.add_argument("--fault", default="",
+                         help="fault-plan spec active during the served "
+                              "solve, e.g. serve.shard_crash:p=0.5,count=1,"
+                              "seed=7")
+    p_solve.add_argument("--compare-direct", action="store_true",
+                         help="with --shards: also run the in-process "
+                              "solve and require bit-identical iterates")
+
     p_fp = sub.add_parser("footprint", help="Table 3 row for a matrix")
     matrix_args(p_fp)
 
@@ -564,6 +674,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
+    "solve": _cmd_solve,
     "footprint": _cmd_footprint,
     "compare": _cmd_compare,
     "verify": _cmd_verify,

@@ -95,6 +95,61 @@ class PreparedMatrix:
                     self.csr = self.fmt.to_scipy()
         return self.csr
 
+    # -- incremental value refresh ------------------------------------- #
+
+    def with_values(self, new_values) -> "PreparedMatrix":
+        """A new prepared instance sharing this one's structural plan.
+
+        ``new_values`` is either a 1-D array replacing the CSR data
+        vector in place (same sparsity pattern, canonical order), or a
+        full matrix with the identical pattern.  The tuned point, the
+        tuning record, the bit flags and the compressed column arrays
+        are all shared by identity -- only the value buffers are rebuilt,
+        which is why this is orders of magnitude cheaper than a fresh
+        :meth:`SpMVEngine.prepare`.
+
+        Structural drift (different nnz/shape/pattern, or a value of
+        exactly ``0.0``, which canonicalization eliminates) raises
+        :class:`~repro.errors.ValidationError`.
+        """
+        from scipy import sparse as _sp
+
+        csr = self.reference_csr()
+        new_values = (
+            np.asarray(new_values)
+            if not _sp.issparse(new_values)
+            else new_values
+        )
+        if isinstance(new_values, np.ndarray) and new_values.ndim == 1:
+            if new_values.shape[0] != csr.data.shape[0]:
+                raise ValidationError(
+                    f"with_values expected {csr.data.shape[0]} values "
+                    f"(one per stored non-zero), got {new_values.shape[0]}"
+                )
+            new_csr = _sp.csr_matrix(
+                (
+                    np.asarray(new_values, dtype=np.float64),
+                    csr.indices,
+                    csr.indptr,
+                ),
+                shape=csr.shape,
+            )
+        else:
+            new_csr = as_csr(new_values)
+            if new_csr.shape != csr.shape:
+                raise ValidationError(
+                    f"with_values shape mismatch: prepared matrix is "
+                    f"{csr.shape}, new matrix is {new_csr.shape}"
+                )
+        fmt = self.fmt.with_values(new_csr)
+        return PreparedMatrix(
+            fmt=fmt,
+            point=self.point,
+            tuning=self.tuning,
+            nnz=int(new_csr.nnz),
+            csr=new_csr,
+        )
+
     # -- zero-copy shared storage ------------------------------------- #
 
     def share(self) -> "PreparedMatrix":
@@ -1026,6 +1081,41 @@ class SpMVEngine:
                 out = self._multiply_resilient(prepared, X, bk)
             self._observe_result(sp, out, bk)
             return out
+
+    def update_values(
+        self, prepared: PreparedMatrix, new_values
+    ) -> PreparedMatrix:
+        """Incremental re-prepare: swap value buffers, keep the plan.
+
+        Returns a new :class:`PreparedMatrix` built by
+        :meth:`PreparedMatrix.with_values` (structural arrays, tuned
+        point and tuning record shared by identity), then asks the
+        engine's backend to migrate any derived execution plans (the
+        fast backend re-pads the value payload under the existing
+        gather/segment plan instead of re-deriving it).  The refreshed
+        CSR carries a new value digest, so the serving layer's
+        value-aware cache/batch key changes with it.
+        """
+        if not isinstance(prepared, PreparedMatrix):
+            raise ValidationError(
+                f"update_values needs a PreparedMatrix from prepare(), "
+                f"got {type(prepared).__name__}"
+            )
+        obs = self.observer
+        with obs_scope(obs), obs.span(
+            "engine.update_values", nnz=prepared.nnz
+        ) as sp:
+            refreshed = prepared.with_values(new_values)
+            migrated = self._backend.refresh_values(prepared.fmt, refreshed.fmt)
+            obs.counter(
+                "engine.value_refreshes", "update_values() calls"
+            ).inc()
+            obs.counter(
+                "engine.value_refresh.plan_hits",
+                "backend plans migrated instead of re-derived",
+            ).inc(migrated)
+            sp.set(plan_hits=migrated)
+            return refreshed
 
     def capabilities(self, prepared: PreparedMatrix | None = None) -> dict:
         """One JSON-able dict describing what this engine can do.

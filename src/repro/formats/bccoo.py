@@ -27,8 +27,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as _sp
 
-from ..errors import FormatError
-from ..util import round_up
+from ..errors import FormatError, ValidationError
+from ..util import as_coo_sorted, round_up
 from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
 from .bitflags import (
     BitFlagArray,
@@ -222,6 +222,83 @@ class BCCOOMatrix(SparseFormat):
             delta,
             layout.nnz,
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental value refresh
+    # ------------------------------------------------------------------ #
+
+    def with_values(self, matrix) -> "BCCOOMatrix":
+        """Rebuild only the value payload from a structurally identical matrix.
+
+        The bit flags, column indices (compressed or not), row map and
+        padding are shared with ``self`` by identity -- only the dense
+        per-block value array is rebuilt.  ``matrix`` must have the same
+        shape and sparsity pattern; any structural drift (different nnz,
+        an entry outside the existing blocks, a value that cancels to an
+        explicit zero) raises :class:`~repro.errors.ValidationError`.
+        """
+        coo = as_coo_sorted(matrix)
+        if coo.shape != self.shape:
+            raise ValidationError(
+                f"with_values shape mismatch: format is {self.shape}, "
+                f"new matrix is {coo.shape}"
+            )
+        if int(coo.nnz) != self._nnz:
+            raise ValidationError(
+                f"with_values nnz mismatch: format holds {self._nnz} "
+                f"non-zeros, new matrix has {coo.nnz} (structure must be "
+                f"identical; zeros are eliminated during canonicalization)"
+            )
+        h, w = self.block_height, self.block_width
+        rows = coo.row.astype(np.int64)
+        cols = coo.col.astype(np.int64)
+        keys = (rows // h) * self.n_block_cols + cols // w
+        values = self._scatter_values(keys, rows % h, cols % w, coo.data)
+        return BCCOOMatrix(
+            self.shape,
+            h,
+            w,
+            self.flags,
+            self.col_block,
+            values,
+            self.nonempty_block_rows,
+            self.col_storage,
+            self.delta,
+            self._nnz,
+        )
+
+    def _scatter_values(
+        self,
+        keys: np.ndarray,
+        in_r: np.ndarray,
+        in_c: np.ndarray,
+        data: np.ndarray,
+    ) -> np.ndarray:
+        """Scatter entries keyed by ``brow * n_block_cols + bcol`` into a
+        fresh value array shaped like ``self.values``.
+
+        Valid blocks are strictly row-major by ``(block_row, block_col)``,
+        so the flattened keys are strictly ascending and a searchsorted
+        lookup maps each entry to its block slot.
+        """
+        nb = self.nblocks
+        h, w = self.block_height, self.block_width
+        fmt_keys = (
+            self.block_rows().astype(np.int64) * self.n_block_cols
+            + self.columns()[:nb].astype(np.int64)
+        )
+        idx = np.searchsorted(fmt_keys, keys)
+        if keys.size and (
+            idx.max(initial=0) >= nb or not np.array_equal(fmt_keys[idx], keys)
+        ):
+            raise ValidationError(
+                "with_values structure mismatch: the new matrix has an "
+                "entry outside the format's non-zero blocks"
+            )
+        values = np.zeros_like(self.values)
+        flat = idx * (h * w) + in_r.astype(np.int64) * w + in_c.astype(np.int64)
+        values.reshape(-1)[flat] = data
+        return values
 
     # ------------------------------------------------------------------ #
     # Introspection

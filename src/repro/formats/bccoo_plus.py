@@ -19,8 +19,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as _sp
 
-from ..errors import FormatError
-from ..util import as_csr, ceil_div
+from ..errors import FormatError, ValidationError
+from ..util import as_coo_sorted, as_csr, ceil_div
 from .base import FP32, ByteSizes, Footprint, SparseFormat, register_format
 from .bccoo import BCCOOMatrix
 from .blocking import BlockLayout, extract_blocks
@@ -137,6 +137,51 @@ class BCCOOPlusMatrix(SparseFormat):
             col_override=override,
         )
         return cls((nrows, ncols), stacked, slice_count, slice_width)
+
+    # ------------------------------------------------------------------ #
+    # Incremental value refresh
+    # ------------------------------------------------------------------ #
+
+    def with_values(self, matrix) -> "BCCOOPlusMatrix":
+        """Value-only rebuild; see :meth:`BCCOOMatrix.with_values`.
+
+        Entries are mapped into the stacked coordinate system (slice ``s``
+        shifts block rows by ``s * padded_block_rows`` while column indices
+        stay in the original matrix) and scattered through the stacked
+        format's structural arrays.
+        """
+        coo = as_coo_sorted(matrix)
+        if coo.shape != self.shape:
+            raise ValidationError(
+                f"with_values shape mismatch: format is {self.shape}, "
+                f"new matrix is {coo.shape}"
+            )
+        if int(coo.nnz) != self.nnz:
+            raise ValidationError(
+                f"with_values nnz mismatch: format holds {self.nnz} "
+                f"non-zeros, new matrix has {coo.nnz}"
+            )
+        h, w = self.block_height, self.block_width
+        rows = coo.row.astype(np.int64)
+        cols = coo.col.astype(np.int64)
+        pbr = self.padded_rows_per_slice // h
+        s = cols // self.slice_width
+        stacked_brow = rows // h + s * pbr
+        keys = stacked_brow * self.stacked.n_block_cols + cols // w
+        values = self.stacked._scatter_values(keys, rows % h, cols % w, coo.data)
+        stacked = BCCOOMatrix(
+            self.stacked.shape,
+            h,
+            w,
+            self.stacked.flags,
+            self.stacked.col_block,
+            values,
+            self.stacked.nonempty_block_rows,
+            self.stacked.col_storage,
+            self.stacked.delta,
+            self.stacked.nnz,
+        )
+        return BCCOOPlusMatrix(self.shape, stacked, self.slice_count, self.slice_width)
 
     # ------------------------------------------------------------------ #
     # Introspection / combine

@@ -232,7 +232,10 @@ def run_chaos_drill(
     )
     serve_config = ServeConfig(batch_window_s=0.0)
 
-    # -- golden: one pristine server, threadless, no faults.
+    # -- golden: one pristine server, threadless, no faults.  The
+    # explicit engine keeps the golden run on the faithful interpreter
+    # (the serve layer's *default* engine is the fast backend): the
+    # arbiter must stay the paper-exact path regardless of defaults.
     golden: list[np.ndarray | None] = []
     golden_errors: list[tuple[int, str]] = []
     with SpMVServer(

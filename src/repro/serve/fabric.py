@@ -65,7 +65,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..core.engine import SpMVEngine
+from ..core.engine import PreparedMatrix, SpMVEngine
 from ..errors import (
     CircuitOpenError,
     DeadlineExceeded,
@@ -240,7 +240,9 @@ class _Shard:
 @dataclass
 class _FabricRequest:
     tenant: str
-    csr: object
+    #: What gets submitted to a shard server: the canonical CSR, or a
+    #: caller-supplied PreparedMatrix (shard caches admit it as-is).
+    operand: object
     x: np.ndarray
     key: str
     deadline: Deadline | None
@@ -269,8 +271,10 @@ class ServeFabric:
     engine_factory:
         ``f(shard_index) -> SpMVEngine`` -- override to give individual
         shards special engines (the chaos drill builds one *corrupted*
-        shard this way).  Default builds ``SpMVEngine(device=device)``
-        per shard.
+        shard this way).  Default builds
+        ``SpMVEngine(device=device, backend="fast")`` per shard (the
+        bit-identical vectorized path; pass a factory or ``backend=``
+        to choose differently).
     serve_config:
         Per-shard :class:`ServeConfig` (shards always run threadless
         under the fabric's pump; ``batch_window_s`` is forced to 0).
@@ -343,7 +347,9 @@ class ServeFabric:
         self._sleep = time.sleep
 
         if engine_factory is None:
-            engine_factory = lambda i: SpMVEngine(device=device)  # noqa: E731
+            engine_factory = (  # noqa: E731
+                lambda i: SpMVEngine(device=device, backend="fast")
+            )
         self.shards: list[_Shard] = []
         for i in range(self.config.shards):
             engine = engine_factory(i)
@@ -436,6 +442,11 @@ class ServeFabric:
     ) -> ServeFuture:
         """Enqueue ``y = A @ x`` for ``tenant``; returns a future.
 
+        ``matrix`` is a scipy sparse matrix or an explicit
+        :class:`~repro.core.engine.PreparedMatrix` (forwarded to the
+        owning shard as-is, so its cache admits the caller's prepared
+        instance -- the solver sessions' value-refresh path).
+
         Raises :class:`~repro.errors.QuotaExceededError` when the
         tenant's quota is full and :class:`~repro.errors.
         ServerClosedError` after :meth:`close`.
@@ -445,7 +456,11 @@ class ServeFabric:
             raise ValidationError(
                 f"x must be a vector or a (ncols, k) block, got shape {x.shape}"
             )
-        csr = as_csr(matrix)
+        if isinstance(matrix, PreparedMatrix):
+            operand = matrix
+            csr = matrix.reference_csr()
+        else:
+            operand = csr = as_csr(matrix)
         if x.shape[0] != csr.shape[1]:
             raise ValidationError(
                 f"x has {x.shape[0]} rows, matrix has {csr.shape[1]} columns"
@@ -459,7 +474,7 @@ class ServeFabric:
         future = ServeFuture()
         request = _FabricRequest(
             tenant=tenant,
-            csr=csr,
+            operand=operand,
             x=x,
             key=key,
             deadline=deadline,
@@ -702,7 +717,7 @@ class ServeFabric:
             )
             try:
                 shard_future = shard.server.submit(
-                    request.csr, request.x, timeout_s=timeout
+                    request.operand, request.x, timeout_s=timeout
                 )
             except (ServerOverloadedError, ServerClosedError) as exc:
                 if probe:

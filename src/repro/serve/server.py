@@ -237,10 +237,13 @@ class SpMVServer:
     Parameters
     ----------
     engine:
-        The :class:`~repro.SpMVEngine` executing requests (a default
-        strict engine is built when omitted).  All resilience knobs
-        (fault plans, validation, permissive fallback) live on the
-        engine and apply unchanged to served requests.
+        The :class:`~repro.SpMVEngine` executing requests.  When omitted
+        a default strict engine is built on the ``fast`` backend (the
+        bit-identical vectorized path -- serving traffic is exactly the
+        repeated-multiply workload it exists for; pass an explicit
+        engine to choose differently).  All resilience knobs (fault
+        plans, validation, permissive fallback) live on the engine and
+        apply unchanged to served requests.
     config:
         A :class:`ServeConfig`; defaults are production-ish.
     retry_policy:
@@ -283,7 +286,9 @@ class SpMVServer:
         start: bool = True,
         clock=time.monotonic,
     ):
-        self.engine = engine if engine is not None else SpMVEngine()
+        self.engine = (
+            engine if engine is not None else SpMVEngine(backend="fast")
+        )
         if backend is not None:
             # Same install pattern as the observer: the engine is the
             # single execution authority, the server just configures it.
@@ -418,6 +423,26 @@ class SpMVServer:
         if self._thread is None:
             self.drain()
         return future.result()
+
+    def prime(self, prepared: PreparedMatrix) -> str:
+        """Admit a prepared matrix into the cache ahead of traffic.
+
+        Computes the value-aware serve key and installs ``prepared``
+        under it unless an entry is already resident (a later submit of
+        the same matrix is then a cache hit from the first request).
+        Returns the key.  This is the solver sessions' value-refresh
+        hook: an :meth:`SpMVEngine.update_values` result gets a *new*
+        key (its value digest changed), so priming never clobbers the
+        previous values' entry.
+        """
+        if not isinstance(prepared, PreparedMatrix):
+            raise ValidationError(
+                f"prime needs a PreparedMatrix, got {type(prepared).__name__}"
+            )
+        key = serve_key(self.engine, prepared.reference_csr())
+        if self.cache.peek(key) is None:
+            self.cache.put(key, prepared)
+        return key
 
     # ------------------------------------------------------------------ #
     # Dispatch side

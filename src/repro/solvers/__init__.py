@@ -1,11 +1,31 @@
-"""Iterative solvers on top of the SpMV engine."""
+"""Iterative solvers on top of the SpMV engine and serve layer.
 
-from .iterative import SolveResult, bicgstab, conjugate_gradient, jacobi, power_method
+One surface -- :func:`solve` -- with per-method wrappers, plus
+:class:`SolverSession` for prepare-once/solve-many workflows whose
+iterations can stream through a server or fabric and whose values can
+be swapped in place between solves.
+"""
+
+from .iterative import (
+    SOLVE_METHODS,
+    SolveResult,
+    bicgstab,
+    conjugate_gradient,
+    gmres,
+    jacobi,
+    power_method,
+    solve,
+)
+from .session import SolverSession
 
 __all__ = [
+    "SOLVE_METHODS",
     "SolveResult",
+    "SolverSession",
     "bicgstab",
     "conjugate_gradient",
+    "gmres",
     "jacobi",
     "power_method",
+    "solve",
 ]

@@ -1,15 +1,32 @@
-"""Iterative solvers driven by the yaSpMV engine.
+"""Iterative solvers driven by the yaSpMV engine and serve layer.
 
 SpMV exists to serve iterative methods -- the paper's introduction
 motivates the kernel with exactly these workloads.  This module gives
-the engine's prepare-once/multiply-many pattern a solver-shaped API:
-conjugate gradient (SPD systems), BiCGSTAB (general systems), Jacobi
-(diagonally dominant systems) and the power method (dominant
-eigenpairs), each reporting a convergence history plus the *simulated
-device time* spent in SpMV so users can budget kernels, not wall clock.
+the engine's prepare-once/multiply-many pattern a solver-shaped API
+behind **one surface**:
 
-All solvers accept either a prepared matrix or a raw scipy matrix (which
-is then auto-tuned once).  Numerics are plain float64 NumPy.
+    solve(A, b, method="cg" | "bicgstab" | "gmres" | "jacobi", ...)
+
+with keyword-only options mirroring :class:`~repro.SpMVEngine`
+(``backend=``, ``observer=``, ``fault_plan=``, ``retry_policy=``,
+``deadline=``) plus ``server=`` to stream every iteration's multiply
+through an :class:`~repro.serve.SpMVServer` or
+:class:`~repro.serve.ServeFabric` (admission control, quotas, failover
+and the value-aware cache all apply; see
+:class:`~repro.solvers.SolverSession`).  The per-method functions
+(:func:`conjugate_gradient`, :func:`bicgstab`, :func:`gmres`,
+:func:`jacobi`) are thin wrappers delegating to :func:`solve`.
+
+Every solver reports a convergence history plus the *simulated device
+time* spent in SpMV -- counting only the successful attempt of each
+multiply, so a retried/failed-over iteration is never double-billed --
+and :class:`SolveResult` speaks the same ``to_dict()``/``summary()``
+protocol as :class:`~repro.SpMVResult` and
+:class:`~repro.tuning.TuningResult`.
+
+Numerics are plain float64 NumPy, identical whether iterations run
+direct or served (the differential tests pin ``np.array_equal`` per
+iterate).
 """
 
 from __future__ import annotations
@@ -18,17 +35,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.engine import PreparedMatrix, SpMVEngine
-from ..errors import ReproError
-from ..util import as_csr
+from ..core.engine import SpMVEngine
+from ..errors import ReproError, ValidationError
+from ..fault.retry import Deadline
 
 __all__ = [
     "SolveResult",
+    "solve",
     "conjugate_gradient",
     "bicgstab",
+    "gmres",
     "jacobi",
     "power_method",
 ]
+
+#: Methods :func:`solve` accepts.
+SOLVE_METHODS = ("cg", "bicgstab", "gmres", "jacobi")
 
 
 @dataclass
@@ -37,7 +59,9 @@ class SolveResult:
 
     ``spmv_time_s`` accumulates the simulated device time of every SpMV
     issued -- the quantity the paper's speedups translate into for a
-    full solve.
+    full solve.  Only the *successful* attempt of each multiply is
+    billed: a retried or failed-over iteration contributes its retries
+    to ``spmv_retries``/``failovers``, never to the device time.
     """
 
     x: np.ndarray
@@ -49,61 +73,267 @@ class SolveResult:
     history: list[float] = field(default_factory=list)
     #: Rayleigh-quotient estimate; set by :func:`power_method` only.
     eigenvalue: float = 0.0
+    #: Which :func:`solve` method produced this result.
+    method: str = ""
+    #: Whether iterations streamed through a server/fabric.
+    served: bool = False
+    #: Failed multiply attempts recovered by the engine's fallback chain.
+    spmv_retries: int = 0
+    #: Served requests replayed on a successor shard (fabric only).
+    failovers: int = 0
+    #: Served requests answered from the prepared-matrix cache.
+    cache_hits: int = 0
+    #: :meth:`SolverSession.update_values` calls during the solve.
+    value_refreshes: int = 0
+    #: Wall-clock seconds spent inside multiplies (simulated work is
+    #: ``spmv_time_s``; this is the host-side cost, the bench's
+    #: "SpMV share" numerator).
+    spmv_wall_s: float = 0.0
+    #: The solve stopped on an expired ``deadline=`` with the
+    #: best-so-far ``x`` (mirrors the tuner's partial-result semantics).
+    deadline_expired: bool = False
+    #: Per-iteration solution snapshots (``keep_iterates=True`` only) --
+    #: what the differential served-vs-direct tests compare bit for bit.
+    iterates: list[np.ndarray] | None = None
+
+    # -- the shared result protocol (see SpMVResult / TuningResult) ---- #
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot -- the CLI's and benches' interchange form."""
+        return {
+            "kind": "solve_result",
+            "method": self.method,
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residual_norm": float(self.residual_norm),
+            "spmv_count": int(self.spmv_count),
+            "spmv_time_s": float(self.spmv_time_s),
+            "spmv_wall_s": float(self.spmv_wall_s),
+            "spmv_retries": int(self.spmv_retries),
+            "served": bool(self.served),
+            "failovers": int(self.failovers),
+            "cache_hits": int(self.cache_hits),
+            "value_refreshes": int(self.value_refreshes),
+            "deadline_expired": bool(self.deadline_expired),
+            "eigenvalue": float(self.eigenvalue),
+            "history": [float(h) for h in self.history],
+        }
+
+    def summary(self) -> str:
+        """One-line human description of the solve."""
+        verdict = (
+            "converged"
+            if self.converged
+            else ("deadline expired" if self.deadline_expired else "NOT converged")
+        )
+        line = (
+            f"{self.method or 'solve'}: {verdict} in {self.iterations} "
+            f"iterations (residual {self.residual_norm:.2e}, "
+            f"{self.spmv_count} SpMVs, {self.spmv_time_s * 1e3:.2f} ms "
+            f"simulated)"
+        )
+        if self.served:
+            line += f" [served, {self.failovers} failovers]"
+        if self.spmv_retries:
+            line += f" [{self.spmv_retries} retries]"
+        return line
 
 
-class _Multiplier:
-    """Wraps (engine, prepared) into a counting A@v operator."""
-
-    def __init__(self, engine: SpMVEngine | None, matrix_or_prepared):
-        if isinstance(matrix_or_prepared, PreparedMatrix):
-            if engine is None:
-                raise ReproError(
-                    "a PreparedMatrix needs the engine it was prepared with"
-                )
-            self.engine = engine
-            self.prepared = matrix_or_prepared
-        else:
-            self.engine = engine if engine is not None else SpMVEngine()
-            self.prepared = self.engine.prepare(as_csr(matrix_or_prepared))
-        self.count = 0
-        self.time_s = 0.0
-
-    @property
-    def shape(self):
-        return self.prepared.fmt.shape
-
-    def __call__(self, v: np.ndarray) -> np.ndarray:
-        res = self.engine.multiply(self.prepared, v)
-        self.count += 1
-        self.time_s += res.time_s
-        return res.y
+# ---------------------------------------------------------------------- #
+# The one solver surface
+# ---------------------------------------------------------------------- #
 
 
-def _check_square(mult: _Multiplier):
-    r, c = mult.shape
-    if r != c:
-        raise ReproError(f"solver needs a square system, got {mult.shape}")
-
-
-def conjugate_gradient(
+def solve(
     A,
     b: np.ndarray,
-    engine: SpMVEngine | None = None,
+    method: str = "cg",
+    *,
     x0: np.ndarray | None = None,
     tol: float = 1e-10,
     max_iter: int = 10_000,
+    restart: int = 30,
+    engine: SpMVEngine | None = None,
+    backend=None,
+    observer=None,
+    fault_plan=None,
+    retry_policy=None,
+    deadline=None,
+    server=None,
+    tenant: str = "default",
+    timeout_s: float | None = None,
+    keep_iterates: bool = False,
 ) -> SolveResult:
-    """CG for symmetric positive-definite systems."""
-    mult = _Multiplier(engine, A)
-    _check_square(mult)
+    """Solve ``A x = b`` with the named iterative method.
+
+    Parameters
+    ----------
+    A:
+        A scipy sparse matrix (prepared/auto-tuned once) or a
+        :class:`~repro.core.engine.PreparedMatrix` (amortizes tuning
+        across solves; requires the engine it was prepared with, or a
+        ``server=`` whose engine prepared it).
+    method:
+        ``"cg"`` (SPD), ``"bicgstab"`` (general), ``"gmres"``
+        (restarted GMRES(``restart``), general) or ``"jacobi"``
+        (diagonally dominant).
+    restart:
+        GMRES restart length ``m`` (ignored by the other methods).
+    engine, backend, observer, fault_plan, retry_policy:
+        Execution options mirroring :class:`~repro.SpMVEngine`.  With no
+        ``engine``/``server``, a permissive engine is built from them
+        (the solver's default degrades gracefully through the fallback
+        chain; pass your own engine for strict semantics).  With an
+        explicit engine or server, any option given here is installed on
+        that engine -- the serve layer's install pattern.
+    deadline:
+        Wall-clock budget in seconds (or a :class:`~repro.fault.
+        Deadline`); on expiry the best-so-far ``x`` is returned with
+        ``deadline_expired=True`` -- the tuner's partial-result
+        semantics applied to solves.
+    server:
+        An :class:`~repro.serve.SpMVServer` or :class:`~repro.serve.
+        ServeFabric`: every iteration's multiply is issued as a served
+        request (see :class:`~repro.solvers.SolverSession`).
+    tenant, timeout_s:
+        Served-request attribution and per-request deadline (fabric
+        quotas and fairness key on the tenant).
+    keep_iterates:
+        Record every iteration's solution snapshot in
+        :attr:`SolveResult.iterates` (the differential tests' hook).
+    """
+    from ..core.engine import PreparedMatrix
+    from .session import SolverSession
+
+    if engine is None and server is None:
+        # No target can run a bare PreparedMatrix -- fall through and
+        # let the session raise its "needs the engine it was prepared
+        # with" error instead of conjuring an unrelated engine.
+        if not isinstance(A, PreparedMatrix):
+            engine = SpMVEngine(
+                policy="permissive",
+                backend=backend,
+                observer=observer,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+            )
+    else:
+        target = engine
+        if target is None:
+            target = (
+                server.engine
+                if hasattr(server, "engine")
+                else server.shards[0].engine
+            )
+        if backend is not None:
+            target.backend = backend
+        if observer is not None:
+            target.observer = observer
+        if fault_plan is not None:
+            from ..fault.injection import FaultPlan
+
+            target.fault_plan = FaultPlan.coerce(fault_plan)
+        if retry_policy is not None:
+            target.retry_policy = retry_policy
+    session = SolverSession(
+        A, engine=engine, server=server, tenant=tenant, timeout_s=timeout_s
+    )
+    return session.solve(
+        b,
+        method=method,
+        x0=x0,
+        tol=tol,
+        max_iter=max_iter,
+        restart=restart,
+        deadline=deadline,
+        keep_iterates=keep_iterates,
+    )
+
+
+def _run_solve(
+    session,
+    b: np.ndarray,
+    method: str,
+    *,
+    x0=None,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    restart: int = 30,
+    deadline=None,
+    keep_iterates: bool = False,
+) -> SolveResult:
+    """Shared driver behind :func:`solve` / :meth:`SolverSession.solve`."""
+    runner = _RUNNERS.get(method)
+    if runner is None:
+        raise ValidationError(
+            f"method must be one of {SOLVE_METHODS}, got {method!r}"
+        )
+    nrows, ncols = session.shape
+    if nrows != ncols:
+        raise ReproError(
+            f"solver needs a square system, got {(nrows, ncols)}"
+        )
     b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1 or b.shape[0] != nrows:
+        raise ValidationError(
+            f"b must be a length-{nrows} vector, got shape {b.shape}"
+        )
+    if deadline is not None and not isinstance(deadline, Deadline):
+        deadline = Deadline(float(deadline))
+    should_stop = (lambda: False) if deadline is None else deadline.expired
+
+    snap = session.counters()
+    x, converged, iterations, residual, history, iterates, expired = runner(
+        session,
+        b,
+        x0,
+        tol,
+        max_iter,
+        restart,
+        should_stop,
+        keep_iterates,
+    )
+    delta = {k: v - snap[k] for k, v in session.counters().items()}
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=iterations,
+        residual_norm=residual,
+        spmv_count=delta["spmv_count"],
+        spmv_time_s=delta["spmv_time_s"],
+        history=history,
+        method=method,
+        served=session.server is not None,
+        spmv_retries=delta["spmv_retries"],
+        failovers=delta["failovers"],
+        cache_hits=delta["cache_hits"],
+        value_refreshes=delta["value_refreshes"],
+        spmv_wall_s=delta["spmv_wall_s"],
+        deadline_expired=expired,
+        iterates=iterates,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Method runners -- pure float64 numerics over a counting multiplier.
+# Each returns (x, converged, iterations, residual, history, iterates,
+# deadline_expired).  The multiply sequences are identical direct or
+# served, which is what makes the differential bit-identity tests hold.
+# ---------------------------------------------------------------------- #
+
+
+def _run_cg(mult, b, x0, tol, max_iter, restart, should_stop, keep_iterates):
+    """CG for symmetric positive-definite systems."""
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    iterates = [] if keep_iterates else None
 
     r = b - mult(x)
     p = r.copy()
     rs = float(r @ r)
     history = [np.sqrt(rs)]
     for it in range(1, max_iter + 1):
+        if should_stop():
+            return x, False, it - 1, history[-1], history, iterates, True
         Ap = mult(p)
         denom = float(p @ Ap)
         if denom == 0.0:
@@ -113,30 +343,21 @@ def conjugate_gradient(
         r -= alpha * Ap
         rs_new = float(r @ r)
         history.append(np.sqrt(rs_new))
+        if iterates is not None:
+            iterates.append(x.copy())
         if history[-1] < tol:
-            return SolveResult(
-                x, True, it, history[-1], mult.count, mult.time_s, history
-            )
+            return x, True, it, history[-1], history, iterates, False
         p = r + (rs_new / rs) * p
         rs = rs_new
-    return SolveResult(
-        x, False, max_iter, history[-1], mult.count, mult.time_s, history
-    )
+    return x, False, max_iter, history[-1], history, iterates, False
 
 
-def bicgstab(
-    A,
-    b: np.ndarray,
-    engine: SpMVEngine | None = None,
-    x0: np.ndarray | None = None,
-    tol: float = 1e-10,
-    max_iter: int = 10_000,
-) -> SolveResult:
+def _run_bicgstab(
+    mult, b, x0, tol, max_iter, restart, should_stop, keep_iterates
+):
     """BiCGSTAB for general (non-symmetric) systems."""
-    mult = _Multiplier(engine, A)
-    _check_square(mult)
-    b = np.asarray(b, dtype=np.float64)
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    iterates = [] if keep_iterates else None
 
     r = b - mult(x)
     r_hat = r.copy()
@@ -145,6 +366,8 @@ def bicgstab(
     p = np.zeros_like(b)
     history = [float(np.linalg.norm(r))]
     for it in range(1, max_iter + 1):
+        if should_stop():
+            return x, False, it - 1, history[-1], history, iterates, True
         rho_new = float(r_hat @ r)
         if rho_new == 0.0:
             break
@@ -159,9 +382,9 @@ def bicgstab(
         if np.linalg.norm(s) < tol:
             x += alpha * p
             history.append(float(np.linalg.norm(s)))
-            return SolveResult(
-                x, True, it, history[-1], mult.count, mult.time_s, history
-            )
+            if iterates is not None:
+                iterates.append(x.copy())
+            return x, True, it, history[-1], history, iterates, False
         t = mult(s)
         tt = float(t @ t)
         if tt == 0.0:
@@ -171,12 +394,193 @@ def bicgstab(
         r = s - omega * t
         rho = rho_new
         history.append(float(np.linalg.norm(r)))
+        if iterates is not None:
+            iterates.append(x.copy())
         if history[-1] < tol:
-            return SolveResult(
-                x, True, it, history[-1], mult.count, mult.time_s, history
-            )
-    return SolveResult(
-        x, False, max_iter, history[-1], mult.count, mult.time_s, history
+            return x, True, it, history[-1], history, iterates, False
+    return x, False, max_iter, history[-1], history, iterates, False
+
+
+def _run_gmres(mult, b, x0, tol, max_iter, restart, should_stop, keep_iterates):
+    """Restarted GMRES(m): Arnoldi with modified Gram-Schmidt + Givens.
+
+    The residual norm after each inner iteration falls out of the
+    Givens-rotated right-hand side (``|g[j+1]|``) without forming the
+    solution; the solution itself is assembled by back-substitution at
+    cycle end (and per iteration under ``keep_iterates``).
+    """
+    n = b.shape[0]
+    m = max(1, min(int(restart), n))
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    iterates = [] if keep_iterates else None
+
+    r = b - mult(x)
+    beta = float(np.linalg.norm(r))
+    history = [beta]
+    if beta < tol:
+        return x, True, 0, beta, history, iterates, False
+
+    total = 0
+    while True:
+        V = np.zeros((m + 1, n), dtype=np.float64)
+        H = np.zeros((m + 1, m), dtype=np.float64)
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / beta
+        g[0] = beta
+        k = 0
+        converged = expired = breakdown = False
+        for j in range(m):
+            if should_stop():
+                expired = True
+                break
+            w = mult(V[j])
+            for i in range(j + 1):  # modified Gram-Schmidt
+                H[i, j] = float(w @ V[i])
+                w = w - H[i, j] * V[i]
+            h_next = float(np.linalg.norm(w))
+            # Rotate the new column through the accumulated Givens
+            # rotations, then zero its subdiagonal with a fresh one.
+            for i in range(j):
+                tmp = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = tmp
+            denom = float(np.hypot(H[j, j], h_next))
+            if denom == 0.0:
+                cs[j], sn[j] = 1.0, 0.0
+            else:
+                cs[j], sn[j] = H[j, j] / denom, h_next / denom
+            H[j, j] = cs[j] * H[j, j] + sn[j] * h_next
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            k = j + 1
+            total += 1
+            residual = abs(float(g[j + 1]))
+            history.append(residual)
+            if iterates is not None:
+                iterates.append(_gmres_solution(x, V, H, g, k))
+            if residual < tol:
+                converged = True
+                break
+            if h_next == 0.0:
+                breakdown = True  # lucky breakdown: Krylov space exhausted
+                break
+            if total >= max_iter:
+                break
+            V[j + 1] = w / h_next
+        if k:
+            x = _gmres_solution(x, V, H, g, k)
+        residual = history[-1]
+        if converged:
+            return x, True, total, residual, history, iterates, False
+        if expired:
+            return x, False, total, residual, history, iterates, True
+        if total >= max_iter or breakdown:
+            return x, residual < tol, total, residual, history, iterates, False
+        # Restart: true residual for the next cycle.
+        r = b - mult(x)
+        beta = float(np.linalg.norm(r))
+        if beta < tol:
+            return x, True, total, beta, history, iterates, False
+
+
+def _gmres_solution(x, V, H, g, k) -> np.ndarray:
+    """Back-substitute the rotated least-squares system, update x."""
+    y = np.zeros(k)
+    for i in range(k - 1, -1, -1):
+        s = float(g[i]) - float(H[i, i + 1 : k] @ y[i + 1 : k])
+        y[i] = s / H[i, i] if H[i, i] != 0.0 else 0.0
+    return x + V[:k].T @ y
+
+
+def _run_jacobi(mult, b, x0, tol, max_iter, restart, should_stop, keep_iterates):
+    """Jacobi iteration for diagonally dominant systems.
+
+    Uses the splitting ``x' = x + D^{-1} (b - A x)``; the diagonal is
+    extracted once from the prepared matrix's CSR view.
+    """
+    diag = mult.prepared.reference_csr().diagonal()
+    if np.any(diag == 0.0):
+        raise ReproError("Jacobi needs a zero-free diagonal")
+    inv_d = 1.0 / diag
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    iterates = [] if keep_iterates else None
+
+    history = []
+    for it in range(1, max_iter + 1):
+        if should_stop():
+            last = history[-1] if history else float(np.linalg.norm(b))
+            return x, False, it - 1, last, history, iterates, True
+        r = b - mult(x)
+        history.append(float(np.linalg.norm(r)))
+        if history[-1] < tol:
+            return x, True, it - 1, history[-1], history, iterates, False
+        x = x + inv_d * r
+        if iterates is not None:
+            iterates.append(x.copy())
+    return x, False, max_iter, history[-1], history, iterates, False
+
+
+_RUNNERS = {
+    "cg": _run_cg,
+    "bicgstab": _run_bicgstab,
+    "gmres": _run_gmres,
+    "jacobi": _run_jacobi,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Per-method wrappers (the pre-redesign surface, now thin delegates)
+# ---------------------------------------------------------------------- #
+
+
+def conjugate_gradient(
+    A,
+    b: np.ndarray,
+    engine: SpMVEngine | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    **options,
+) -> SolveResult:
+    """CG for symmetric positive-definite systems (see :func:`solve`)."""
+    return solve(
+        A, b, method="cg", engine=engine, x0=x0, tol=tol,
+        max_iter=max_iter, **options,
+    )
+
+
+def bicgstab(
+    A,
+    b: np.ndarray,
+    engine: SpMVEngine | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    **options,
+) -> SolveResult:
+    """BiCGSTAB for general systems (see :func:`solve`)."""
+    return solve(
+        A, b, method="bicgstab", engine=engine, x0=x0, tol=tol,
+        max_iter=max_iter, **options,
+    )
+
+
+def gmres(
+    A,
+    b: np.ndarray,
+    engine: SpMVEngine | None = None,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    restart: int = 30,
+    **options,
+) -> SolveResult:
+    """Restarted GMRES(``restart``) for general systems (see :func:`solve`)."""
+    return solve(
+        A, b, method="gmres", engine=engine, x0=x0, tol=tol,
+        max_iter=max_iter, restart=restart, **options,
     )
 
 
@@ -187,32 +591,12 @@ def jacobi(
     x0: np.ndarray | None = None,
     tol: float = 1e-10,
     max_iter: int = 10_000,
+    **options,
 ) -> SolveResult:
-    """Jacobi iteration for diagonally dominant systems.
-
-    Uses the splitting ``x' = x + D^{-1} (b - A x)``; the diagonal is
-    extracted once from the prepared matrix's scipy view.
-    """
-    mult = _Multiplier(engine, A)
-    _check_square(mult)
-    b = np.asarray(b, dtype=np.float64)
-    diag = mult.prepared.fmt.to_scipy().diagonal()
-    if np.any(diag == 0.0):
-        raise ReproError("Jacobi needs a zero-free diagonal")
-    inv_d = 1.0 / diag
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-
-    history = []
-    for it in range(1, max_iter + 1):
-        r = b - mult(x)
-        history.append(float(np.linalg.norm(r)))
-        if history[-1] < tol:
-            return SolveResult(
-                x, True, it - 1, history[-1], mult.count, mult.time_s, history
-            )
-        x = x + inv_d * r
-    return SolveResult(
-        x, False, max_iter, history[-1], mult.count, mult.time_s, history
+    """Jacobi iteration for diagonally dominant systems (see :func:`solve`)."""
+    return solve(
+        A, b, method="jacobi", engine=engine, x0=x0, tol=tol,
+        max_iter=max_iter, **options,
     )
 
 
@@ -224,10 +608,17 @@ def power_method(
     max_iter: int = 5_000,
     seed: int = 0,
 ) -> SolveResult:
-    """Power iteration: dominant eigenvalue/vector of a square matrix."""
-    mult = _Multiplier(engine, A)
-    _check_square(mult)
-    n = mult.shape[0]
+    """Power iteration: dominant eigenvalue/vector of a square matrix.
+
+    Not a linear solve, so it stays outside :func:`solve`'s method set;
+    it shares the session multiplier and the result protocol.
+    """
+    from .session import SolverSession
+
+    mult = SolverSession(A, engine=engine)
+    n, c = mult.shape
+    if n != c:
+        raise ReproError(f"solver needs a square system, got {mult.shape}")
     rng = np.random.default_rng(seed)
     v = rng.standard_normal(n) if v0 is None else np.array(v0, dtype=np.float64)
     v /= np.linalg.norm(v)
@@ -247,13 +638,14 @@ def power_method(
         v, lam = v_new, lam_new
         if converged:
             res = SolveResult(
-                v, True, it, history[-1], mult.count, mult.time_s, history
+                v, True, it, history[-1], mult.spmv_count,
+                mult.spmv_time_s, history, method="power",
             )
             res.eigenvalue = lam
             return res
     res = SolveResult(
         v, False, max_iter, history[-1] if history else np.inf,
-        mult.count, mult.time_s, history,
+        mult.spmv_count, mult.spmv_time_s, history, method="power",
     )
     res.eigenvalue = lam
     return res

@@ -6,13 +6,16 @@ from scipy import sparse
 from scipy.sparse.linalg import eigsh
 
 from repro import SpMVEngine
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
+from repro.fault import Deadline, FaultPlan
 from repro.solvers import (
     SolveResult,
     bicgstab,
     conjugate_gradient,
+    gmres,
     jacobi,
     power_method,
+    solve,
 )
 from repro.tuning import TuningPoint
 
@@ -104,6 +107,138 @@ class TestJacobi:
         A = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
         with pytest.raises(ReproError, match="diagonal"):
             jacobi(A, np.ones(2))
+
+
+class TestGMRES:
+    def test_solves_nonsymmetric(self):
+        A, b = nonsymmetric_system()
+        res = gmres(A, b, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-7)
+
+    def test_agrees_with_bicgstab(self):
+        A, b = nonsymmetric_system()
+        x_gm = gmres(A, b, tol=1e-12).x
+        x_bi = bicgstab(A, b, tol=1e-12).x
+        np.testing.assert_allclose(x_gm, x_bi, atol=1e-7)
+
+    def test_restart_cycles(self):
+        # A restart shorter than the iteration count forces several
+        # cycles; each costs one extra SpMV for the true residual.
+        A, b = nonsymmetric_system()
+        res = gmres(A, b, restart=5, tol=1e-11, max_iter=500)
+        assert res.converged
+        assert res.spmv_count > res.iterations + 1
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-7)
+
+    def test_residual_history_per_inner_iteration(self):
+        A, b = nonsymmetric_system()
+        res = gmres(A, b, tol=1e-11)
+        assert len(res.history) == res.iterations + 1
+        assert res.history[0] > res.history[-1]
+
+    def test_solves_spd_too(self):
+        A, b = spd_system()
+        x_gm = gmres(A, b, tol=1e-12).x
+        x_cg = conjugate_gradient(A, b, tol=1e-12).x
+        np.testing.assert_allclose(x_gm, x_cg, atol=1e-8)
+
+
+class TestSolveAPI:
+    """The redesigned single surface: solve(A, b, method=...)."""
+
+    @pytest.mark.parametrize("method", ["cg", "bicgstab", "gmres", "jacobi"])
+    def test_every_method_solves(self, method):
+        A, b = nonsymmetric_system() if method != "cg" else spd_system()
+        res = solve(A, b, method=method, tol=1e-11)
+        assert res.converged
+        assert res.method == method
+        np.testing.assert_allclose(A @ res.x, b, atol=1e-7)
+
+    def test_unknown_method_rejected(self):
+        A, b = spd_system()
+        with pytest.raises(ValidationError, match="method"):
+            solve(A, b, method="sor")
+
+    def test_wrong_rhs_length_rejected(self):
+        A, _ = spd_system()
+        with pytest.raises(ValidationError, match="length"):
+            solve(A, np.ones(7))
+
+    def test_wrappers_delegate(self):
+        # The wrapper and the surface must produce the same object
+        # graph: identical iterates, counters and method tag.
+        A, b = spd_system()
+        via_wrapper = conjugate_gradient(A, b, tol=1e-12)
+        via_solve = solve(A, b, method="cg", tol=1e-12)
+        assert np.array_equal(via_wrapper.x, via_solve.x)
+        assert via_wrapper.history == via_solve.history
+        assert via_wrapper.method == via_solve.method == "cg"
+
+    def test_backend_option_mirrors_engine(self):
+        A, b = spd_system()
+        res_fast = solve(A, b, backend="fast")
+        res_faithful = solve(A, b, backend="faithful")
+        assert np.array_equal(res_fast.x, res_faithful.x)
+
+    def test_keep_iterates(self):
+        A, b = spd_system()
+        res = solve(A, b, method="cg", keep_iterates=True)
+        assert len(res.iterates) == res.iterations
+        assert np.array_equal(res.iterates[-1], res.x)
+
+    def test_result_protocol(self):
+        A, b = spd_system()
+        res = solve(A, b, method="cg")
+        d = res.to_dict()
+        assert d["kind"] == "solve_result"
+        assert d["method"] == "cg"
+        assert d["converged"] is True
+        assert d["iterations"] == res.iterations
+        assert d["spmv_retries"] == 0
+        assert len(d["history"]) == len(res.history)
+        text = res.summary()
+        assert "cg" in text and "converged" in text
+
+    def test_deadline_returns_best_so_far(self):
+        A, b = spd_system()
+        res = solve(A, b, method="cg", deadline=Deadline(0.0))
+        assert res.deadline_expired
+        assert not res.converged
+        assert res.x.shape == b.shape
+
+    def test_deadline_accepts_seconds(self):
+        A, b = spd_system()
+        res = solve(A, b, method="cg", deadline=30.0)
+        assert res.converged
+        assert not res.deadline_expired
+
+
+class TestRetryAccounting:
+    """spmv_time_s bills only the successful attempt of each multiply."""
+
+    def test_transient_fault_not_double_billed(self):
+        A, b = spd_system()
+        clean = solve(A, b, method="cg", backend="faithful")
+        faulted = solve(
+            A, b, method="cg", backend="faithful",
+            fault_plan=FaultPlan.single("kernel.nan_partial", seed=1, count=1),
+        )
+        assert faulted.spmv_retries == 1
+        assert clean.spmv_retries == 0
+        # The retried multiply recovered on the tuned path, so the
+        # simulated device time must match the clean solve exactly --
+        # the failed attempt is reported, never billed.
+        assert faulted.spmv_time_s == clean.spmv_time_s
+        assert np.array_equal(faulted.x, clean.x)
+
+    def test_retries_surface_in_summary(self):
+        A, b = spd_system()
+        faulted = solve(
+            A, b, method="cg", backend="faithful",
+            fault_plan=FaultPlan.single("kernel.nan_partial", seed=1, count=1),
+        )
+        assert "1 retries" in faulted.summary()
 
 
 class TestPowerMethod:
