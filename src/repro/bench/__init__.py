@@ -1,6 +1,12 @@
 """Benchmark harness and report rendering."""
 
 from .backends import run_backend_sweep, sweep_passed, write_sweep
+from .compare import (
+    CompareReport,
+    MetricDelta,
+    compare_snapshots,
+    load_snapshot,
+)
 from .solvers import run_solver_bench, solver_bench_passed, write_solver_bench
 from .harness import (
     SYSTEMS,
@@ -13,6 +19,10 @@ from .harness import (
 from .report import render_bars, render_comparison, render_speedups, render_table
 
 __all__ = [
+    "CompareReport",
+    "MetricDelta",
+    "compare_snapshots",
+    "load_snapshot",
     "run_backend_sweep",
     "sweep_passed",
     "write_sweep",

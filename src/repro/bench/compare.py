@@ -1,0 +1,211 @@
+"""Benchmark regression gate: diff two ``BENCH_*.json`` snapshots.
+
+The benchmark sweeps write JSON snapshots (``BENCH_kernels.json``,
+``BENCH_serving.json``, ``BENCH_solvers.json``); this module turns a
+pair of them into a pass/fail verdict so CI (and ``repro bench
+--compare``) can refuse a change that quietly costs throughput.  A
+*regression* is a metric moving in its bad direction by more than
+``threshold`` (default 15% -- generous enough to ride out shared-runner
+noise, tight enough to catch a lost fast path).
+
+Only matching metrics are compared: a matrix present in one snapshot
+but not the other is reported as ``added``/``removed`` context, never a
+failure, so growing the suite doesn't trip the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ValidationError
+
+__all__ = [
+    "CompareReport",
+    "MetricDelta",
+    "compare_snapshots",
+    "load_snapshot",
+]
+
+#: Default regression tolerance: fractional move in the bad direction.
+DEFAULT_THRESHOLD = 0.15
+
+#: metric suffix -> direction ("lower" or "higher" is better).
+_DIRECTIONS = {
+    "fast_s": "lower",
+    "faithful_s": "lower",
+    "p99_ms": "lower",
+    "p50_ms": "lower",
+    "throughput_rps": "higher",
+    "iterations_per_s": "higher",
+    "swap_s": "lower",
+}
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared across the two snapshots."""
+
+    metric: str
+    direction: str  # "lower" / "higher" (which way is better)
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Fractional move in the *bad* direction (negative = improved)."""
+        if self.baseline == 0:
+            return 0.0
+        delta = (self.current - self.baseline) / abs(self.baseline)
+        return delta if self.direction == "lower" else -delta
+
+    def regressed(self, threshold: float) -> bool:
+        return self.change > threshold
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change": round(self.change, 4),
+        }
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one snapshot diff (JSON-able)."""
+
+    threshold: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "bench_compare",
+            "passed": self.passed,
+            "threshold": self.threshold,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "regressions": [d.metric for d in self.regressions],
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"bench compare: {len(self.deltas)} metric(s), "
+            f"threshold {self.threshold:.0%}"
+        ]
+        for d in sorted(self.deltas, key=lambda d: -d.change):
+            verdict = "REGRESSED" if d.regressed(self.threshold) else "ok"
+            lines.append(
+                f"  {d.metric:40s} {d.baseline:12.6g} -> {d.current:12.6g} "
+                f"({d.change:+7.1%} worse) {verdict}"
+            )
+        if self.added:
+            lines.append(f"  new metrics (not compared): {self.added}")
+        if self.removed:
+            lines.append(f"  dropped metrics           : {self.removed}")
+        lines.append(
+            f"  verdict: {'PASS' if self.passed else 'FAIL'}"
+            + ("" if self.passed
+               else f" ({len(self.regressions)} regression(s))")
+        )
+        return "\n".join(lines)
+
+
+def load_snapshot(path) -> dict:
+    """Load one ``BENCH_*.json`` snapshot; typed error on junk."""
+    p = Path(path)
+    if not p.exists():
+        raise ValidationError(f"no benchmark snapshot at {p}")
+    try:
+        snap = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{p} is not valid JSON: {exc}") from exc
+    if not isinstance(snap, dict) or "kind" not in snap:
+        raise ValidationError(
+            f"{p} does not look like a benchmark snapshot (no 'kind' key)"
+        )
+    return snap
+
+
+def _flatten(snap: dict) -> dict[str, float]:
+    """Snapshot -> {metric path: value} for the comparable metrics.
+
+    Knows the three snapshot kinds the sweeps write; unknown kinds
+    yield nothing (forward compatibility) rather than raising.
+    """
+    kind = snap.get("kind")
+    out: dict[str, float] = {}
+    if kind == "bench_kernels":
+        for row in snap.get("matrices", []):
+            name = row.get("matrix", "?")
+            for metric in ("fast_s", "faithful_s"):
+                if metric in row:
+                    out[f"kernels/{name}/{metric}"] = float(row[metric])
+    elif kind == "bench_serving":
+        for row in snap.get("shard_sweep", []):
+            shards = row.get("shards", "?")
+            for metric in ("throughput_rps", "p99_ms", "p50_ms"):
+                if metric in row:
+                    out[f"serving/shards={shards}/{metric}"] = float(row[metric])
+    elif kind == "bench_solvers":
+        for row in snap.get("solves", []):
+            method = row.get("method", "?")
+            for run in ("direct", "served"):
+                rate = row.get(run, {}).get("iterations_per_s")
+                if rate is not None:
+                    out[f"solvers/{method}/{run}/iterations_per_s"] = float(rate)
+        swap = snap.get("value_refresh", {}).get("swap_s")
+        if swap is not None:
+            out["solvers/value_refresh/swap_s"] = float(swap)
+    return out
+
+
+def _direction(metric: str) -> str:
+    return _DIRECTIONS.get(metric.rsplit("/", 1)[-1], "lower")
+
+
+def compare_snapshots(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareReport:
+    """Diff two snapshots of the same kind; see the module docstring.
+
+    ``baseline``/``current`` are loaded snapshot dicts
+    (:func:`load_snapshot`).  Comparing snapshots of different kinds is
+    a caller error.
+    """
+    if threshold <= 0:
+        raise ValidationError(f"threshold must be > 0, got {threshold}")
+    if baseline.get("kind") != current.get("kind"):
+        raise ValidationError(
+            f"snapshot kinds differ: baseline is {baseline.get('kind')!r}, "
+            f"current is {current.get('kind')!r}"
+        )
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    report = CompareReport(threshold=threshold)
+    for metric in sorted(base.keys() & cur.keys()):
+        report.deltas.append(MetricDelta(
+            metric=metric,
+            direction=_direction(metric),
+            baseline=base[metric],
+            current=cur[metric],
+        ))
+    report.added = sorted(cur.keys() - base.keys())
+    report.removed = sorted(base.keys() - cur.keys())
+    return report

@@ -281,6 +281,9 @@ def _cmd_chaos(args) -> int:
         corrupt_shards=args.corrupt,
         device=args.device,
         backend=args.backend,
+        processes=args.processes,
+        worker_hangs=args.worker_hangs,
+        reply_timeout_s=args.reply_timeout,
     )
     print(report.summary())
     if args.json:
@@ -434,6 +437,20 @@ def _cmd_verify(args) -> int:
 def _cmd_bench(args) -> int:
     from .bench.backends import run_backend_sweep, sweep_passed, write_sweep
 
+    baseline = None
+    if args.compare:
+        from .bench.compare import load_snapshot
+        from .errors import ValidationError
+
+        baseline_path = args.baseline or args.out
+        try:
+            # Load *before* the sweep runs: --out usually points at the
+            # same file the sweep will overwrite.
+            baseline = load_snapshot(baseline_path)
+        except ValidationError as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
     report = run_backend_sweep(
         device=args.device, cap_nnz=args.cap, repeats=args.repeats
     )
@@ -456,6 +473,20 @@ def _cmd_bench(args) -> int:
     passed, reasons = sweep_passed(report)
     for reason in reasons:
         print(f"FAIL: {reason}", file=sys.stderr)
+    if baseline is not None:
+        from .bench.compare import compare_snapshots
+
+        cmp = compare_snapshots(baseline, report, threshold=args.threshold)
+        print()
+        print(cmp.summary())
+        if not cmp.passed:
+            for delta in cmp.regressions:
+                print(
+                    f"FAIL: {delta.metric} regressed {delta.change:+.1%} "
+                    f"(threshold {args.threshold:.0%})",
+                    file=sys.stderr,
+                )
+            passed = False
     return 0 if passed else 1
 
 
@@ -596,6 +627,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "mid-flight)")
     p_chaos.add_argument("--slows", type=int, default=0,
                          help="serve.shard_slow budget (shards slowed)")
+    p_chaos.add_argument("--processes", action="store_true",
+                         help="run shards as forked worker processes: kills "
+                              "become real SIGKILLs the supervisor must "
+                              "recover from, plus an autoscale up/down "
+                              "cycle and a shared-memory leak check")
+    p_chaos.add_argument("--worker-hangs", type=int, default=0,
+                         help="seeded worker-hang budget (process mode): "
+                              "workers that go silent until the heartbeat "
+                              "or reply timeout SIGKILLs them")
+    p_chaos.add_argument("--reply-timeout", type=float, default=15.0,
+                         help="seconds a process shard waits on its worker "
+                              "before declaring it hung")
     p_chaos.add_argument("--corrupt", type=int, default=0,
                          help="shards whose dispatches are detected-corrupt")
     p_chaos.add_argument("--json", default="",
@@ -660,6 +703,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="nnz cap for suite matrices (scale)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="best-of-N timing repeats per backend")
+    p_bench.add_argument("--compare", action="store_true",
+                         help="diff this sweep against a previous snapshot "
+                              "and exit non-zero on any metric regressing "
+                              "past --threshold")
+    p_bench.add_argument("--baseline", default="",
+                         help="baseline snapshot for --compare (default: "
+                              "the existing file at --out)")
+    p_bench.add_argument("--threshold", type=float, default=0.15,
+                         help="fractional regression tolerance for "
+                              "--compare (default 0.15 = 15%%)")
     p_bench.add_argument("--out",
                          default="benchmarks/results/BENCH_kernels.json",
                          help="write the JSON report here ('' to skip)")

@@ -30,6 +30,8 @@ trusting the plumbing.
 from __future__ import annotations
 
 import os
+import re
+import secrets
 import threading
 from multiprocessing import shared_memory
 
@@ -37,10 +39,16 @@ import numpy as np
 
 from ..errors import ReproError
 
-__all__ = ["SharedArena", "shm_stats", "reset_shm_stats"]
+__all__ = ["SharedArena", "shm_stats", "reset_shm_stats", "reap_orphans"]
 
 #: 64-byte alignment for every array inside a segment (cache-line clean).
 _ALIGN = 64
+
+#: Segment names embed the creating pid -- ``reproshm-<pid>-<token>`` --
+#: so :func:`reap_orphans` can tell a dead owner's leak from a live
+#: owner's working set without any side-channel bookkeeping.
+_NAME_PREFIX = "reproshm"
+_NAME_RE = re.compile(rf"^{_NAME_PREFIX}-(\d+)-[0-9a-f]+$")
 
 _lock = threading.Lock()
 #: Per-process registry: segment name -> live SharedArena (refcount dedup).
@@ -50,6 +58,7 @@ _stats = {
     "bytes_shared": 0,
     "attaches": 0,
     "unlinks": 0,
+    "reaped": 0,
 }
 
 
@@ -68,6 +77,56 @@ def reset_shm_stats() -> None:
 
 def _round_up(n: int, multiple: int) -> int:
     return ((n + multiple - 1) // multiple) * multiple
+
+
+def _segment_name() -> str:
+    return f"{_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a live process."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+def reap_orphans(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink arena segments whose owning process is gone.
+
+    An owner that dies by SIGKILL never runs :meth:`SharedArena.close`,
+    so its segments outlive it as ``/dev/shm`` files.  Because segment
+    names embed the creator's pid, a scan can attribute each leak: any
+    ``reproshm-<pid>-*`` entry whose pid no longer exists is an orphan
+    and is unlinked here.  Segments of live processes -- including this
+    one -- are never touched.  Returns the reaped segment names;
+    ``shm_stats()['reaped']`` counts them.  The supervisor calls this
+    after detecting worker death; it is also safe to call at any time.
+    """
+    reaped: list[str] = []
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - non-Linux / no tmpfs
+        return reaped
+    for entry in entries:
+        match = _NAME_RE.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except OSError:  # pragma: no cover - raced another reaper
+            continue
+        reaped.append(entry)
+    if reaped:
+        with _lock:
+            _stats["reaped"] += len(reaped)
+    return reaped
 
 
 def _open_untracked(name: str) -> shared_memory.SharedMemory:
@@ -131,7 +190,14 @@ class SharedArena:
             arr = np.ascontiguousarray(arr)
             layout[key] = (arr.dtype.str, tuple(arr.shape), offset)
             offset += _round_up(max(arr.nbytes, 1), _ALIGN)
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_segment_name(), create=True, size=max(offset, 1)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 32-bit token clash
+                continue
         arena = cls(shm, layout, owner=True)
         for key, arr in arrays.items():
             view = arena.view(key)

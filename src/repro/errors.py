@@ -212,6 +212,43 @@ class ShardCrashError(ReproError):
         self.shard = shard
 
 
+class RemoteWorkerError(ReproError):
+    """A worker-process exception that could not cross the pipe as itself.
+
+    Everything a shard worker normally raises is picklable (the sweep in
+    ``tests/serve/test_pickle_errors.py`` holds the line), but arbitrary
+    third-party exceptions -- or anything carrying an unpicklable
+    payload -- must never degrade into an opaque ``PicklingError`` on
+    the parent side.  The worker wraps such exceptions into this class,
+    preserving the original type name (``original_type``) and the full
+    remote traceback text (``remote_traceback``).  Survives pickling
+    (the message is the sole positional argument).
+    """
+
+    def __init__(self, message: str = "", *, original_type: str | None = None,
+                 remote_traceback: str | None = None):
+        super().__init__(message)
+        self.original_type = original_type
+        self.remote_traceback = remote_traceback
+
+
+class WorkerRestartError(ReproError):
+    """A shard worker could not be respawned within the retry budget.
+
+    Raised by :class:`repro.serve.ShardSupervisor` bookkeeping when every
+    restart attempt failed and no degraded in-process fallback was
+    possible; ``shard`` names the worker, ``attempts`` how many respawns
+    were tried.  Survives pickling (the message is the sole positional
+    argument).
+    """
+
+    def __init__(self, message: str = "", *, shard: str | None = None,
+                 attempts: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
 class QuotaExceededError(ReproError):
     """A tenant exceeded its admission quota on the serving fabric.
 

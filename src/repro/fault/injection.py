@@ -79,6 +79,19 @@ FAULT_SITES: tuple[str, ...] = (
     # `fraction` seconds of extra simulated latency until the health
     # tracker ejects it.
     "serve.shard_slow",
+    # An out-of-process shard worker is SIGKILL'd for real: the child
+    # process dies, in-flight futures fail, and the supervisor must
+    # detect the exit code and respawn (or degrade) the worker.
+    "serve.worker_kill",
+    # An out-of-process shard worker goes silent: the child stops
+    # reading its pipe, so heartbeats miss and the reply timeout trips;
+    # the supervisor SIGKILLs and restarts it.
+    "serve.worker_hang",
+    # The shared-memory arena backing a worker's warm cache keys is
+    # unlinked before a restart re-prime: re-attachment fails and the
+    # supervisor falls back to shipping CSR arrays for deterministic
+    # re-preparation in the child.
+    "serve.arena_lost",
 )
 
 
@@ -416,6 +429,53 @@ class FaultPlan:
             return None
         self._record("serve.shard_slow", n_live=n_live, delay_s=spec.fraction)
         return float(spec.fraction)
+
+    def worker_kill(self, n_live: int) -> bool:
+        """Whether an out-of-process shard worker is SIGKILL'd this
+        scheduling round (``serve.worker_kill``).
+
+        Parent-side draw, same contract as :meth:`shard_crash`: the
+        fabric picks the victim (the busiest live worker) so a seeded
+        drill reliably kills a worker with requests in flight, and never
+        fires with a single live replica left.  Unlike ``shard_crash``
+        the shard is *not* marked dead -- the supervisor is expected to
+        detect the exit and respawn it.
+        """
+        spec = self._fire("serve.worker_kill")
+        if spec is None or n_live < 2:
+            return False
+        self._record("serve.worker_kill", n_live=n_live)
+        return True
+
+    def worker_hang(self, n_live: int) -> bool:
+        """Whether an out-of-process shard worker goes silent this round
+        (``serve.worker_hang``).
+
+        The victim worker stops reading its request pipe; detection is
+        the parent's job (reply timeout / heartbeat miss budget), after
+        which the supervisor SIGKILLs and restarts it.  Never fires with
+        a single live replica left.
+        """
+        spec = self._fire("serve.worker_hang")
+        if spec is None or n_live < 2:
+            return False
+        self._record("serve.worker_hang", n_live=n_live)
+        return True
+
+    def arena_lost(self) -> bool:
+        """Whether a restarting worker's shared arena has vanished
+        (``serve.arena_lost``).
+
+        Drawn by the supervisor just before re-priming a respawned
+        worker's warm cache keys: on fire, the arena segment is unlinked
+        first, so the child's attach fails and the CSR-reship fallback
+        path is exercised end to end.
+        """
+        spec = self._fire("serve.arena_lost")
+        if spec is None:
+            return False
+        self._record("serve.arena_lost")
+        return True
 
     def corrupt_store_text(self, text: str) -> str | None:
         """Garbled replacement for a tuning-store file

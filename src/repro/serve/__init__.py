@@ -36,8 +36,21 @@ from .server import (
     SpMVServer,
     serve_key,
 )
+from .supervisor import (
+    Autoscaler,
+    AutoscalePolicy,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from .workers import ProcessShard, WorkerConfig
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ProcessShard",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "WorkerConfig",
     "CacheEntry",
     "ChaosReport",
     "chaos_plan",

@@ -28,6 +28,7 @@ generators), so a failing drill replays identically under
 
 from __future__ import annotations
 
+import glob
 import time
 from dataclasses import dataclass, field
 
@@ -41,6 +42,8 @@ from ..matrices.suite import get_spec
 from .fabric import ServeFabric
 from .health import HealthPolicy
 from .server import ServeConfig, SpMVServer
+from .supervisor import AutoscalePolicy, SupervisorConfig
+from .workers import WorkerConfig
 
 __all__ = ["ChaosReport", "chaos_plan", "run_chaos_drill"]
 
@@ -74,8 +77,14 @@ class _CorruptEngine(SpMVEngine):
 
 
 def chaos_plan(seed: int, *, kills: int = 1, slows: int = 0,
-               slow_extra_s: float = 0.3) -> FaultPlan:
-    """The drill's seeded fault plan (``kills``/``slows`` are budgets)."""
+               slow_extra_s: float = 0.3, worker_kills: int = 0,
+               worker_hangs: int = 0) -> FaultPlan:
+    """The drill's seeded fault plan (every argument is a budget).
+
+    ``kills`` crash whole shards (permanent); ``worker_kills`` and
+    ``worker_hangs`` target out-of-process workers (real SIGKILLs and
+    heartbeat silence -- recoverable through the supervisor).
+    """
     specs = []
     if kills:
         specs.append(FaultSpec(
@@ -85,6 +94,14 @@ def chaos_plan(seed: int, *, kills: int = 1, slows: int = 0,
         specs.append(FaultSpec(
             site="serve.shard_slow", probability=1.0, count=slows,
             fraction=slow_extra_s,
+        ))
+    if worker_kills:
+        specs.append(FaultSpec(
+            site="serve.worker_kill", probability=1.0, count=worker_kills,
+        ))
+    if worker_hangs:
+        specs.append(FaultSpec(
+            site="serve.worker_hang", probability=1.0, count=worker_hangs,
         ))
     return FaultPlan(specs, seed=seed)
 
@@ -109,15 +126,40 @@ class ChaosReport:
     fault_events: list[str]
     require_failover: bool
     elapsed_s: float
+    processes: bool = False
+    autoscaled: bool = False
+    worker_kills: int = 0
+    worker_hangs: int = 0
+    restarts: int = 0
+    degraded: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    leaked_segments: list[str] = field(default_factory=list)
     fabric_stats: dict = field(default_factory=dict, repr=False)
 
     @property
     def passed(self) -> bool:
-        """Bit-identical outputs, nothing lost, failover actually hit."""
+        """Bit-identical outputs, nothing lost, failover actually hit.
+
+        Process drills add: every worker kill/hang answered by a
+        supervisor restart (or a logged degrade), one full
+        autoscale-up/down cycle when autoscaling was on, and zero
+        shared-memory segments left behind after shutdown.
+        """
         if self.mismatched or self.fabric_errors or self.golden_errors:
             return False
         if self.require_failover and self.failovers < 1:
             return False
+        if self.processes:
+            if (self.worker_kills + self.worker_hangs > 0
+                    and self.restarts + self.degraded < 1):
+                return False
+            if self.autoscaled and (
+                self.scale_ups < 1 or self.scale_downs < 1
+            ):
+                return False
+            if self.leaked_segments:
+                return False
         return True
 
     def to_dict(self) -> dict:
@@ -140,6 +182,15 @@ class ChaosReport:
             "fault_events": list(self.fault_events),
             "require_failover": self.require_failover,
             "elapsed_s": round(self.elapsed_s, 3),
+            "processes": self.processes,
+            "autoscaled": self.autoscaled,
+            "worker_kills": self.worker_kills,
+            "worker_hangs": self.worker_hangs,
+            "restarts": self.restarts,
+            "degraded": self.degraded,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "leaked_segments": list(self.leaked_segments),
         }
 
     def summary(self) -> str:
@@ -154,6 +205,22 @@ class ChaosReport:
             f"  fault events  : "
             + (", ".join(self.fault_events) if self.fault_events else "none"),
         ]
+        if self.processes:
+            lines.append(
+                f"  workers       : kills={self.worker_kills} "
+                f"hangs={self.worker_hangs} restarts={self.restarts} "
+                f"degraded={self.degraded}"
+            )
+            if self.autoscaled:
+                lines.append(
+                    f"  autoscale     : ups={self.scale_ups} "
+                    f"downs={self.scale_downs}"
+                )
+            lines.append(
+                "  shm leftovers : "
+                + (", ".join(self.leaked_segments)
+                   if self.leaked_segments else "none")
+            )
         if self.mismatched:
             lines.append(f"  MISMATCHED    : requests {self.mismatched}")
         if self.fabric_errors:
@@ -211,6 +278,10 @@ def run_chaos_drill(
     require_failover: bool | None = None,
     observer=None,
     backend: str | None = None,
+    processes: bool = False,
+    worker_hangs: int = 0,
+    autoscale: bool | None = None,
+    reply_timeout_s: float = 15.0,
 ) -> ChaosReport:
     """Run the differential drill; see the module docstring for the plot.
 
@@ -223,10 +294,23 @@ def run_chaos_drill(
     pristine golden server always runs ``faithful``, so a drill under
     ``backend="fast"`` doubles as a bit-identity check on the
     vectorized path.
+
+    ``processes=True`` runs every shard as a forked worker process and
+    re-targets the ``kills`` budget at **real SIGKILLs**
+    (``serve.worker_kill``): the shard is not lost, the supervisor must
+    restart (or degrade) it, and the drill additionally asserts a full
+    autoscale up/down cycle (``autoscale`` defaults to on in process
+    mode) and that shutdown leaves zero shared-memory segments behind.
+    Every distinct workload matrix is prepared once in the parent and
+    primed fabric-wide through shared memory, so workers never re-tune
+    -- which also keeps the drill's wall-clock bounded by
+    ``reply_timeout_s`` only when a ``worker_hangs`` budget is given.
     """
     t0 = time.perf_counter()
     if require_failover is None:
         require_failover = shards > 1 and (kills > 0 or corrupt_shards > 0)
+    if autoscale is None:
+        autoscale = processes
     work = _build_workload(
         matrices, cap_nnz, requests_per_matrix, value_refreshes, tenants, seed
     )
@@ -263,7 +347,16 @@ def run_chaos_drill(
             engine.backend = backend
         return engine
 
-    plan = chaos_plan(seed, kills=kills, slows=slows)
+    if processes:
+        # Real SIGKILLs instead of permanent shard crashes: the fleet
+        # must *recover*, not just route around a hole.
+        plan = chaos_plan(
+            seed, kills=0, slows=slows,
+            worker_kills=kills, worker_hangs=worker_hangs,
+        )
+    else:
+        plan = chaos_plan(seed, kills=kills, slows=slows)
+    pre_segments = set(glob.glob("/dev/shm/reproshm-*"))
     fabric = ServeFabric(
         shards,
         device=device,
@@ -275,16 +368,58 @@ def run_chaos_drill(
         ),
         observer=observer,
         start=False,
+        processes=processes,
+        worker_config=(
+            WorkerConfig(reply_timeout_s=reply_timeout_s)
+            if processes else None
+        ),
+        supervisor_config=(
+            SupervisorConfig(restart_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.0
+            ))
+            if processes else None
+        ),
+        autoscale_policy=(
+            AutoscalePolicy(
+                min_shards=shards, max_shards=shards + 1,
+                high_load=2.0, low_load=0.0,
+                up_after=1, down_after=2, cooldown_rounds=1,
+            )
+            if autoscale else None
+        ),
     )
     mismatched: list[int] = []
     fabric_errors: list[tuple[int, str]] = []
     matched = 0
+    primed = []
+    leaked: list[str] = []
     try:
+        if processes:
+            # Prepare each distinct matrix once in the parent and prime
+            # it fabric-wide through shared memory: workers map the
+            # segments instead of re-tuning, and supervisor restarts
+            # re-warm from the same handles.
+            prep_engine = SpMVEngine(device=device)
+            if backend is not None:
+                prep_engine.backend = backend
+            seen: set[int] = set()
+            for A, _, _ in work:
+                if id(A) in seen:
+                    continue
+                seen.add(id(A))
+                primed.append(prep_engine.prepare(A))
+            for prepared in primed:
+                fabric.prime(prepared)
         futures = [
             fabric.submit(A, x, tenant=tenant) for A, x, tenant in work
         ]
         with fault_scope(plan):
             fabric.drain()
+            if processes or autoscale:
+                # Idle housekeeping: heal any worker killed on the last
+                # round, and let the scale-down hysteresis observe the
+                # drained fleet.
+                fabric.tick(rounds=8)
         for i, f in enumerate(futures):
             err = f.exception(timeout=0)
             if err is not None:
@@ -298,7 +433,15 @@ def run_chaos_drill(
         stats = fabric.stats()
     finally:
         fabric.close(drain=False)
+        for prepared in primed:
+            prepared.release_shared()
+        if processes:
+            leaked = sorted(
+                set(glob.glob("/dev/shm/reproshm-*")) - pre_segments
+            )
 
+    supervisor_stats = stats.get("supervisor", {})
+    autoscaler_stats = stats.get("autoscaler", {})
     return ChaosReport(
         seed=seed,
         shards=shards,
@@ -316,5 +459,14 @@ def run_chaos_drill(
         fault_events=[e.site for e in plan.events],
         require_failover=require_failover,
         elapsed_s=time.perf_counter() - t0,
+        processes=processes,
+        autoscaled=bool(autoscale),
+        worker_kills=stats.get("worker_kills", 0),
+        worker_hangs=stats.get("worker_hangs", 0),
+        restarts=supervisor_stats.get("restarts", 0),
+        degraded=supervisor_stats.get("degraded", 0),
+        scale_ups=autoscaler_stats.get("scale_ups", 0),
+        scale_downs=autoscaler_stats.get("scale_downs", 0),
+        leaked_segments=leaked,
         fabric_stats=stats,
     )

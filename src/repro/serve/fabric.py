@@ -88,6 +88,13 @@ from ..obs import obs_scope
 from ..util import as_csr
 from .health import HealthPolicy, ShardHealth
 from .server import ServeConfig, ServeFuture, SpMVServer, serve_key
+from .supervisor import (
+    Autoscaler,
+    AutoscalePolicy,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from .workers import ProcessShard, WorkerConfig
 
 __all__ = ["TenantPolicy", "FabricConfig", "ShardRouter", "ServeFabric"]
 
@@ -224,7 +231,7 @@ class _Shard:
     """One shard: its engine, server, health window and liveness."""
 
     __slots__ = ("name", "index", "engine", "server", "health", "dead",
-                 "ejected", "slow_extra_s")
+                 "ejected", "retired", "slow_extra_s")
 
     def __init__(self, name, index, engine, server, health):
         self.name = name
@@ -234,6 +241,7 @@ class _Shard:
         self.health = health
         self.dead = False        # crashed; never readmitted
         self.ejected = False     # circuit tripped; readmission possible
+        self.retired = False     # scaled down; drained and closed
         self.slow_extra_s = 0.0  # injected latency (serve.shard_slow)
 
 
@@ -303,6 +311,20 @@ class ServeFabric:
     clock:
         Injectable monotonic clock, shared with every shard server and
         the breaker.
+    processes:
+        ``True`` runs every shard as an out-of-process worker
+        (:class:`~repro.serve.ProcessShard`): a real forked child that
+        maps shared-memory prepared matrices and can be SIGKILLed for
+        real.  A :class:`~repro.serve.ShardSupervisor` is installed
+        automatically (heartbeats, restart-with-backoff, degrade to
+        in-process) and ticked at the top of every pump round.
+    worker_config / supervisor_config:
+        Pipe-protocol and supervision knobs for process mode.
+    autoscale_policy:
+        When given, an :class:`~repro.serve.Autoscaler` grows/shrinks
+        the replica set between ``min_shards``/``max_shards`` from the
+        fabric's own load gauges, rebuilding the consistent-hash ring on
+        every action.  Works in both in-process and process mode.
     """
 
     def __init__(
@@ -321,6 +343,10 @@ class ServeFabric:
         backend=None,
         start: bool = True,
         clock=time.monotonic,
+        processes: bool = False,
+        worker_config: WorkerConfig | None = None,
+        supervisor_config: SupervisorConfig | None = None,
+        autoscale_policy: AutoscalePolicy | None = None,
     ):
         if config is None:
             config = FabricConfig(shards=shards if shards is not None else 2)
@@ -350,29 +376,33 @@ class ServeFabric:
             engine_factory = (  # noqa: E731
                 lambda i: SpMVEngine(device=device, backend="fast")
             )
+        self._engine_factory = engine_factory
+        self._backend = backend
+        self._observer = observer
+        self._processes = processes
+        self._worker_config = worker_config
+        #: PreparedMatrix handles primed fabric-wide; scale-ups re-warm
+        #: new replicas from this list.
+        self._fabric_primed: list[PreparedMatrix] = []
         self.shards: list[_Shard] = []
         for i in range(self.config.shards):
-            engine = engine_factory(i)
-            if backend is not None:
-                engine.backend = backend
-            server = SpMVServer(
-                engine,
-                self.serve_config,
-                observer=observer,
-                start=False,
-                clock=clock,
-            )
-            self.shards.append(_Shard(
-                name=f"shard-{i}",
-                index=i,
-                engine=engine,
-                server=server,
-                health=ShardHealth(self.health_policy),
-            ))
+            self.shards.append(self._spawn_shard(i))
+        self._next_index = self.config.shards
         self._by_name = {s.name: s for s in self.shards}
         self.router = ShardRouter(
             [s.name for s in self.shards], vnodes=self.config.vnodes
         )
+        self.supervisor: ShardSupervisor | None = None
+        if processes:
+            self.supervisor = ShardSupervisor(
+                supervisor_config,
+                degrade_factory=self._degraded_server,
+                observer=observer,
+                clock=clock,
+            )
+        self.autoscaler: Autoscaler | None = None
+        if autoscale_policy is not None:
+            self.autoscaler = Autoscaler(autoscale_policy, observer=observer)
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.failure_threshold,
             cooldown_s=self.config.breaker_cooldown_s,
@@ -396,6 +426,8 @@ class ServeFabric:
         self.n_ejections = 0
         self.n_readmissions = 0
         self.n_shard_crashes = 0
+        self.n_worker_kills = 0
+        self.n_worker_hangs = 0
         self._gauge_live()
 
         self._thread: threading.Thread | None = None
@@ -406,14 +438,61 @@ class ServeFabric:
             self._thread.start()
 
     # ------------------------------------------------------------------ #
+    # Shard construction
+    # ------------------------------------------------------------------ #
+
+    def _spawn_shard(self, index: int) -> _Shard:
+        """Build one shard (in-process or worker-process, per config)."""
+        engine = self._engine_factory(index)
+        if self._backend is not None:
+            engine.backend = self._backend
+        name = f"shard-{index}"
+        if self._processes:
+            server = ProcessShard(
+                engine,
+                self.serve_config,
+                name=name,
+                worker_config=self._worker_config,
+                observer=self._observer,
+                clock=self._clock,
+            )
+        else:
+            server = SpMVServer(
+                engine,
+                self.serve_config,
+                observer=self._observer,
+                start=False,
+                clock=self._clock,
+            )
+        return _Shard(
+            name=name,
+            index=index,
+            engine=engine,
+            server=server,
+            health=ShardHealth(self.health_policy),
+        )
+
+    def _degraded_server(self, shard: _Shard) -> SpMVServer:
+        """In-process fallback the supervisor installs after restart
+        budget exhaustion -- same engine, same serve config, threadless
+        under the same pump, so degraded answers stay bit-identical."""
+        return SpMVServer(
+            shard.engine,
+            self.serve_config,
+            observer=self._observer,
+            start=False,
+            clock=self._clock,
+        )
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
     def live_shards(self) -> list[str]:
-        """Shards currently routable (not dead, circuit not open)."""
+        """Shards currently routable (not dead/retired, circuit not open)."""
         out = []
         for s in self.shards:
-            if s.dead:
+            if s.dead or s.retired:
                 continue
             if self.breaker.state(s.name) == BREAKER_OPEN:
                 continue
@@ -527,12 +606,23 @@ class ServeFabric:
     # ------------------------------------------------------------------ #
 
     def _run(self) -> None:
-        """Pump-thread main loop (threaded mode)."""
+        """Pump-thread main loop (threaded mode).
+
+        With a supervisor or autoscaler installed the idle wait is
+        bounded so housekeeping rounds (heartbeats, restarts, scale
+        decisions) still happen while no traffic flows.
+        """
+        housekeeping = (
+            self.supervisor is not None or self.autoscaler is not None
+        )
         while True:
             with self._cond:
                 while not self._has_work():
                     if self._closed:
                         return
+                    if housekeeping:
+                        self._cond.wait(0.05)
+                        break  # run an idle housekeeping round
                     self._cond.wait()
                 if self._closed and not self._has_work():
                     return
@@ -573,25 +663,44 @@ class ServeFabric:
     def pump_once(self) -> None:
         """One deterministic scheduling round.
 
-        Order matters for the chaos story: (1) forward queued requests
-        to their shards, (2) apply seeded chaos draws -- so an injected
-        crash genuinely kills requests *mid-flight*, (3) drain the
-        threadless shard servers, (4) collect completions and fail over.
+        Order matters for the chaos story: (0) supervision housekeeping
+        -- heartbeats, worker restarts, autoscale decisions -- so a
+        worker killed last round is healed before new traffic routes,
+        (1) forward queued requests to their shards, (2) apply seeded
+        chaos draws -- so an injected crash genuinely kills requests
+        *mid-flight*, (3) drain the threadless shard servers, (4)
+        collect completions and fail over.
         """
         with self._cond:
             self._pumping = True
         try:
             with obs_scope(self.obs):
+                if self.supervisor is not None:
+                    self.supervisor.tick(self.shards)
+                if self.autoscaler is not None:
+                    self._autoscale()
                 self._schedule()
                 self._apply_chaos()
                 for shard in self.shards:
-                    if not shard.dead:
+                    if not shard.dead and not shard.retired:
                         shard.server.drain()
                 self._collect()
         finally:
             with self._cond:
                 self._pumping = False
                 self._cond.notify_all()
+
+    def tick(self, rounds: int = 1) -> None:
+        """Run ``rounds`` pump rounds even when idle (threadless mode).
+
+        Supervision and autoscaling only act inside pump rounds; a
+        threadless fabric with no queued work would otherwise never
+        restart a dead worker or scale the fleet down.  Chaos drills
+        call this after the workload to let the scale-down hysteresis
+        observe the idle fleet.
+        """
+        for _ in range(rounds):
+            self.pump_once()
 
     # -- step 1: weighted-fair scheduling ------------------------------ #
 
@@ -631,8 +740,7 @@ class ServeFabric:
             if req.shard in load:
                 load[req.shard] += 1
         for s in candidates:
-            with s.server._cond:
-                load[s.name] += len(s.server._queue)
+            load[s.name] += s.server.queue_depth()
         return min(candidates, key=lambda s: (-load[s.name], s.name))
 
     def _apply_chaos(self) -> None:
@@ -654,6 +762,45 @@ class ServeFabric:
                 self.obs.counter(
                     "fabric.slowed_shards", "shard-slow injections"
                 ).inc(shard=victim.name)
+        workers = [
+            s for s in live
+            if isinstance(s.server, ProcessShard) and s.server.alive
+        ]
+        if plan.worker_kill(len(workers)):
+            victim = self._busiest(workers)
+            if victim is not None:
+                self.kill_worker(victim.name)
+                workers = [s for s in workers if s.name != victim.name]
+        if plan.worker_hang(len(workers)):
+            victim = self._busiest(workers)
+            if victim is not None and victim.server.inject_hang():
+                with self._cond:
+                    self.n_worker_hangs += 1
+                self.obs.counter(
+                    "fabric.worker_hangs", "worker-hang injections"
+                ).inc(shard=victim.name)
+
+    def kill_worker(self, name: str) -> int:
+        """SIGKILL ``name``'s worker process (``serve.worker_kill``).
+
+        Unlike :meth:`kill_shard` the shard is *not* marked dead: its
+        in-flight futures fail (and replay on ring successors) and the
+        supervisor restarts or degrades the worker on a later tick.
+        Returns the number of requests the kill orphaned; 0 for
+        in-process or already-down shards.
+        """
+        shard = self._by_name[name]
+        if not isinstance(shard.server, ProcessShard) or not shard.server.alive:
+            return 0
+        with self._cond:
+            self.n_worker_kills += 1
+        self.obs.counter(
+            "fabric.worker_kills", "shard workers SIGKILLed mid-flight"
+        ).inc(shard=name)
+        return shard.server.kill_process(ShardCrashError(
+            f"worker for shard {name} was SIGKILLed with requests in flight",
+            shard=name,
+        ))
 
     def kill_shard(self, name: str) -> int:
         """Crash ``name`` mid-flight: its queued futures fail with
@@ -675,6 +822,93 @@ class ServeFabric:
         ))
         self._gauge_live()
         return doomed
+
+    # -- fabric-wide priming and autoscaling --------------------------- #
+
+    def prime(self, prepared: PreparedMatrix) -> str:
+        """Warm every routable shard's cache with ``prepared``.
+
+        In process mode the matrix is :meth:`~repro.core.engine.
+        PreparedMatrix.share`\\ d first so children map the shared-memory
+        segments instead of re-tuning; the handle is remembered so
+        scale-ups and supervisor restarts re-warm new replicas.  Returns
+        the serve key the fabric will route the matrix under.
+        """
+        key = serve_key(
+            self.shards[0].engine, prepared.reference_csr()
+        )
+        if self._processes:
+            prepared.share()
+        self._fabric_primed.append(prepared)
+        for shard in self.shards:
+            if shard.dead or shard.retired:
+                continue
+            shard.server.prime(prepared)
+        return key
+
+    def _rebuild_router(self) -> None:
+        names = [
+            s.name for s in self.shards if not s.dead and not s.retired
+        ]
+        self.router = ShardRouter(names, vnodes=self.config.vnodes)
+
+    def _autoscale(self) -> None:
+        # The scaler reasons about *fleet size* (replicas that exist and
+        # could serve), not instantaneous routability: a breaker-open
+        # replica is capacity in recovery, and counting it as absent
+        # would double-provision every ejection.  Breaker pressure is
+        # passed alongside so policies can still react to it.
+        assert self.autoscaler is not None
+        fleet = [s for s in self.shards if not s.dead and not s.retired]
+        with self._cond:
+            queued = sum(len(q) for q in self._queues.values())
+            in_flight = len(self._pending)
+        open_breakers = sum(
+            1 for s in fleet
+            if self.breaker.state(s.name) == BREAKER_OPEN
+        )
+        p99 = max((s.health.p99_latency_s() for s in fleet), default=0.0)
+        action = self.autoscaler.observe(
+            queued=queued,
+            in_flight=in_flight,
+            live=len(fleet),
+            open_breakers=open_breakers,
+            p99_s=p99,
+        )
+        if action == "up":
+            self._scale_up()
+        elif action == "down":
+            self._scale_down()
+
+    def _scale_up(self) -> None:
+        shard = self._spawn_shard(self._next_index)
+        self._next_index += 1
+        for prepared in self._fabric_primed:
+            shard.server.prime(prepared)
+        self.shards.append(shard)
+        self._by_name[shard.name] = shard
+        self._rebuild_router()
+        self.obs.counter(
+            "fabric.scale_ups", "replicas added by the autoscaler"
+        ).inc(shard=shard.name)
+        self._gauge_live()
+
+    def _scale_down(self) -> None:
+        candidates = [
+            s for s in self.shards if not s.dead and not s.retired
+        ]
+        if len(candidates) <= 1:
+            return
+        # Retire the newest replica: the ring change is the exact inverse
+        # of the scale-up that added it, so steady-state keys go home.
+        victim = max(candidates, key=lambda s: s.index)
+        victim.retired = True
+        self._rebuild_router()
+        victim.server.close(drain=True)
+        self.obs.counter(
+            "fabric.scale_downs", "replicas retired by the autoscaler"
+        ).inc(shard=victim.name)
+        self._gauge_live()
 
     # -- step 3 happens inline in pump_once ---------------------------- #
 
@@ -701,7 +935,7 @@ class ServeFabric:
         last_refusal: ReproError | None = None
         for name in ordered:
             shard = self._by_name[name]
-            if shard.dead:
+            if shard.dead or shard.retired:
                 continue
             state = self.breaker.state(name)
             if state == BREAKER_OPEN:
@@ -887,7 +1121,7 @@ class ServeFabric:
             self._thread.join()
             self._thread = None
         for shard in self.shards:
-            if not shard.dead:
+            if not shard.dead and not shard.retired:
                 shard.server.close(drain=False)
 
     def __enter__(self) -> "ServeFabric":
@@ -912,6 +1146,9 @@ class ServeFabric:
                 "ejections": self.n_ejections,
                 "readmissions": self.n_readmissions,
                 "shard_crashes": self.n_shard_crashes,
+                "worker_kills": self.n_worker_kills,
+                "worker_hangs": self.n_worker_hangs,
+                "processes": self._processes,
                 "queued": sum(len(q) for q in self._queues.values()),
                 "in_flight": len(self._pending),
                 "tenants": {
@@ -937,6 +1174,7 @@ class ServeFabric:
             shard_stats[s.name] = {
                 "dead": s.dead,
                 "ejected": s.ejected,
+                "retired": s.retired,
                 "breaker": self.breaker.state(s.name),
                 "slow_extra_s": s.slow_extra_s,
                 "health": s.health.stats(),
@@ -947,4 +1185,8 @@ class ServeFabric:
         snap["batches"] = batches
         snap["batched_requests"] = batched
         snap["shed"] = shed
+        if self.supervisor is not None:
+            snap["supervisor"] = self.supervisor.stats()
+        if self.autoscaler is not None:
+            snap["autoscaler"] = self.autoscaler.stats()
         return snap

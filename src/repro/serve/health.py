@@ -120,6 +120,20 @@ class ShardHealth:
                 return 0.0
             return sum(lat for _, lat in self._window) / len(self._window)
 
+    def p99_latency_s(self) -> float:
+        """99th-percentile latency of the current window (0.0 when empty).
+
+        Nearest-rank on the sorted window -- with the small windows the
+        fabric uses this is effectively the max, which is exactly the
+        tail signal the :class:`~repro.serve.Autoscaler` wants.
+        """
+        with self._lock:
+            if not self._window:
+                return 0.0
+            lats = sorted(lat for _, lat in self._window)
+            rank = max(int(len(lats) * 0.99 + 0.5), 1)
+            return lats[min(rank, len(lats)) - 1]
+
     def healthy(self) -> bool:
         """Judge the window: ``False`` means the shard should be ejected.
 
@@ -152,5 +166,6 @@ class ShardHealth:
             "samples": self.samples(),
             "error_rate": round(self.error_rate(), 4),
             "mean_latency_s": round(self.mean_latency_s(), 6),
+            "p99_latency_s": round(self.p99_latency_s(), 6),
             "healthy": self.healthy(),
         }

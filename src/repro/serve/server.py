@@ -424,6 +424,17 @@ class SpMVServer:
             self.drain()
         return future.result()
 
+    def queue_depth(self) -> int:
+        """Requests currently queued (admission-side occupancy).
+
+        Public load signal for the fabric's busiest-shard picks and the
+        autoscaler's pressure metric; :class:`~repro.serve.ProcessShard`
+        exposes the same method, so callers never reach into queue
+        internals.
+        """
+        with self._cond:
+            return len(self._queue)
+
     def prime(self, prepared: PreparedMatrix) -> str:
         """Admit a prepared matrix into the cache ahead of traffic.
 

@@ -1,0 +1,505 @@
+"""Worker-pool supervision and metric-driven replica autoscaling.
+
+The :class:`~repro.serve.ProcessShard` knows how to *die* well (typed
+failures, exit codes, hang SIGKILLs); this module owns coming *back*:
+
+* :class:`ShardSupervisor` -- ticked once per fabric pump round, it
+  heartbeats every live worker against a miss budget, detects exits
+  (SIGKILL shows up as a negative exit code), respawns dead workers
+  under a :class:`~repro.fault.RetryPolicy` backoff schedule (re-warming
+  the value-aware cache keys each worker owned, with the
+  ``serve.arena_lost`` CSR-reship fallback), reaps shared-memory
+  segments orphaned by the death (:func:`repro.core.shm.reap_orphans`),
+  and -- when a worker exhausts its restart budget -- **degrades** the
+  shard to an in-process :class:`~repro.serve.SpMVServer` on the same
+  engine, so the replica keeps serving bit-identical answers with a
+  logged reason instead of silently shrinking the fleet.
+* :class:`Autoscaler` -- a deterministic policy loop over the load
+  signals the fabric already exports (queue depth, in-flight count,
+  breaker state, :meth:`ShardHealth.p99_latency_s`): sustained pressure
+  for ``up_after`` rounds grows the replica set toward ``max_shards``,
+  sustained idleness for ``down_after`` rounds shrinks it toward
+  ``min_shards``, and a post-action cooldown plus the two counters give
+  hysteresis so the fleet never flaps.  Every round appends a decision
+  record, so a seeded drill can assert the exact scaling trajectory.
+
+Both are plain deterministic state machines driven by the fabric's pump
+(no timers of their own), which is what keeps chaos drills replayable:
+the same seeded fault plan against the same workload produces the same
+kills, the same restarts and the same scale decisions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from ..fault.injection import active_plan
+from ..fault.retry import RetryPolicy
+from .workers import ProcessShard
+
+__all__ = [
+    "SupervisorConfig",
+    "ShardSupervisor",
+    "AutoscalePolicy",
+    "Autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Heartbeat and restart knobs of one :class:`ShardSupervisor`.
+
+    Attributes
+    ----------
+    miss_budget:
+        Consecutive supervision ticks a worker may leave a heartbeat
+        unanswered before it is declared hung and SIGKILLed.  A busy
+        worker answers pings between requests, so the budget only
+        penalizes genuine silence.
+    restart_policy:
+        :class:`~repro.fault.RetryPolicy` governing respawns of one
+        worker: ``max_attempts`` failed respawns in a row degrade the
+        shard to in-process, ``delay_s(attempt)`` spaces the attempts
+        (deterministic seeded jitter, like every other backoff in the
+        repo).
+    reap_orphans:
+        Whether a detected worker death also triggers a shared-memory
+        orphan scan (:func:`repro.core.shm.reap_orphans`).
+    """
+
+    miss_budget: int = 3
+    restart_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3, base_delay_s=0.05, max_delay_s=1.0
+        )
+    )
+    reap_orphans: bool = True
+
+    def __post_init__(self):
+        if self.miss_budget < 1:
+            raise ValidationError(
+                f"miss_budget must be >= 1, got {self.miss_budget}"
+            )
+
+
+class _WorkerState:
+    """Supervision bookkeeping for one worker shard."""
+
+    __slots__ = ("misses", "restart_attempts", "next_restart_at",
+                 "degraded")
+
+    def __init__(self):
+        self.misses = 0
+        self.restart_attempts = 0
+        self.next_restart_at = 0.0
+        self.degraded = False
+
+
+class ShardSupervisor:
+    """Owns the worker pool's liveness: heartbeats, restarts, degrade.
+
+    The fabric calls :meth:`tick` at the top of every pump round with
+    its current shard list; everything else is driven from there.  The
+    supervisor never *routes* -- it only flips each shard's
+    ``server`` between down / respawned / degraded states and leaves
+    traffic decisions to the fabric's forwarding and breaker logic.
+
+    Parameters
+    ----------
+    config:
+        :class:`SupervisorConfig`.
+    degrade_factory:
+        ``f(shard) -> server`` building the in-process fallback server
+        when a worker exhausts its restart budget.  Supplied by the
+        fabric (it knows the serve config and clock); ``None`` disables
+        degraded mode (the shard just stays down).
+    observer:
+        Receives ``supervisor.*`` counters.
+    clock:
+        Injectable monotonic clock for backoff spacing.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig | None = None,
+        *,
+        degrade_factory=None,
+        observer=None,
+        clock=time.monotonic,
+    ):
+        self.config = config if config is not None else SupervisorConfig()
+        self.degrade_factory = degrade_factory
+        self.obs = observer
+        self._clock = clock
+        self._states: dict[str, _WorkerState] = {}
+        #: Append-only decision log: dicts with ``action`` in
+        #: {"hang_kill", "restart", "restart_failed", "degrade", "reap"}.
+        self.decisions: list[dict] = []
+        # Lifetime counters.
+        self.n_restarts = 0
+        self.n_degraded = 0
+        self.n_hang_kills = 0
+        self.n_reaped = 0
+        self.n_arena_lost = 0
+
+    def _state(self, name: str) -> _WorkerState:
+        state = self._states.get(name)
+        if state is None:
+            state = self._states[name] = _WorkerState()
+        return state
+
+    def _count(self, metric: str, help_text: str, **labels) -> None:
+        if self.obs is not None:
+            self.obs.counter(metric, help_text).inc(**labels)
+
+    def _log(self, action: str, shard: str, **detail) -> None:
+        self.decisions.append({"action": action, "shard": shard, **detail})
+
+    # ------------------------------------------------------------------ #
+    # The tick
+    # ------------------------------------------------------------------ #
+
+    def tick(self, shards) -> None:
+        """One supervision round over ``shards`` (fabric ``_Shard`` list).
+
+        Order: collect replies / heartbeat verdicts for live workers,
+        SIGKILL the ones over the miss budget, then drive dead workers
+        through the restart -> backoff -> degrade ladder.
+        """
+        for shard in shards:
+            worker = shard.server
+            if not isinstance(worker, ProcessShard):
+                continue
+            if shard.dead or getattr(shard, "retired", False):
+                continue  # fabric-level kill or scale-down; not ours to heal
+            state = self._state(shard.name)
+            if worker.alive:
+                self._heartbeat(shard, worker, state)
+            if not worker.alive and not state.degraded:
+                self._heal(shard, worker, state)
+
+    def _heartbeat(self, shard, worker: ProcessShard, state: _WorkerState) -> None:
+        worker.pump_replies()
+        if worker.pong_seq >= worker.ping_seq:
+            state.misses = 0
+        else:
+            state.misses += 1
+            if state.misses > self.config.miss_budget:
+                self.n_hang_kills += 1
+                self._count(
+                    "supervisor.hang_kills",
+                    "workers SIGKILLed after exhausting the heartbeat miss budget",
+                    shard=shard.name,
+                )
+                self._log(
+                    "hang_kill", shard.name,
+                    misses=state.misses,
+                    budget=self.config.miss_budget,
+                )
+                worker.kill_process()
+                state.misses = 0
+                return
+        worker.ping()
+
+    def _heal(self, shard, worker: ProcessShard, state: _WorkerState) -> None:
+        policy = self.config.restart_policy
+        if state.restart_attempts >= policy.max_attempts:
+            self._degrade(shard, worker, state)
+            return
+        now = self._clock()
+        if now < state.next_restart_at:
+            return  # backoff not yet elapsed; try again next tick
+        if self.config.reap_orphans:
+            self._reap(shard.name)
+        exit_code = worker.last_exit_code
+        plan = active_plan()
+        if plan is not None and worker._primed and plan.arena_lost():
+            # The serve.arena_lost fault site: unlink one warm key's
+            # segment before the re-prime, so the child's attach fails
+            # and the CSR-reship fallback is exercised for real.
+            victim = next(iter(worker._primed.values()))
+            if victim.arena is not None:
+                try:
+                    victim.arena._shm.unlink()
+                except FileNotFoundError:
+                    pass
+                self.n_arena_lost += 1
+                self._count(
+                    "supervisor.arena_lost",
+                    "shared arenas found missing at restart re-prime time",
+                    shard=shard.name,
+                )
+        try:
+            state.restart_attempts += 1
+            mode = worker.respawn()
+        except Exception as exc:
+            state.next_restart_at = now + policy.delay_s(state.restart_attempts)
+            self._count(
+                "supervisor.restart_failures",
+                "worker respawn attempts that failed",
+                shard=shard.name,
+            )
+            self._log(
+                "restart_failed", shard.name,
+                attempt=state.restart_attempts,
+                error=f"{type(exc).__name__}: {exc}",
+                retry_in_s=round(state.next_restart_at - now, 4),
+            )
+            if state.restart_attempts >= policy.max_attempts:
+                self._degrade(shard, worker, state)
+            return
+        state.restart_attempts = 0
+        state.next_restart_at = 0.0
+        state.misses = 0
+        self.n_restarts += 1
+        self._count(
+            "supervisor.restarts", "workers respawned after death",
+            shard=shard.name,
+        )
+        self._log(
+            "restart", shard.name,
+            exit_code=exit_code,
+            warm_mode=mode,
+            pid=worker.pid,
+        )
+
+    def _degrade(self, shard, worker: ProcessShard, state: _WorkerState) -> None:
+        if state.degraded:
+            return
+        state.degraded = True
+        reason = (
+            f"respawn failed {self.config.restart_policy.max_attempts} "
+            f"time(s); falling back to an in-process shard"
+        )
+        if self.degrade_factory is None:
+            self._log("degrade", shard.name, reason=reason, applied=False)
+            return
+        fallback = self.degrade_factory(shard)
+        # Re-warm the fallback with the worker's parent-side handles so
+        # degraded serving stays cache-hot and bit-identical.
+        for prepared in worker._primed.values():
+            fallback.prime(prepared)
+        shard.server = fallback
+        self.n_degraded += 1
+        self._count(
+            "supervisor.degraded",
+            "shards degraded to in-process after exhausting restarts",
+            shard=shard.name,
+        )
+        self._log("degrade", shard.name, reason=reason, applied=True)
+
+    def _reap(self, shard_name: str) -> None:
+        from ..core.shm import reap_orphans
+
+        reaped = reap_orphans()
+        if reaped:
+            self.n_reaped += len(reaped)
+            self._count(
+                "arena.reaped",
+                "orphaned shared-memory segments reclaimed",
+                shard=shard_name,
+            )
+            self._log("reap", shard_name, segments=reaped)
+
+    def stats(self) -> dict:
+        """JSON-able snapshot (fabric ``stats()['supervisor']``)."""
+        return {
+            "restarts": self.n_restarts,
+            "degraded": self.n_degraded,
+            "hang_kills": self.n_hang_kills,
+            "reaped": self.n_reaped,
+            "arena_lost": self.n_arena_lost,
+            "decisions": list(self.decisions),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Autoscaling
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and hysteresis of the replica autoscaler.
+
+    Attributes
+    ----------
+    min_shards / max_shards:
+        The replica count is kept in this band; scaling never removes
+        the last ``min_shards`` replicas no matter how idle the fleet.
+    high_load:
+        Per-replica load (queued + in-flight, divided by live replicas)
+        at or above which a round counts as *pressured*.
+    low_load:
+        Total load at or below which a round counts as *idle*.
+    p99_high_s:
+        Worst live-shard p99 latency above which a round counts as
+        pressured regardless of queue depth (``None`` disables the
+        latency trigger).
+    up_after / down_after:
+        Consecutive pressured / idle rounds required before acting --
+        the hysteresis that keeps a bursty queue from flapping the
+        fleet.  Scaling up is deliberately quicker than scaling down.
+    cooldown_rounds:
+        Rounds after any action during which the autoscaler only
+        observes (lets the previous action take effect before judging
+        again).
+    """
+
+    min_shards: int = 1
+    max_shards: int = 4
+    high_load: float = 4.0
+    low_load: float = 1.0
+    p99_high_s: float | None = None
+    up_after: int = 1
+    down_after: int = 3
+    cooldown_rounds: int = 1
+
+    def __post_init__(self):
+        if self.min_shards < 1:
+            raise ValidationError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ValidationError(
+                f"max_shards must be >= min_shards, got "
+                f"{self.max_shards} < {self.min_shards}"
+            )
+        if self.high_load <= 0:
+            raise ValidationError(
+                f"high_load must be > 0, got {self.high_load}"
+            )
+        if self.low_load < 0:
+            raise ValidationError(
+                f"low_load must be >= 0, got {self.low_load}"
+            )
+        if self.up_after < 1 or self.down_after < 1:
+            raise ValidationError(
+                "up_after and down_after must be >= 1, got "
+                f"{self.up_after}/{self.down_after}"
+            )
+        if self.cooldown_rounds < 0:
+            raise ValidationError(
+                f"cooldown_rounds must be >= 0, got {self.cooldown_rounds}"
+            )
+
+
+class Autoscaler:
+    """Deterministic grow/shrink decisions from the fabric's load gauges.
+
+    One :meth:`observe` call per pump round.  The inputs are exactly the
+    signals the obs layer already exports -- queue depth and in-flight
+    count (``fabric.queued`` / ``fabric.in_flight``), live replica and
+    open-breaker counts (``fabric.live_shards``), and the worst
+    :meth:`~repro.serve.ShardHealth.p99_latency_s` -- so the scaler adds
+    policy, not plumbing.  Every round appends a decision record with
+    the observed load and the reason, making scaling trajectories
+    assertable in seeded tests.
+    """
+
+    def __init__(self, policy: AutoscalePolicy | None = None, *, observer=None):
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        self.obs = observer
+        self.decisions: list[dict] = []
+        self.n_scale_ups = 0
+        self.n_scale_downs = 0
+        self._round = 0
+        self._pressured_rounds = 0
+        self._idle_rounds = 0
+        self._cooldown = 0
+
+    def observe(
+        self,
+        *,
+        queued: int,
+        in_flight: int,
+        live: int,
+        open_breakers: int = 0,
+        p99_s: float = 0.0,
+    ) -> str | None:
+        """Judge one round; returns ``"up"``, ``"down"`` or ``None``.
+
+        The caller (the fabric) owns *applying* the action -- spawning
+        or retiring a replica and rebuilding the ring -- so the scaler
+        stays a pure, replayable policy function.
+        """
+        policy = self.policy
+        self._round += 1
+        total = queued + in_flight
+        load = total / max(live, 1)
+        pressured = load >= policy.high_load or (
+            policy.p99_high_s is not None and p99_s > policy.p99_high_s
+        )
+        idle = total <= policy.low_load
+        action: str | None = None
+        reason = "steady"
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            reason = "cooldown"
+        else:
+            if pressured:
+                self._pressured_rounds += 1
+                self._idle_rounds = 0
+            elif idle:
+                self._idle_rounds += 1
+                self._pressured_rounds = 0
+            else:
+                self._pressured_rounds = 0
+                self._idle_rounds = 0
+            if (
+                self._pressured_rounds >= policy.up_after
+                and live < policy.max_shards
+            ):
+                action = "up"
+                reason = (
+                    f"load {load:.2f}/replica >= {policy.high_load} for "
+                    f"{self._pressured_rounds} round(s)"
+                )
+                if policy.p99_high_s is not None and p99_s > policy.p99_high_s:
+                    reason += f"; p99 {p99_s:.4f}s > {policy.p99_high_s}s"
+                self.n_scale_ups += 1
+            elif (
+                self._idle_rounds >= policy.down_after
+                and live > policy.min_shards
+            ):
+                action = "down"
+                reason = (
+                    f"total load {total} <= {policy.low_load} for "
+                    f"{self._idle_rounds} round(s)"
+                )
+                self.n_scale_downs += 1
+            elif pressured:
+                reason = f"pressured {self._pressured_rounds}/{policy.up_after}"
+            elif idle:
+                reason = f"idle {self._idle_rounds}/{policy.down_after}"
+        if action is not None:
+            self._pressured_rounds = 0
+            self._idle_rounds = 0
+            self._cooldown = policy.cooldown_rounds
+            if self.obs is not None:
+                self.obs.counter(
+                    "autoscaler.actions", "replica scale decisions"
+                ).inc(action=action)
+        self.decisions.append({
+            "round": self._round,
+            "action": action,
+            "reason": reason,
+            "queued": int(queued),
+            "in_flight": int(in_flight),
+            "live": int(live),
+            "open_breakers": int(open_breakers),
+            "load_per_replica": round(load, 4),
+            "p99_s": round(float(p99_s), 6),
+        })
+        return action
+
+    def stats(self) -> dict:
+        """JSON-able snapshot (fabric ``stats()['autoscaler']``)."""
+        return {
+            "scale_ups": self.n_scale_ups,
+            "scale_downs": self.n_scale_downs,
+            "rounds": self._round,
+            "decisions": list(self.decisions),
+        }

@@ -100,10 +100,11 @@ class SolverSession:
         else:
             self.engine = engine if engine is not None else SpMVEngine()
             self.prepared = self.engine.prepare(as_csr(A))
-        if isinstance(server, SpMVServer):
+        if server is not None:
             # Pre-admit the session's prepared matrix so the first served
-            # iteration is already a cache hit (a fabric admits it per
-            # shard on first touch instead: submits carry the instance).
+            # iteration is already a cache hit.  A fabric primes every
+            # routable shard (sharing the buffers in process mode, so
+            # worker restarts re-warm from the same segments).
             server.prime(self.prepared)
 
         self.spmv_count = 0
@@ -193,14 +194,14 @@ class SolverSession:
 
         Delegates to :meth:`SpMVEngine.update_values` (tuning point and
         block structure reused, value buffers rebuilt, fast-path plans
-        migrated), rebinds the session to the refreshed matrix and --
-        for a single-server target -- primes it into the serve cache
-        under its new value-aware key.  The sparsity pattern must be
-        identical; see :meth:`PreparedMatrix.with_values`.
+        migrated), rebinds the session to the refreshed matrix and
+        primes it into the serve target's cache(s) under its new
+        value-aware key.  The sparsity pattern must be identical; see
+        :meth:`PreparedMatrix.with_values`.
         """
         self.prepared = self.engine.update_values(self.prepared, new_values)
         self.value_refreshes += 1
-        if isinstance(self.server, SpMVServer):
+        if self.server is not None:
             self.server.prime(self.prepared)
         return self.prepared
 

@@ -1,0 +1,188 @@
+"""Tests for the benchmark regression gate (:mod:`repro.bench.compare`).
+
+Synthetic snapshot dicts only -- the sweeps themselves are covered by
+``test_bench_harness``; here we pin the diffing semantics: direction
+awareness (a *faster* kernel is never a regression, a *slower* one is),
+the threshold boundary, added/removed metrics as context rather than
+failure, and the typed errors for junk inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CompareReport,
+    MetricDelta,
+    compare_snapshots,
+    load_snapshot,
+)
+from repro.errors import ValidationError
+
+
+def kernels_snap(fast_s, faithful_s=2.0, matrix="QCD"):
+    return {
+        "kind": "bench_kernels",
+        "matrices": [
+            {"matrix": matrix, "fast_s": fast_s, "faithful_s": faithful_s},
+        ],
+    }
+
+
+def serving_snap(throughput_rps, p99_ms=10.0, shards=2):
+    return {
+        "kind": "bench_serving",
+        "shard_sweep": [
+            {"shards": shards, "throughput_rps": throughput_rps,
+             "p99_ms": p99_ms, "p50_ms": p99_ms / 2},
+        ],
+    }
+
+
+def solvers_snap(direct_rate, swap_s=0.01):
+    return {
+        "kind": "bench_solvers",
+        "solves": [
+            {"method": "cg", "direct": {"iterations_per_s": direct_rate},
+             "served": {"iterations_per_s": direct_rate * 0.9}},
+        ],
+        "value_refresh": {"swap_s": swap_s},
+    }
+
+
+class TestDirections:
+    def test_slower_time_metric_regresses(self):
+        report = compare_snapshots(kernels_snap(1.0), kernels_snap(1.3))
+        assert not report.passed
+        assert [d.metric for d in report.regressions] == [
+            "kernels/QCD/fast_s"
+        ]
+
+    def test_faster_time_metric_is_an_improvement(self):
+        report = compare_snapshots(kernels_snap(1.0), kernels_snap(0.5))
+        assert report.passed
+        delta = next(
+            d for d in report.deltas if d.metric == "kernels/QCD/fast_s"
+        )
+        assert delta.change < 0  # improved, not merely tolerated
+
+    def test_lower_throughput_regresses(self):
+        report = compare_snapshots(serving_snap(100.0), serving_snap(70.0))
+        assert not report.passed
+        assert "serving/shards=2/throughput_rps" in [
+            d.metric for d in report.regressions
+        ]
+
+    def test_higher_throughput_improves(self):
+        report = compare_snapshots(serving_snap(100.0), serving_snap(160.0))
+        assert report.passed
+
+    def test_solver_rate_and_swap_time_both_tracked(self):
+        report = compare_snapshots(
+            solvers_snap(50.0, swap_s=0.01),
+            solvers_snap(30.0, swap_s=0.05),
+        )
+        regressed = {d.metric for d in report.regressions}
+        assert "solvers/cg/direct/iterations_per_s" in regressed
+        assert "solvers/value_refresh/swap_s" in regressed
+
+
+class TestThreshold:
+    def test_move_at_threshold_is_tolerated(self):
+        # change == threshold must NOT regress (strict inequality).
+        report = compare_snapshots(
+            kernels_snap(1.0), kernels_snap(1.15), threshold=0.15
+        )
+        assert report.passed
+
+    def test_move_just_past_threshold_fails(self):
+        report = compare_snapshots(
+            kernels_snap(1.0), kernels_snap(1.16), threshold=0.15
+        )
+        assert not report.passed
+
+    def test_tighter_threshold_catches_smaller_moves(self):
+        report = compare_snapshots(
+            kernels_snap(1.0), kernels_snap(1.10), threshold=0.05
+        )
+        assert not report.passed
+
+    def test_zero_baseline_never_divides(self):
+        delta = MetricDelta(
+            metric="kernels/x/fast_s", direction="lower",
+            baseline=0.0, current=5.0,
+        )
+        assert delta.change == 0.0
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_snapshots(
+                kernels_snap(1.0), kernels_snap(1.0), threshold=0.0
+            )
+
+
+class TestShapeChanges:
+    def test_added_and_removed_metrics_are_context_not_failures(self):
+        base = kernels_snap(1.0, matrix="QCD")
+        cur = kernels_snap(1.0, matrix="Circuit")
+        report = compare_snapshots(base, cur)
+        assert report.passed
+        assert report.deltas == []
+        assert "kernels/Circuit/fast_s" in report.added
+        assert "kernels/QCD/fast_s" in report.removed
+
+    def test_kind_mismatch_is_a_caller_error(self):
+        with pytest.raises(ValidationError):
+            compare_snapshots(kernels_snap(1.0), serving_snap(100.0))
+
+    def test_unknown_kind_yields_no_metrics(self):
+        report = compare_snapshots(
+            {"kind": "bench_future"}, {"kind": "bench_future"}
+        )
+        assert report.passed and report.deltas == []
+
+
+class TestReport:
+    def test_report_is_json_able(self):
+        report = compare_snapshots(kernels_snap(1.0), kernels_snap(1.3))
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["kind"] == "bench_compare"
+        assert blob["passed"] is False
+        assert blob["regressions"] == ["kernels/QCD/fast_s"]
+        assert "REGRESSED" in report.summary()
+        assert "FAIL" in report.summary()
+
+    def test_passing_summary_says_pass(self):
+        report = compare_snapshots(kernels_snap(1.0), kernels_snap(1.0))
+        assert "PASS" in report.summary()
+
+    def test_empty_report_passes(self):
+        assert CompareReport(threshold=0.15).passed
+
+
+class TestLoadSnapshot:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no benchmark snapshot"):
+            load_snapshot(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_snapshot(path)
+
+    def test_json_without_kind(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValidationError, match="kind"):
+            load_snapshot(path)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(kernels_snap(1.0)))
+        snap = load_snapshot(path)
+        assert snap["kind"] == "bench_kernels"
+        report = compare_snapshots(snap, kernels_snap(1.05))
+        assert report.passed

@@ -16,7 +16,7 @@ from repro import ServeFabric, SpMVEngine, SpMVServer, solve
 from repro.errors import ReproError
 from repro.fault import FaultPlan
 from repro.fault.injection import fault_scope
-from repro.serve import run_chaos_drill
+from repro.serve import WorkerConfig, run_chaos_drill
 from repro.solvers import SolverSession
 
 
@@ -116,6 +116,60 @@ class TestMidSolveFailover:
                                keep_iterates=True)
         finally:
             fabric.close()
+        assert served.failovers >= 1
+        assert_bit_identical(direct, served)
+
+
+class TestMidSolveWorkerDeath:
+    """Satellite: real SIGKILLs of forked workers mid-solve.
+
+    Unlike ``serve.shard_crash`` (permanent, in-process), a
+    ``serve.worker_kill`` leaves the shard alive: the in-flight
+    iteration fails over to a surviving worker and the supervisor
+    respawns the dead one, re-warming the session's primed matrix from
+    its shared-memory segments.  The solve must not notice any of it.
+    """
+
+    def test_worker_sigkill_does_not_perturb_the_solve(self):
+        A, b = spd_system()
+        direct = solve(A, b, method="cg", keep_iterates=True)
+        plan = FaultPlan.parse("serve.worker_kill:p=0.6,count=2,seed=7")
+        fabric = ServeFabric(
+            3, start=False, processes=True,
+            worker_config=WorkerConfig(reply_timeout_s=30.0),
+        )
+        try:
+            with fault_scope(plan):
+                served = solve(A, b, method="cg", server=fabric,
+                               keep_iterates=True)
+            # Let the supervisor finish healing the killed workers.
+            fabric.tick(rounds=4)
+            stats = fabric.stats()
+        finally:
+            fabric.close()
+        assert stats["worker_kills"] >= 1, "seeded kill never fired"
+        assert served.failovers >= 1
+        sup = stats["supervisor"]
+        assert sup["restarts"] + sup["degraded"] >= 1
+        assert_bit_identical(direct, served)
+
+    def test_gmres_under_worker_kill(self):
+        A, b = nonsymmetric_system()
+        direct = solve(A, b, method="gmres", restart=30, keep_iterates=True)
+        plan = FaultPlan.parse("serve.worker_kill:p=0.5,count=1,seed=3")
+        fabric = ServeFabric(
+            2, start=False, processes=True,
+            worker_config=WorkerConfig(reply_timeout_s=30.0),
+        )
+        try:
+            with fault_scope(plan):
+                served = solve(A, b, method="gmres", restart=30,
+                               server=fabric, keep_iterates=True)
+            fabric.tick(rounds=4)
+            stats = fabric.stats()
+        finally:
+            fabric.close()
+        assert stats["worker_kills"] >= 1
         assert served.failovers >= 1
         assert_bit_identical(direct, served)
 

@@ -1,0 +1,356 @@
+"""Tests for worker supervision and autoscaling
+(:mod:`repro.serve.supervisor`).
+
+The supervisor half runs against real forked workers (restart ladders,
+heartbeat miss budgets, orphan reaping are only meaningful against a
+live OS); the autoscaler half is a pure policy state machine and is
+tested as one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import SpMVEngine
+from repro.core.shm import reap_orphans
+from repro.errors import ValidationError
+from repro.fault.retry import RetryPolicy
+from repro.serve import (
+    Autoscaler,
+    AutoscalePolicy,
+    ServeConfig,
+    ShardSupervisor,
+    SpMVServer,
+    SupervisorConfig,
+    WorkerConfig,
+)
+from repro.serve.workers import ProcessShard
+
+
+class Holder:
+    """Minimal stand-in for the fabric's ``_Shard`` bookkeeping."""
+
+    def __init__(self, name, server):
+        self.name = name
+        self.server = server
+        self.dead = False
+        self.retired = False
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SpMVEngine(device="gtx680", backend="fast")
+
+
+@pytest.fixture(scope="module")
+def system(engine):
+    rng = np.random.default_rng(5)
+    A = sparse.random(48, 48, density=0.1, random_state=5, format="csr")
+    A.data = rng.standard_normal(A.nnz)
+    x = rng.standard_normal(48)
+    golden = engine.multiply(A, x).y
+    prepared = engine.prepare(A)
+    return A, x, golden, prepared
+
+
+def make_worker(engine, prepared, **worker_kwargs):
+    worker_kwargs.setdefault("reply_timeout_s", 30.0)
+    shard = ProcessShard(
+        engine,
+        ServeConfig(batch_window_s=0.0),
+        name="sup-test",
+        worker_config=WorkerConfig(**worker_kwargs),
+    )
+    shard.prime(prepared)
+    return shard
+
+
+class TestSupervisorConfig:
+    def test_rejects_bad_miss_budget(self):
+        with pytest.raises(ValidationError):
+            SupervisorConfig(miss_budget=0)
+
+
+class TestRestartLadder:
+    def test_tick_restarts_a_sigkilled_worker(self, engine, system):
+        A, x, golden, prepared = system
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+        sup = ShardSupervisor(SupervisorConfig(
+            restart_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        ))
+        try:
+            worker.kill_process()
+            assert not worker.alive
+            sup.tick([holder])
+            assert worker.alive
+            assert sup.n_restarts == 1
+            restart = [d for d in sup.decisions if d["action"] == "restart"]
+            assert restart and restart[0]["exit_code"] < 0
+            assert restart[0]["warm_mode"] == "shared"
+            resp = worker.multiply(A, x)
+            assert resp.cache_hit
+            assert np.array_equal(resp.y, golden)
+        finally:
+            worker.close()
+
+    def test_dead_and_retired_shards_are_skipped(self, engine, system):
+        _, _, _, prepared = system
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+        sup = ShardSupervisor()
+        try:
+            worker.kill_process()
+            holder.dead = True
+            sup.tick([holder])
+            assert not worker.alive and sup.n_restarts == 0
+            holder.dead = False
+            holder.retired = True
+            sup.tick([holder])
+            assert not worker.alive and sup.n_restarts == 0
+        finally:
+            worker.close()
+
+    def test_in_process_servers_are_ignored(self, engine):
+        server = SpMVServer(engine, start=False)
+        sup = ShardSupervisor()
+        sup.tick([Holder("plain", server)])
+        assert sup.decisions == []
+        server.close()
+
+    def test_exhausted_restarts_degrade_to_in_process(self, engine, system):
+        A, x, golden, prepared = system
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+
+        def degrade_factory(shard):
+            return SpMVServer(
+                engine, ServeConfig(batch_window_s=0.0), start=False
+            )
+
+        sup = ShardSupervisor(
+            SupervisorConfig(restart_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.0
+            )),
+            degrade_factory=degrade_factory,
+        )
+        try:
+            worker.kill_process()
+            worker.spawn = _raise_spawn  # every respawn attempt fails
+            for _ in range(4):
+                sup.tick([holder])
+            assert sup.n_degraded == 1
+            actions = [d["action"] for d in sup.decisions]
+            assert actions.count("restart_failed") == 2
+            assert actions[-1] == "degrade"
+            # The fallback is an in-process server, pre-warmed with the
+            # worker's primed handles, still bit-identical.
+            assert isinstance(holder.server, SpMVServer)
+            future = holder.server.submit(A, x)
+            holder.server.drain()
+            resp = future.result(timeout=0)
+            assert resp.cache_hit
+            assert np.array_equal(resp.y, golden)
+            # Degraded shards are not healed again.
+            sup.tick([holder])
+            assert sup.n_degraded == 1
+        finally:
+            worker.close()
+            holder.server.close()
+
+
+def _raise_spawn():
+    raise OSError("fork refused for the test")
+
+
+class TestHeartbeat:
+    def test_silent_worker_is_killed_after_miss_budget(self, engine, system):
+        A, x, golden, prepared = system
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+        sup = ShardSupervisor(SupervisorConfig(
+            miss_budget=2,
+            restart_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+        ))
+        try:
+            assert worker.inject_hang()
+            ticks = 0
+            # Pace the ticks: a genuinely responsive worker needs a
+            # moment between ping and pump to answer, a hung one never
+            # does -- the budget must single it out.
+            while sup.n_hang_kills == 0 and ticks < 10:
+                sup.tick([holder])
+                time.sleep(0.02)
+                ticks += 1
+            assert sup.n_hang_kills == 1
+            assert any(d["action"] == "hang_kill" for d in sup.decisions)
+            # Healing follows (same tick or the next one).
+            sup.tick([holder])
+            assert worker.alive
+            assert sup.n_restarts == 1
+            assert np.array_equal(worker.multiply(A, x).y, golden)
+        finally:
+            worker.close()
+
+    def test_responsive_worker_is_never_killed(self, engine, system):
+        A, x, _, prepared = system
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+        sup = ShardSupervisor(SupervisorConfig(miss_budget=1))
+        try:
+            for _ in range(6):
+                sup.tick([holder])
+                time.sleep(0.02)
+                worker.pump_replies()
+            assert worker.alive
+            assert sup.n_hang_kills == 0
+        finally:
+            worker.close()
+
+
+class TestOrphanReaping:
+    def _orphan_name(self):
+        # A genuinely dead pid: fork a child and let it exit.
+        proc = multiprocessing.get_context("fork").Process(target=int)
+        proc.start()
+        proc.join()
+        return f"reproshm-{proc.pid}-deadbeef"
+
+    def test_reap_orphans_reclaims_dead_pid_segments(self):
+        name = self._orphan_name()
+        path = f"/dev/shm/{name}"
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * 64)
+        try:
+            reaped = reap_orphans()
+            assert name in reaped
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_and_foreign_segments_survive(self):
+        own = f"reproshm-{os.getpid()}-cafecafe"
+        foreign = "not-a-repro-segment"
+        for fname in (own, foreign):
+            with open(f"/dev/shm/{fname}", "wb") as fh:
+                fh.write(b"\x00")
+        try:
+            reaped = reap_orphans()
+            assert own not in reaped and foreign not in reaped
+            assert os.path.exists(f"/dev/shm/{own}")
+            assert os.path.exists(f"/dev/shm/{foreign}")
+        finally:
+            for fname in (own, foreign):
+                os.unlink(f"/dev/shm/{fname}")
+
+    def test_supervisor_reaps_on_restart(self, engine, system):
+        _, _, _, prepared = system
+        name = self._orphan_name()
+        with open(f"/dev/shm/{name}", "wb") as fh:
+            fh.write(b"\x00" * 64)
+        worker = make_worker(engine, prepared)
+        holder = Holder("sup-test", worker)
+        sup = ShardSupervisor(SupervisorConfig(
+            restart_policy=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        ))
+        try:
+            worker.kill_process()
+            sup.tick([holder])
+            assert worker.alive
+            assert sup.n_reaped >= 1
+            assert not os.path.exists(f"/dev/shm/{name}")
+            reap = [d for d in sup.decisions if d["action"] == "reap"]
+            assert reap and name in reap[0]["segments"]
+        finally:
+            worker.close()
+            if os.path.exists(f"/dev/shm/{name}"):
+                os.unlink(f"/dev/shm/{name}")
+
+
+class TestAutoscalePolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_shards": 0},
+            {"min_shards": 3, "max_shards": 2},
+            {"high_load": 0.0},
+            {"low_load": -1.0},
+            {"up_after": 0},
+            {"down_after": 0},
+            {"cooldown_rounds": -1},
+        ],
+    )
+    def test_rejects_bad_policy(self, kwargs):
+        with pytest.raises(ValidationError):
+            AutoscalePolicy(**kwargs)
+
+
+class TestAutoscaler:
+    def test_scales_up_under_sustained_pressure(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            min_shards=1, max_shards=4, high_load=2.0, up_after=2,
+        ))
+        assert scaler.observe(queued=8, in_flight=0, live=2) is None
+        assert scaler.observe(queued=8, in_flight=0, live=2) == "up"
+        assert scaler.n_scale_ups == 1
+
+    def test_single_pressured_round_is_not_enough(self):
+        scaler = Autoscaler(AutoscalePolicy(high_load=2.0, up_after=2))
+        assert scaler.observe(queued=8, in_flight=0, live=2) is None
+        assert scaler.observe(queued=0, in_flight=0, live=2) is None
+        assert scaler.observe(queued=8, in_flight=0, live=2) is None
+        assert scaler.n_scale_ups == 0
+
+    def test_p99_latency_triggers_pressure(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            high_load=100.0, p99_high_s=0.5, up_after=1,
+        ))
+        assert scaler.observe(
+            queued=2, in_flight=0, live=2, p99_s=0.9
+        ) == "up"
+        assert "p99" in scaler.decisions[-1]["reason"]
+
+    def test_scales_down_after_idle_streak_with_cooldown(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            min_shards=1, max_shards=4, high_load=2.0, low_load=0.0,
+            up_after=1, down_after=2, cooldown_rounds=1,
+        ))
+        assert scaler.observe(queued=9, in_flight=0, live=2) == "up"
+        # Cooldown round: idle, but only observing.
+        assert scaler.observe(queued=0, in_flight=0, live=3) is None
+        assert scaler.decisions[-1]["reason"] == "cooldown"
+        assert scaler.observe(queued=0, in_flight=0, live=3) is None
+        assert scaler.observe(queued=0, in_flight=0, live=3) == "down"
+        assert scaler.n_scale_downs == 1
+
+    def test_respects_min_and_max_bounds(self):
+        scaler = Autoscaler(AutoscalePolicy(
+            min_shards=2, max_shards=2, high_load=1.0, low_load=10.0,
+            up_after=1, down_after=1, cooldown_rounds=0,
+        ))
+        assert scaler.observe(queued=50, in_flight=0, live=2) is None
+        assert scaler.observe(queued=0, in_flight=0, live=2) is None
+        assert scaler.n_scale_ups == 0 and scaler.n_scale_downs == 0
+
+    def test_decision_log_is_complete_and_typed(self):
+        scaler = Autoscaler(AutoscalePolicy(up_after=1, high_load=2.0))
+        scaler.observe(queued=9, in_flight=1, live=2, open_breakers=1,
+                       p99_s=0.25)
+        scaler.observe(queued=0, in_flight=0, live=3)
+        assert len(scaler.decisions) == 2
+        first = scaler.decisions[0]
+        assert first["action"] == "up"
+        assert first["queued"] == 9 and first["in_flight"] == 1
+        assert first["open_breakers"] == 1
+        assert first["load_per_replica"] == 5.0
+        assert first["p99_s"] == 0.25
+        stats = scaler.stats()
+        assert stats["rounds"] == 2
+        assert stats["scale_ups"] == 1
