@@ -1,0 +1,70 @@
+"""Format cocktail benchmark: who wins which matrix class.
+
+One synthetic matrix per structural family, every first-class format
+(BCCOO block-swept, merge-path CSR, RG-CSR) timed through the cost
+model at the default kernel configuration, outputs exact-compared
+across the ``fast``/``faithful`` backends and checked against scipy.
+The sweep asserts the cocktail claim itself: **every format must win
+at least one class** -- a cost-model change that lets one format
+dominate everywhere fails here before it ships.
+
+The report is snapshot to ``benchmarks/results/BENCH_formats.json``;
+model times are deterministic, so the JSON diffs cleanly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.formats import (
+    EXPECTED_WINNERS,
+    format_sweep_passed,
+    run_format_sweep,
+    write_sweep,
+)
+from repro.bench.report import render_table
+
+from conftest import record_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_format_sweep()
+
+
+def test_format_sweep(sweep):
+    headers = ["class", "nnz", "bccoo", "merge_csr", "rgcsr", "winner"]
+    rows = []
+    for r in sweep["classes"]:
+        e = r["entrants"]
+        rows.append([
+            r["class"],
+            str(r["nnz"]),
+            f"{e['bccoo']['time_us']:.2f}us ({e['bccoo']['block']})",
+            f"{e['merge_csr']['time_us']:.2f}us",
+            f"{e['rgcsr']['time_us']:.2f}us",
+            r["winner"],
+        ])
+    record_table(
+        "bench_formats",
+        render_table(headers, rows, title="format cocktail: who wins per class"),
+    )
+    write_sweep(sweep, RESULTS_DIR / "BENCH_formats.json")
+
+    passed, reasons = format_sweep_passed(sweep)
+    assert passed, "; ".join(reasons)
+
+
+def test_exact_outputs_everywhere(sweep):
+    broken = [r["class"] for r in sweep["classes"] if not r["correct"]]
+    assert not broken, f"wrong or backend-drifted output on: {broken}"
+
+
+def test_every_format_wins_a_class(sweep):
+    wins = sweep["wins_by_format"]
+    missing = sorted(set(EXPECTED_WINNERS.values()) - set(wins))
+    assert not missing, f"formats that win nothing: {missing} (wins: {wins})"

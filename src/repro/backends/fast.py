@@ -49,10 +49,14 @@ from ..errors import KernelConfigError, ValidationError
 from ..fault.injection import active_plan
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
+from ..formats.merge_csr import MergeCSRMatrix
+from ..formats.rgcsr import RGCSRMatrix
 from ..gpu.caches import vector_read_traffic
 from ..gpu.device import DeviceSpec
 from ..gpu.memory import stream_bytes
 from ..kernels.base import KernelResult
+from ..kernels.merge_path import MergePathKernel, merge_path_stats
+from ..kernels.row_grouped import RowGroupedKernel, row_grouped_stats
 from ..kernels.yaspmv import YaSpMMKernel, YaSpMVKernel
 from ..kernels.yaspmv_common import prepare
 from ..obs import active_observer
@@ -60,7 +64,7 @@ from ..scan.batched import SegmentPlan, batched_segment_sums
 from .base import ExecutionBackend, register_backend
 from .faithful import FaithfulBackend
 
-__all__ = ["FastBackend", "FastPlan"]
+__all__ = ["FastBackend", "FastPlan", "MergePlan", "RowGroupPlan"]
 
 #: One-time probe result: does this SciPy build's CSR matvec reproduce
 #: the reference accumulation bit for bit?  ``None`` until probed.
@@ -257,6 +261,99 @@ class FastPlan:
         return replace(cached)
 
 
+class MergePlan:
+    """Cached x-independent launch state for one merge-path CSR format.
+
+    The per-element row ids are the only derived array the faithful
+    kernel recomputes per call; ``np.bincount`` over them adds the same
+    products into the same rows in the same stream order as the team
+    loop's ``np.add.at`` (both are strictly sequential), so the fused
+    single pass is bit-identical by construction.
+    """
+
+    __slots__ = ("rows", "_stats", "_lock")
+
+    def __init__(self, fmt: MergeCSRMatrix):
+        self.rows = np.repeat(
+            np.arange(fmt.nrows, dtype=np.int64), np.diff(fmt.row_ptr)
+        )
+        self._stats = {}
+        self._lock = threading.Lock()
+
+    def derive(self, new_fmt: MergeCSRMatrix) -> "MergePlan":
+        """Plan for a value-only rebuild: everything carries over."""
+        clone = object.__new__(MergePlan)
+        clone.rows = self.rows
+        clone._stats = dict(self._stats)
+        clone._lock = threading.Lock()
+        return clone
+
+    def stats(self, fmt: MergeCSRMatrix, device: DeviceSpec, cfg):
+        key = (cfg, device.name)
+        cached = self._stats.get(key)
+        if cached is None:
+            with self._lock:
+                cached = self._stats.get(key)
+                if cached is None:
+                    cached = merge_path_stats(fmt, device, cfg)
+                    self._stats[key] = cached
+        return replace(cached)
+
+
+class RowGroupPlan:
+    """Cached x-independent launch state for one RG-CSR format.
+
+    ``order`` lists the valid lane slots in CSR element order (row by
+    row, lane ascending); ``row_ids`` repeats each packed row's original
+    index per element.  ``np.bincount(row_ids, weights=prods[order])``
+    then folds every row's elements in lane order -- the exact addition
+    sequence of the faithful kernel's per-group lane loop.
+    """
+
+    __slots__ = ("order", "row_ids", "_stats", "_lock")
+
+    def __init__(self, fmt: RGCSRMatrix):
+        chunks = []
+        for g in range(fmt.n_groups):
+            r0 = int(fmt.group_row_offsets[g])
+            r1 = int(fmt.group_row_offsets[g + 1])
+            n, w = r1 - r0, int(fmt.group_widths[g])
+            base = int(fmt.group_data_offsets[g])
+            grid = (
+                base
+                + np.arange(w, dtype=np.int64)[None, :] * n
+                + np.arange(n, dtype=np.int64)[:, None]
+            )
+            mask = fmt.row_lengths[r0:r1, None] > np.arange(w)[None, :]
+            chunks.append(grid[mask])
+        self.order = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        self.row_ids = np.repeat(fmt.row_perm, fmt.row_lengths)
+        self._stats = {}
+        self._lock = threading.Lock()
+
+    def derive(self, new_fmt: RGCSRMatrix) -> "RowGroupPlan":
+        """Plan for a value-only rebuild: everything carries over."""
+        clone = object.__new__(RowGroupPlan)
+        clone.order = self.order
+        clone.row_ids = self.row_ids
+        clone._stats = dict(self._stats)
+        clone._lock = threading.Lock()
+        return clone
+
+    def stats(self, fmt: RGCSRMatrix, device: DeviceSpec, cfg):
+        key = (cfg, device.name)
+        cached = self._stats.get(key)
+        if cached is None:
+            with self._lock:
+                cached = self._stats.get(key)
+                if cached is None:
+                    cached = row_grouped_stats(fmt, device, cfg)
+                    self._stats[key] = cached
+        return replace(cached)
+
+
 @register_backend
 class FastBackend(ExecutionBackend):
     """All-workgroups-at-once vectorized execution."""
@@ -266,10 +363,14 @@ class FastBackend(ExecutionBackend):
     def __init__(self):
         self._kernel = YaSpMVKernel()
         self._kernel_multi = YaSpMMKernel()
+        self._merge = MergePathKernel()
+        self._rg = RowGroupedKernel()
         self._faithful = FaithfulBackend()
         # fmt instance -> {(config, device.name): FastPlan}; weak-keyed
         # so plans die with their format.
         self._plans = weakref.WeakKeyDictionary()
+        # fmt instance -> MergePlan / RowGroupPlan (config-independent).
+        self._stream_plans = weakref.WeakKeyDictionary()
         self._plans_lock = threading.Lock()
         #: Plans migrated through :meth:`refresh_values` (value swaps
         #: that reused a gather/segment plan instead of re-deriving it).
@@ -297,10 +398,41 @@ class FastBackend(ExecutionBackend):
                 per_fmt[key] = plan
         return plan
 
+    def _stream_plan_for(self, fmt):
+        try:
+            plan = self._stream_plans.get(fmt)
+        except TypeError:  # non-weakrefable: transient plan
+            plan = None
+            if isinstance(fmt, MergeCSRMatrix):
+                return MergePlan(fmt)
+            return RowGroupPlan(fmt)
+        if plan is not None:
+            return plan
+        with self._plans_lock:
+            plan = self._stream_plans.get(fmt)
+            if plan is None:
+                plan = (
+                    MergePlan(fmt)
+                    if isinstance(fmt, MergeCSRMatrix)
+                    else RowGroupPlan(fmt)
+                )
+                self._stream_plans[fmt] = plan
+        return plan
+
+    def _kernel_for(self, fmt):
+        """The interpreter kernel whose protocol this format speaks."""
+        if isinstance(fmt, MergeCSRMatrix):
+            return self._merge
+        if isinstance(fmt, RGCSRMatrix):
+            return self._rg
+        return self._kernel
+
     def plan_count(self) -> int:
         """Live cached plans (introspection/tests)."""
         with self._plans_lock:
-            return sum(len(d) for d in self._plans.values())
+            return sum(len(d) for d in self._plans.values()) + len(
+                self._stream_plans
+            )
 
     def refresh_values(self, old_fmt, new_fmt) -> int:
         """Migrate cached plans from ``old_fmt`` to its value-swapped twin.
@@ -315,6 +447,19 @@ class FastBackend(ExecutionBackend):
             new_fmt, BCCOOPlusMatrix
         ):
             return self.refresh_values(old_fmt.stacked, new_fmt.stacked)
+        if isinstance(old_fmt, (MergeCSRMatrix, RGCSRMatrix)):
+            try:
+                plan = self._stream_plans.get(old_fmt)
+            except TypeError:
+                return 0
+            if plan is None:
+                return 0
+            with self._plans_lock:
+                if new_fmt not in self._stream_plans:
+                    self._stream_plans[new_fmt] = plan.derive(new_fmt)
+                    self.n_value_refreshes += 1
+                    return 1
+            return 0
         try:
             per_fmt = self._plans.get(old_fmt)
         except TypeError:  # non-weakrefable format: nothing cached
@@ -348,7 +493,8 @@ class FastBackend(ExecutionBackend):
         # to a cached plan, so route through the faithful interpreter.
         if active_plan() is not None:
             return self._faithful.execute(fmt, x, device, config, reference=reference)
-        cfg = self._kernel._coerce_config(config)
+        kern = self._kernel_for(fmt)
+        cfg = kern._coerce_config(config)
         obs = active_observer()
         if not obs.enabled:
             return self._execute(fmt, x, device, cfg)
@@ -356,10 +502,14 @@ class FastBackend(ExecutionBackend):
             "backend.fast", format=type(fmt).__name__, workgroup_size=cfg.workgroup_size
         ) as sp:
             result = self._execute(fmt, x, device, cfg)
-            self._kernel._observe(obs, sp, "yaspmv", result.stats)
+            kern._observe(obs, sp, kern.name, result.stats)
         return result
 
     def _execute(self, fmt, x, device, cfg) -> KernelResult:
+        if isinstance(fmt, MergeCSRMatrix):
+            return self._execute_merge(fmt, x, device, cfg)
+        if isinstance(fmt, RGCSRMatrix):
+            return self._execute_rg(fmt, x, device, cfg)
         if isinstance(fmt, BCCOOPlusMatrix):
             inner = self._execute(fmt.stacked, x, device, cfg)
             stride = fmt.padded_rows_per_slice
@@ -403,6 +553,66 @@ class FastBackend(ExecutionBackend):
         y = y_full[: fmt.nrows]
         return KernelResult(y=y, stats=plan.stats(self._kernel, device))
 
+    def _check_vector(self, fmt, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"vector length {x.shape[0]} != matrix columns {fmt.ncols}"
+            )
+        return x
+
+    def _execute_merge(self, fmt, x, device, cfg) -> KernelResult:
+        """Merge-path CSR as one fused pass.
+
+        ``prods`` is the identical elementwise expression the faithful
+        team loop evaluates, and ``np.bincount`` adds those products in
+        stream order -- the same addition sequence as the team-ordered
+        ``np.add.at`` (carries included), hence bit-identical output.
+        """
+        self._merge._check_workgroup(cfg.workgroup_size, device)
+        x = self._check_vector(fmt, x)
+        plan = self._stream_plan_for(fmt)
+        prods = fmt.values * x[fmt.col_index]
+        y = np.bincount(plan.rows, weights=prods, minlength=fmt.nrows)
+        return KernelResult(y=y, stats=plan.stats(fmt, device, cfg))
+
+    def _execute_rg(self, fmt, x, device, cfg) -> KernelResult:
+        """RG-CSR as one fused pass over the CSR-ordered lane stream.
+
+        ``plan.order`` visits each row's valid lanes in ascending lane
+        order, so the bincount folds every row exactly as the faithful
+        kernel's per-group lane loop does.
+        """
+        self._rg._check_workgroup(cfg.workgroup_size, device)
+        x = self._check_vector(fmt, x)
+        plan = self._stream_plan_for(fmt)
+        slots = plan.order
+        prods = fmt.values[slots] * x[fmt.col_index[slots]]
+        y = np.bincount(plan.row_ids, weights=prods, minlength=fmt.nrows)
+        return KernelResult(y=y, stats=plan.stats(fmt, device, cfg))
+
+    def _execute_stream_multi(self, fmt, X, device, cfg) -> KernelResult:
+        """SpMM for the stream formats: one fused pass per column,
+        stats chained exactly like the faithful ``run_multi`` loop."""
+        kern = self._kernel_for(fmt)
+        if X.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"X must have shape ({fmt.ncols}, k), got {X.shape}"
+            )
+        k = X.shape[1]
+        limit = kern.max_batch_width(fmt, device, cfg)
+        if k > limit:
+            raise KernelConfigError(
+                f"batch width {k} exceeds device limit {limit}"
+            )
+        Y = np.empty((fmt.nrows, k), dtype=np.float64)
+        stats = None
+        for j in range(k):
+            res = self._execute(fmt, X[:, j], device, cfg)
+            Y[:, j] = res.y
+            stats = res.stats if stats is None else stats.sequential(res.stats)
+        return KernelResult(y=Y, stats=stats)
+
     # ------------------------------------------------------------------ #
     # SpMM
     # ------------------------------------------------------------------ #
@@ -420,13 +630,15 @@ class FastBackend(ExecutionBackend):
             return self._faithful.execute_multi(
                 fmt, X, device, config, reference=reference
             )
-        cfg = self._kernel._coerce_config(config)
+        kern = self._kernel_for(fmt)
+        cfg = kern._coerce_config(config)
         obs = active_observer()
         if not obs.enabled:
             return self._execute_multi(fmt, X, device, cfg)
         with obs.span("backend.fast_multi", format=type(fmt).__name__) as sp:
             result = self._execute_multi(fmt, X, device, cfg)
-            self._kernel._observe(obs, sp, "yaspmm", result.stats)
+            label = "yaspmm" if kern is self._kernel else kern.name
+            kern._observe(obs, sp, label, result.stats)
         return result
 
     def _execute_multi(self, fmt, X, device, cfg) -> KernelResult:
@@ -438,6 +650,8 @@ class FastBackend(ExecutionBackend):
         k = X.shape[1]
         if k < 1:
             raise KernelConfigError("X needs at least one column")
+        if isinstance(fmt, (MergeCSRMatrix, RGCSRMatrix)):
+            return self._execute_stream_multi(fmt, X, device, cfg)
         if isinstance(fmt, BCCOOPlusMatrix):
             inner = self._execute_multi(fmt.stacked, X, device, cfg)
             stride = fmt.padded_rows_per_slice

@@ -7,6 +7,7 @@ from .compare import (
     compare_snapshots,
     load_snapshot,
 )
+from .formats import format_sweep_passed, matrix_classes, run_format_sweep
 from .solvers import run_solver_bench, solver_bench_passed, write_solver_bench
 from .harness import (
     SYSTEMS,
@@ -26,6 +27,9 @@ __all__ = [
     "run_backend_sweep",
     "sweep_passed",
     "write_sweep",
+    "run_format_sweep",
+    "format_sweep_passed",
+    "matrix_classes",
     "run_solver_bench",
     "solver_bench_passed",
     "write_solver_bench",

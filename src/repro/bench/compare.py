@@ -40,6 +40,7 @@ _DIRECTIONS = {
     "throughput_rps": "higher",
     "iterations_per_s": "higher",
     "swap_s": "lower",
+    "time_us": "lower",
 }
 
 
@@ -51,6 +52,9 @@ class MetricDelta:
     direction: str  # "lower" / "higher" (which way is better)
     baseline: float
     current: float
+    #: Calibration offset subtracted from ``change`` before the verdict:
+    #: the cohort's median drift, attributed to the runner, not the code.
+    shift: float = 0.0
 
     @property
     def change(self) -> float:
@@ -60,17 +64,26 @@ class MetricDelta:
         delta = (self.current - self.baseline) / abs(self.baseline)
         return delta if self.direction == "lower" else -delta
 
+    @property
+    def adjusted_change(self) -> float:
+        """``change`` minus the calibration shift (zero when uncalibrated)."""
+        return self.change - self.shift
+
     def regressed(self, threshold: float) -> bool:
-        return self.change > threshold
+        return self.adjusted_change > threshold
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "metric": self.metric,
             "direction": self.direction,
             "baseline": self.baseline,
             "current": self.current,
             "change": round(self.change, 4),
         }
+        if self.shift:
+            out["shift"] = round(self.shift, 4)
+            out["adjusted_change"] = round(self.adjusted_change, 4)
+        return out
 
 
 @dataclass
@@ -81,6 +94,9 @@ class CompareReport:
     deltas: list[MetricDelta] = field(default_factory=list)
     added: list[str] = field(default_factory=list)
     removed: list[str] = field(default_factory=list)
+    #: Median cohort drift removed per direction when calibrated
+    #: (``None`` = no calibration requested).
+    calibration: dict[str, float] | None = None
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -91,7 +107,7 @@ class CompareReport:
         return not self.regressions
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "kind": "bench_compare",
             "passed": self.passed,
             "threshold": self.threshold,
@@ -100,17 +116,27 @@ class CompareReport:
             "added": list(self.added),
             "removed": list(self.removed),
         }
+        if self.calibration is not None:
+            out["calibration"] = {
+                k: round(v, 4) for k, v in self.calibration.items()
+            }
+        return out
 
     def summary(self) -> str:
         lines = [
             f"bench compare: {len(self.deltas)} metric(s), "
             f"threshold {self.threshold:.0%}"
         ]
-        for d in sorted(self.deltas, key=lambda d: -d.change):
+        if self.calibration is not None:
+            drift = ", ".join(
+                f"{k}-is-better {v:+.1%}" for k, v in self.calibration.items()
+            )
+            lines.append(f"  runner calibration: median drift {drift} removed")
+        for d in sorted(self.deltas, key=lambda d: -d.adjusted_change):
             verdict = "REGRESSED" if d.regressed(self.threshold) else "ok"
             lines.append(
                 f"  {d.metric:40s} {d.baseline:12.6g} -> {d.current:12.6g} "
-                f"({d.change:+7.1%} worse) {verdict}"
+                f"({d.adjusted_change:+7.1%} worse) {verdict}"
             )
         if self.added:
             lines.append(f"  new metrics (not compared): {self.added}")
@@ -170,6 +196,14 @@ def _flatten(snap: dict) -> dict[str, float]:
         swap = snap.get("value_refresh", {}).get("swap_s")
         if swap is not None:
             out["solvers/value_refresh/swap_s"] = float(swap)
+    elif kind == "bench_formats":
+        for row in snap.get("classes", []):
+            name = row.get("class", "?")
+            for entrant, entry in row.get("entrants", {}).items():
+                if "time_us" in entry:
+                    out[f"formats/{name}/{entrant}/time_us"] = float(
+                        entry["time_us"]
+                    )
     return out
 
 
@@ -182,12 +216,22 @@ def compare_snapshots(
     current: dict,
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    calibrate: bool = False,
 ) -> CompareReport:
     """Diff two snapshots of the same kind; see the module docstring.
 
     ``baseline``/``current`` are loaded snapshot dicts
     (:func:`load_snapshot`).  Comparing snapshots of different kinds is
     a caller error.
+
+    With ``calibrate=True`` the median fractional drift across each
+    direction cohort is attributed to the machine and subtracted from
+    every metric's change before the threshold is applied.  This is the
+    cross-runner mode: a CI box that is uniformly 40% slower than the
+    machine that wrote the committed baseline passes untouched, while a
+    *relative* regression -- one matrix losing its fast path while the
+    rest hold -- still trips the gate.  The shift is recorded in the
+    report, never silently applied.
     """
     if threshold <= 0:
         raise ValidationError(f"threshold must be > 0, got {threshold}")
@@ -208,4 +252,20 @@ def compare_snapshots(
         ))
     report.added = sorted(cur.keys() - base.keys())
     report.removed = sorted(base.keys() - cur.keys())
+    if calibrate:
+        report.calibration = {}
+        for direction in ("lower", "higher"):
+            cohort = [d for d in report.deltas if d.direction == direction]
+            if not cohort:
+                continue
+            changes = sorted(d.change for d in cohort)
+            mid = len(changes) // 2
+            median = (
+                changes[mid]
+                if len(changes) % 2
+                else (changes[mid - 1] + changes[mid]) / 2.0
+            )
+            for d in cohort:
+                d.shift = median
+            report.calibration[direction] = median
     return report

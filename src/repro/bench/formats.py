@@ -1,0 +1,218 @@
+"""Who-wins-per-matrix-class sweep over the first-class formats.
+
+The cocktail thesis (and the reason merge-path CSR and RG-CSR exist as
+first-class formats next to BCCOO) is that *no single format wins
+everywhere*: each one's byte economics and scheduling discipline own a
+different structural family.  This sweep makes that claim executable --
+one synthetic matrix per family, every format timed through the cost
+model at the **default** kernel configuration (BCCOO additionally
+sweeps its block dimensions, the knob its footprint heuristic already
+owns), and the winner recorded per class:
+
+* ``stencil_band``    -- long banded rows, columns adjacent: CSR's raw
+  streams are already compact and merge-path's equal-work teams remove
+  the only remaining cost, so **merge_csr** wins.
+* ``dense_rows_uniform`` -- thousands of identical mid-length strided
+  rows over a narrow column space: RG-CSR's short columns and
+  lane-major gather order beat BCCOO's flag/aux overhead, so
+  **rgcsr** wins.
+* ``blocked_banded``  -- dense 4x4 blocks on a band: BCCOO's blocking
+  collapses the column stream by 16x, nothing else comes close, so
+  **bccoo** wins.
+
+Every entrant's output is exact-compared across the ``fast`` and
+``faithful`` backends (``np.array_equal``) and checked against the
+scipy product, so a format that got fast by being wrong fails the
+sweep rather than winning it.  Model times are deterministic -- the
+snapshot (``BENCH_formats.json``) diffs cleanly across commits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from ..backends import get_backend
+from ..formats.bccoo import BCCOOMatrix
+from ..formats.merge_csr import MergeCSRMatrix
+from ..formats.rgcsr import RGCSRMatrix
+from ..gpu.device import get_device
+from ..gpu.timing import TimingModel
+from ..kernels.config import YaSpMVConfig
+from .backends import write_sweep
+
+__all__ = [
+    "BCCOO_BLOCKS",
+    "matrix_classes",
+    "run_format_sweep",
+    "format_sweep_passed",
+    "write_sweep",
+]
+
+#: Block dimensions the BCCOO entrant may pick from -- the same
+#: footprint-driven shortlist the tuner's pruning keeps.
+BCCOO_BLOCKS = ((1, 1), (1, 2), (2, 1), (2, 2), (4, 1), (1, 4), (4, 4))
+
+#: Class name -> the format expected to win it (the acceptance claim).
+EXPECTED_WINNERS = {
+    "stencil_band": "merge_csr",
+    "dense_rows_uniform": "rgcsr",
+    "blocked_banded": "bccoo",
+}
+
+
+def _stencil_band(n: int = 4000) -> _sp.csr_matrix:
+    """Pentadiagonal band: every row 5 adjacent columns."""
+    diags = [
+        np.ones(n - 2), np.ones(n - 1), 2.0 * np.ones(n),
+        np.ones(n - 1), np.ones(n - 2),
+    ]
+    return (_sp.diags(diags, (-2, -1, 0, 1, 2), format="csr") * 1.0).tocsr()
+
+
+def _dense_rows_uniform(
+    nr: int = 24000, nc: int = 3000, row_len: int = 48
+) -> _sp.csr_matrix:
+    """Uniform mid-length strided rows over a narrow column space."""
+    cols = np.sort(
+        (np.arange(nr)[:, None] * 7 + np.arange(row_len)[None, :] * 61) % nc,
+        axis=1,
+    )
+    rows = np.repeat(np.arange(nr), row_len)
+    vals = np.random.default_rng(0).standard_normal(nr * row_len)
+    A = _sp.coo_matrix((vals, (rows, cols.ravel())), shape=(nr, nc)).tocsr()
+    A.sum_duplicates()
+    return A
+
+
+def _blocked_banded(n_blocks: int = 1000, bs: int = 4) -> _sp.csr_matrix:
+    """Dense ``bs x bs`` blocks on a tridiagonal block pattern."""
+    tri = _sp.diags(
+        [np.ones(n_blocks - 1), np.ones(n_blocks), np.ones(n_blocks - 1)],
+        (-1, 0, 1),
+    )
+    return (_sp.kron(tri, np.ones((bs, bs)), format="csr") * 1.0).tocsr()
+
+
+def matrix_classes() -> dict[str, _sp.csr_matrix]:
+    """One representative matrix per structural family."""
+    return {
+        "stencil_band": _stencil_band(),
+        "dense_rows_uniform": _dense_rows_uniform(),
+        "blocked_banded": _blocked_banded(),
+    }
+
+
+def _bccoo_entrant(csr, dev, cfg, faithful, fast, x, tm):
+    """Best default-config BCCOO over the block shortlist."""
+    best = None
+    for h, w in BCCOO_BLOCKS:
+        try:
+            fmt = BCCOOMatrix.from_scipy(csr, block_height=h, block_width=w)
+        except Exception:
+            continue
+        res = faithful.execute(fmt, x, dev, cfg)
+        t = tm.estimate(res.stats).t_total
+        if best is None or t < best[0]:
+            best = (t, fmt, res.y, (h, w))
+    assert best is not None
+    t, fmt, y, block = best
+    y_fast = fast.execute(fmt, x, dev, cfg).y
+    return {
+        "time_us": t * 1e6,
+        "block": f"{block[0]}x{block[1]}",
+        "bit_identical": bool(np.array_equal(y, y_fast)),
+    }, y
+
+
+def _plain_entrant(fmt, dev, cfg, faithful, fast, x, tm):
+    res = faithful.execute(fmt, x, dev, cfg)
+    y_fast = fast.execute(fmt, x, dev, cfg).y
+    return {
+        "time_us": tm.estimate(res.stats).t_total * 1e6,
+        "bit_identical": bool(np.array_equal(res.y, y_fast)),
+    }, res.y
+
+
+def run_format_sweep(
+    device: str = "gtx480", classes: dict | None = None
+) -> dict:
+    """Time every format on every matrix class; exact-check outputs.
+
+    Returns a JSON-able report; apply :func:`format_sweep_passed` for
+    the pass/fail verdict.
+    """
+    if classes is None:
+        classes = matrix_classes()
+    dev = get_device(device)
+    tm = TimingModel(dev)
+    cfg = YaSpMVConfig()
+    faithful = get_backend("faithful")
+    fast = get_backend("fast")
+
+    rows = []
+    for name, csr in classes.items():
+        x = np.random.default_rng(1).standard_normal(csr.shape[1])
+        reference = np.asarray(csr @ x).ravel()
+        entrants = {}
+        correct = True
+        for label, builder in (
+            ("bccoo", None),
+            ("merge_csr", MergeCSRMatrix),
+            ("rgcsr", RGCSRMatrix),
+        ):
+            if builder is None:
+                entry, y = _bccoo_entrant(csr, dev, cfg, faithful, fast, x, tm)
+            else:
+                fmt = builder.from_scipy(csr)
+                entry, y = _plain_entrant(fmt, dev, cfg, faithful, fast, x, tm)
+            entry["correct"] = bool(np.allclose(y, reference, atol=1e-9))
+            correct = correct and entry["correct"] and entry["bit_identical"]
+            entrants[label] = entry
+        winner = min(entrants, key=lambda k: entrants[k]["time_us"])
+        rows.append(
+            {
+                "class": name,
+                "shape": list(csr.shape),
+                "nnz": int(csr.nnz),
+                "entrants": entrants,
+                "winner": winner,
+                "expected_winner": EXPECTED_WINNERS.get(name),
+                "correct": correct,
+            }
+        )
+
+    wins: dict[str, int] = {}
+    for row in rows:
+        wins[row["winner"]] = wins.get(row["winner"], 0) + 1
+    return {
+        "kind": "bench_formats",
+        "device": device,
+        "config": "default",
+        "classes": rows,
+        "wins_by_format": wins,
+        "all_correct": all(r["correct"] for r in rows),
+    }
+
+
+def format_sweep_passed(report: dict) -> tuple[bool, list[str]]:
+    """The CI gate: exact outputs everywhere, each format wins its class.
+
+    Returns ``(passed, reasons)``; reasons name the offending class so
+    the job log says *what* broke.
+    """
+    reasons = []
+    for row in report["classes"]:
+        if not row["correct"]:
+            bad = [
+                k for k, e in row["entrants"].items()
+                if not (e["correct"] and e["bit_identical"])
+            ]
+            reasons.append(f"{row['class']}: wrong/drifted output from {bad}")
+        expected = row.get("expected_winner")
+        if expected and row["winner"] != expected:
+            reasons.append(
+                f"{row['class']}: expected {expected} to win, "
+                f"got {row['winner']}"
+            )
+    return (not reasons, reasons)

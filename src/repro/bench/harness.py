@@ -117,11 +117,21 @@ def compare_systems(
         )
     assert y_ref is not None
     np.testing.assert_allclose(ours.y, y_ref, rtol=1e-7, atol=1e-6)
+    if prepared.point.base_format == "bccoo":
+        variant = (
+            f"{prepared.point.format_name}-"
+            f"{prepared.point.block_height}x{prepared.point.block_width}-"
+            f"s{prepared.config.strategy}"
+        )
+    else:
+        # The related-work formats have no blocking or strategy axes;
+        # the launch geometry is the whole configuration.
+        variant = (
+            f"{prepared.point.format_name}-wg{prepared.config.workgroup_size}"
+        )
     scores["yaspmv"] = SystemScore(
         system="yaspmv",
-        variant=f"{prepared.point.format_name}-"
-        f"{prepared.point.block_height}x{prepared.point.block_width}-"
-        f"s{prepared.config.strategy}",
+        variant=variant,
         gflops=ours.gflops,
         time_s=ours.time_s,
     )

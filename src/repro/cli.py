@@ -476,13 +476,18 @@ def _cmd_bench(args) -> int:
     if baseline is not None:
         from .bench.compare import compare_snapshots
 
-        cmp = compare_snapshots(baseline, report, threshold=args.threshold)
+        cmp = compare_snapshots(
+            baseline, report,
+            threshold=args.threshold,
+            calibrate=args.calibrate,
+        )
         print()
         print(cmp.summary())
         if not cmp.passed:
             for delta in cmp.regressions:
                 print(
-                    f"FAIL: {delta.metric} regressed {delta.change:+.1%} "
+                    f"FAIL: {delta.metric} regressed "
+                    f"{delta.adjusted_change:+.1%} "
                     f"(threshold {args.threshold:.0%})",
                     file=sys.stderr,
                 )
@@ -713,6 +718,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=0.15,
                          help="fractional regression tolerance for "
                               "--compare (default 0.15 = 15%%)")
+    p_bench.add_argument("--calibrate", action="store_true",
+                         help="remove the median cross-runner drift before "
+                              "applying --threshold (for comparing against "
+                              "a baseline recorded on another machine)")
     p_bench.add_argument("--out",
                          default="benchmarks/results/BENCH_kernels.json",
                          help="write the JSON report here ('' to skip)")

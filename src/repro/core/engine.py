@@ -36,6 +36,8 @@ from ..fault.validation import ValidationReport, verify_output
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
 from ..formats.csr import CSRMatrix
+from ..formats.merge_csr import MergeCSRMatrix
+from ..formats.rgcsr import RGCSRMatrix
 from ..gpu.counters import KernelStats
 from ..gpu.device import DeviceSpec, get_device
 from ..gpu.timing import TimingBreakdown, TimingModel
@@ -56,7 +58,7 @@ __all__ = ["PreparedMatrix", "SpMVResult", "SpMVEngine", "yaspmv"]
 class PreparedMatrix:
     """An auto-tuned, converted matrix ready for repeated multiplies."""
 
-    fmt: BCCOOMatrix | BCCOOPlusMatrix
+    fmt: BCCOOMatrix | BCCOOPlusMatrix | MergeCSRMatrix | RGCSRMatrix
     point: TuningPoint
     tuning: TuningResult | None
     nnz: int
@@ -165,21 +167,30 @@ class PreparedMatrix:
             return self
         from .shm import SharedArena
 
-        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
         csr = self.reference_csr()
-        arrays = {
-            "flags.words": inner.flags.words,
-            "col_block": inner.col_block,
-            "values": inner.values,
-            "row_map": inner.nonempty_block_rows,
-            "csr.data": csr.data,
-            "csr.indices": csr.indices,
-            "csr.indptr": csr.indptr,
-        }
-        if inner.delta is not None:
-            arrays["delta.deltas"] = inner.delta.deltas
-            arrays["delta.start_cols"] = inner.delta.start_cols
-            arrays["delta.fallback"] = inner.delta.fallback
+        if hasattr(self.fmt, "share_arrays"):
+            # Formats speaking the generic protocol (merge-path CSR,
+            # RG-CSR) name their own buffers.
+            arrays = dict(self.fmt.share_arrays())
+        else:
+            inner = (
+                self.fmt.stacked
+                if isinstance(self.fmt, BCCOOPlusMatrix)
+                else self.fmt
+            )
+            arrays = {
+                "flags.words": inner.flags.words,
+                "col_block": inner.col_block,
+                "values": inner.values,
+                "row_map": inner.nonempty_block_rows,
+            }
+            if inner.delta is not None:
+                arrays["delta.deltas"] = inner.delta.deltas
+                arrays["delta.start_cols"] = inner.delta.start_cols
+                arrays["delta.fallback"] = inner.delta.fallback
+        arrays["csr.data"] = csr.data
+        arrays["csr.indices"] = csr.indices
+        arrays["csr.indptr"] = csr.indptr
         arena = SharedArena.create(arrays)
         self._adopt_views(arena, csr.shape)
         return self
@@ -188,15 +199,23 @@ class PreparedMatrix:
         """Point fmt/csr at the arena's zero-copy views."""
         from scipy import sparse as _sp
 
-        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
-        inner.flags.words = arena.view("flags.words")
-        inner.col_block = arena.view("col_block")
-        inner.values = arena.view("values")
-        inner.nonempty_block_rows = arena.view("row_map")
-        if inner.delta is not None:
-            inner.delta.deltas = arena.view("delta.deltas")
-            inner.delta.start_cols = arena.view("delta.start_cols")
-            inner.delta.fallback = arena.view("delta.fallback")
+        if hasattr(self.fmt, "from_shared"):
+            views = {k: arena.view(k) for k in self.fmt.share_arrays()}
+            self.fmt = type(self.fmt).from_shared(self.fmt.shm_meta(), views)
+        else:
+            inner = (
+                self.fmt.stacked
+                if isinstance(self.fmt, BCCOOPlusMatrix)
+                else self.fmt
+            )
+            inner.flags.words = arena.view("flags.words")
+            inner.col_block = arena.view("col_block")
+            inner.values = arena.view("values")
+            inner.nonempty_block_rows = arena.view("row_map")
+            if inner.delta is not None:
+                inner.delta.deltas = arena.view("delta.deltas")
+                inner.delta.start_cols = arena.view("delta.start_cols")
+                inner.delta.fallback = arena.view("delta.fallback")
         self.csr = _sp.csr_matrix(
             (
                 arena.view("csr.data"),
@@ -230,9 +249,14 @@ class PreparedMatrix:
             state["fmt"] = self.fmt
             state["csr"] = self.csr
             return state
-        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
         state["arena_descriptor"] = self.arena.descriptor()
         state["csr_shape"] = tuple(self.csr.shape)
+        if hasattr(self.fmt, "shm_meta"):
+            # Generic-protocol formats carry their own scalar metadata
+            # (including a "format" discriminator for __setstate__).
+            state["fmt_meta"] = self.fmt.shm_meta()
+            return state
+        inner = self.fmt.stacked if isinstance(self.fmt, BCCOOPlusMatrix) else self.fmt
         meta = {
             "shape": tuple(inner.shape),
             "block_height": inner.block_height,
@@ -270,6 +294,14 @@ class PreparedMatrix:
 
         arena = SharedArena.attach(state["arena_descriptor"])
         meta = state["fmt_meta"]
+        if "format" in meta:
+            from ..formats import get_format
+
+            cls = get_format(meta["format"])
+            views = {k: arena.view(k) for k in arena.keys() if not k.startswith("csr.")}
+            self.fmt = cls.from_shared(meta, views)
+            self._adopt_views(arena, state["csr_shape"])
+            return
         flags = BitFlagArray(
             words=arena.view("flags.words"),
             nbits=meta["flags_nbits"],
@@ -1188,9 +1220,14 @@ class SpMVEngine:
                 f"max_batch_width needs a PreparedMatrix from prepare(), "
                 f"got {type(prepared).__name__}"
             )
-        return self._kernel_multi.max_batch_width(
-            prepared.fmt, self.device, prepared.config
-        )
+        fmt = prepared.fmt
+        if isinstance(fmt, MergeCSRMatrix):
+            kernel = get_kernel("merge_csr")
+        elif isinstance(fmt, RGCSRMatrix):
+            kernel = get_kernel("rgcsr")
+        else:
+            kernel = self._kernel_multi
+        return kernel.max_batch_width(fmt, self.device, prepared.config)
 
     def _observe_result(
         self, sp, result: SpMVResult, backend: ExecutionBackend
@@ -1219,6 +1256,10 @@ class SpMVEngine:
 
     @staticmethod
     def _build_format(csr, point: TuningPoint):
+        if point.base_format == "merge_csr":
+            return MergeCSRMatrix.from_scipy(csr)
+        if point.base_format == "rgcsr":
+            return RGCSRMatrix.from_scipy(csr)
         kwargs = dict(
             block_height=point.block_height,
             block_width=point.block_width,

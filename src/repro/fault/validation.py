@@ -171,18 +171,144 @@ def _validate_bccoo_plus(fmt, report: ValidationReport) -> None:
     )
 
 
+def _validate_merge_csr(fmt, report: ValidationReport) -> None:
+    ptr = fmt.row_ptr
+    monotone = bool(ptr[0] == 0 and ptr[-1] == fmt.nnz and np.all(np.diff(ptr) >= 0))
+    report.add(
+        "row_ptr_monotone",
+        monotone,
+        f"row_ptr must ascend from 0 to nnz={fmt.nnz}",
+    )
+
+    cols = fmt.col_index
+    cols_ok = bool(
+        cols.size == 0 or (cols.min() >= 0 and cols.max() < fmt.ncols)
+    )
+    report.add(
+        "columns_in_range", cols_ok, f"columns must lie in [0, {fmt.ncols})"
+    )
+
+    if monotone:
+        # The load-balancing-search output must agree with the row
+        # pointers: team t's coordinate is the row containing non-zero
+        # t * team_nnz.  A mutated team_rows (or row_ptr) breaks this.
+        starts = fmt.team_starts()
+        expect = np.searchsorted(ptr, starts, side="right") - 1
+        report.add(
+            "team_coordinates",
+            bool(np.array_equal(fmt.team_rows, expect)),
+            "team_rows must equal the load-balancing search over row_ptr",
+        )
+        # row_stops() indexes by row_ptr values, so it is only safe to
+        # derive once the pointers themselves checked out.
+        report.add(
+            "row_stop_count",
+            int(fmt.row_stops().sum()) == fmt.row_map().shape[0],
+            "end-of-row markers must match the non-empty-row map",
+        )
+    report.add(
+        "values_finite",
+        bool(np.isfinite(fmt.values).all()),
+        "stored values contain NaN/Inf",
+    )
+
+
+def _validate_rgcsr(fmt, report: ValidationReport) -> None:
+    row_off = fmt.group_row_offsets
+    data_off = fmt.group_data_offsets
+    row_ok = bool(
+        row_off[0] == 0
+        and row_off[-1] == fmt.n_packed_rows
+        and np.all(np.diff(row_off) >= 0)
+    )
+    report.add(
+        "group_row_offsets",
+        row_ok,
+        f"group row offsets must ascend from 0 to {fmt.n_packed_rows}",
+    )
+    extents_ok = bool(
+        data_off[0] == 0
+        and data_off[-1] == fmt.padded_slots
+        and np.array_equal(
+            np.diff(data_off), np.diff(row_off) * fmt.group_widths
+        )
+    )
+    report.add(
+        "group_data_extents",
+        extents_ok,
+        "per-group lane extents must equal rows x adaptive width",
+    )
+
+    perm = fmt.row_perm
+    perm_ok = bool(
+        perm.size == np.unique(perm).size
+        and (perm.size == 0 or (perm.min() >= 0 and perm.max() < fmt.nrows))
+    )
+    report.add(
+        "row_perm_bijective",
+        perm_ok,
+        f"row permutation must be unique rows in [0, {fmt.nrows})",
+    )
+
+    if not (row_ok and extents_ok):
+        # The remaining checks slice by the offsets; deriving them from
+        # corrupted offsets would raise instead of reporting.
+        report.add(
+            "values_finite",
+            bool(np.isfinite(fmt.values).all()),
+            "stored values contain NaN/Inf",
+        )
+        return
+
+    lens_ok = True
+    for g in range(fmt.n_groups):
+        seg = fmt.row_lengths[row_off[g] : row_off[g + 1]]
+        if seg.size and (seg.min() < 1 or seg.max() > fmt.group_widths[g]):
+            lens_ok = False
+            break
+    report.add(
+        "lengths_within_group_width",
+        lens_ok,
+        "every row length must lie in [1, group width]",
+    )
+
+    mask = fmt.lane_mask()
+    cols = fmt.col_index[mask]
+    report.add(
+        "columns_in_range",
+        bool(cols.size == 0 or (cols.min() >= 0 and cols.max() < fmt.ncols)),
+        f"valid-lane columns must lie in [0, {fmt.ncols})",
+    )
+    report.add(
+        "padding_lanes_zero",
+        bool(not fmt.values[~mask].any()),
+        "padding lanes must hold zero values",
+    )
+    report.add(
+        "values_finite",
+        bool(np.isfinite(fmt.values).all()),
+        "stored values contain NaN/Inf",
+    )
+
+
 def validate_format(fmt) -> ValidationReport:
     """Run every applicable invariant check against a format instance."""
     # Imported here: repro.formats imports this module lazily and vice
     # versa; function-level imports break the cycle.
     from ..formats.bccoo import BCCOOMatrix
     from ..formats.bccoo_plus import BCCOOPlusMatrix
+    from ..formats.merge_csr import MergeCSRMatrix
+    from ..formats.rgcsr import RGCSRMatrix
 
     report = ValidationReport(subject=f"{type(fmt).__name__}")
     if isinstance(fmt, BCCOOPlusMatrix):
         _validate_bccoo_plus(fmt, report)
     elif isinstance(fmt, BCCOOMatrix):
         _validate_bccoo(fmt, report)
+    elif isinstance(fmt, MergeCSRMatrix):
+        _validate_merge_csr(fmt, report)
+    elif isinstance(fmt, RGCSRMatrix):
+        _validate_rgcsr(fmt, report)
     else:
         shape = getattr(fmt, "shape", None)
         report.add(

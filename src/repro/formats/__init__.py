@@ -40,6 +40,8 @@ from .footprint import (
 )
 from .hyb import HYBMatrix
 from .layout import device_order_indices, from_device_order, to_device_order
+from .merge_csr import MergeCSRMatrix, cal_vectors
+from .rgcsr import RGCSRMatrix
 from .sell import SELLMatrix
 
 __all__ = [
@@ -73,6 +75,9 @@ __all__ = [
     "cocktail_footprint",
     "footprint_report",
     "HYBMatrix",
+    "MergeCSRMatrix",
+    "cal_vectors",
+    "RGCSRMatrix",
     "SELLMatrix",
     "device_order_indices",
     "from_device_order",

@@ -26,12 +26,21 @@ from .coo import COOMatrix
 from .csr import CSRMatrix
 from .dia import DIAMatrix
 from .ell import ELLMatrix
+from .merge_csr import MergeCSRMatrix
+from .rgcsr import RGCSRMatrix
 from .sell import SELLMatrix
 
 __all__ = ["CocktailMatrix"]
 
 #: Quantiles at which the head/tail split is tried.
 _SPLITS = (0.5, 0.7, 0.9, 0.97)
+
+#: Row-length skew (max over mean of the non-empty rows) beyond which
+#: the long-row partition is stored merge-path instead of the cheapest
+#: irregular format: a row-parallel CSR kernel is imbalance-bound there,
+#: and merge-path's extra team coordinates (~one index per 16-32
+#: non-zeros) are a rounding error next to the stalled warps.
+_MERGE_SKEW = 8.0
 
 
 def _select_rows(csr, row_mask: np.ndarray):
@@ -52,6 +61,7 @@ def _best_head(part, sizes: ByteSizes):
         (DIAMatrix, {}, "dia"),
         (ELLMatrix, {}, "ell"),
         (SELLMatrix, {"slice_height": 32}, "sell32"),
+        (RGCSRMatrix, {}, "rgcsr"),
     ):
         try:
             fmt = cls.from_scipy(part, **kw)
@@ -64,7 +74,21 @@ def _best_head(part, sizes: ByteSizes):
 
 
 def _best_tail(part, sizes: ByteSizes):
-    """Cheapest irregular format for the long-row partition."""
+    """Cheapest irregular format for the long-row partition.
+
+    Footprint decides, with one load-balance exception: when the
+    partition's non-empty row lengths are skewed past ``_MERGE_SKEW``,
+    the merge-path storage is selected although its team coordinates
+    cost a few extra bytes -- the partition kernel's time is dominated
+    by warp stalls that equal-work teams remove.
+    """
+    lengths = np.diff(part.indptr)
+    nonzero = lengths[lengths > 0]
+    if nonzero.size and float(nonzero.max()) >= _MERGE_SKEW * float(
+        nonzero.mean()
+    ):
+        fmt = MergeCSRMatrix.from_scipy(part)
+        return (fmt.footprint_bytes(sizes), fmt, "merge_csr")
     best = None
     for cls, label in ((CSRMatrix, "csr"), (COOMatrix, "coo")):
         fmt = cls.from_scipy(part)

@@ -25,6 +25,8 @@ from .baselines import (
 )
 from .config import YaSpMVConfig
 from .faithful import FaithfulTrace, yaspmv_faithful
+from .merge_path import MergePathKernel
+from .row_grouped import RowGroupedKernel
 from .yaspmv import YaSpMVKernel
 
 __all__ = [
@@ -46,5 +48,7 @@ __all__ = [
     "YaSpMVConfig",
     "FaithfulTrace",
     "yaspmv_faithful",
+    "MergePathKernel",
+    "RowGroupedKernel",
     "YaSpMVKernel",
 ]

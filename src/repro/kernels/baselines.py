@@ -521,6 +521,8 @@ class CocktailKernel(SpMVKernel):
         "sell32": "sell",
         "csr": "csr_vector",
         "coo": "coo_segmented",
+        "merge_csr": "merge_csr",
+        "rgcsr": "rgcsr",
     }
 
     def _execute(self, fmt, x, device, config) -> KernelResult:
@@ -532,7 +534,14 @@ class CocktailKernel(SpMVKernel):
         stats = None
         for label, part in fmt.partitions:
             kernel = get_kernel(self._SUB_KERNELS[label])
-            res = kernel.run(part, x, device, config=config)
+            # Sub-kernels keep their strict config contract; translate the
+            # cocktail's config to each member's type, carrying the one
+            # knob they all share.
+            if config is None or isinstance(config, kernel.config_cls):
+                cfg = config
+            else:
+                cfg = kernel.config_cls(workgroup_size=config.workgroup_size)
+            res = kernel.run(part, x, device, config=cfg)
             y = res.y if y is None else y + res.y
             stats = res.stats if stats is None else stats.sequential(res.stats)
         assert y is not None and stats is not None

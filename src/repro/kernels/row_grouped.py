@@ -1,0 +1,232 @@
+"""Adaptive row-grouped CSR kernel: one thread per row, grouped lanes.
+
+Executes :class:`~repro.formats.rgcsr.RGCSRMatrix`.  A single launch
+walks the group descriptor table; within a group, thread ``r`` folds its
+row one lane at a time while the group's lane arrays stream fully
+coalesced.  Each row accumulates independently in element order, so the
+result is the strict sequential per-row CSR fold -- bit-identical to the
+reference and to BCCOO on the same operand.
+
+The cost model is ELL-like per group: the lane streams are charged at
+their *padded* extent (the format's honest weakness), column indices
+drop to short width when the matrix is narrow enough, and the padded
+slots that carry no work surface as SIMD-efficiency loss.  Rows never
+split and groups never interact, so there are no barriers, atomics or
+adjacent-synchronization chains -- but per-group work is uneven, which
+feeds the scheduler's imbalance factor through ``workgroup_work``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelConfigError, ValidationError
+from ..fault.injection import active_plan
+from ..formats.rgcsr import RGCSRMatrix
+from ..gpu.caches import vector_read_traffic
+from ..gpu.counters import KernelStats
+from ..gpu.device import DeviceSpec
+from ..gpu.memory import stream_bytes
+from ..util import ceil_div
+from .base import KernelResult, SpMVKernel, register_kernel
+from .config import YaSpMVConfig
+
+__all__ = ["RowGroupedKernel", "row_grouped_stats"]
+
+_IDX_B = 4
+_SHORT_B = 2
+#: Columns fit unsigned 16-bit indices below this width (the same cutoff
+#: BCCOO uses for its short column stream).
+_SHORT_COL_LIMIT = 1 << 16
+#: Lane-step divergence inside a group: rows differ by at most 2x in
+#: length, so predication idles under 2% of lanes beyond padding.
+_LANE_EFF = 0.98
+
+
+def _expect(fmt, cls):
+    if not isinstance(fmt, cls):
+        raise KernelConfigError(
+            f"kernel expects {cls.__name__}, got {type(fmt).__name__}"
+        )
+    return fmt
+
+
+def _col_bytes(fmt: RGCSRMatrix) -> int:
+    return _SHORT_B if fmt.ncols < _SHORT_COL_LIMIT else _IDX_B
+
+
+def gather_order(fmt: RGCSRMatrix) -> np.ndarray:
+    """Column indices in the order the launch gathers ``x`` (valid lanes,
+    flat lane-major order) -- the stream the texture model sees."""
+    return fmt.col_index[fmt.lane_mask()]
+
+
+def row_grouped_stats(
+    fmt: RGCSRMatrix, device: DeviceSpec, cfg: YaSpMVConfig
+) -> KernelStats:
+    """Cost profile of one row-grouped launch (pure in its arguments).
+
+    Shared by the faithful interpreter and the fast backend so both
+    report field-identical :class:`KernelStats`.
+    """
+    padded = fmt.padded_slots
+    txn = device.transaction_bytes
+    val_b = cfg.value_bytes
+    wg = cfg.workgroup_size
+
+    read = stream_bytes(padded, val_b, txn)
+    read += stream_bytes(padded, _col_bytes(fmt), txn)
+    read += stream_bytes(fmt.n_packed_rows, _IDX_B, txn)  # row_perm
+    read += stream_bytes(fmt.n_packed_rows, _IDX_B, txn)  # row_lengths
+    read += stream_bytes(3 * fmt.n_groups + 2, _IDX_B, txn)  # descriptors
+
+    vec_dram, vec_cached = vector_read_traffic(
+        gather_order(fmt),
+        val_b,
+        cache_bytes=device.tex_cache_bytes,
+        line_bytes=device.tex_line_bytes,
+        use_cache=cfg.use_texture,
+    )
+    read += vec_dram
+
+    write = stream_bytes(fmt.n_packed_rows, val_b, txn)
+
+    nnz = fmt.nnz
+    fill = nnz / padded if padded else 1.0
+    simd = _LANE_EFF * fill
+
+    # One workgroup covers ``wg`` rows of a group; its work is the
+    # group's padded width times its rows -- uneven across groups, which
+    # is exactly where this format loses to the merge path.
+    work = []
+    for g in range(fmt.n_groups):
+        r0 = int(fmt.group_row_offsets[g])
+        r1 = int(fmt.group_row_offsets[g + 1])
+        w = int(fmt.group_widths[g])
+        n = r1 - r0
+        for chunk in range(ceil_div(n, wg)):
+            rows_here = min(wg, n - chunk * wg)
+            work.append(rows_here * w)
+    workgroup_work = np.asarray(work if work else [1], dtype=np.float64)
+
+    return KernelStats(
+        flops=2.0 * nnz,
+        dram_read_bytes=float(read),
+        dram_write_bytes=float(write),
+        cached_read_bytes=float(vec_cached),
+        simd_efficiency=max(simd, 1e-6),
+        workgroup_size=wg,
+        n_workgroups=int(workgroup_work.shape[0]),
+        shared_mem_per_workgroup=0,  # thread-private accumulators only
+        registers_per_thread=16,
+        workgroup_work=workgroup_work,
+        barriers_per_workgroup=0.0,  # rows never split, groups never interact
+        n_launches=1,  # adaptive variant: one launch over the descriptor table
+    )
+
+
+@register_kernel
+class RowGroupedKernel(SpMVKernel):
+    """Adaptive row-grouped CSR SpMV: thread-per-row over pow-2 buckets."""
+
+    name = "rgcsr"
+    format_name = "rgcsr"
+    config_cls = YaSpMVConfig
+
+    def _execute(
+        self,
+        fmt,
+        x: np.ndarray,
+        device: DeviceSpec,
+        cfg: YaSpMVConfig,
+    ) -> KernelResult:
+        fmt = _expect(fmt, RGCSRMatrix)
+        self._check_workgroup(cfg.workgroup_size, device)
+
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"vector length {x.shape[0]} != matrix columns {fmt.ncols}"
+            )
+
+        # Decode the streams a launch reads; the fault plan perturbs the
+        # decoded copies exactly like corrupted device buffers would.
+        mask = fmt.lane_mask()
+        cols = fmt.col_index
+        plan = active_plan()
+        if plan is not None:
+            mask = plan.perturb_stops(mask, n_valid=fmt.padded_slots)
+            cols = plan.perturb_columns(cols, n_valid=fmt.padded_slots)
+        n_valid = int(mask.sum())
+        if n_valid != fmt.nnz:
+            raise ValidationError(
+                f"lane validity mask encodes {n_valid} non-zeros but the "
+                f"row lengths hold {fmt.nnz}",
+                check="lane_mask_count",
+            )
+
+        prods = np.where(mask, fmt.values * x[cols], 0.0)
+        if plan is not None:
+            prods = plan.perturb_partials(prods)
+
+        # Thread-per-row fold, lane by lane: each row accumulates its
+        # elements in order, independent of every other row -- the
+        # strict sequential per-row fold.
+        y = np.zeros(fmt.nrows, dtype=np.float64)
+        for g in range(fmt.n_groups):
+            r0 = int(fmt.group_row_offsets[g])
+            r1 = int(fmt.group_row_offsets[g + 1])
+            n, w = r1 - r0, int(fmt.group_widths[g])
+            base = int(fmt.group_data_offsets[g])
+            acc = np.zeros(n, dtype=np.float64)
+            for j in range(w):
+                lane = slice(base + j * n, base + (j + 1) * n)
+                valid = mask[lane]
+                acc[valid] += prods[lane][valid]
+            y[fmt.row_perm[r0:r1]] = acc
+
+        return KernelResult(y=y, stats=row_grouped_stats(fmt, device, cfg))
+
+    # ------------------------------------------------------------------ #
+    # Multi-RHS
+    # ------------------------------------------------------------------ #
+
+    def run_multi(
+        self,
+        fmt,
+        X: np.ndarray,
+        device: DeviceSpec,
+        *,
+        config=None,
+    ) -> KernelResult:
+        """SpMM ``Y = A @ X``: one grouped pass per right-hand side."""
+        fmt = _expect(fmt, RGCSRMatrix)
+        cfg = self._coerce_config(config)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != fmt.ncols:
+            raise KernelConfigError(
+                f"X must have shape ({fmt.ncols}, k), got {X.shape}"
+            )
+        k = X.shape[1]
+        if k > self.max_batch_width(fmt, device, cfg):
+            raise KernelConfigError(
+                f"batch width {k} exceeds device limit "
+                f"{self.max_batch_width(fmt, device, cfg)}"
+            )
+        Y = np.empty((fmt.nrows, k), dtype=np.float64)
+        stats = None
+        for j in range(k):
+            res = self._execute(fmt, X[:, j], device, cfg)
+            Y[:, j] = res.y
+            stats = res.stats if stats is None else stats.sequential(res.stats)
+        if stats is None:
+            stats = row_grouped_stats(fmt, device, cfg)
+        return KernelResult(y=Y, stats=stats)
+
+    def max_batch_width(self, fmt, device: DeviceSpec, config=None) -> int:
+        """Columns one batched launch sustains; accumulators live in
+        registers, so the bound is the per-thread register file."""
+        fmt = _expect(fmt, RGCSRMatrix)
+        cfg = self._coerce_config(config)
+        per_col_regs = max(cfg.value_bytes // 4, 1)
+        return max(1, device.max_registers_per_thread // (2 * per_col_regs))

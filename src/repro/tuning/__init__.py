@@ -12,6 +12,7 @@ from .parallel import (
 )
 from .persistence import TuningStore, matrix_fingerprint
 from .parameters import (
+    BASE_FORMATS,
     BIT_WORDS,
     BLOCK_HEIGHTS,
     BLOCK_WIDTHS,
@@ -19,7 +20,12 @@ from .parameters import (
     WORKGROUP_SIZES,
     TuningPoint,
 )
-from .space import candidate_slice_counts, exhaustive_space, pruned_space
+from .space import (
+    base_format_points,
+    candidate_slice_counts,
+    exhaustive_space,
+    pruned_space,
+)
 from .tuner import AutoTuner, Evaluation, TuningResult
 
 __all__ = [
@@ -29,12 +35,14 @@ __all__ = [
     "CompiledPlan",
     "FormatCache",
     "KernelPlanCache",
+    "BASE_FORMATS",
     "BIT_WORDS",
     "BLOCK_HEIGHTS",
     "BLOCK_WIDTHS",
     "SLICE_COUNTS",
     "WORKGROUP_SIZES",
     "TuningPoint",
+    "base_format_points",
     "candidate_slice_counts",
     "exhaustive_space",
     "pruned_space",

@@ -21,6 +21,8 @@ import numpy as np
 
 from ..formats.bccoo import BCCOOMatrix
 from ..formats.bccoo_plus import BCCOOPlusMatrix
+from ..formats.merge_csr import MergeCSRMatrix
+from ..formats.rgcsr import RGCSRMatrix
 from .parameters import TuningPoint
 
 __all__ = ["CompiledPlan", "KernelPlanCache", "FormatCache"]
@@ -96,6 +98,10 @@ class FormatCache:
         return fmt
 
     def _build(self, point: TuningPoint):
+        if point.base_format == "merge_csr":
+            return MergeCSRMatrix.from_scipy(self._matrix)
+        if point.base_format == "rgcsr":
+            return RGCSRMatrix.from_scipy(self._matrix)
         col_storage = "auto" if point.col_compress else "int32"
         kwargs = dict(
             block_height=point.block_height,

@@ -143,15 +143,21 @@ def chunk_candidates(
 ) -> list[list[tuple[int, TuningPoint]]]:
     """Group index-tagged candidates by format affinity.
 
-    The chunk key is ``(block_height, block_width, bit_word)`` -- every
-    distinct format a chunk's candidates build (the key is a prefix of
-    ``TuningPoint.format_key``) belongs to that chunk alone, so
-    conversions stay worker-local.  Chunks preserve first-occurrence
-    order and candidates keep their enumeration order within a chunk.
+    The chunk key is ``(base_format, block_height, block_width,
+    bit_word)`` -- every distinct format a chunk's candidates build (the
+    key determines ``TuningPoint.format_key`` up to slicing/compression)
+    belongs to that chunk alone, so conversions stay worker-local.
+    Chunks preserve first-occurrence order and candidates keep their
+    enumeration order within a chunk.
     """
     groups: dict[tuple, list[tuple[int, TuningPoint]]] = {}
     for index, point in items:
-        key = (point.block_height, point.block_width, point.bit_word)
+        key = (
+            point.base_format,
+            point.block_height,
+            point.block_width,
+            point.bit_word,
+        )
         groups.setdefault(key, []).append((index, point))
     return list(groups.values())
 

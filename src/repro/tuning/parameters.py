@@ -17,6 +17,7 @@ from ..kernels.config import YaSpMVConfig
 
 __all__ = [
     "TuningPoint",
+    "BASE_FORMATS",
     "BIT_WORDS",
     "BLOCK_WIDTHS",
     "BLOCK_HEIGHTS",
@@ -30,6 +31,10 @@ BLOCK_HEIGHTS: tuple[int, ...] = (1, 2, 3, 4)
 BIT_WORDS: tuple[str, ...] = ("uint8", "uint16", "uint32")
 WORKGROUP_SIZES: tuple[int, ...] = (64, 128, 256, 512)
 SLICE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+#: Storage families the cocktail search picks among.  ``"bccoo"`` covers
+#: both BCCOO and BCCOO+ (the slice count decides); the related-work
+#: formats carry no block/bit-flag/slice axes of their own.
+BASE_FORMATS: tuple[str, ...] = ("bccoo", "merge_csr", "rgcsr")
 
 
 @dataclass(frozen=True)
@@ -41,9 +46,14 @@ class TuningPoint:
     bit_word: str = "uint32"
     col_compress: bool = True
     slice_count: int = 1
+    base_format: str = "bccoo"
     kernel: YaSpMVConfig = field(default_factory=YaSpMVConfig)
 
     def __post_init__(self):
+        if self.base_format not in BASE_FORMATS:
+            raise TuningError(
+                f"base_format {self.base_format!r} not in {BASE_FORMATS}"
+            )
         if self.block_height not in BLOCK_HEIGHTS:
             raise TuningError(
                 f"block_height {self.block_height} not in {BLOCK_HEIGHTS}"
@@ -54,10 +64,26 @@ class TuningPoint:
             raise TuningError(f"bit_word {self.bit_word!r} not in {BIT_WORDS}")
         if self.slice_count not in SLICE_COUNTS:
             raise TuningError(f"slice_count {self.slice_count} not in {SLICE_COUNTS}")
+        if self.base_format != "bccoo":
+            # The related-work formats have no blocking/slicing axes:
+            # reject points that would silently ignore those knobs.
+            if self.slice_count != 1:
+                raise TuningError(
+                    f"{self.base_format} does not slice "
+                    f"(slice_count={self.slice_count})"
+                )
+            if self.block_height != 1 or self.block_width != 1:
+                raise TuningError(
+                    f"{self.base_format} is unblocked "
+                    f"(got {self.block_height}x{self.block_width})"
+                )
 
     @property
     def format_name(self) -> str:
-        """``"bccoo"`` or ``"bccoo+"`` (BCCOO+ iff sliced)."""
+        """``"bccoo"``/``"bccoo+"`` (BCCOO+ iff sliced), or the
+        related-work base format's registry name."""
+        if self.base_format != "bccoo":
+            return self.base_format
         return "bccoo+" if self.slice_count > 1 else "bccoo"
 
     @property

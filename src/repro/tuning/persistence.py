@@ -101,6 +101,7 @@ def _encode(point: TuningPoint) -> dict:
         "bit_word": point.bit_word,
         "col_compress": point.col_compress,
         "slice_count": point.slice_count,
+        "base_format": point.base_format,
         "kernel": asdict(point.kernel),
     }
 
@@ -115,6 +116,9 @@ def _decode(blob: dict) -> TuningPoint | None:
             bit_word=blob["bit_word"],
             col_compress=blob["col_compress"],
             slice_count=blob["slice_count"],
+            # Entries written before the related-work formats existed
+            # carry no base_format; they are all BCCOO.
+            base_format=blob.get("base_format", "bccoo"),
             kernel=YaSpMVConfig(**blob["kernel"]),
         )
     except Exception:

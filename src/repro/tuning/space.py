@@ -37,7 +37,12 @@ from .parameters import (
     TuningPoint,
 )
 
-__all__ = ["pruned_space", "exhaustive_space", "candidate_slice_counts"]
+__all__ = [
+    "pruned_space",
+    "exhaustive_space",
+    "candidate_slice_counts",
+    "base_format_points",
+]
 
 #: Per-thread tile sizes explored for strategy 2 / register counts for
 #: strategy 1 (the paper sweeps these fine-grained; we keep the coverage
@@ -66,6 +71,28 @@ def candidate_slice_counts(matrix, device: DeviceSpec) -> tuple[int, ...]:
         if s >= wanted:
             break
     return tuple(counts)
+
+
+def base_format_points(
+    workgroup_sizes: Iterable[int],
+    pruned: bool = True,
+) -> Iterator[TuningPoint]:
+    """Candidates for the related-work formats (merge-path CSR, RG-CSR).
+
+    Neither format has blocking, bit-flag, column-compression or slicing
+    axes, so their sub-space is just the launch geometry: one point per
+    (format, workgroup size) -- plus the texture toggle when unpruned.
+    """
+    textures = (True,) if pruned else (True, False)
+    for base in ("merge_csr", "rgcsr"):
+        for wg in workgroup_sizes:
+            for texture in textures:
+                yield TuningPoint(
+                    base_format=base,
+                    kernel=YaSpMVConfig(
+                        workgroup_size=wg, use_texture=texture
+                    ),
+                )
 
 
 def _kernel_configs(
@@ -128,6 +155,7 @@ def pruned_space(
                         slice_count=s,
                         kernel=cfg,
                     )
+    yield from base_format_points(workgroup_sizes, pruned=True)
 
 
 def exhaustive_space(
@@ -161,3 +189,4 @@ def exhaustive_space(
                                 slice_count=s,
                                 kernel=cfg,
                             )
+    yield from base_format_points(workgroup_sizes, pruned=False)

@@ -186,3 +186,90 @@ class TestLoadSnapshot:
         assert snap["kind"] == "bench_kernels"
         report = compare_snapshots(snap, kernels_snap(1.05))
         assert report.passed
+
+
+def multi_kernels_snap(times: dict[str, float]):
+    return {
+        "kind": "bench_kernels",
+        "matrices": [
+            {"matrix": name, "fast_s": t} for name, t in times.items()
+        ],
+    }
+
+
+def formats_snap(stencil_merge_us=6.75, dense_rg_us=122.6):
+    return {
+        "kind": "bench_formats",
+        "classes": [
+            {"class": "stencil_band", "entrants": {
+                "merge_csr": {"time_us": stencil_merge_us},
+                "bccoo": {"time_us": 6.93},
+            }},
+            {"class": "dense_rows_uniform", "entrants": {
+                "rgcsr": {"time_us": dense_rg_us},
+            }},
+        ],
+    }
+
+
+class TestCalibration:
+    """--calibrate: the cohort's median drift belongs to the runner."""
+
+    def test_uniform_drift_passes_calibrated(self):
+        base = multi_kernels_snap({"A": 1.0, "B": 2.0, "C": 3.0})
+        cur = multi_kernels_snap({"A": 1.4, "B": 2.8, "C": 4.2})
+        assert not compare_snapshots(base, cur, threshold=0.15).passed
+        report = compare_snapshots(
+            base, cur, threshold=0.15, calibrate=True
+        )
+        assert report.passed
+        assert report.calibration["lower"] == pytest.approx(0.4)
+        for d in report.deltas:
+            assert d.adjusted_change == pytest.approx(0.0, abs=1e-9)
+
+    def test_relative_regression_still_caught(self):
+        base = multi_kernels_snap({"A": 1.0, "B": 2.0, "C": 3.0})
+        cur = multi_kernels_snap({"A": 1.4, "B": 2.8, "C": 3.0 * 1.4 * 2.5})
+        report = compare_snapshots(
+            base, cur, threshold=0.15, calibrate=True
+        )
+        assert not report.passed
+        assert [d.metric for d in report.regressions] == [
+            "kernels/C/fast_s"
+        ]
+
+    def test_uncalibrated_shift_is_zero(self):
+        report = compare_snapshots(
+            kernels_snap(1.0), kernels_snap(1.1)
+        )
+        assert report.calibration is None
+        assert all(d.shift == 0.0 for d in report.deltas)
+        assert all(d.adjusted_change == d.change for d in report.deltas)
+
+    def test_shift_recorded_in_dicts_and_summary(self):
+        base = multi_kernels_snap({"A": 1.0, "B": 2.0})
+        cur = multi_kernels_snap({"A": 1.5, "B": 3.0})
+        report = compare_snapshots(
+            base, cur, threshold=0.15, calibrate=True
+        )
+        blob = report.to_dict()
+        assert blob["calibration"]["lower"] == pytest.approx(0.5)
+        assert all("shift" in d for d in blob["deltas"])
+        assert "runner calibration" in report.summary()
+
+
+class TestFormatsSnapshots:
+    def test_formats_metrics_flattened_per_entrant(self):
+        report = compare_snapshots(formats_snap(), formats_snap())
+        metrics = {d.metric for d in report.deltas}
+        assert "formats/stencil_band/merge_csr/time_us" in metrics
+        assert "formats/dense_rows_uniform/rgcsr/time_us" in metrics
+        assert report.passed
+
+    def test_slower_entrant_regresses(self):
+        report = compare_snapshots(
+            formats_snap(), formats_snap(stencil_merge_us=6.75 * 2)
+        )
+        assert [d.metric for d in report.regressions] == [
+            "formats/stencil_band/merge_csr/time_us"
+        ]

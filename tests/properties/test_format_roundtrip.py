@@ -1,0 +1,202 @@
+"""Property-based round-trip contracts for the new cocktail formats.
+
+Hypothesis generates arbitrary small sparse matrices plus arbitrary
+format parameters and asserts the three contracts every
+:class:`SparseFormat` in the cocktail must honour:
+
+* **Lossless round trip** -- CSR -> format -> ``to_scipy()`` reproduces
+  the matrix exactly (pattern and values, zero tolerance).
+* **Validators catch mutations** -- corrupting the structural arrays
+  (row pointers, team coordinates, group offsets, permutations) flips
+  ``validate()`` to failed; ``raise_if_failed()`` raises the typed
+  error.
+* **``with_values`` is structure-preserving** -- the rebuilt format
+  shares every structural array *by identity* with the original, and
+  any pattern drift in the new matrix is rejected, never absorbed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.errors import ValidationError
+from repro.formats import MergeCSRMatrix, RGCSRMatrix
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=40):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, min(nrows * ncols, 80)))
+    if nnz == 0:
+        # Formats need at least one entry to be interesting; keep one.
+        nnz = 1
+    idx = draw(
+        st.lists(
+            st.tuples(st.integers(0, nrows - 1), st.integers(0, ncols - 1)),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    rows, cols = zip(*idx)
+    vals = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False).filter(lambda v: v != 0.0),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    A = sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(nrows, ncols)
+    ).tocsr()
+    A.sum_duplicates()
+    A.eliminate_zeros()
+    return A
+
+
+def _revalued(A, seed):
+    """Same pattern as ``A``, fresh non-zero values."""
+    B = A.copy()
+    rng = np.random.default_rng(seed)
+    B.data = rng.uniform(0.5, 2.0, A.nnz) * np.sign(rng.standard_normal(A.nnz) + 3.0)
+    return B
+
+
+class TestMergeCSRProperties:
+    @given(
+        A=sparse_matrices(),
+        team_nnz=st.sampled_from([None, 4, 8, 16, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, A, team_nnz):
+        fmt = MergeCSRMatrix.from_scipy(A, team_nnz=team_nnz)
+        assert (fmt.to_scipy() != A).nnz == 0
+        fmt.validate().raise_if_failed()
+
+    @given(A=sparse_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_validator_rejects_mutated_row_ptr(self, A, data):
+        fmt = MergeCSRMatrix.from_scipy(A)
+        i = data.draw(st.integers(1, fmt.nrows), label="ptr slot")
+        fmt.row_ptr[i] = fmt.nnz + 7  # past the stream end
+        report = fmt.validate()
+        assert not report.ok
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    @given(A=sparse_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_validator_rejects_mutated_team_rows(self, A, data):
+        fmt = MergeCSRMatrix.from_scipy(A)
+        t = data.draw(st.integers(0, fmt.team_rows.shape[0] - 1),
+                      label="team")
+        fmt.team_rows[t] = fmt.nrows + 1
+        assert not fmt.validate().ok
+
+    @given(A=sparse_matrices(), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_with_values_shares_structure(self, A, seed):
+        fmt = MergeCSRMatrix.from_scipy(A)
+        B = _revalued(A, seed)
+        fmt2 = fmt.with_values(B)
+        assert fmt2.row_ptr is fmt.row_ptr
+        assert fmt2.col_index is fmt.col_index
+        assert fmt2.team_rows is fmt.team_rows
+        assert fmt2.team_nnz == fmt.team_nnz
+        assert (fmt2.to_scipy() != B).nnz == 0
+        # The original is untouched -- with_values copies, never mutates.
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @given(A=sparse_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_with_values_rejects_pattern_drift(self, A):
+        fmt = MergeCSRMatrix.from_scipy(A)
+        drifted = A.copy().tolil()
+        r, c = A.shape[0] - 1, A.shape[1] - 1
+        if drifted[r, c] != 0:
+            drifted[r, c] = 0
+        else:
+            drifted[r, c] = 1.0
+        with pytest.raises(ValidationError):
+            fmt.with_values(drifted.tocsr())
+
+
+class TestRGCSRProperties:
+    @given(A=sparse_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, A):
+        fmt = RGCSRMatrix.from_scipy(A)
+        assert (fmt.to_scipy() != A).nnz == 0
+        fmt.validate().raise_if_failed()
+
+    @given(A=sparse_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_validator_rejects_mutated_group_offsets(self, A, data):
+        fmt = RGCSRMatrix.from_scipy(A)
+        g = data.draw(st.integers(1, fmt.n_groups), label="group slot")
+        fmt.group_row_offsets[g] = fmt.n_packed_rows + 3
+        report = fmt.validate()
+        assert not report.ok
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    @given(A=sparse_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_validator_rejects_broken_permutation(self, A, data):
+        fmt = RGCSRMatrix.from_scipy(A)
+        if fmt.row_perm.size < 2:
+            return  # a 1-row permutation cannot be made non-bijective
+        i = data.draw(st.integers(1, fmt.row_perm.size - 1), label="slot")
+        fmt.row_perm[i] = fmt.row_perm[0]  # duplicate => not bijective
+        assert not fmt.validate().ok
+
+    @given(A=sparse_matrices(), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_with_values_shares_structure(self, A, seed):
+        fmt = RGCSRMatrix.from_scipy(A)
+        B = _revalued(A, seed)
+        fmt2 = fmt.with_values(B)
+        assert fmt2.row_perm is fmt.row_perm
+        assert fmt2.row_lengths is fmt.row_lengths
+        assert fmt2.group_row_offsets is fmt.group_row_offsets
+        assert fmt2.group_data_offsets is fmt.group_data_offsets
+        assert fmt2.group_widths is fmt.group_widths
+        assert fmt2.col_index is fmt.col_index
+        assert (fmt2.to_scipy() != B).nnz == 0
+        assert (fmt.to_scipy() != A).nnz == 0
+
+    @given(A=sparse_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_with_values_rejects_pattern_drift(self, A):
+        fmt = RGCSRMatrix.from_scipy(A)
+        drifted = A.copy().tolil()
+        r, c = A.shape[0] - 1, A.shape[1] - 1
+        if drifted[r, c] != 0:
+            drifted[r, c] = 0
+        else:
+            drifted[r, c] = 1.0
+        with pytest.raises(ValidationError):
+            fmt.with_values(drifted.tocsr())
+
+
+class TestMultiplyProperty:
+    @given(A=sparse_matrices(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_multiply_matches_csr_fold(self, A, data):
+        x = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False),
+                    min_size=A.shape[1],
+                    max_size=A.shape[1],
+                )
+            )
+        )
+        rows = np.repeat(np.arange(A.shape[0]), np.diff(A.indptr))
+        ref = np.bincount(
+            rows, weights=A.data * x[A.indices], minlength=A.shape[0]
+        )
+        for fmt_cls in (MergeCSRMatrix, RGCSRMatrix):
+            y = fmt_cls.from_scipy(A).multiply(x)
+            assert np.array_equal(y, ref), fmt_cls.__name__

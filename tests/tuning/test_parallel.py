@@ -52,7 +52,10 @@ class TestChunking:
         items = list(enumerate(pruned_space(A, GTX680)))
         chunks = chunk_candidates(items)
         keys = [
-            {(p.block_height, p.block_width, p.bit_word) for _, p in chunk}
+            {
+                (p.base_format, p.block_height, p.block_width, p.bit_word)
+                for _, p in chunk
+            }
             for chunk in chunks
         ]
         # One format-affinity key per chunk, no key in two chunks.
